@@ -1,0 +1,555 @@
+(* datalogp — command-line front end for the parallel Datalog framework.
+
+   Subcommands:
+     run       sequential evaluation (semi-naive, naive or stratified)
+     query     evaluate and print the tuples matching a pattern
+     par       parallel evaluation under a chosen scheme and runtime
+     dong      the decomposition baseline of Dong [8]
+     rewrite   print the per-processor programs a scheme generates
+     dataflow  print a sirup's dataflow graph and Theorem-3 choice
+     network   derive the minimal network graph (Section 5)
+     gen       emit a generated workload as Datalog facts *)
+
+open Datalog
+open Pardatalog
+open Cmdliner
+
+(* ---------------------------------------------------------------- *)
+(* Shared loading helpers                                            *)
+(* ---------------------------------------------------------------- *)
+
+(* Stream the file so that pipes and process substitutions work too. *)
+let read_file path =
+  let ic = open_in_bin path in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let n = input ic chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    end
+  in
+  go ();
+  close_in ic;
+  Buffer.contents buf
+
+let load_program path =
+  match Parser.program (read_file path) with
+  | Ok p -> p
+  | Error e ->
+    Format.eprintf "%s: %a@." path Parser.pp_error e;
+    exit 2
+
+let load_edb = function
+  | None -> Database.create ()
+  | Some path ->
+    (match Parser.tuples (read_file path) with
+     | Ok facts ->
+       let db = Database.create () in
+       List.iter (fun (pred, t) -> ignore (Database.add_fact db pred t)) facts;
+       db
+     | Error e ->
+       Format.eprintf "%s: %a@." path Parser.pp_error e;
+       exit 2)
+
+let print_answers db preds =
+  List.iter
+    (fun pred ->
+      match Database.find db pred with
+      | Some rel ->
+        Format.printf "%s/%d (%d tuples):@." pred (Relation.arity rel)
+          (Relation.cardinal rel);
+        List.iter
+          (fun t -> Format.printf "  %s%a@." pred Tuple.pp t)
+          (Relation.sorted_elements rel)
+      | None -> Format.printf "%s: (empty)@." pred)
+    preds
+
+(* ---------------------------------------------------------------- *)
+(* Common options                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let program_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"PROGRAM" ~doc:"Datalog program file.")
+
+let edb_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "edb" ] ~docv:"FILE"
+        ~doc:"Extensional database: a file of ground facts.")
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "q"; "quiet" ] ~doc:"Do not print the answer tuples.")
+
+let nprocs_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "n"; "nprocs" ] ~docv:"N" ~doc:"Number of processors.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Seed of the hash-function family.")
+
+(* ---------------------------------------------------------------- *)
+(* run                                                               *)
+(* ---------------------------------------------------------------- *)
+
+let run_cmd =
+  let doc = "Evaluate a program sequentially (semi-naive by default)." in
+  let engine_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("seminaive", `Seminaive); ("naive", `Naive);
+               ("stratified", `Stratified) ])
+          `Seminaive
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"$(b,seminaive) (default), $(b,naive) or $(b,stratified) \
+                (SCC-by-SCC).")
+  in
+  let action program edb_file engine quiet =
+    let program = load_program program in
+    let edb = load_edb edb_file in
+    (match Program.check program with
+     | Ok () -> ()
+     | Error msg ->
+       Format.eprintf "invalid program: %s@." msg;
+       exit 2);
+    let derived = Program.derived_predicates program in
+    match engine with
+    | `Naive ->
+      let db = Naive.evaluate program edb in
+      if not quiet then print_answers db derived
+    | `Seminaive ->
+      let db, stats = Seminaive.evaluate program edb in
+      if not quiet then print_answers db derived;
+      Format.printf "%a@." Seminaive.pp_stats stats
+    | `Stratified ->
+      let db, stats = Stratified.evaluate program edb in
+      if not quiet then print_answers db derived;
+      Format.printf "%a@." Seminaive.pp_stats stats
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const action $ program_arg $ edb_arg $ engine_arg $ quiet_arg)
+
+(* ---------------------------------------------------------------- *)
+(* query                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let query_cmd =
+  let doc = "Evaluate a program and print the tuples matching a pattern." in
+  let pattern_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"PATTERN"
+          ~doc:"A query atom, e.g. 'anc(1,X)': variables match anything, \
+                repeated variables must match equal constants.")
+  in
+  let action program edb_file pattern =
+    let program = load_program program in
+    let edb = load_edb edb_file in
+    let pattern =
+      match Parser.atom pattern with
+      | Ok a -> a
+      | Error e ->
+        Format.eprintf "bad pattern: %a@." Parser.pp_error e;
+        exit 2
+    in
+    let db, _ = Seminaive.evaluate program edb in
+    match Database.find db pattern.Atom.pred with
+    | None ->
+      Format.eprintf "unknown predicate %s@." pattern.Atom.pred;
+      exit 2
+    | Some rel ->
+      if Relation.arity rel <> Atom.arity pattern then begin
+        Format.eprintf "%s has arity %d@." pattern.Atom.pred
+          (Relation.arity rel);
+        exit 2
+      end;
+      let matches tuple =
+        let binding = Hashtbl.create 4 in
+        let ok = ref true in
+        Array.iteri
+          (fun i term ->
+            match term with
+            | Datalog.Term.Const c ->
+              if not (Const.equal c (Tuple.get tuple i)) then ok := false
+            | Datalog.Term.Var v ->
+              (match Hashtbl.find_opt binding v with
+               | Some c ->
+                 if not (Const.equal c (Tuple.get tuple i)) then ok := false
+               | None -> Hashtbl.add binding v (Tuple.get tuple i)))
+          pattern.Atom.args;
+        !ok
+      in
+      let count = ref 0 in
+      List.iter
+        (fun t ->
+          if matches t then begin
+            incr count;
+            Format.printf "%s%a@." pattern.Atom.pred Tuple.pp t
+          end)
+        (Relation.sorted_elements rel);
+      Format.printf "%d tuple(s)@." !count
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const action $ program_arg $ edb_arg $ pattern_arg)
+
+(* ---------------------------------------------------------------- *)
+(* Scheme selection (shared by par and rewrite)                      *)
+(* ---------------------------------------------------------------- *)
+
+let scheme_conv =
+  Arg.enum
+    [
+      ("q", `Q); ("nocomm", `Nocomm); ("example2", `Example2);
+      ("example3", `Example3); ("wolfson", `Wolfson);
+      ("tradeoff", `Tradeoff); ("general", `General);
+    ]
+
+let scheme_arg =
+  Arg.(
+    value & opt scheme_conv `General
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "Parallelization scheme: $(b,q) (Section 3 with --ve/--vr), \
+           $(b,nocomm) (Theorem 3), $(b,example2), $(b,example3), \
+           $(b,wolfson), $(b,tradeoff) (with --alpha), or $(b,general) \
+           (Section 7; default).")
+
+let vars_conv = Arg.list Arg.string
+
+let ve_arg =
+  Arg.(
+    value & opt vars_conv []
+    & info [ "ve" ] ~docv:"VARS"
+        ~doc:"Discriminating sequence of the exit rule (scheme q).")
+
+let vr_arg =
+  Arg.(
+    value & opt vars_conv []
+    & info [ "vr" ] ~docv:"VARS"
+        ~doc:"Discriminating sequence of the recursive rule (scheme q).")
+
+let alpha_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "alpha" ] ~docv:"A"
+        ~doc:"Locality of the tradeoff scheme: probability of keeping a \
+              tuple at its producer (0 = non-redundant, 1 = Wolfson).")
+
+let build_scheme scheme ~nprocs ~seed ~ve ~vr ~alpha program edb =
+  match scheme with
+  | `Q ->
+    if ve = [] || vr = [] then
+      Error "scheme q requires --ve and --vr"
+    else Strategy.hash_q ~seed ~nprocs ~ve ~vr program
+  | `Nocomm -> Strategy.no_communication ~seed ~nprocs program
+  | `Example2 ->
+    let partition =
+      let rng = Workload.Rng.create ~seed in
+      match Strategy.tc_shape program with
+      | Error e -> (fun _ -> ignore e; 0)
+      | Ok s ->
+        let base_pred =
+          (List.hd s.Analysis.base_atoms).Atom.pred
+        in
+        Workload.Edb.partition_random rng ~nprocs edb ~pred:base_pred
+    in
+    Strategy.example2 ~nprocs ~partition program
+  | `Example3 -> Strategy.example3 ~seed ~nprocs program
+  | `Wolfson -> Strategy.wolfson_redundant ~seed ~nprocs program
+  | `Tradeoff -> Strategy.tradeoff ~seed ~nprocs ~alpha program
+  | `General -> Strategy.general ~seed ~nprocs program
+
+(* ---------------------------------------------------------------- *)
+(* par                                                               *)
+(* ---------------------------------------------------------------- *)
+
+let par_cmd =
+  let doc = "Evaluate a program in parallel and report statistics." in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Log each simulated round to stderr.")
+  in
+  let runtime_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("domain", `Domain) ]) `Sim
+      & info [ "runtime" ] ~docv:"RT"
+          ~doc:
+            "$(b,sim) = deterministic simulated rounds (default); \
+             $(b,domain) = OCaml domains.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "With --runtime domain: serve the N processors with D \
+             domains (default: one per processor).")
+  in
+  let detector_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("safra", Domain_runtime.Safra);
+               ("dijkstra-scholten", Domain_runtime.Dijkstra_scholten) ])
+          Domain_runtime.Safra
+      & info [ "detector" ] ~docv:"ALG"
+          ~doc:
+            "Termination detection for --runtime domain: $(b,safra) \
+             (default) or $(b,dijkstra-scholten).")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Also run sequentially and check Theorems 1/2-style \
+                properties.")
+  in
+  let action program edb_file scheme nprocs seed ve vr alpha runtime domains
+      detector verify quiet verbose =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.Src.set_level Sim_runtime.log_src (Some Logs.Debug)
+    end;
+    let program = load_program program in
+    let edb = load_edb edb_file in
+    match build_scheme scheme ~nprocs ~seed ~ve ~vr ~alpha program edb with
+    | Error msg ->
+      Format.eprintf "cannot build scheme: %s@." msg;
+      exit 2
+    | Ok rw ->
+      if verify then begin
+        let report = Verify.check rw ~edb in
+        Format.printf "%a@." Verify.pp_report report;
+        if not report.Verify.equal_answers then exit 1
+      end
+      else begin
+        let result =
+          match runtime with
+          | `Sim -> Sim_runtime.run rw ~edb
+          | `Domain -> Domain_runtime.run ~detector ?domains rw ~edb
+        in
+        if not quiet then
+          print_answers result.Sim_runtime.answers rw.Rewrite.derived;
+        Format.printf "%a@." Stats.pp result.Sim_runtime.stats
+      end
+  in
+  Cmd.v (Cmd.info "par" ~doc)
+    Term.(
+      const action $ program_arg $ edb_arg $ scheme_arg $ nprocs_arg
+      $ seed_arg $ ve_arg $ vr_arg $ alpha_arg $ runtime_arg $ domains_arg
+      $ detector_arg $ verify_arg $ quiet_arg $ verbose_arg)
+
+(* ---------------------------------------------------------------- *)
+(* rewrite                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let rewrite_cmd =
+  let doc = "Print the per-processor programs a scheme generates." in
+  let action program edb_file scheme nprocs seed ve vr alpha =
+    let program = load_program program in
+    let edb = load_edb edb_file in
+    match build_scheme scheme ~nprocs ~seed ~ve ~vr ~alpha program edb with
+    | Error msg ->
+      Format.eprintf "cannot build scheme: %s@." msg;
+      exit 2
+    | Ok rw -> Format.printf "%a@." Rewrite.pp rw
+  in
+  Cmd.v (Cmd.info "rewrite" ~doc)
+    Term.(
+      const action $ program_arg $ edb_arg $ scheme_arg $ nprocs_arg
+      $ seed_arg $ ve_arg $ vr_arg $ alpha_arg)
+
+(* ---------------------------------------------------------------- *)
+(* dataflow                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let dataflow_cmd =
+  let doc = "Print a linear sirup's dataflow graph (Definition 2)." in
+  let action program =
+    let program = load_program program in
+    match Analysis.as_sirup program with
+    | Error e ->
+      Format.eprintf "not a linear sirup: %s@." e;
+      exit 2
+    | Ok s ->
+      let g = Dataflow.of_sirup s in
+      Format.printf "dataflow graph: %a@." Dataflow.pp g;
+      (match Dataflow.find_cycle g with
+       | Some c ->
+         Format.printf "cycle: %s@."
+           (String.concat " -> " (List.map string_of_int c))
+       | None -> Format.printf "cycle: none@.");
+      (match Dataflow.communication_free_choice s with
+       | Some fc ->
+         Format.printf
+           "Theorem 3 choice: v(e) = <%s>, v(r) = <%s> with a symmetric \
+            hash gives a communication-free execution@."
+           (String.concat ", " fc.Dataflow.ve)
+           (String.concat ", " fc.Dataflow.vr)
+       | None ->
+         Format.printf
+           "no communication-free choice (dataflow graph is acyclic)@.")
+  in
+  Cmd.v (Cmd.info "dataflow" ~doc) Term.(const action $ program_arg)
+
+(* ---------------------------------------------------------------- *)
+(* network                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let network_cmd =
+  let doc =
+    "Derive the minimal network graph for a linear sirup (Section 5)."
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "linear" ] ~docv:"COEFFS"
+          ~doc:
+            "Use the linear form with these coefficients (e.g. 1,-1,1 for \
+             Example 7). Without this flag the bit-vector form of Example \
+             6 is used.")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz output.")
+  in
+  let action program ve vr linear dot =
+    let program = load_program program in
+    match Analysis.as_sirup program with
+    | Error e ->
+      Format.eprintf "not a linear sirup: %s@." e;
+      exit 2
+    | Ok s ->
+      if ve = [] || vr = [] then begin
+        Format.eprintf "network requires --ve and --vr@.";
+        exit 2
+      end;
+      let spec =
+        match linear with
+        | Some coeffs ->
+          let arr = Array.of_list coeffs in
+          let lo = Array.fold_left (fun acc c -> acc + min 0 c) 0 arr in
+          Hash_fn.Linear { coeffs = arr; lo }
+        | None -> Hash_fn.Bitvec
+      in
+      (match Derive.minimal_network { sirup = s; ve; vr; spec } with
+       | Error e ->
+         Format.eprintf "derivation failed: %s@." e;
+         exit 2
+       | Ok net ->
+         if dot then print_string (Netgraph.to_dot net)
+         else begin
+           Format.printf "minimal network (%d edges):@." (Netgraph.edge_count net);
+           Format.printf "  @[%a@]@." Netgraph.pp net;
+           let cross = Netgraph.without_self net in
+           Format.printf "cross-processor edges: %d@."
+             (Netgraph.edge_count cross)
+         end)
+  in
+  Cmd.v (Cmd.info "network" ~doc)
+    Term.(const action $ program_arg $ ve_arg $ vr_arg $ spec_arg $ dot_arg)
+
+(* ---------------------------------------------------------------- *)
+(* dong                                                              *)
+(* ---------------------------------------------------------------- *)
+
+let dong_cmd =
+  let doc =
+    "Evaluate under Dong's decomposition baseline (constant-disjoint \
+     components, no communication)."
+  in
+  let action program edb_file nprocs quiet =
+    let program = load_program program in
+    let edb = load_edb edb_file in
+    match Decompose.run program ~nprocs edb with
+    | Error msg ->
+      Format.eprintf "not applicable: %s@." msg;
+      exit 2
+    | Ok (result, analysis) ->
+      if not quiet then
+        print_answers result.Sim_runtime.answers
+          (Program.derived_predicates program);
+      Format.printf "components: %d;  tuples per processor: %s@."
+        analysis.Decompose.component_count
+        (String.concat ", "
+           (Array.to_list
+              (Array.map string_of_int analysis.Decompose.tuples_per_proc)));
+      Format.printf "%a@." Stats.pp result.Sim_runtime.stats
+  in
+  Cmd.v (Cmd.info "dong" ~doc)
+    Term.(const action $ program_arg $ edb_arg $ nprocs_arg $ quiet_arg)
+
+(* ---------------------------------------------------------------- *)
+(* gen                                                               *)
+(* ---------------------------------------------------------------- *)
+
+let gen_cmd =
+  let doc = "Generate a workload and print it as Datalog facts." in
+  let family_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("chain", `Chain); ("cycle", `Cycle); ("tree", `Tree);
+                  ("random", `Random); ("grid", `Grid) ]))
+          None
+      & info [] ~docv:"FAMILY" ~doc:"chain, cycle, tree, random or grid.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "size" ] ~docv:"N"
+          ~doc:"Nodes (chain/cycle/random), depth (tree) or side (grid).")
+  in
+  let edges_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "edges" ] ~docv:"M" ~doc:"Edge count for random graphs.")
+  in
+  let pred_arg =
+    Arg.(
+      value & opt string "par"
+      & info [ "pred" ] ~docv:"NAME" ~doc:"Predicate name of the facts.")
+  in
+  let action family size edges pred seed =
+    let rng = Workload.Rng.create ~seed in
+    let es =
+      match family with
+      | `Chain -> Workload.Graphgen.chain size
+      | `Cycle -> Workload.Graphgen.cycle size
+      | `Tree -> Workload.Graphgen.binary_tree ~depth:size
+      | `Random -> Workload.Graphgen.random_digraph rng ~nodes:size ~edges
+      | `Grid -> Workload.Graphgen.grid ~rows:size ~cols:size
+    in
+    List.iter (fun (a, b) -> Printf.printf "%s(%d,%d).\n" pred a b) es
+  in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const action $ family_arg $ size_arg $ edges_arg $ pred_arg $ seed_arg)
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let doc = "parallel bottom-up Datalog evaluation (Ganguly-Silberschatz-Tsur)" in
+  let info = Cmd.info "datalogp" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+                    [ run_cmd; query_cmd; par_cmd; dong_cmd; rewrite_cmd; dataflow_cmd;
+                      network_cmd; gen_cmd ]))

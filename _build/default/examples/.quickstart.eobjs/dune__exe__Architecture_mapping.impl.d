@@ -1,0 +1,1 @@
+examples/architecture_mapping.ml: Analysis Database Datalog Derive Discriminant Format Hash_fn List Netgraph Pardatalog Pid Result Rewrite Sim_runtime Stats Tuple Workload

@@ -1,0 +1,1 @@
+examples/incremental.ml: Database Datalog Format List Relation Seminaive Tuple Workload

@@ -1,0 +1,1 @@
+examples/network_topology.ml: Analysis Database Dataflow Datalog Derive Discriminant Format Hash_fn List Netgraph Pardatalog Result Rewrite String Tuple Verify Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Const Database Datalog Domain_runtime Format List Pardatalog Parser Relation Seminaive Sim_runtime Stats Strategy Tuple

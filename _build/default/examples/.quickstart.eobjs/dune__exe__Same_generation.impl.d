@@ -1,0 +1,1 @@
+examples/same_generation.ml: Array Datalog Format Pardatalog Parser Program Rewrite Strategy Verify Workload

@@ -1,0 +1,1 @@
+examples/tradeoff.ml: Datalog Format List Pardatalog Stats Strategy Verify Workload

@@ -1,0 +1,1 @@
+examples/transitive_closure.ml: Database Datalog Format Pardatalog Seminaive Stats Strategy Verify Workload

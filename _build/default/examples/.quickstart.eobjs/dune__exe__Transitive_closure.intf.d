@@ -1,0 +1,1 @@
+examples/transitive_closure.mli:

@@ -1,0 +1,102 @@
+(* Section 5's punchline: "the rewriting method at compile time can be
+   adapted to the architecture of the system."
+
+   Given a physical interconnect (here: a unidirectional ring, a
+   2D hypercube and a star), we derive the minimal network a
+   discriminating-function choice requires and test whether it embeds
+   into the architecture. When it does, the execution is run with the
+   architecture enforced (Definition 3: tuples may only travel existing
+   links; no routing through intermediaries).
+
+   Run with:  dune exec examples/architecture_mapping.exe *)
+
+open Datalog
+open Pardatalog
+
+let sirup6 = Result.get_ok (Analysis.as_sirup Workload.Progs.example6)
+
+(* Candidate physical architectures over 4 processors, in the bit-vector
+   label space of Example 6. *)
+let space = Pid.bitvec 2
+
+let ring =
+  (* (00) -> (01) -> (11) -> (10) -> (00), plus self loops (a processor
+     can always talk to itself). *)
+  Netgraph.union
+    (Netgraph.self_only space)
+    (Netgraph.of_labels space
+       [ ("(00)", "(01)"); ("(01)", "(11)"); ("(11)", "(10)"); ("(10)", "(00)") ])
+
+let hypercube =
+  (* Edges between labels at Hamming distance 1, both directions. *)
+  Netgraph.union
+    (Netgraph.self_only space)
+    (Netgraph.of_labels space
+       [
+         ("(00)", "(01)"); ("(01)", "(00)");
+         ("(00)", "(10)"); ("(10)", "(00)");
+         ("(01)", "(11)"); ("(11)", "(01)");
+         ("(10)", "(11)"); ("(11)", "(10)");
+       ])
+
+let crossbar = Netgraph.complete space
+
+let required =
+  Result.get_ok
+    (Derive.minimal_network
+       { sirup = sirup6; ve = [ "X"; "Y" ]; vr = [ "Y"; "Z" ];
+         spec = Hash_fn.Bitvec })
+
+let random_edb seed =
+  let rng = Workload.Rng.create ~seed in
+  let edb = Database.create () in
+  List.iter
+    (fun (a, b) ->
+      ignore (Database.add_fact edb "q" (Tuple.of_ints [ a; b ]));
+      ignore (Database.add_fact edb "r" (Tuple.of_ints [ b; a ])))
+    (Workload.Graphgen.random_digraph rng ~nodes:30 ~edges:60);
+  edb
+
+let () =
+  Format.printf
+    "Example 6 with h(Y,Z) = (g(Y),g(Z)) requires these channels:@.  @[%a@]@.@."
+    Netgraph.pp required;
+  let try_architecture name net =
+    let fits = Netgraph.subgraph required net in
+    Format.printf "%-10s (%2d links): required network embeds = %b@." name
+      (Netgraph.edge_count (Netgraph.without_self net))
+      fits;
+    if fits then begin
+      (* Execute with the architecture enforced. *)
+      let h = Hash_fn.bitvec ~arity:2 () in
+      let rw =
+        Rewrite.make Workload.Progs.example6
+          ~policies:
+            [
+              Rewrite.Uniform (Discriminant.make ~vars:[ "X"; "Y" ] ~fn:h);
+              Rewrite.Uniform (Discriminant.make ~vars:[ "Y"; "Z" ] ~fn:h);
+            ]
+      in
+      let options =
+        { Sim_runtime.default_options with network = Some net }
+      in
+      let r = Sim_runtime.run ~options rw ~edb:(random_edb 1) in
+      Format.printf
+        "           executed on it: %d messages, answers computed (%d p \
+         tuples)@."
+        (Stats.total_messages r.Sim_runtime.stats)
+        (Database.cardinal r.Sim_runtime.answers "p")
+    end
+  in
+  try_architecture "ring" ring;
+  try_architecture "hypercube" hypercube;
+  try_architecture "crossbar" crossbar;
+  try_architecture "tailored" (Netgraph.union (Netgraph.self_only space) required);
+  Format.printf
+    "@.neither the ring nor even the hypercube hosts this choice: the \
+     derived@.network needs the diagonal (01)->(10). A full crossbar \
+     works but wastes@.links; provisioning exactly the derived channels \
+     (\"tailored\") needs only@.%d directed links. To fit a smaller \
+     machine the compiler would pick a@.different discriminating \
+     function or processor labelling instead.@."
+    (Netgraph.edge_count (Netgraph.without_self required))

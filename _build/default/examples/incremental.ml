@@ -1,0 +1,60 @@
+(* The semi-naive engine's incremental interface.
+
+   The parallel runtimes drive each processor through
+   inject-step-observe cycles; the same interface supports
+   insertion-only incremental maintenance of a materialized view: after
+   a fixpoint, new base tuples are injected and only the consequences
+   of the delta are recomputed.
+
+   Run with:  dune exec examples/incremental.exe *)
+
+open Datalog
+
+let () =
+  let program = Workload.Progs.ancestor in
+  let rng = Workload.Rng.create ~seed:51 in
+  let all_edges = Workload.Graphgen.random_digraph rng ~nodes:60 ~edges:120 in
+  let initial, stream =
+    ( List.filteri (fun i _ -> i < 60) all_edges,
+      List.filteri (fun i _ -> i >= 60) all_edges )
+  in
+  let edb = Workload.Edb.of_edges initial in
+  let engine = Seminaive.create program ~edb in
+  Seminaive.run_to_fixpoint engine;
+  let size () =
+    Database.cardinal (Seminaive.database engine) "anc"
+  in
+  let firings () = (Seminaive.stats engine).Seminaive.firings in
+  Format.printf "initial fixpoint: |anc| = %d after %d firings@." (size ())
+    (firings ());
+
+  (* Stream the remaining edges one at a time; each injection triggers
+     only the delta's consequences. *)
+  let before = firings () in
+  List.iter
+    (fun (a, b) ->
+      ignore (Seminaive.inject engine "par" (Tuple.of_ints [ a; b ]));
+      Seminaive.run_to_fixpoint engine)
+    stream;
+  Format.printf
+    "after streaming %d more edges: |anc| = %d (+%d incremental firings)@."
+    (List.length stream) (size ())
+    (firings () - before);
+
+  (* The incremental result equals a from-scratch evaluation — and so
+     does the total number of firings: semi-naive enumerates each
+     successful substitution exactly once no matter how the input is
+     staged. *)
+  let scratch, scratch_stats =
+    Seminaive.evaluate program (Workload.Edb.of_edges all_edges)
+  in
+  Format.printf
+    "from scratch:     |anc| = %d after %d firings@."
+    (Database.cardinal scratch "anc")
+    scratch_stats.Seminaive.firings;
+  assert (
+    Relation.equal
+      (Database.get scratch "anc")
+      (Database.get (Seminaive.database engine) "anc"));
+  assert (scratch_stats.Seminaive.firings = firings ());
+  Format.printf "incremental and from-scratch runs agree exactly.@."

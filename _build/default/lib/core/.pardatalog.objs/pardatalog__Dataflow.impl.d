@@ -1,0 +1,1 @@
+lib/core/dataflow.ml: Analysis Array Atom Datalog Format Hashtbl List Rule String Term

@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Array Atom Const Database Datalog Fun Hashtbl Int List Option Pid Program Relation Result Rule Seminaive Sim_runtime Stats Term Tuple

@@ -1,0 +1,1 @@
+lib/core/decompose.mli: Const Database Datalog Pid Program Sim_runtime

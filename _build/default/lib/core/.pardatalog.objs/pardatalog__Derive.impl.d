@@ -1,0 +1,1 @@
+lib/core/derive.ml: Analysis Array Atom Datalog Fun Hash_fn Hashtbl List Netgraph Pid Printf Result Rule String Term

@@ -1,0 +1,1 @@
+lib/core/derive.mli: Datalog Hash_fn Netgraph Pid

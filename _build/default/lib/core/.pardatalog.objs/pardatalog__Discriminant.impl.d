@@ -1,0 +1,1 @@
+lib/core/discriminant.ml: Array Atom Datalog Format Hash_fn List Printf Rule String Term

@@ -1,0 +1,1 @@
+lib/core/discriminant.mli: Datalog Hash_fn

@@ -1,0 +1,1 @@
+lib/core/domain_runtime.ml: Array Database Datalog Domain Dscholten Fun Hashtbl Int List Mailbox Option Program Relation Rewrite Safra Seminaive Sim_runtime Stats String Tuple

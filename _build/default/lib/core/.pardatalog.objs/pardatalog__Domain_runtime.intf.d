@@ -1,0 +1,1 @@
+lib/core/domain_runtime.mli: Datalog Rewrite Sim_runtime

@@ -1,0 +1,1 @@
+lib/core/hash_fn.ml: Array Const Datalog Format Hashtbl List Pid Printf Tuple

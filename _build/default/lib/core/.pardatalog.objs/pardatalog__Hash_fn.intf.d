@@ -1,0 +1,1 @@
+lib/core/hash_fn.mli: Datalog Format Pid

@@ -1,0 +1,1 @@
+lib/core/netgraph.ml: Buffer Format List Pid Printf

@@ -1,0 +1,1 @@
+lib/core/netgraph.mli: Format Pid

@@ -1,0 +1,1 @@
+lib/core/pid.ml: Bytes Format Fun List Printf String

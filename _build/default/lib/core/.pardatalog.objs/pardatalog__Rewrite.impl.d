@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Array Atom Datalog Discriminant Format Fun Hash_fn List Option Pid Printf Program Rule String Tuple

@@ -1,0 +1,1 @@
+lib/core/rewrite.mli: Datalog Discriminant Format Hash_fn Pid

@@ -1,0 +1,1 @@
+lib/core/sim_runtime.ml: Array Database Datalog Hashtbl List Logs Netgraph Option Pid Printf Program Queue Relation Rewrite Seminaive Stats String Tuple

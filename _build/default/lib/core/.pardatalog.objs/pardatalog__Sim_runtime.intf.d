@@ -1,0 +1,1 @@
+lib/core/sim_runtime.mli: Datalog Logs Netgraph Rewrite Stats

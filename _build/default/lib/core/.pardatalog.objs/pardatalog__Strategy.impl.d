@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Analysis Array Atom Dataflow Datalog Discriminant Hash_fn List Pid Program Result Rewrite Rule String Term Tuple

@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Analysis Datalog Pid Program Rewrite Rule Tuple

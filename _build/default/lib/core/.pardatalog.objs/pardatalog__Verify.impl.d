@@ -1,0 +1,1 @@
+lib/core/verify.ml: Database Datalog Format List Netgraph Relation Rewrite Seminaive Sim_runtime Stats

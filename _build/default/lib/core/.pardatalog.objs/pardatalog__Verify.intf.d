@@ -1,0 +1,1 @@
+lib/core/verify.mli: Datalog Format Netgraph Rewrite Sim_runtime Stats

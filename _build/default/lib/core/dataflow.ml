@@ -1,0 +1,97 @@
+open Datalog
+
+type t = {
+  arity : int;
+  nodes : int list;
+  edges : (int * int) list;
+}
+
+let of_sirup (s : Analysis.sirup) =
+  let m = Array.length s.rec_vars in
+  let edges = ref [] in
+  for i = 0 to m - 1 do
+    Array.iteri
+      (fun j xj ->
+        if String.equal s.rec_vars.(i) xj then
+          edges := (i + 1, j + 1) :: !edges)
+      s.head_vars
+  done;
+  let edges = List.sort_uniq compare !edges in
+  let nodes = List.sort_uniq compare (List.map fst edges) in
+  { arity = m; nodes; edges }
+
+let successors g i =
+  List.filter_map (fun (a, b) -> if a = i then Some b else None) g.edges
+
+(* DFS for a cycle; returns the cycle's node sequence. *)
+let find_cycle g =
+  let state = Hashtbl.create 8 in
+  (* 0 = in progress, 1 = done *)
+  let exception Found of int list in
+  let rec visit path i =
+    match Hashtbl.find_opt state i with
+    | Some 1 -> ()
+    | Some 0 ->
+      (* [i] is on the current path: the cycle runs from its first
+         occurrence to the end of the path (which is [i] again). *)
+      let chrono = List.rev path in
+      let rec from_first = function
+        | [] -> assert false
+        | j :: rest -> if j = i then j :: rest else from_first rest
+      in
+      let tail = from_first chrono in
+      let cycle =
+        match List.rev tail with
+        | _last_i :: rev_body -> List.rev rev_body
+        | [] -> assert false
+      in
+      raise (Found cycle)
+    | Some _ -> assert false
+    | None ->
+      Hashtbl.add state i 0;
+      List.iter (fun j -> visit (j :: path) j) (successors g i);
+      Hashtbl.replace state i 1
+  in
+  try
+    List.iter (fun i -> visit [ i ] i) g.nodes;
+    None
+  with Found c -> Some c
+
+type free_choice = {
+  cycle : int list;
+  ve : string list;
+  vr : string list;
+}
+
+let communication_free_choice (s : Analysis.sirup) =
+  let g = of_sirup s in
+  match find_cycle g with
+  | None -> None
+  | Some cycle ->
+    let exit_head = s.exit_rule.Rule.head in
+    let exit_var_at p =
+      match exit_head.Atom.args.(p - 1) with
+      | Term.Var v -> Some v
+      | Term.Const _ -> None
+    in
+    let ve =
+      List.fold_right
+        (fun p acc ->
+          match acc, exit_var_at p with
+          | Some acc, Some v -> Some (v :: acc)
+          | _ -> None)
+        cycle (Some [])
+    in
+    (match ve with
+     | None -> None
+     | Some ve ->
+       let vr = List.map (fun p -> s.rec_vars.(p - 1)) cycle in
+       Some { cycle; ve; vr })
+
+let pp ppf g =
+  if g.edges = [] then Format.pp_print_string ppf "(no edges)"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+      (fun ppf (i, j) -> Format.fprintf ppf "%d -> %d" i j)
+      ppf g.edges

@@ -1,0 +1,41 @@
+(** Dataflow graphs of linear recursive rules (Definition 2) and the
+    communication-free choice of Theorem 3.
+
+    For a recursive rule with head [t(X₁,…,Xₘ)] and recursive body atom
+    [t(Y₁,…,Yₘ)], the dataflow graph has an edge [i → j] whenever
+    [Yᵢ = Xⱼ]: the value at argument position [i] of a consumed tuple
+    reappears at position [j] of the produced tuple. Positions are
+    1-based, as in the paper. *)
+
+type t = {
+  arity : int;
+  nodes : int list;  (** Positions [i] with some edge [i → j]. *)
+  edges : (int * int) list;  (** Sorted, deduplicated. *)
+}
+
+val of_sirup : Datalog.Analysis.sirup -> t
+
+val find_cycle : t -> int list option
+(** A cycle [p₁; …; pₖ] with edges [p₁→p₂→…→pₖ→p₁] (a self-loop yields
+    [[p]]), if the graph has one. *)
+
+type free_choice = {
+  cycle : int list;
+  ve : string list;
+      (** Discriminating sequence for the exit rule: the exit head's
+          variables at the cycle positions. *)
+  vr : string list;
+      (** Discriminating sequence for the recursive rule: the recursive
+          atom's variables at the cycle positions. *)
+}
+
+val communication_free_choice : Datalog.Analysis.sirup -> free_choice option
+(** Theorem 3: when the dataflow graph has a cycle, discriminating on
+    the cycle positions with a {e symmetric} function (one invariant
+    under permutations of its arguments, e.g.
+    {!Hash_fn.symmetric_modulo}) yields a parallel execution with no
+    inter-processor communication. Returns [None] when there is no
+    cycle, or when the exit head has a constant at a cycle position. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints like the paper's figures: [1 -> 2  2 -> 3]. *)

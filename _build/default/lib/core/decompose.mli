@@ -1,0 +1,45 @@
+(** Dong's decomposition-based distributed evaluation — the baseline the
+    paper critiques in its introduction (point 2).
+
+    Dong [8] distributes Datalog evaluation by decomposing the database
+    into fragments that share no constants; each processor then
+    evaluates its fragment completely independently. We implement the
+    scheme faithfully for {e connected} programs (every rule body is a
+    connected graph under shared variables, and rules contain no
+    constants): under that condition every successful ground
+    substitution draws all its constants from a single
+    constant-connectivity component of the EDB, so component-local
+    evaluation is exact and needs no communication at all.
+
+    The paper's two criticisms become measurable here: an arbitrary
+    fragmentation of the database {e may share constants} (one weakly
+    connected input collapses to a single component), and the scheme's
+    scalability is limited by however many components the data happens
+    to have — see bench section D8. *)
+
+open Datalog
+
+val check_program : Program.t -> (unit, string) result
+(** Whether the scheme applies: the program is well-formed, every rule
+    body is variable-connected, and no rule mentions a constant. *)
+
+type analysis = {
+  nprocs : int;
+  component_count : int;  (** Constant-connectivity components found. *)
+  assignment : Const.t -> Pid.t;
+      (** Component → processor (greedy balancing by tuple count);
+          constants outside the EDB map to processor 0. *)
+  tuples_per_proc : int array;
+}
+
+val analyze : nprocs:int -> Database.t -> analysis
+(** Union constants co-occurring in any EDB tuple, then greedily assign
+    whole components to the least-loaded processor. *)
+
+val run :
+  Program.t -> nprocs:int -> Database.t ->
+  (Sim_runtime.result * analysis, string) result
+(** Evaluate under Dong's scheme: each processor sequentially evaluates
+    the program on its components' tuples; answers are pooled. The
+    returned stats have zero messages by construction; [rounds] is the
+    maximum of the per-processor iteration counts. *)

@@ -1,0 +1,197 @@
+open Datalog
+
+type input = {
+  sirup : Analysis.sirup;
+  ve : string list;
+  vr : string list;
+  spec : Hash_fn.spec;
+}
+
+let space_of_spec = function
+  | Hash_fn.Opaque -> None
+  | Hash_fn.Bitvec -> None (* needs the sequence length; see below *)
+  | Hash_fn.Linear { coeffs; lo } ->
+    let hi = Array.fold_left (fun acc c -> acc + max 0 c) 0 coeffs in
+    Some (Pid.range ~lo ~hi)
+
+let space_for spec ~arity =
+  match spec with
+  | Hash_fn.Opaque -> None
+  | Hash_fn.Bitvec -> Some (Pid.bitvec arity)
+  | Hash_fn.Linear _ as s -> space_of_spec s
+
+(* A tiny union-find over integer symbols. *)
+module Uf = struct
+  type t = int array ref
+
+  let create n : t = ref (Array.init n Fun.id)
+
+  let ensure uf n =
+    if n >= Array.length !uf then begin
+      let fresh = Array.init (max (2 * Array.length !uf) (n + 1)) Fun.id in
+      Array.blit !uf 0 fresh 0 (Array.length !uf);
+      uf := fresh
+    end
+
+  let rec find uf i =
+    ensure uf i;
+    let p = !uf.(i) in
+    if p = i then i
+    else begin
+      let r = find uf p in
+      !uf.(i) <- r;
+      r
+    end
+
+  let union uf i j =
+    let ri = find uf i and rj = find uf j in
+    if ri <> rj then !uf.(max ri rj) <- min ri rj
+end
+
+(* Evaluate the spec on a vector of bits. *)
+let eval_spec spec bits =
+  match spec with
+  | Hash_fn.Opaque -> assert false
+  | Hash_fn.Bitvec ->
+    Array.fold_left (fun acc b -> (acc lsl 1) lor b) 0 bits
+  | Hash_fn.Linear { coeffs; lo } ->
+    let v = ref 0 in
+    Array.iteri (fun i c -> v := !v + (c * bits.(i))) coeffs;
+    !v - lo
+
+let minimal_network input =
+  let ( let* ) r f = Result.bind r f in
+  let s = input.sirup in
+  let m = Array.length s.rec_vars in
+  let k = List.length input.vr in
+  let* () =
+    if List.length input.ve <> k then
+      Error "v(e) and v(r) must have the same length (h' = h)"
+    else Ok ()
+  in
+  let* () =
+    match input.spec with
+    | Hash_fn.Opaque -> Error "cannot analyse an opaque discriminating function"
+    | Hash_fn.Bitvec -> Ok ()
+    | Hash_fn.Linear { coeffs; _ } ->
+      if Array.length coeffs <> k then
+        Error "linear spec arity differs from the sequence length"
+      else Ok ()
+  in
+  (* Tuple position symbols are 0..m-1, canonicalized by the recursive
+     body atom's repeated variables (a travelling tuple must match the
+     sending pattern Ȳ). *)
+  let rec_position v =
+    let found = ref None in
+    Array.iteri
+      (fun i y -> if !found = None && String.equal y v then found := Some i)
+      s.rec_vars;
+    !found
+  in
+  let* consumption =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | v :: rest ->
+        (match rec_position v with
+         | Some p -> go (p :: acc) rest
+         | None ->
+           Error
+             (Printf.sprintf
+                "v(r) variable %s is not in the recursive atom: the \
+                 sending rule broadcasts and the network is complete"
+                v))
+    in
+    go [] input.vr
+  in
+  let fresh_counter = ref m in
+  let fresh () =
+    let s = !fresh_counter in
+    incr fresh_counter;
+    s
+  in
+  (* One production analysis per producing rule. [head] is the atom
+     whose instance is the travelling tuple; [seq] the discriminating
+     sequence guarding the production. *)
+  let production_symbols (head : Atom.t) seq =
+    let uf = Uf.create (m + 8) in
+    (* Unify tuple positions that the recursive atom forces equal. *)
+    Array.iteri
+      (fun i y ->
+        match rec_position y with
+        | Some first when first <> i -> Uf.union uf first i
+        | _ -> ())
+      s.rec_vars;
+    (* Unify tuple positions that the producing head forces equal
+       (repeated variables or repeated constants). *)
+    let seen_vars = Hashtbl.create 8 in
+    let seen_consts = Hashtbl.create 8 in
+    Array.iteri
+      (fun i term ->
+        match term with
+        | Term.Var v ->
+          (match Hashtbl.find_opt seen_vars v with
+           | Some first -> Uf.union uf first i
+           | None -> Hashtbl.add seen_vars v i)
+        | Term.Const c ->
+          (match Hashtbl.find_opt seen_consts c with
+           | Some first -> Uf.union uf first i
+           | None -> Hashtbl.add seen_consts c i))
+      head.Atom.args;
+    (* Map each sequence variable to a symbol: a tuple position when the
+       head binds it, a fresh bit otherwise. *)
+    let fresh_for = Hashtbl.create 8 in
+    let production =
+      List.map
+        (fun v ->
+          match Hashtbl.find_opt seen_vars v with
+          | Some p -> p
+          | None ->
+            (match Hashtbl.find_opt fresh_for v with
+             | Some f -> f
+             | None ->
+               let f = fresh () in
+               Hashtbl.add fresh_for v f;
+               f))
+        seq
+    in
+    (uf, production)
+  in
+  let modes =
+    [
+      production_symbols s.exit_rule.Rule.head input.ve;
+      production_symbols s.rec_rule.Rule.head input.vr;
+    ]
+  in
+  let nsymbols = !fresh_counter in
+  let edges = ref [] in
+  List.iter
+    (fun (uf, production) ->
+      (* Enumerate bit assignments over the root symbols. *)
+      let roots =
+        List.sort_uniq compare
+          (List.map (Uf.find uf) (List.init nsymbols Fun.id))
+      in
+      let root_index = Hashtbl.create 16 in
+      List.iteri (fun i r -> Hashtbl.add root_index r i) roots;
+      let nroots = List.length roots in
+      let bit_of assignment sym =
+        (assignment lsr Hashtbl.find root_index (Uf.find uf sym)) land 1
+      in
+      for assignment = 0 to (1 lsl nroots) - 1 do
+        let pbits =
+          Array.of_list (List.map (bit_of assignment) production)
+        in
+        let cbits =
+          Array.of_list (List.map (bit_of assignment) consumption)
+        in
+        let i = eval_spec input.spec pbits in
+        let j = eval_spec input.spec cbits in
+        edges := (i, j) :: !edges
+      done)
+    modes;
+  let* space =
+    match space_for input.spec ~arity:k with
+    | Some s -> Ok s
+    | None -> Error "cannot build a processor space for this spec"
+  in
+  Ok (Netgraph.make space !edges)

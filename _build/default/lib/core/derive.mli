@@ -1,0 +1,38 @@
+(** Compile-time derivation of the minimal network graph (Section 5).
+
+    When the discriminating functions of a linear sirup are built from
+    an arbitrary bit function [g : const → {0,1}] — either as the bit
+    vector [(g(v₁),…,g(vₖ))] of Example 6 or as the linear form
+    [Σ cᵢ·g(vᵢ)] of Example 7 — whether channel [i → j] can ever carry a
+    tuple is decided by a small system of equations over [{0,1}]
+    assignments, independently of the data:
+
+    - a tuple [t(a₁,…,aₘ)] consumed at [j] satisfies
+      [h(v(r)) = j] with each variable of [v(r)] read off the tuple;
+    - a tuple produced at [i] by the {e exit} rule satisfies
+      [h'(v(e)) = i] with the variables of [v(e)] read off the tuple
+      where the exit head binds them (fresh bits elsewhere);
+    - a tuple produced at [i] by the {e recursive} rule satisfies
+      [h(v(r)) = i] with the variables of [v(r)] read off the tuple
+      where the recursive head binds them (fresh bits elsewhere).
+
+    Enumerating all bit assignments — exactly solving equations (4)–(5)
+    of the paper for Example 7 — yields the edge set. *)
+
+type input = {
+  sirup : Datalog.Analysis.sirup;
+  ve : string list;  (** Discriminating sequence of the exit rule. *)
+  vr : string list;  (** Discriminating sequence of the recursive rule. *)
+  spec : Hash_fn.spec;  (** The common shape of [h = h']. *)
+}
+
+val minimal_network : input -> (Netgraph.t, string) result
+(** The derived network (self-loops included). Errors when [spec] is
+    {!Hash_fn.Opaque}, when [vr] is not covered by the recursive body
+    atom (the sending rule then broadcasts and the network is the
+    complete graph — use {!Netgraph.complete}), when a sequence length
+    disagrees with the spec's arity, or when a sequence variable
+    appears in neither its rule's head atoms nor its body. *)
+
+val space_of_spec : Hash_fn.spec -> Pid.space option
+(** The processor space induced by a derivable spec. *)

@@ -1,0 +1,51 @@
+open Datalog
+
+type t = {
+  vars : string list;
+  fn : Hash_fn.t;
+}
+
+let make ~vars ~fn =
+  if List.length vars <> fn.Hash_fn.arity then
+    invalid_arg
+      (Printf.sprintf
+         "Discriminant.make: %d variables but %s has arity %d"
+         (List.length vars) fn.Hash_fn.name fn.Hash_fn.arity);
+  { vars; fn }
+
+let check_for_rule d (rule : Rule.t) =
+  let bvs = Rule.body_vars rule in
+  match List.filter (fun v -> not (List.mem v bvs)) d.vars with
+  | [] -> Ok ()
+  | missing ->
+    Error
+      (Printf.sprintf "variables %s do not appear in the body of %s"
+         (String.concat ", " missing) (Rule.to_string rule))
+
+let covered_positions vars atom =
+  let position_of v =
+    let found = ref None in
+    Array.iteri
+      (fun i term ->
+        if !found = None && Term.equal term (Term.Var v) then found := Some i)
+      atom.Atom.args;
+    !found
+  in
+  let rec go acc = function
+    | [] -> Some (Array.of_list (List.rev acc))
+    | v :: rest ->
+      (match position_of v with
+       | Some p -> go (p :: acc) rest
+       | None -> None)
+  in
+  go [] vars
+
+let check_in_atom d atom =
+  match covered_positions d.vars atom with
+  | Some _ -> Ok ()
+  | None ->
+    Error
+      (Printf.sprintf
+         "discriminating sequence (%s) is not covered by atom %s"
+         (String.concat ", " d.vars)
+         (Format.asprintf "%a" Atom.pp atom))

@@ -1,0 +1,30 @@
+(** Discriminating sequences of variables and their validation.
+
+    A discriminating sequence [v(r)] for a rule [r] is a sequence of
+    variables appearing in [r]; together with a discriminating function
+    it partitions the rule's ground substitutions between processors. *)
+
+type t = {
+  vars : string list;
+  fn : Hash_fn.t;
+}
+
+val make : vars:string list -> fn:Hash_fn.t -> t
+(** @raise Invalid_argument if the function's arity differs from the
+    sequence length. *)
+
+val check_for_rule : t -> Datalog.Rule.t -> (unit, string) result
+(** The paper's effectiveness condition (end of Section 3): every
+    variable of the sequence must appear in at least one body atom of
+    the rule (which also makes the guarded rewritten rule safe). *)
+
+val check_in_atom : t -> Datalog.Atom.t -> (unit, string) result
+(** Section 6's condition: every variable of the sequence occurs in the
+    given atom (there, the recursive atom [t(Ȳ)]), so that routing a
+    tuple of that atom's predicate is decidable from the tuple alone. *)
+
+val covered_positions : string list -> Datalog.Atom.t -> int array option
+(** [covered_positions vars atom] gives, for each variable of [vars] in
+    order, the position of its first occurrence among [atom]'s
+    arguments — [None] if some variable does not occur or is matched
+    against a constant. Used to route tuples by projection. *)

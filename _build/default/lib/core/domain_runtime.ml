@@ -1,0 +1,322 @@
+open Datalog
+
+type detector =
+  | Safra
+  | Dijkstra_scholten
+
+(* Messages are addressed to processors; mailboxes belong to domains,
+   which demultiplex. *)
+type msg =
+  | Data of { src : int; dst : int; batch : (string * Tuple.t) list }
+  | Token of { dst : int; token : Safra.token }
+  | Ack of { dst : int }
+  | Stop
+
+module Key = struct
+  type t = string * Tuple.t
+
+  let equal (p1, t1) (p2, t2) = String.equal p1 p2 && Tuple.equal t1 t2
+  let hash (p, t) = (Hashtbl.hash p * 0x01000193) lxor Tuple.hash t
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+(* Per-processor state, owned by exactly one domain. *)
+type proc_state = {
+  pid : int;
+  engine : Seminaive.t;
+  safra : Safra.t;
+  ds : Dscholten.t;
+  mutable held_token : Safra.token option;
+  mutable probe_outstanding : bool;  (* pid 0 only *)
+  sent_row : int array;
+  mutable received : int;
+  mutable accepted : int;
+  channel_seen : unit Ktbl.t array;  (* per destination *)
+  base_resident : int;
+}
+
+type worker_result = {
+  wr_pid : int;
+  wr_db : Database.t;
+  wr_stats : Seminaive.stats;
+  wr_sent_row : int array;
+  wr_received : int;
+  wr_accepted : int;
+  wr_base_resident : int;
+}
+
+let build_edb (rw : Rewrite.t) edb pid =
+  let local = Database.create () in
+  List.iter
+    (fun pred ->
+      match Database.find edb pred with
+      | None -> ()
+      | Some rel ->
+        let target = Database.declare local pred (Relation.arity rel) in
+        Relation.iter
+          (fun t ->
+            if rw.resident pid pred t then ignore (Relation.add target t))
+          rel)
+    (Database.predicates edb);
+  local
+
+let worker detector (rw : Rewrite.t) mailboxes ~domain_of ~own_pids local_edbs
+    my_domain =
+  let n = rw.nprocs in
+  let my_mailbox = mailboxes.(my_domain) in
+  let send_to_pid pid msg = Mailbox.push mailboxes.(domain_of pid) msg in
+  let send_specs_for =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (s : Rewrite.send_spec) ->
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt tbl s.ss_pred)
+        in
+        Hashtbl.replace tbl s.ss_pred (existing @ [ s ]))
+      rw.sends;
+    fun pred -> Option.value ~default:[] (Hashtbl.find_opt tbl pred)
+  in
+  let procs =
+    List.map
+      (fun pid ->
+        {
+          pid;
+          engine = Seminaive.create rw.programs.(pid) ~edb:local_edbs.(pid);
+          safra = Safra.create ();
+          ds = Dscholten.create ~pid ~nprocs:n;
+          held_token = None;
+          probe_outstanding = false;
+          sent_row = Array.make n 0;
+          received = 0;
+          accepted = 0;
+          channel_seen = Array.init n (fun _ -> Ktbl.create 64);
+          base_resident = Database.total_tuples local_edbs.(pid);
+        })
+      own_pids
+  in
+  let proc_of =
+    let tbl = Hashtbl.create 8 in
+    List.iter (fun p -> Hashtbl.add tbl p.pid p) procs;
+    fun pid -> Hashtbl.find tbl pid
+  in
+  let stopped = ref false in
+  let route p produced =
+    let batches = Array.make n [] in
+    List.iter
+      (fun (out_name, tuple) ->
+        let pred = Rewrite.original_pred out_name in
+        if List.mem pred rw.derived then
+          List.iter
+            (fun (s : Rewrite.send_spec) ->
+              List.iter
+                (fun dst ->
+                  let seen = p.channel_seen.(dst) in
+                  if not (Ktbl.mem seen (pred, tuple)) then begin
+                    Ktbl.add seen (pred, tuple) ();
+                    batches.(dst) <- (pred, tuple) :: batches.(dst)
+                  end)
+                (s.ss_route p.pid tuple))
+            (send_specs_for pred))
+      produced;
+    Array.iteri
+      (fun dst batch ->
+        if batch <> [] then begin
+          p.sent_row.(dst) <- p.sent_row.(dst) + List.length batch;
+          (match detector with
+           | Safra -> Safra.record_send p.safra
+           | Dijkstra_scholten -> Dscholten.record_send p.ds);
+          send_to_pid dst
+            (Data { src = p.pid; dst; batch = List.rev batch })
+        end)
+      batches
+  in
+  let announce_termination () =
+    for d = 0 to Array.length mailboxes - 1 do
+      Mailbox.push mailboxes.(d) Stop
+    done;
+    stopped := true
+  in
+  let dispatch = function
+    | Data { src; dst; batch } ->
+      let p = proc_of dst in
+      (match detector with
+       | Safra -> Safra.record_receive p.safra
+       | Dijkstra_scholten ->
+         (match Dscholten.on_data p.ds ~src with
+          | `Ack_now target -> send_to_pid target (Ack { dst = target })
+          | `Engaged -> ()));
+      List.iter
+        (fun (pred, tuple) ->
+          p.received <- p.received + 1;
+          if Seminaive.inject p.engine (Rewrite.in_pred pred) tuple then
+            p.accepted <- p.accepted + 1)
+        batch
+    | Token { dst; token } -> (proc_of dst).held_token <- Some token
+    | Ack { dst } -> Dscholten.on_ack (proc_of dst).ds
+    | Stop -> stopped := true
+  in
+  (* Returns true when some control action was taken (so the caller
+     should not block yet). *)
+  let passive_action p =
+    match detector with
+    | Safra ->
+      (match p.held_token with
+       | Some token when p.pid <> 0 ->
+         p.held_token <- None;
+         send_to_pid (p.pid - 1)
+           (Token { dst = p.pid - 1; token = Safra.forward p.safra token });
+         true
+       | Some token ->
+         p.held_token <- None;
+         (match Safra.evaluate p.safra token with
+          | `Terminated ->
+            announce_termination ();
+            true
+          | `Try_again ->
+            send_to_pid (n - 1)
+              (Token { dst = n - 1; token = Safra.initial_token });
+            true)
+       | None ->
+         if p.pid = 0 && not p.probe_outstanding then begin
+           p.probe_outstanding <- true;
+           send_to_pid (n - 1)
+             (Token { dst = n - 1; token = Safra.initial_token });
+           true
+         end
+         else false)
+    | Dijkstra_scholten ->
+      (match Dscholten.on_passive p.ds with
+       | `Ack_parent parent ->
+         send_to_pid parent (Ack { dst = parent });
+         true
+       | `Terminated ->
+         announce_termination ();
+         true
+       | `Wait -> false)
+  in
+  List.iter (fun p -> route p (Seminaive.bootstrap p.engine)) procs;
+  while not !stopped do
+    List.iter dispatch (Mailbox.drain my_mailbox);
+    if not !stopped then begin
+      let worked = ref false in
+      List.iter
+        (fun p ->
+          if Seminaive.has_pending p.engine then begin
+            worked := true;
+            route p (Seminaive.step p.engine)
+          end)
+        procs;
+      if (not !worked) && not !stopped then begin
+        (* All owned processors idle: run control actions; if nothing
+           moved, block until a message arrives. *)
+        let acted =
+          List.fold_left
+            (fun acc p -> if !stopped then acc else passive_action p || acc)
+            false procs
+        in
+        if (not acted) && not !stopped then
+          List.iter dispatch (Mailbox.drain_blocking my_mailbox)
+      end
+    end
+  done;
+  List.map
+    (fun p ->
+      {
+        wr_pid = p.pid;
+        wr_db = Seminaive.database p.engine;
+        wr_stats = Seminaive.stats p.engine;
+        wr_sent_row = p.sent_row;
+        wr_received = p.received;
+        wr_accepted = p.accepted;
+        wr_base_resident = p.base_resident;
+      })
+    procs
+
+let run ?(detector = Safra) ?domains (rw : Rewrite.t) ~edb =
+  let n = rw.nprocs in
+  let ndomains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Domain_runtime.run: domains must be >= 1";
+      min d n
+    | None -> n
+  in
+  let edb =
+    let combined = Database.copy edb in
+    List.iter
+      (fun (pred, tuple) ->
+        if List.mem pred rw.derived then
+          invalid_arg
+            "Domain_runtime.run: derived-predicate facts are not supported"
+        else ignore (Database.add_fact combined pred tuple))
+      rw.original.Program.facts;
+    combined
+  in
+  let mailboxes = Array.init ndomains (fun _ -> Mailbox.create ()) in
+  let domain_of pid = pid mod ndomains in
+  let local_edbs = Array.init n (fun pid -> build_edb rw edb pid) in
+  let own_pids d =
+    List.filter (fun pid -> domain_of pid = d) (List.init n Fun.id)
+  in
+  let spawned =
+    Array.init ndomains (fun d ->
+        Domain.spawn (fun () ->
+            worker detector rw mailboxes ~domain_of ~own_pids:(own_pids d)
+              local_edbs d))
+  in
+  let results =
+    Array.to_list spawned |> List.concat_map Domain.join
+    |> List.sort (fun a b -> Int.compare a.wr_pid b.wr_pid)
+    |> Array.of_list
+  in
+  let answers = Database.copy edb in
+  let pooled = ref 0 in
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun pred ->
+          match Database.find r.wr_db (Rewrite.out_pred pred) with
+          | None -> ()
+          | Some rel ->
+            pooled := !pooled + Relation.cardinal rel;
+            let target =
+              Database.declare answers pred (Relation.arity rel)
+            in
+            ignore (Relation.add_all target rel))
+        rw.derived)
+    results;
+  let channel_tuples =
+    Array.init n (fun pid -> results.(pid).wr_sent_row)
+  in
+  let rounds =
+    Array.fold_left
+      (fun acc r -> max acc r.wr_stats.Seminaive.iterations)
+      0 results
+  in
+  let stats : Stats.t =
+    {
+      nprocs = n;
+      rounds;
+      per_proc =
+        Array.mapi
+          (fun pid r ->
+            {
+              Stats.pid;
+              firings = r.wr_stats.Seminaive.firings;
+              new_tuples = r.wr_stats.Seminaive.new_tuples;
+              duplicate_firings = r.wr_stats.Seminaive.duplicate_firings;
+              iterations = r.wr_stats.Seminaive.iterations;
+              tuples_sent = Array.fold_left ( + ) 0 r.wr_sent_row;
+              tuples_received = r.wr_received;
+              tuples_accepted = r.wr_accepted;
+              base_resident = r.wr_base_resident;
+              active_rounds = r.wr_stats.Seminaive.iterations;
+            })
+          results;
+      channel_tuples;
+      pooled_tuples = !pooled;
+      trace = [];
+    }
+  in
+  { Sim_runtime.answers; stats }

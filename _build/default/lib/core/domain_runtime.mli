@@ -1,0 +1,37 @@
+(** True multicore executor.
+
+    Each of the rewrite's [nprocs] processors runs its own semi-naive
+    engine; tuples travel through {!Mailbox} channels (the reliable
+    channels of the paper's abstract architecture); global quiescence is
+    detected by a distributed termination algorithm; the [@out]
+    relations are pooled at the end. The answers are identical to
+    {!Sim_runtime}'s (and, by Theorems 1, 4 and 5, to the sequential
+    evaluation); the schedule — and therefore per-round behaviour — is
+    nondeterministic, but all counted totals except round counts are
+    schedule-independent for guarded (Uniform) schemes.
+
+    Processors are multiplexed onto [domains] OS-level domains
+    (default: one per processor, capped by
+    [Domain.recommended_domain_count ()]): the paper's "constant
+    (though unbounded) number of processors" rarely matches the core
+    count, so processor [p] is served by domain [p mod domains] and the
+    domain cooperatively schedules its processors. *)
+
+type detector =
+  | Safra  (** Token-ring detection (default) — reference [5]'s
+               quiescence condition via EWD 998. *)
+  | Dijkstra_scholten
+      (** Engagement-tree detection for diffusing computations —
+          reference [7]. *)
+
+val run :
+  ?detector:detector ->
+  ?domains:int ->
+  Rewrite.t ->
+  edb:Datalog.Database.t ->
+  Sim_runtime.result
+(** Execute. In the returned stats, [rounds] is the maximum number of
+    semi-naive iterations any processor executed, and [active_rounds]
+    is each processor's own iteration count. Both detectors produce
+    identical answers; they differ only in control traffic.
+    @raise Invalid_argument if [domains < 1]. *)

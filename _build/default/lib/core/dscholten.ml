@@ -1,0 +1,36 @@
+type t = {
+  pid : int;
+  mutable parent : int option;  (* None: detached, or the root *)
+  mutable is_engaged : bool;
+  mutable deficit : int;  (* messages sent and not yet acknowledged *)
+}
+
+let create ~pid ~nprocs =
+  if pid = 0 then
+    { pid; parent = None; is_engaged = true; deficit = nprocs - 1 }
+  else { pid; parent = Some 0; is_engaged = true; deficit = 0 }
+
+let record_send t = t.deficit <- t.deficit + 1
+let on_ack t = t.deficit <- t.deficit - 1
+
+let on_data t ~src =
+  if t.is_engaged then `Ack_now src
+  else begin
+    t.is_engaged <- true;
+    t.parent <- Some src;
+    `Engaged
+  end
+
+let on_passive t =
+  if t.deficit > 0 then `Wait
+  else if t.pid = 0 then `Terminated
+  else
+    match t.parent with
+    | Some p when t.is_engaged ->
+      t.is_engaged <- false;
+      t.parent <- None;
+      `Ack_parent p
+    | _ -> `Wait
+
+let deficit t = t.deficit
+let engaged t = t.is_engaged

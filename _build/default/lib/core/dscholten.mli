@@ -1,0 +1,46 @@
+(** Dijkstra–Scholten termination detection for diffusing computations
+    — the second of the two "standard algorithms of Distributed
+    Computing" the paper cites for its parallel termination step
+    (reference [7]).
+
+    The computation is made diffusing by a virtual root (processor 0):
+    every other processor starts engaged with the root as parent, and
+    the root starts with a deficit equal to those virtual engagement
+    messages. Thereafter the classic rules apply — a disengaged process
+    re-engages with the sender of the message that reactivates it,
+    every other data message is acknowledged on receipt, and a process
+    acknowledges its parent (detaching from the engagement tree) only
+    when it is passive with no outstanding acknowledgements of its own.
+    The root detects termination when it is passive and its own deficit
+    is zero.
+
+    This module is the pure per-process state; runtimes deliver the
+    acknowledgement signals. *)
+
+type t
+
+val create : pid:int -> nprocs:int -> t
+(** Initial state: processor 0 is the permanently engaged root with
+    deficit [nprocs - 1]; everyone else is engaged with parent 0. *)
+
+val record_send : t -> unit
+(** Call once per data message handed to a channel. *)
+
+val on_ack : t -> unit
+(** An acknowledgement for one of this process's messages arrived. *)
+
+val on_data : t -> src:int -> [ `Ack_now of int | `Engaged ]
+(** A data message from [src] arrived. [`Ack_now src] instructs the
+    runtime to acknowledge immediately (the process was already
+    engaged); [`Engaged] means the process just re-engaged with [src]
+    as its parent and must not acknowledge yet. *)
+
+val on_passive : t -> [ `Ack_parent of int | `Terminated | `Wait ]
+(** The process is passive (no local work). [`Ack_parent p]: detach —
+    send the deferred acknowledgement to [p] (non-roots with zero
+    deficit). [`Terminated]: only ever returned by the root, when its
+    deficit reaches zero. [`Wait]: outstanding acknowledgements or
+    already detached; block for messages. *)
+
+val deficit : t -> int
+val engaged : t -> bool

@@ -1,0 +1,86 @@
+(** Discriminating functions.
+
+    A discriminating function maps ground instances of a discriminating
+    sequence of variables to processors (Section 3 of the paper). Each
+    function carries the {!Pid.space} it maps into and, when it has one,
+    a symbolic {!spec} that the compile-time network derivation of
+    Section 5 can analyse. *)
+
+type spec =
+  | Opaque
+      (** No structure known; network derivation assumes any value. *)
+  | Bitvec
+      (** [h(a₁,…,aₖ) = (g(a₁),…,g(aₖ))] for an arbitrary bit function
+          [g] — Example 6. The pid is the big-endian bit vector. *)
+  | Linear of { coeffs : int array; lo : int }
+      (** [h(a₁,…,aₖ) = Σ cᵢ·g(aᵢ)] for an arbitrary bit function [g] —
+          Example 7. The pid is the value shifted by [-lo] where [lo] is
+          the minimum of the form over [g ∈ {0,1}]. *)
+
+type t = {
+  name : string;  (** For printing, e.g. ["h"]. *)
+  arity : int;  (** Length of the discriminating sequence consumed. *)
+  space : Pid.space;
+  apply : Datalog.Const.t array -> Pid.t;
+  spec : spec;
+}
+
+val apply : t -> Datalog.Const.t array -> Pid.t
+(** @raise Invalid_argument on arity mismatch. *)
+
+val bit : seed:int -> Datalog.Const.t -> int
+(** A member of a family of "arbitrary functions [g] from the constants
+    of the database to [{0,1}]" (Examples 6–7), indexed by [seed]. *)
+
+val modulo : ?name:string -> ?seed:int -> nprocs:int -> arity:int -> unit -> t
+(** Combined hash of all components, reduced mod [nprocs]; the
+    general-purpose discriminating function. *)
+
+val symmetric_modulo :
+  ?name:string -> ?seed:int -> nprocs:int -> arity:int -> unit -> t
+(** Like {!modulo} but invariant under permutations of the components
+    (it sums per-component hashes). This is the function class required
+    by Theorem 3: discriminating on a dataflow-graph cycle is
+    communication-free only if the function cannot tell a cyclic shift
+    of its arguments from the original. *)
+
+val bitvec : ?name:string -> ?seed:int -> arity:int -> unit -> t
+(** [(g(v₁),…,g(vₖ))] over a {!Pid.bitvec} space — Example 6. *)
+
+val linear : ?name:string -> ?seed:int -> coeffs:int list -> unit -> t
+(** [Σ cᵢ·g(vᵢ)] over the {!Pid.range} space of its attainable values —
+    Example 7 is [coeffs = [1; -1; 1]] giving range [{-1,0,1,2}]. *)
+
+val constant : ?name:string -> nprocs:int -> arity:int -> Pid.t -> t
+(** Always the given processor: [hᵢ(x) = i] makes processor [i] keep
+    every tuple (the no-communication end of the Section 6 spectrum). *)
+
+val partition_induced :
+  ?name:string ->
+  nprocs:int ->
+  fallback:t ->
+  (Datalog.Tuple.t * Pid.t) list ->
+  t
+(** The Example 2 function: [h(ā) = i] iff [ā] is a tuple of fragment
+    [i] of a partitioned base relation. Tuples outside the partition
+    fall back to [fallback] (they can never matter for correctness).
+    @raise Invalid_argument if arities disagree or a tuple appears in
+    two fragments. *)
+
+val mixture :
+  ?name:string -> ?seed:int -> alpha:float -> self:Pid.t -> t -> t
+(** Section 6 trade-off function for processor [self]: a tuple is kept
+    locally with probability [alpha] (decided deterministically from the
+    tuple), otherwise routed by the underlying function. [alpha = 1.0]
+    is {!constant}[ self]; [alpha = 0.0] is the underlying function. *)
+
+val of_fun :
+  name:string ->
+  arity:int ->
+  space:Pid.space ->
+  (Datalog.Const.t array -> Pid.t) ->
+  t
+(** An opaque user-supplied function; results are clamped into the
+    space by reduction mod its size. *)
+
+val pp : Format.formatter -> t -> unit

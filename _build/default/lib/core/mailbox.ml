@@ -1,0 +1,42 @@
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+}
+
+let create () =
+  { mutex = Mutex.create (); nonempty = Condition.create (); queue = Queue.create () }
+
+let push mb x =
+  Mutex.lock mb.mutex;
+  Queue.add x mb.queue;
+  Condition.signal mb.nonempty;
+  Mutex.unlock mb.mutex
+
+let drain_locked mb =
+  let acc = ref [] in
+  while not (Queue.is_empty mb.queue) do
+    acc := Queue.pop mb.queue :: !acc
+  done;
+  List.rev !acc
+
+let drain mb =
+  Mutex.lock mb.mutex;
+  let xs = drain_locked mb in
+  Mutex.unlock mb.mutex;
+  xs
+
+let drain_blocking mb =
+  Mutex.lock mb.mutex;
+  while Queue.is_empty mb.queue do
+    Condition.wait mb.nonempty mb.mutex
+  done;
+  let xs = drain_locked mb in
+  Mutex.unlock mb.mutex;
+  xs
+
+let is_empty mb =
+  Mutex.lock mb.mutex;
+  let e = Queue.is_empty mb.queue in
+  Mutex.unlock mb.mutex;
+  e

@@ -1,0 +1,22 @@
+(** Multi-producer single-consumer mailboxes for domains.
+
+    The channel abstraction of Section 3 requires only that data put on
+    channel [ij] reaches processor [j], error-free, in finite time. A
+    mutex/condition-variable queue per receiving domain provides exactly
+    that on shared memory. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Enqueue and wake the consumer. Safe from any domain. *)
+
+val drain : 'a t -> 'a list
+(** Dequeue everything currently present, in arrival order, without
+    blocking (possibly [[]]). *)
+
+val drain_blocking : 'a t -> 'a list
+(** Like {!drain} but blocks until at least one element is present. *)
+
+val is_empty : 'a t -> bool

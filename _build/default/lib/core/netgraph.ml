@@ -1,0 +1,75 @@
+type t = {
+  space : Pid.space;
+  edges : (Pid.t * Pid.t) list;  (* sorted, unique *)
+}
+
+let make space edges =
+  let n = Pid.size space in
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg
+          (Printf.sprintf "Netgraph.make: edge (%d,%d) outside [0,%d)" i j n))
+    edges;
+  { space; edges = List.sort_uniq compare edges }
+
+let space g = g.space
+let edges g = g.edges
+let mem g i j = List.mem (i, j) g.edges
+let edge_count g = List.length g.edges
+
+let complete space =
+  let n = Pid.size space in
+  let edges = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  { space; edges = !edges }
+
+let self_only space =
+  { space; edges = List.map (fun i -> (i, i)) (Pid.all space) }
+
+let without_self g =
+  { g with edges = List.filter (fun (i, j) -> i <> j) g.edges }
+
+let union a b =
+  if Pid.size a.space <> Pid.size b.space then
+    invalid_arg "Netgraph.union: space size mismatch";
+  { a with edges = List.sort_uniq compare (a.edges @ b.edges) }
+
+let subgraph a b = List.for_all (fun e -> List.mem e b.edges) a.edges
+let equal a b = subgraph a b && subgraph b a
+
+let of_labels space pairs =
+  let resolve l =
+    match Pid.of_label space l with
+    | Some i -> i
+    | None -> invalid_arg ("Netgraph.of_labels: unknown label " ^ l)
+  in
+  make space (List.map (fun (a, b) -> (resolve a, resolve b)) pairs)
+
+let pp ppf g =
+  if g.edges = [] then Format.pp_print_string ppf "(no edges)"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+      (fun ppf (i, j) ->
+        Format.fprintf ppf "%s -> %s" (Pid.label g.space i)
+          (Pid.label g.space j))
+      ppf g.edges
+
+let to_dot g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph network {\n";
+  List.iter
+    (fun i ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" i (Pid.label g.space i)))
+    (Pid.all g.space);
+  List.iter
+    (fun (i, j) -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" i j))
+    g.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

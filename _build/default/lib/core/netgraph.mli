@@ -1,0 +1,42 @@
+(** Network graphs over processor spaces (Definition 3).
+
+    An edge [i → j] means communication from processor [i] to processor
+    [j] is permissible in the parallel execution; the absence of an edge
+    means channel [ij] is never used, for any input database. *)
+
+type t
+
+val make : Pid.space -> (Pid.t * Pid.t) list -> t
+(** Edges are deduplicated and sorted.
+    @raise Invalid_argument if an endpoint is outside the space. *)
+
+val space : t -> Pid.space
+val edges : t -> (Pid.t * Pid.t) list
+val mem : t -> Pid.t -> Pid.t -> bool
+val edge_count : t -> int
+
+val complete : Pid.space -> t
+(** Every ordered pair, self-loops included: the abstract architecture
+    of Section 3. *)
+
+val self_only : Pid.space -> t
+(** Only the self-loops [i → i]: a communication-free execution. *)
+
+val without_self : t -> t
+(** Drop self-loops (which require no inter-processor link). *)
+
+val union : t -> t -> t
+(** @raise Invalid_argument when the spaces differ in size. *)
+
+val subgraph : t -> t -> bool
+(** [subgraph a b]: every edge of [a] is an edge of [b]. *)
+
+val equal : t -> t -> bool
+
+val of_labels : Pid.space -> (string * string) list -> t
+(** Build from printable labels, e.g. [("(00)", "(10)")].
+    @raise Invalid_argument on an unknown label. *)
+
+val pp : Format.formatter -> t -> unit
+val to_dot : t -> string
+(** Graphviz rendering, labelled with the space's processor names. *)

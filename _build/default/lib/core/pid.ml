@@ -1,0 +1,46 @@
+type t = int
+
+type space = {
+  size : int;
+  to_label : int -> string;
+}
+
+let size s = s.size
+
+let label s i =
+  if i < 0 || i >= s.size then
+    invalid_arg (Printf.sprintf "Pid.label: %d not in [0,%d)" i s.size)
+  else s.to_label i
+
+let all s = List.init s.size Fun.id
+
+let dense n =
+  if n <= 0 then invalid_arg "Pid.dense: need at least one processor";
+  { size = n; to_label = string_of_int }
+
+let bitvec k =
+  if k < 1 || k > 16 then invalid_arg "Pid.bitvec: k must be in [1,16]";
+  let to_label i =
+    let buf = Bytes.make (k + 2) '0' in
+    Bytes.set buf 0 '(';
+    Bytes.set buf (k + 1) ')';
+    for bit = 0 to k - 1 do
+      if (i lsr (k - 1 - bit)) land 1 = 1 then Bytes.set buf (bit + 1) '1'
+    done;
+    Bytes.to_string buf
+  in
+  { size = 1 lsl k; to_label }
+
+let range ~lo ~hi =
+  if hi < lo then invalid_arg "Pid.range: empty range";
+  { size = hi - lo + 1; to_label = (fun i -> string_of_int (lo + i)) }
+
+let of_label s str =
+  let rec find i =
+    if i >= s.size then None
+    else if String.equal (s.to_label i) str then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let pp s ppf i = Format.pp_print_string ppf (label s i)

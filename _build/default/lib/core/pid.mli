@@ -1,0 +1,40 @@
+(** Processor identifiers.
+
+    At run time processors are the dense integers [0 .. size-1]. The
+    paper, however, often names processors by structured values — bit
+    vectors like [(01)] in Example 6, or the integer range [{-1,0,1,2}]
+    of Example 7 (the range of a linear discriminating function). A
+    {!space} couples the dense runtime ids with their printable,
+    paper-style labels. *)
+
+type t = int
+(** A dense processor id, [0 <= id < size] of its space. *)
+
+type space
+
+val size : space -> int
+val label : space -> t -> string
+(** Printable label of a processor.
+    @raise Invalid_argument when the id is out of range. *)
+
+val all : space -> t list
+(** [0; 1; …; size-1]. *)
+
+val dense : int -> space
+(** [n] processors labelled ["0"] … ["n-1"].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val bitvec : int -> space
+(** [bitvec k] is the [2^k] processors labelled by [k]-bit vectors,
+    ["(00)"], ["(01)"], … The id of vector [b₁…bₖ] is its big-endian
+    value, so label [(b₁…bₖ)] has id [Σ bᵢ·2^(k-i)].
+    @raise Invalid_argument if [k < 1] or [k > 16]. *)
+
+val range : lo:int -> hi:int -> space
+(** Processors labelled by the integers [lo..hi]; id = label - lo.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val of_label : space -> string -> t option
+(** Inverse of {!label}. *)
+
+val pp : space -> Format.formatter -> t -> unit

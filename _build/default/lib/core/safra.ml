@@ -1,0 +1,45 @@
+type color = White | Black
+
+type token = {
+  q : int;
+  token_color : color;
+}
+
+type t = {
+  mutable machine_color : color;
+  mutable counter : int;  (* sends - receives *)
+}
+
+let create () = { machine_color = White; counter = 0 }
+let color m = m.machine_color
+let balance m = m.counter
+let record_send m = m.counter <- m.counter + 1
+
+let record_receive m =
+  m.counter <- m.counter - 1;
+  m.machine_color <- Black
+
+let initial_token = { q = 0; token_color = White }
+
+let forward m token =
+  let passed =
+    {
+      q = token.q + m.counter;
+      token_color =
+        (match m.machine_color with Black -> Black | White -> token.token_color);
+    }
+  in
+  m.machine_color <- White;
+  passed
+
+let evaluate m token =
+  let verdict =
+    if
+      token.token_color = White
+      && m.machine_color = White
+      && token.q + m.counter = 0
+    then `Terminated
+    else `Try_again
+  in
+  m.machine_color <- White;
+  verdict

@@ -1,0 +1,48 @@
+(** Safra's distributed termination-detection algorithm.
+
+    The paper delegates parallel termination — "every processor idle
+    and all channels empty" — to standard distributed-computing
+    algorithms [5, 7]. We implement the classic token-ring solution
+    (Dijkstra's EWD 998 refinement of the Dijkstra–Scholten idea): a
+    token circulates [0 → N-1 → N-2 → … → 0] accumulating a message
+    balance; machines blacken on receipt; the initiator declares
+    termination only from a clean (white, balanced) round.
+
+    This module is the pure per-machine state; the runtimes move the
+    token. All counters are local — no shared state. *)
+
+type color = White | Black
+
+type token = {
+  q : int;  (** Accumulated message balance of visited machines. *)
+  token_color : color;
+}
+
+type t
+(** Per-machine state: a color and a send/receive counter. *)
+
+val create : unit -> t
+val color : t -> color
+val balance : t -> int
+
+val record_send : t -> unit
+(** Call once per message handed to a channel. *)
+
+val record_receive : t -> unit
+(** Call once per message taken from a channel; blackens the machine
+    (its receipt may have reactivated it after the token passed). *)
+
+val initial_token : token
+(** A fresh white token with zero balance, as issued by machine 0 when
+    it first becomes passive. *)
+
+val forward : t -> token -> token
+(** Machine [i > 0], passive and holding the token: add the local
+    balance, blacken the token if the machine is black, whiten the
+    machine, and pass the result on. *)
+
+val evaluate : t -> token -> [ `Terminated | `Try_again ]
+(** Machine 0, passive, with the token back home: [`Terminated] iff the
+    token is white, the machine is white, and the total balance
+    [q + local] is zero. Either way the machine whitens; on
+    [`Try_again] it should circulate {!initial_token} again. *)

@@ -1,0 +1,283 @@
+open Datalog
+
+let log_src = Logs.Src.create "pardatalog.sim" ~doc:"simulated parallel runtime"
+
+module Log = (val Logs.src_log log_src)
+
+type options = {
+  resend_all : bool;
+  pushdown : bool;
+  replicate_base : bool;
+  max_rounds : int;
+  network : Netgraph.t option;
+}
+
+let default_options =
+  {
+    resend_all = false;
+    pushdown = true;
+    replicate_base = false;
+    max_rounds = 1_000_000;
+    network = None;
+  }
+
+type result = {
+  answers : Database.t;
+  stats : Stats.t;
+}
+
+module Key = struct
+  type t = string * Tuple.t
+
+  let equal (p1, t1) (p2, t2) = String.equal p1 p2 && Tuple.equal t1 t2
+  let hash (p, t) = (Hashtbl.hash p * 0x01000193) lxor Tuple.hash t
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+type proc_state = {
+  pid : Pid.t;
+  engine : Seminaive.t;
+  outbox : (string * Tuple.t) Queue.t;  (* produced, not yet routed *)
+  inbox : (string * Tuple.t) Queue.t;  (* delivered, not yet injected *)
+  all_out : (string * Tuple.t) Queue.t;  (* cumulative, for resend_all *)
+  mutable tuples_sent : int;
+  mutable tuples_received : int;
+  mutable tuples_accepted : int;
+  mutable active_rounds : int;
+  base_resident : int;
+}
+
+let build_edb ~replicate (rw : Rewrite.t) edb pid =
+  let local = Database.create () in
+  List.iter
+    (fun pred ->
+      match Database.find edb pred with
+      | None -> ()
+      | Some rel ->
+        let target = Database.declare local pred (Relation.arity rel) in
+        Relation.iter
+          (fun t ->
+            if replicate || rw.resident pid pred t then
+              ignore (Relation.add target t))
+          rel)
+    (Database.predicates edb);
+  local
+
+let run ?(options = default_options) (rw : Rewrite.t) ~edb =
+  let nprocs = rw.nprocs in
+  (* Base facts written in the program text join the EDB; derived facts
+     are not supported by the rewrite. *)
+  let edb =
+    let combined = Database.copy edb in
+    List.iter
+      (fun (pred, tuple) ->
+        if List.mem pred rw.derived then
+          invalid_arg
+            "Sim_runtime.run: derived-predicate facts are not supported"
+        else ignore (Database.add_fact combined pred tuple))
+      rw.original.Program.facts
+    |> ignore;
+    combined
+  in
+  let procs =
+    Array.init nprocs (fun pid ->
+        let local_edb =
+          build_edb ~replicate:options.replicate_base rw edb pid
+        in
+        {
+          pid;
+          engine =
+            Seminaive.create ~pushdown:options.pushdown rw.programs.(pid)
+              ~edb:local_edb;
+          outbox = Queue.create ();
+          inbox = Queue.create ();
+          all_out = Queue.create ();
+          tuples_sent = 0;
+          tuples_received = 0;
+          tuples_accepted = 0;
+          active_rounds = 0;
+          base_resident = Database.total_tuples local_edb;
+        })
+  in
+  let channel_tuples = Array.make_matrix nprocs nprocs 0 in
+  (* One seen-set per channel: a (pred, tuple) pair travels each channel
+     at most once — the paper's difference-based resend suppression. *)
+  let channel_seen = Array.init nprocs (fun _ -> Array.init nprocs
+                                            (fun _ -> Ktbl.create 64)) in
+  let send_specs_for =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (s : Rewrite.send_spec) ->
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt tbl s.ss_pred)
+        in
+        Hashtbl.replace tbl s.ss_pred (existing @ [ s ]))
+      rw.sends;
+    fun pred -> Option.value ~default:[] (Hashtbl.find_opt tbl pred)
+  in
+  let route_tuple ~dedup src pred tuple =
+    List.iter
+      (fun (s : Rewrite.send_spec) ->
+        List.iter
+          (fun dst ->
+            let fresh =
+              (not dedup)
+              ||
+              let seen = channel_seen.(src.pid).(dst) in
+              if Ktbl.mem seen (pred, tuple) then false
+              else begin
+                Ktbl.add seen (pred, tuple) ();
+                true
+              end
+            in
+            if fresh then begin
+              (match options.network with
+               | Some net when not (Netgraph.mem net src.pid dst) ->
+                 failwith
+                   (Printf.sprintf
+                      "Sim_runtime.run: tuple routed along missing channel \
+                       %d -> %d (Definition 3 violation)"
+                      src.pid dst)
+               | _ -> ());
+              channel_tuples.(src.pid).(dst) <-
+                channel_tuples.(src.pid).(dst) + 1;
+              src.tuples_sent <- src.tuples_sent + 1;
+              Queue.add (pred, tuple) procs.(dst).inbox
+            end)
+          (s.ss_route src.pid tuple))
+      (send_specs_for pred)
+  in
+  let collect_new src produced =
+    List.iter
+      (fun (out_name, tuple) ->
+        let pred = Rewrite.original_pred out_name in
+        if List.mem pred rw.derived then begin
+          Queue.add (pred, tuple) src.outbox;
+          if options.resend_all then Queue.add (pred, tuple) src.all_out
+        end)
+      produced
+  in
+  (* Initialization: bootstrap every processor's program; its
+     production counts form trace row 0. *)
+  let boot_row = Array.make nprocs 0 in
+  Array.iter
+    (fun p ->
+      let produced = Seminaive.bootstrap p.engine in
+      boot_row.(p.pid) <- List.length produced;
+      collect_new p produced)
+    procs;
+  let rounds = ref 0 in
+  let trace = ref [ boot_row ] in
+  let continue = ref true in
+  while !continue do
+    if !rounds >= options.max_rounds then
+      failwith "Sim_runtime.run: round budget exceeded";
+    (* Sending. *)
+    Array.iter
+      (fun p ->
+        if options.resend_all then begin
+          Queue.clear p.outbox;
+          Queue.iter
+            (fun (pred, tuple) -> route_tuple ~dedup:false p pred tuple)
+            p.all_out
+        end
+        else
+          Queue.iter
+            (fun (pred, tuple) -> route_tuple ~dedup:true p pred tuple)
+            p.outbox;
+        Queue.clear p.outbox)
+      procs;
+    (* Receiving: drain inboxes into the engines (duplicate
+       elimination happens in inject). *)
+    Array.iter
+      (fun p ->
+        Queue.iter
+          (fun (pred, tuple) ->
+            p.tuples_received <- p.tuples_received + 1;
+            if Seminaive.inject p.engine (Rewrite.in_pred pred) tuple then
+              p.tuples_accepted <- p.tuples_accepted + 1)
+          p.inbox;
+        Queue.clear p.inbox)
+      procs;
+    (* Processing: one semi-naive iteration per processor. *)
+    let any_progress = ref false in
+    let produced_this_round = ref 0 in
+    let round_row = Array.make nprocs 0 in
+    Array.iter
+      (fun p ->
+        if Seminaive.has_pending p.engine then begin
+          let produced = Seminaive.step p.engine in
+          p.active_rounds <- p.active_rounds + 1;
+          any_progress := true;
+          produced_this_round := !produced_this_round + List.length produced;
+          round_row.(p.pid) <- List.length produced;
+          collect_new p produced
+        end)
+      procs;
+    trace := round_row :: !trace;
+    incr rounds;
+    Log.debug (fun m ->
+        m "round %d: %d new tuples, %d tuples on channels so far" !rounds
+          !produced_this_round
+          (Array.fold_left
+             (fun acc row -> Array.fold_left ( + ) acc row)
+             0 channel_tuples));
+    (* Termination: all processors idle, all channels empty. *)
+    let work_left =
+      !any_progress
+      || Array.exists
+           (fun p ->
+             (not (Queue.is_empty p.outbox))
+             || not (Queue.is_empty p.inbox))
+           procs
+      || Array.exists (fun p -> Seminaive.has_pending p.engine) procs
+    in
+    continue := work_left
+  done;
+  (* Final pooling: union the @out relations under the original names. *)
+  let answers = Database.copy edb in
+  let pooled = ref 0 in
+  Array.iter
+    (fun p ->
+      let db = Seminaive.database p.engine in
+      List.iter
+        (fun pred ->
+          match Database.find db (Rewrite.out_pred pred) with
+          | None -> ()
+          | Some rel ->
+            pooled := !pooled + Relation.cardinal rel;
+            let target =
+              Database.declare answers pred (Relation.arity rel)
+            in
+            ignore (Relation.add_all target rel))
+        rw.derived)
+    procs;
+  let engine_stats p = Seminaive.stats p.engine in
+  let stats : Stats.t =
+    {
+      nprocs;
+      rounds = !rounds;
+      per_proc =
+        Array.map
+          (fun p ->
+            let es = engine_stats p in
+            {
+              Stats.pid = p.pid;
+              firings = es.Seminaive.firings;
+              new_tuples = es.Seminaive.new_tuples;
+              duplicate_firings = es.Seminaive.duplicate_firings;
+              iterations = es.Seminaive.iterations;
+              tuples_sent = p.tuples_sent;
+              tuples_received = p.tuples_received;
+              tuples_accepted = p.tuples_accepted;
+              base_resident = p.base_resident;
+              active_rounds = p.active_rounds;
+            })
+          procs;
+      channel_tuples;
+      pooled_tuples = !pooled;
+      trace = List.rev !trace;
+    }
+  in
+  { answers; stats }

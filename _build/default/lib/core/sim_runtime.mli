@@ -1,0 +1,59 @@
+(** Deterministic round-based executor for rewritten programs.
+
+    Implements the paper's parallel execution structure on the abstract
+    architecture of Section 3 — {i evaluate initialization; repeat
+    processing, sending, receiving until termination} — with one
+    synchronous round per repeat. Every processor is simulated in turn,
+    channels are instrumented, and the run is fully deterministic, which
+    makes communication and redundancy exactly countable. Termination is
+    the global quiescence condition: all processors idle and all
+    channels empty. *)
+
+val log_src : Logs.src
+(** Per-round debug logging ([Logs.Debug]): new-tuple and channel
+    counters. *)
+
+type options = {
+  resend_all : bool;
+      (** Disable the "difference operation" of the paper's sending
+          step: every round, re-route {i all} tuples generated so far
+          instead of only the new ones. Semantics are unchanged; message
+          counts explode (ablation A1). Default [false]. *)
+  pushdown : bool;
+      (** Push the [h(v(r)) = i] guard to the earliest join position
+          (default [true]). With [false] each processor computes the
+          entire join before filtering — the degenerate case discussed
+          at the end of Section 3 (ablation A3). Results are
+          unchanged. *)
+  replicate_base : bool;
+      (** Ignore the fragmentation analysis and give every processor the
+          whole extensional database (ablation A4). Results are
+          unchanged; base residency grows. Default [false]. *)
+  max_rounds : int;
+      (** Safety valve; the run fails after this many rounds. Default
+          [1_000_000]. *)
+  network : Netgraph.t option;
+      (** Execute on a fixed network (Definition 3): a tuple routed
+          along a missing edge aborts the run — there is no routing
+          through intermediaries. Use a network derived by {!Derive} to
+          demonstrate that the compile-time analysis is safe, or a
+          deliberately small one to see the abort. Default [None] (the
+          complete graph of Section 3's abstract architecture). *)
+}
+
+val default_options : options
+
+type result = {
+  answers : Datalog.Database.t;
+      (** The pooled output: every original derived predicate, under its
+          original name, unioned over processors — plus the base
+          relations as given. *)
+  stats : Stats.t;
+}
+
+val run :
+  ?options:options -> Rewrite.t -> edb:Datalog.Database.t -> result
+(** Execute a rewritten program. The extensional database [edb] is
+    distributed to processors according to the rewrite's residency map;
+    the original program's base facts are added to [edb] first.
+    @raise Failure when [max_rounds] is exceeded. *)

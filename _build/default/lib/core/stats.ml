@@ -1,0 +1,97 @@
+type per_proc = {
+  pid : Pid.t;
+  firings : int;
+  new_tuples : int;
+  duplicate_firings : int;
+  iterations : int;
+  tuples_sent : int;
+  tuples_received : int;
+  tuples_accepted : int;
+  base_resident : int;
+  active_rounds : int;
+}
+
+type t = {
+  nprocs : int;
+  rounds : int;
+  per_proc : per_proc array;
+  channel_tuples : int array array;
+  pooled_tuples : int;
+  trace : int array list;
+}
+
+let frontier_profile t =
+  List.map (fun row -> Array.fold_left ( + ) 0 row) t.trace
+
+let peak_parallelism t =
+  List.fold_left
+    (fun acc row ->
+      max acc (Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 row))
+    0 t.trace
+
+let sum_by f t = Array.fold_left (fun acc p -> acc + f p) 0 t.per_proc
+let total_firings t = sum_by (fun p -> p.firings) t
+let total_new_tuples t = sum_by (fun p -> p.new_tuples) t
+let total_duplicate_firings t = sum_by (fun p -> p.duplicate_firings) t
+
+let total_messages ?(include_self = false) t =
+  let total = ref 0 in
+  for i = 0 to t.nprocs - 1 do
+    for j = 0 to t.nprocs - 1 do
+      if include_self || i <> j then
+        total := !total + t.channel_tuples.(i).(j)
+    done
+  done;
+  !total
+
+let used_channels ?(include_self = false) t =
+  let acc = ref [] in
+  for i = t.nprocs - 1 downto 0 do
+    for j = t.nprocs - 1 downto 0 do
+      if (include_self || i <> j) && t.channel_tuples.(i).(j) > 0 then
+        acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+let total_base_resident t = sum_by (fun p -> p.base_resident) t
+
+let load_imbalance t =
+  let total = total_firings t in
+  if total = 0 then nan
+  else
+    let mean = float_of_int total /. float_of_int t.nprocs in
+    let worst =
+      Array.fold_left (fun acc p -> max acc p.firings) 0 t.per_proc
+    in
+    float_of_int worst /. mean
+
+let redundancy_vs ~sequential_firings t =
+  if sequential_firings = 0 then 0.0
+  else
+    float_of_int (total_firings t - sequential_firings)
+    /. float_of_int sequential_firings
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "%d processors, %d rounds, %d messages (+%d self), pooled %d tuples@,"
+    t.nprocs t.rounds (total_messages t)
+    (total_messages ~include_self:true t - total_messages t)
+    t.pooled_tuples;
+  Format.fprintf ppf
+    "  %-5s %9s %9s %9s %6s %7s %7s %7s %9s %7s@," "proc" "firings"
+    "new" "dupfire" "iters" "sent" "recv" "accept" "baseres" "active";
+  Array.iter
+    (fun p ->
+      Format.fprintf ppf
+        "  %-5d %9d %9d %9d %6d %7d %7d %7d %9d %7d@," p.pid p.firings
+        p.new_tuples p.duplicate_firings p.iterations p.tuples_sent
+        p.tuples_received p.tuples_accepted p.base_resident p.active_rounds)
+    t.per_proc;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "procs=%d rounds=%d firings=%d msgs=%d imbalance=%.2f" t.nprocs
+    t.rounds (total_firings t) (total_messages t) (load_imbalance t)

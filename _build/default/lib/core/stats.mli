@@ -1,0 +1,67 @@
+(** Execution metrics of a parallel run.
+
+    These quantities make the paper's qualitative claims measurable:
+    redundancy (duplicate firings across processors), communication
+    (tuples on inter-processor channels), base-relation residency
+    (sharing vs. fragmentation), and load balance. *)
+
+type per_proc = {
+  pid : Pid.t;
+  firings : int;  (** Successful ground substitutions at this processor. *)
+  new_tuples : int;  (** Distinct tuples this processor derived. *)
+  duplicate_firings : int;  (** Firings whose result was already known locally. *)
+  iterations : int;  (** Semi-naive steps executed. *)
+  tuples_sent : int;  (** Tuples put on channels (self-channel included). *)
+  tuples_received : int;  (** Tuples taken from channels. *)
+  tuples_accepted : int;  (** Received tuples that were new after dedup. *)
+  base_resident : int;  (** EDB tuples resident at this processor. *)
+  active_rounds : int;  (** Rounds in which the processor fired or received. *)
+}
+
+type t = {
+  nprocs : int;
+  rounds : int;
+  per_proc : per_proc array;
+  channel_tuples : int array array;  (** [.(i).(j)] = tuples sent i→j. *)
+  pooled_tuples : int;  (** Tuples moved by the final pooling step. *)
+  trace : int array list;
+      (** Per round (chronological), the number of tuples each processor
+          derived — the parallelism profile. The first row is the
+          initialization step (the paper's "evaluate initialization
+          rule"), so there are [rounds + 1] rows. Empty for runtimes
+          without a global round structure (the domain runtime). *)
+}
+
+val frontier_profile : t -> int list
+(** Total tuples derived per round, in order. *)
+
+val peak_parallelism : t -> int
+(** The largest number of processors that derived something in one
+    round (0 when no trace). *)
+
+val total_firings : t -> int
+val total_new_tuples : t -> int
+val total_duplicate_firings : t -> int
+
+val total_messages : ?include_self:bool -> t -> int
+(** Tuples sent over channels; by default the self-channels [i→i] —
+    which involve no inter-processor communication — are excluded. *)
+
+val used_channels : ?include_self:bool -> t -> (Pid.t * Pid.t) list
+(** Channels that carried at least one tuple. *)
+
+val total_base_resident : t -> int
+
+val load_imbalance : t -> float
+(** Max over processors of firings, divided by the mean (1.0 = perfectly
+    balanced; [nan] when nothing fired). *)
+
+val redundancy_vs : sequential_firings:int -> t -> float
+(** [(parallel - sequential) / sequential]: 0.0 for a non-redundant run
+    (Theorems 2 and 6); positive when work is duplicated. *)
+
+val pp : Format.formatter -> t -> unit
+(** A compact multi-line report. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** A one-line summary. *)

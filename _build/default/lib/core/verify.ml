@@ -1,0 +1,51 @@
+open Datalog
+
+type report = {
+  equal_answers : bool;
+  sequential_firings : int;
+  parallel_firings : int;
+  non_redundant : bool;
+  redundancy : float;
+  messages : int;
+  stats : Stats.t;
+}
+
+let check ?options (rw : Rewrite.t) ~edb =
+  let seq_db, seq_stats = Seminaive.evaluate rw.original edb in
+  let result = Sim_runtime.run ?options rw ~edb in
+  let equal_answers =
+    List.for_all
+      (fun pred ->
+        match Database.find seq_db pred, Database.find result.answers pred with
+        | Some a, Some b -> Relation.equal a b
+        | Some a, None -> Relation.is_empty a
+        | None, Some b -> Relation.is_empty b
+        | None, None -> true)
+      rw.derived
+  in
+  let parallel_firings = Stats.total_firings result.stats in
+  {
+    equal_answers;
+    sequential_firings = seq_stats.Seminaive.firings;
+    parallel_firings;
+    non_redundant = parallel_firings <= seq_stats.Seminaive.firings;
+    redundancy =
+      Stats.redundancy_vs ~sequential_firings:seq_stats.Seminaive.firings
+        result.stats;
+    messages = Stats.total_messages result.stats;
+    stats = result.stats;
+  }
+
+let channels_within stats net =
+  List.for_all
+    (fun (i, j) -> Netgraph.mem net i j)
+    (Stats.used_channels ~include_self:true stats)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>equal answers: %b@,\
+     firings: sequential=%d parallel=%d (%s, redundancy %.3f)@,\
+     messages: %d@,%a@]"
+    r.equal_answers r.sequential_firings r.parallel_firings
+    (if r.non_redundant then "non-redundant" else "redundant")
+    r.redundancy r.messages Stats.pp r.stats

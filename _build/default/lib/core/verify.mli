@@ -1,0 +1,30 @@
+(** Cross-checks of the paper's theorems on concrete runs.
+
+    These helpers execute a rewritten program on the simulated runtime
+    and compare it against the sequential semi-naive evaluation of the
+    original program: result equality (Theorems 1, 4, 5), firing counts
+    (Theorems 2 and 6), and channel usage against a derived network
+    graph (Section 5). *)
+
+type report = {
+  equal_answers : bool;
+      (** Pooled parallel output = sequential least model. *)
+  sequential_firings : int;
+  parallel_firings : int;
+  non_redundant : bool;  (** [parallel_firings <= sequential_firings]. *)
+  redundancy : float;  (** See {!Stats.redundancy_vs}. *)
+  messages : int;  (** Inter-processor tuples (self-channels excluded). *)
+  stats : Stats.t;
+}
+
+val check :
+  ?options:Sim_runtime.options ->
+  Rewrite.t ->
+  edb:Datalog.Database.t ->
+  report
+
+val channels_within : Stats.t -> Netgraph.t -> bool
+(** Every channel that carried a tuple during the run (self-channels
+    included) is an edge of the given network graph. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/datalog/analysis.ml: Array Atom Hashtbl List Printf Program Result Rule String Term

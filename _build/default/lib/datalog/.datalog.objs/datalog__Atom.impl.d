@@ -1,0 +1,1 @@
+lib/datalog/atom.ml: Array Const Format Hashtbl Int List String Term Tuple

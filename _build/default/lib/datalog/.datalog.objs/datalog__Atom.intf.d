@@ -1,0 +1,1 @@
+lib/datalog/atom.mli: Const Format Term Tuple

@@ -1,0 +1,1 @@
+lib/datalog/const.ml: Format Int String Symtab

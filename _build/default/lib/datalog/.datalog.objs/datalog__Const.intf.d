@@ -1,0 +1,1 @@
+lib/datalog/const.mli: Format Symtab

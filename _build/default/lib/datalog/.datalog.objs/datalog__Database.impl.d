@@ -1,0 +1,1 @@
+lib/datalog/database.ml: Format Hashtbl List Option Printf Relation String Tuple

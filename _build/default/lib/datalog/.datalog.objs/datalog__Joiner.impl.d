@@ -1,0 +1,1 @@
+lib/datalog/joiner.ml: Array Atom Const Fun Hashtbl List Relation Rule String Term Tuple

@@ -1,0 +1,1 @@
+lib/datalog/joiner.mli: Relation Rule Tuple

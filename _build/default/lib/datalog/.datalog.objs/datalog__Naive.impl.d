@@ -1,0 +1,1 @@
+lib/datalog/naive.ml: Array Database Joiner List Program

@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Atom Format List Printf Program Rule String Term

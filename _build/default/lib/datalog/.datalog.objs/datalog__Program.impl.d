@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Atom Database Format Hashtbl List Printf Rule String Tuple

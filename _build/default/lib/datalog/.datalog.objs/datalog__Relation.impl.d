@@ -1,0 +1,1 @@
+lib/datalog/relation.ml: Array Format Hashtbl List Printf Tuple

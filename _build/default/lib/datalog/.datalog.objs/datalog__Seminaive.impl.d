@@ -1,0 +1,1 @@
+lib/datalog/seminaive.ml: Array Atom Database Format Joiner List Program Relation

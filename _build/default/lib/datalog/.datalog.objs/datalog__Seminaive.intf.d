@@ -1,0 +1,1 @@
+lib/datalog/seminaive.mli: Database Format Program Rule Tuple

@@ -1,0 +1,1 @@
+lib/datalog/stratified.ml: Analysis Atom Database List Program Relation Rule Seminaive

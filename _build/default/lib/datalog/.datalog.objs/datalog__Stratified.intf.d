@@ -1,0 +1,1 @@
+lib/datalog/stratified.mli: Database Program Seminaive

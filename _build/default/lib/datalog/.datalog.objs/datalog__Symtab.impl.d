@@ -1,0 +1,1 @@
+lib/datalog/symtab.ml: Array Format Hashtbl Int Mutex

@@ -1,0 +1,1 @@
+lib/datalog/tuple.ml: Array Const Format Int List

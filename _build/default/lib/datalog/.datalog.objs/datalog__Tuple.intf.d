@@ -1,0 +1,1 @@
+lib/datalog/tuple.mli: Const Format

@@ -1,0 +1,90 @@
+type t = {
+  pred : string;
+  args : Term.t array;
+}
+
+let make pred args = { pred; args = Array.of_list args }
+let make_a pred args = { pred; args }
+let arity a = Array.length a.args
+
+let vars a =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  Array.iter
+    (function
+      | Term.Var v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          acc := v :: !acc
+        end
+      | Term.Const _ -> ())
+    a.args;
+  List.rev !acc
+
+let is_ground a = Array.for_all (fun t -> not (Term.is_var t)) a.args
+
+let to_tuple a =
+  if is_ground a then
+    Some
+      (Tuple.make
+         (Array.map
+            (function Term.Const c -> c | Term.Var _ -> assert false)
+            a.args))
+  else None
+
+let rename_pred pred a = { a with pred }
+
+let subst env a =
+  let apply = function
+    | Term.Var v as t ->
+      (match List.assoc_opt v env with
+       | Some c -> Term.Const c
+       | None -> t)
+    | Term.Const _ as t -> t
+  in
+  { a with args = Array.map apply a.args }
+
+let matches_tuple a tuple =
+  if Array.length a.args <> Tuple.arity tuple then
+    invalid_arg "Atom.matches_tuple: arity mismatch";
+  let binding = Hashtbl.create 4 in
+  let ok = ref true in
+  Array.iteri
+    (fun i term ->
+      if !ok then
+        match term with
+        | Term.Const c ->
+          if not (Const.equal c (Tuple.get tuple i)) then ok := false
+        | Term.Var v ->
+          (match Hashtbl.find_opt binding v with
+           | Some c ->
+             if not (Const.equal c (Tuple.get tuple i)) then ok := false
+           | None -> Hashtbl.add binding v (Tuple.get tuple i)))
+    a.args;
+  !ok
+
+let compare a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c
+  else
+    let la = Array.length a.args and lb = Array.length b.args in
+    if la <> lb then Int.compare la lb
+    else
+      let rec go i =
+        if i = la then 0
+        else
+          let c = Term.compare a.args.(i) b.args.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+let equal a b = compare a b = 0
+
+let pp ppf a =
+  if Array.length a.args = 0 then Format.pp_print_string ppf a.pred
+  else
+    Format.fprintf ppf "%s(@[%a@])" a.pred
+      (Format.pp_print_array
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         Term.pp)
+      a.args

@@ -1,0 +1,53 @@
+type t =
+  | Int of int
+  | Sym of Symtab.sym
+
+let int i = Int i
+let sym s = Sym (Symtab.intern s)
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Sym x, Sym y -> Symtab.compare x y
+  | Int _, Sym _ -> -1
+  | Sym _, Int _ -> 1
+
+let equal a b = compare a b = 0
+
+(* splitmix64 finalizer, truncated to OCaml's 63-bit ints. Constants of
+   different kinds are separated by a kind tag mixed into the seed. *)
+let mix64 z =
+  let z = z * 0x1E3779B97F4A7C15 in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+let raw = function
+  | Int i -> (i lsl 1) lor 0
+  | Sym s -> (Symtab.to_int s lsl 1) lor 1
+
+let hash c = mix64 (raw c) land max_int
+let hash_seeded seed c = mix64 (raw c lxor mix64 seed) land max_int
+
+(* Symbols that are not plain lowercase identifiers must be quoted so
+   that printed constants reparse to themselves. *)
+let plain_symbol s =
+  let ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  String.length s > 0
+  && s.[0] >= 'a'
+  && s.[0] <= 'z'
+  && String.for_all ident_char s
+
+let pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Sym s ->
+    let name = Symtab.name s in
+    if plain_symbol name then Format.pp_print_string ppf name
+    else Format.fprintf ppf "'%s'" name
+
+let to_string c = Format.asprintf "%a" pp c

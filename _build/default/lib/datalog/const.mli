@@ -1,0 +1,29 @@
+(** Database constants.
+
+    A constant is either an integer or an interned symbol (a lowercase
+    identifier or quoted string in the concrete syntax). Constants are
+    totally ordered and hashable, so they can key relations and be fed
+    to discriminating functions. *)
+
+type t =
+  | Int of int
+  | Sym of Symtab.sym
+
+val int : int -> t
+val sym : string -> t
+(** [sym s] interns [s] and wraps it. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** A well-mixed hash (splitmix64 finalizer), suitable as the basis of
+    discriminating functions: consecutive integers do not map to
+    consecutive hashes. *)
+
+val hash_seeded : int -> t -> int
+(** [hash_seeded seed c] is an independent hash family member; distinct
+    seeds give (practically) independent functions. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,277 @@
+type source = Old | Delta | Current
+
+(* Where a value comes from when instantiating an atom argument or the
+   head. *)
+type slot =
+  | Sconst of Const.t
+  | Svar of int  (* index into the environment *)
+
+type key_part = {
+  kp_position : int;  (* argument position inside the atom *)
+  kp_slot : slot;  (* value known before the atom is scanned *)
+}
+
+type binding = {
+  b_position : int;
+  b_var : int;  (* environment slot receiving the value *)
+}
+
+type compiled_guard = {
+  cg : Rule.guard;
+  cg_slots : int array;
+}
+
+type compiled_atom = {
+  ca_pred : string;
+  ca_index : int;  (* position in the rule body *)
+  ca_key : key_part list;  (* bound positions: the index key *)
+  ca_binds : binding list;  (* first occurrences of fresh variables *)
+  ca_checks : binding list;  (* repeated fresh variables: equality checks *)
+  ca_guards : compiled_guard list;  (* guards complete after this atom *)
+}
+
+type plan = {
+  rule : Rule.t;
+  nvars : int;
+  head : slot array;
+  head_pred : string;
+  pre_guards : compiled_guard list;  (* guards with no variables *)
+  atoms : compiled_atom list;
+  nbody : int;
+}
+
+let rule_of p = p.rule
+let var_count p = p.nvars
+
+(* Greedy scan-order heuristic: repeatedly pick the atom with the most
+   already-bound argument positions (then the fewest unbound variables,
+   then textual order). Avoids accidental cross products in rules
+   written join-variable-last. *)
+let greedy_order body =
+  let bound = Hashtbl.create 8 in
+  let score (a : Atom.t) =
+    let bound_positions = ref 0 and unbound_vars = Hashtbl.create 4 in
+    Array.iter
+      (fun term ->
+        match term with
+        | Term.Const _ -> incr bound_positions
+        | Term.Var v ->
+          if Hashtbl.mem bound v then incr bound_positions
+          else Hashtbl.replace unbound_vars v ())
+      a.args;
+    (!bound_positions, -Hashtbl.length unbound_vars)
+  in
+  let rec pick acc remaining =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let best =
+        List.fold_left
+          (fun best ((_, a) as item) ->
+            match best with
+            | None -> Some (item, score a)
+            | Some (_, best_score) ->
+              let s = score a in
+              if s > best_score then Some (item, s) else best)
+          None remaining
+      in
+      (match best with
+       | None -> assert false
+       | Some (((_, a) as item), _) ->
+         List.iter (fun v -> Hashtbl.replace bound v ()) (Atom.vars a);
+         pick (item :: acc)
+           (List.filter (fun other -> not (other == item)) remaining))
+  in
+  pick [] (List.mapi (fun i a -> (i, a)) body)
+
+let compile ?(pushdown = true) ?(reorder = false) (rule : Rule.t) =
+  if not (Rule.is_safe rule) then
+    invalid_arg ("Joiner.compile: unsafe rule " ^ Rule.to_string rule);
+  let scan_order =
+    if reorder then greedy_order rule.body
+    else List.mapi (fun i a -> (i, a)) rule.body
+  in
+  let var_ids = Hashtbl.create 16 in
+  let nvars = ref 0 in
+  let var_id v =
+    match Hashtbl.find_opt var_ids v with
+    | Some i -> i
+    | None ->
+      let i = !nvars in
+      incr nvars;
+      Hashtbl.add var_ids v i;
+      i
+  in
+  (* Body-first numbering: a variable's id is assigned at its first
+     body occurrence, so every id is bound by the time it is used. *)
+  let bound = Hashtbl.create 16 in
+  let compile_atom idx (a : Atom.t) =
+    let key = ref [] and binds = ref [] and checks = ref [] in
+    let fresh_here = Hashtbl.create 4 in
+    Array.iteri
+      (fun pos term ->
+        match term with
+        | Term.Const c ->
+          key := { kp_position = pos; kp_slot = Sconst c } :: !key
+        | Term.Var v ->
+          if Hashtbl.mem bound v then
+            key :=
+              { kp_position = pos; kp_slot = Svar (var_id v) } :: !key
+          else if Hashtbl.mem fresh_here v then
+            checks := { b_position = pos; b_var = var_id v } :: !checks
+          else begin
+            Hashtbl.add fresh_here v ();
+            binds := { b_position = pos; b_var = var_id v } :: !binds
+          end)
+      a.args;
+    Hashtbl.iter (fun v () -> Hashtbl.replace bound v ()) fresh_here;
+    {
+      ca_pred = a.pred;
+      ca_index = idx;
+      ca_key = List.rev !key;
+      ca_binds = List.rev !binds;
+      ca_checks = List.rev !checks;
+      ca_guards = [];
+    }
+  in
+  let atoms = List.map (fun (idx, a) -> compile_atom idx a) scan_order in
+  (* Guard placement: after the first atom at which all guard variables
+     are bound (with pushdown), or after the last atom otherwise. *)
+  let compiled_guards =
+    List.map
+      (fun (g : Rule.guard) ->
+        let slots = Array.map var_id g.gvars in
+        ({ cg = g; cg_slots = slots }, g))
+      rule.guards
+  in
+  let nbody = List.length rule.body in
+  let last_scanned =
+    match List.rev scan_order with
+    | (idx, _) :: _ -> idx
+    | [] -> nbody - 1
+  in
+  (* The original index of the atom in SCAN order by which all the
+     guard's variables are bound. *)
+  let guard_position (g : Rule.guard) =
+    if not pushdown then last_scanned
+    else begin
+      let remaining =
+        ref
+          (List.filter
+             (fun v -> Array.exists (String.equal v) g.gvars)
+             (Rule.body_vars rule)
+          |> List.sort_uniq String.compare)
+      in
+      let position = ref last_scanned in
+      List.iter
+        (fun ((idx, a) : int * Atom.t) ->
+          if !remaining <> [] then begin
+            remaining :=
+              List.filter (fun v -> not (List.mem v (Atom.vars a))) !remaining;
+            if !remaining = [] then position := idx
+          end)
+        scan_order;
+      !position
+    end
+  in
+  let pre_guards =
+    List.filter_map
+      (fun (cg, (g : Rule.guard)) ->
+        if Array.length g.gvars = 0 then Some cg else None)
+      compiled_guards
+  in
+  let atoms =
+    List.map
+      (fun ca ->
+        let mine =
+          List.filter_map
+            (fun (cg, (g : Rule.guard)) ->
+              if Array.length g.gvars > 0 && guard_position g = ca.ca_index
+              then Some cg
+              else None)
+            compiled_guards
+        in
+        { ca with ca_guards = mine })
+      atoms
+  in
+  let head =
+    Array.map
+      (function
+        | Term.Const c -> Sconst c
+        | Term.Var v ->
+          (match Hashtbl.find_opt var_ids v with
+           | Some i -> Svar i
+           | None -> assert false (* safety guarantees body occurrence *)))
+      rule.head.args
+  in
+  {
+    rule;
+    nvars = !nvars;
+    head;
+    head_pred = rule.head.pred;
+    pre_guards;
+    atoms;
+    nbody;
+  }
+
+type relations = {
+  old_of : string -> Relation.t option;
+  delta_of : string -> Relation.t option;
+}
+
+let relations_for rels pred = function
+  | Old -> (match rels.old_of pred with Some r -> [ r ] | None -> [])
+  | Delta -> (match rels.delta_of pred with Some r -> [ r ] | None -> [])
+  | Current ->
+    let o = rels.old_of pred and d = rels.delta_of pred in
+    List.filter_map Fun.id [ o; d ]
+
+let guard_holds env cg =
+  let key = Array.map (fun slot -> env.(slot)) cg.cg_slots in
+  cg.cg.gfn key = cg.cg.gexpect
+
+let run plan ~sources rels ~emit =
+  if Array.length sources <> plan.nbody then
+    invalid_arg "Joiner.run: sources length mismatch";
+  let env = Array.make (max plan.nvars 1) (Const.Int 0) in
+  let emit_head () =
+    let tuple =
+      Array.map
+        (function Sconst c -> c | Svar i -> env.(i))
+        plan.head
+    in
+    emit (Tuple.make tuple)
+  in
+  let rec scan atoms =
+    match atoms with
+    | [] -> emit_head ()
+    | ca :: rest ->
+      let positions =
+        Array.of_list (List.map (fun kp -> kp.kp_position) ca.ca_key)
+      in
+      let key =
+        Array.of_list
+          (List.map
+             (fun kp ->
+               match kp.kp_slot with
+               | Sconst c -> c
+               | Svar i -> env.(i))
+             ca.ca_key)
+      in
+      let try_tuple t =
+        List.iter (fun b -> env.(b.b_var) <- Tuple.get t b.b_position)
+          ca.ca_binds;
+        let checks_ok =
+          List.for_all
+            (fun b -> Const.equal (Tuple.get t b.b_position) env.(b.b_var))
+            ca.ca_checks
+        in
+        if checks_ok && List.for_all (guard_holds env) ca.ca_guards then
+          scan rest
+      in
+      List.iter
+        (fun rel ->
+          List.iter try_tuple (Relation.lookup rel ~positions ~key))
+        (relations_for rels ca.ca_pred sources.(ca.ca_index))
+  in
+  if List.for_all (guard_holds env) plan.pre_guards then scan plan.atoms

@@ -1,0 +1,45 @@
+(** Compiled rule plans and substitution enumeration.
+
+    A plan fixes the join order (the textual body order), the variable
+    numbering, and the placement of hash guards. At run time each body
+    atom is given a {!source} — the semi-naive engine uses this to
+    evaluate the delta variants of a rule — and the plan enumerates
+    every satisfying ground substitution exactly once, calling [emit]
+    with the instantiated head tuple. *)
+
+type source =
+  | Old  (** The relation as of the previous iteration. *)
+  | Delta  (** Tuples new in the current iteration. *)
+  | Current  (** [Old ∪ Delta]. *)
+
+type plan
+
+val compile : ?pushdown:bool -> ?reorder:bool -> Rule.t -> plan
+(** Compile a rule. [pushdown] (default [true]) places each hash guard
+    at the earliest point where its variables are bound; with [false]
+    guards run only after the full join, which reproduces the
+    "selection cannot be pushed into the joins" worst case discussed at
+    the end of Section 3 of the paper. [reorder] (default [false])
+    scans the body in a greedy bound-variables-first order instead of
+    the textual one; the enumerated substitution set — and the delta
+    semantics of {!run}'s per-atom sources, which are indexed by the
+    {e original} body positions — is unchanged.
+    @raise Invalid_argument if the rule is unsafe. *)
+
+val rule_of : plan -> Rule.t
+val var_count : plan -> int
+
+type relations = {
+  old_of : string -> Relation.t option;
+      (** Pre-iteration contents of a predicate; [None] = empty. *)
+  delta_of : string -> Relation.t option;
+      (** Current-iteration delta; [None] = empty. *)
+}
+
+val run :
+  plan -> sources:source array -> relations -> emit:(Tuple.t -> unit) -> unit
+(** Enumerate the substitutions of the plan's rule, reading body atom
+    [i] from [sources.(i)], and call [emit] once per successful ground
+    substitution (guards included) with the head instance.
+    @raise Invalid_argument if [sources] length differs from the body
+    length. *)

@@ -1,0 +1,30 @@
+let evaluate ?(max_iterations = max_int) program edb =
+  let db = Database.copy edb in
+  ignore (Database.merge_into ~dst:db ~src:(Program.facts_db program));
+  let plans = List.map (fun r -> Joiner.compile r) (Program.rules program) in
+  let rels : Joiner.relations =
+    { old_of = (fun pred -> Database.find db pred); delta_of = (fun _ -> None) }
+  in
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed do
+    if !passes >= max_iterations then
+      failwith "Naive.evaluate: iteration budget exhausted";
+    incr passes;
+    changed := false;
+    List.iter
+      (fun plan ->
+        let rule = Joiner.rule_of plan in
+        let sources =
+          Array.make (List.length rule.body) Joiner.Current
+        in
+        let fresh = ref [] in
+        Joiner.run plan ~sources rels ~emit:(fun t ->
+            fresh := t :: !fresh);
+        List.iter
+          (fun t ->
+            if Database.add_fact db rule.head.pred t then changed := true)
+          !fresh)
+      plans
+  done;
+  db

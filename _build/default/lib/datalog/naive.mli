@@ -1,0 +1,12 @@
+(** Naive bottom-up evaluation (reference semantics).
+
+    Repeats a full pass over all rules until no new tuple appears. Used
+    as the oracle the semi-naive engine and the parallel runtimes are
+    tested against. *)
+
+val evaluate : ?max_iterations:int -> Program.t -> Database.t -> Database.t
+(** [evaluate p edb] returns a fresh database containing [edb], the
+    program's facts, and the least model of the derived predicates. The
+    input database is not modified.
+    @raise Failure if [max_iterations] passes do not reach a
+    fixpoint. *)

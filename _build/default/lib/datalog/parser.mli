@@ -1,0 +1,40 @@
+(** Parser for textual Datalog.
+
+    Grammar (comments run from ['%'] or ["//"] to end of line):
+
+    {v
+    program  ::= clause*
+    clause   ::= atom '.'                      (fact, if ground)
+               | atom ':-' atom (',' atom)* '.'
+    atom     ::= ident '(' term (',' term)* ')' | ident
+    term     ::= VARIABLE | INTEGER | ident | 'quoted symbol'
+    v}
+
+    Identifiers starting with an uppercase letter or ['_'] are
+    variables; others are predicate or constant symbols. *)
+
+type error = {
+  line : int;
+  column : int;
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val program : string -> (Program.t, error) result
+(** Parse a whole program (rules and ground facts). *)
+
+val rule : string -> (Rule.t, error) result
+(** Parse a single clause. *)
+
+val atom : string -> (Atom.t, error) result
+
+val tuples : string -> ((string * Tuple.t) list, error) result
+(** Parse a sequence of ground facts (EDB file syntax). *)
+
+val program_exn : string -> Program.t
+(** @raise Invalid_argument on parse errors — convenient in tests and
+    examples. *)
+
+val rule_exn : string -> Rule.t
+val atom_exn : string -> Atom.t

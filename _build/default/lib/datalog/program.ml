@@ -1,0 +1,71 @@
+type t = {
+  rules : Rule.t list;
+  facts : (string * Tuple.t) list;
+}
+
+let make ?(facts = []) rules = { rules; facts }
+let rules p = p.rules
+
+let derived_predicates p =
+  List.map (fun (r : Rule.t) -> r.head.pred) p.rules
+  |> List.sort_uniq String.compare
+
+let all_preds_with_arity p =
+  let from_atom (a : Atom.t) = (a.pred, Atom.arity a) in
+  List.concat_map
+    (fun (r : Rule.t) -> from_atom r.head :: List.map from_atom r.body)
+    p.rules
+  @ List.map (fun (pred, t) -> (pred, Tuple.arity t)) p.facts
+
+let predicates p =
+  List.map fst (all_preds_with_arity p) |> List.sort_uniq String.compare
+
+let base_predicates p =
+  let derived = derived_predicates p in
+  List.filter (fun q -> not (List.mem q derived)) (predicates p)
+
+let arities p =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (pred, ar) ->
+      match Hashtbl.find_opt tbl pred with
+      | Some ar' when ar' <> ar ->
+        invalid_arg
+          (Printf.sprintf "Program.arities: %s used at arities %d and %d"
+             pred ar' ar)
+      | Some _ -> ()
+      | None -> Hashtbl.add tbl pred ar)
+    (all_preds_with_arity p);
+  Hashtbl.fold (fun pred ar acc -> (pred, ar) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let check p =
+  match arities p with
+  | exception Invalid_argument msg -> Error msg
+  | _ ->
+    let unsafe = List.filter (fun r -> not (Rule.is_safe r)) p.rules in
+    (match unsafe with
+     | r :: _ -> Error ("unsafe rule: " ^ Rule.to_string r)
+     | [] -> Ok ())
+
+let facts_db p =
+  let db = Database.create () in
+  List.iter (fun (pred, t) -> ignore (Database.add_fact db pred t)) p.facts;
+  db
+
+let rules_for p pred =
+  List.filter (fun (r : Rule.t) -> String.equal r.head.pred pred) p.rules
+
+let pp ppf p =
+  let pp_fact ppf (pred, t) =
+    if Tuple.arity t = 0 then Format.fprintf ppf "%s." pred
+    else Format.fprintf ppf "%s%a." pred Tuple.pp t
+  in
+  Format.fprintf ppf "@[<v>%a%a%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Rule.pp)
+    p.rules
+    (fun ppf () ->
+      if p.rules <> [] && p.facts <> [] then Format.pp_print_cut ppf ())
+    ()
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_fact)
+    p.facts

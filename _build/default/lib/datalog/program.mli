@@ -1,0 +1,36 @@
+(** Datalog programs: finite sets of rules plus ground facts.
+
+    Predicates are split into derived (intensional) predicates — those
+    appearing in some rule head — and base (extensional) predicates. *)
+
+type t = {
+  rules : Rule.t list;  (** Rules with non-empty bodies (or non-ground heads). *)
+  facts : (string * Tuple.t) list;  (** Ground facts given in the program text. *)
+}
+
+val make : ?facts:(string * Tuple.t) list -> Rule.t list -> t
+val rules : t -> Rule.t list
+
+val derived_predicates : t -> string list
+(** Predicates appearing in rule heads, sorted. *)
+
+val base_predicates : t -> string list
+(** Predicates appearing only in rule bodies or facts, sorted. *)
+
+val predicates : t -> string list
+
+val arities : t -> (string * int) list
+(** Arity of each predicate, from its first occurrence.
+    @raise Invalid_argument if a predicate is used at two arities. *)
+
+val check : t -> (unit, string) result
+(** Well-formedness: consistent arities; every rule safe (head and
+    guard variables occur in the body); facts ground. *)
+
+val facts_db : t -> Database.t
+(** A database holding the program's ground facts. *)
+
+val rules_for : t -> string -> Rule.t list
+(** The rules whose head predicate is the given one, in program order. *)
+
+val pp : Format.formatter -> t -> unit

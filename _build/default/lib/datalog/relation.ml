@@ -1,0 +1,109 @@
+module Tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type index = Tuple.t list ref Tbl.t
+(* Keyed by the projection of a tuple on the index's positions. *)
+
+type t = {
+  arity : int;
+  seen : unit Tbl.t;
+  mutable elements : Tuple.t list;  (* reverse insertion order *)
+  mutable size : int;
+  indexes : (int list, int array * index) Hashtbl.t;
+}
+
+let create ?(initial_size = 64) ~arity () =
+  {
+    arity;
+    seen = Tbl.create initial_size;
+    elements = [];
+    size = 0;
+    indexes = Hashtbl.create 4;
+  }
+
+let arity r = r.arity
+let cardinal r = r.size
+let is_empty r = r.size = 0
+let mem r t = Tbl.mem r.seen t
+
+let index_insert (positions, idx) t =
+  let key = Tuple.project t positions in
+  match Tbl.find_opt idx key with
+  | Some cell -> cell := t :: !cell
+  | None -> Tbl.add idx key (ref [ t ])
+
+let add r t =
+  if Tuple.arity t <> r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation.add: arity %d, expected %d" (Tuple.arity t)
+         r.arity);
+  if Tbl.mem r.seen t then false
+  else begin
+    Tbl.add r.seen t ();
+    r.elements <- t :: r.elements;
+    r.size <- r.size + 1;
+    Hashtbl.iter (fun _ entry -> index_insert entry t) r.indexes;
+    true
+  end
+
+let iter f r = List.iter f (List.rev r.elements)
+let fold f r init = List.fold_left (fun acc t -> f t acc) init r.elements
+let to_list r = List.rev r.elements
+
+let add_all dst src =
+  fold (fun t n -> if add dst t then n + 1 else n) src 0
+
+let sorted_elements r = List.sort Tuple.compare r.elements
+
+let build_index r positions =
+  let idx = Tbl.create (max 16 r.size) in
+  let entry = (positions, idx) in
+  List.iter (fun t -> index_insert entry t) r.elements;
+  Hashtbl.add r.indexes (Array.to_list positions) entry;
+  entry
+
+let lookup r ~positions ~key =
+  if Array.length positions = 0 then to_list r
+  else begin
+    let _, idx =
+      match Hashtbl.find_opt r.indexes (Array.to_list positions) with
+      | Some entry -> entry
+      | None -> build_index r positions
+    in
+    match Tbl.find_opt idx (Tuple.make key) with
+    | Some cell -> !cell
+    | None -> []
+  end
+
+let copy r =
+  let fresh = create ~initial_size:(max 16 r.size) ~arity:r.arity () in
+  iter (fun t -> ignore (add fresh t)) r;
+  fresh
+
+let clear r =
+  Tbl.reset r.seen;
+  r.elements <- [];
+  r.size <- 0;
+  Hashtbl.reset r.indexes
+
+let of_list ~arity tuples =
+  let r = create ~arity () in
+  List.iter (fun t -> ignore (add r t)) tuples;
+  r
+
+let equal a b =
+  a.arity = b.arity && a.size = b.size
+  && List.for_all (fun t -> mem b t) a.elements
+
+let pp ppf r =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Tuple.pp)
+    (sorted_elements r)
+
+let index_count r = Hashtbl.length r.indexes

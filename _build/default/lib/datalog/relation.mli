@@ -1,0 +1,44 @@
+(** Mutable sets of tuples with on-demand hash indexes.
+
+    A relation stores tuples of one arity, deduplicated. Lookups by a
+    pattern of bound positions build (and thereafter maintain) a hash
+    index keyed by the projection on those positions. *)
+
+type t
+
+val create : ?initial_size:int -> arity:int -> unit -> t
+val arity : t -> int
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val mem : t -> Tuple.t -> bool
+
+val add : t -> Tuple.t -> bool
+(** [add r t] inserts [t]; returns [true] iff [t] was new.
+    @raise Invalid_argument on arity mismatch. *)
+
+val add_all : t -> t -> int
+(** [add_all dst src] inserts every tuple of [src] into [dst]; returns
+    the number of tuples that were new. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Tuple.t list
+
+val sorted_elements : t -> Tuple.t list
+(** Elements in {!Tuple.compare} order: a canonical form for equality
+    tests and printing. *)
+
+val lookup : t -> positions:int array -> key:Const.t array -> Tuple.t list
+(** All tuples whose projection on [positions] equals [key]. The first
+    call with a given [positions] pattern builds an index, which later
+    {!add}s keep up to date. [positions = [||]] returns all tuples. *)
+
+val copy : t -> t
+val clear : t -> unit
+val of_list : arity:int -> Tuple.t list -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val index_count : t -> int
+(** Number of materialized indexes (for tests). *)

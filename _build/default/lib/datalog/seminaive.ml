@@ -1,0 +1,199 @@
+type stats = {
+  iterations : int;
+  firings : int;
+  new_tuples : int;
+  duplicate_firings : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[iterations=%d firings=%d new_tuples=%d duplicates=%d@]" s.iterations
+    s.firings s.new_tuples s.duplicate_firings
+
+type t = {
+  program : Program.t;
+  plans : Joiner.plan list;
+  rule_firings : int array;
+  full : Database.t;  (* base relations + derived tuples merged so far *)
+  mutable pending : Database.t;  (* derived tuples awaiting processing *)
+  mutable bootstrapped : bool;
+  mutable iterations : int;
+  mutable firings : int;
+  mutable new_tuples : int;
+  mutable duplicate_firings : int;
+}
+
+let arity_of program pred =
+  match List.assoc_opt pred (Program.arities program) with
+  | Some a -> Some a
+  | None -> None
+
+let create ?(pushdown = true) ?(reorder = false) program ~edb =
+  (match Program.check program with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Seminaive.create: " ^ msg));
+  let full = Database.copy edb in
+  let pending = Database.create () in
+  let derived = Program.derived_predicates program in
+  (* Declare derived relations so lookups during joins are uniform. *)
+  List.iter
+    (fun pred ->
+      match arity_of program pred with
+      | Some a -> ignore (Database.declare full pred a)
+      | None -> ())
+    derived;
+  let engine =
+    {
+      program;
+      plans =
+        List.map
+          (fun r -> Joiner.compile ~pushdown ~reorder r)
+          (Program.rules program);
+      rule_firings = Array.make (List.length (Program.rules program)) 0;
+      full;
+      pending;
+      bootstrapped = false;
+      iterations = 0;
+      firings = 0;
+      new_tuples = 0;
+      duplicate_firings = 0;
+    }
+  in
+  List.iter
+    (fun (pred, tuple) ->
+      if List.mem pred derived then begin
+        if
+          (not (Database.mem engine.full pred))
+          || not (Relation.mem (Database.get engine.full pred) tuple)
+        then ignore (Database.add_fact engine.pending pred tuple)
+      end
+      else ignore (Database.add_fact engine.full pred tuple))
+    program.facts;
+  engine
+
+let known engine pred tuple =
+  (match Database.find engine.full pred with
+   | Some r -> Relation.mem r tuple
+   | None -> false)
+  ||
+  match Database.find engine.pending pred with
+  | Some r -> Relation.mem r tuple
+  | None -> false
+
+let inject engine pred tuple =
+  if known engine pred tuple then false
+  else Database.add_fact engine.pending pred tuple
+
+(* Record a firing; queue the head tuple when it is new. *)
+let emit_result engine ~also_known pred acc tuple =
+  engine.firings <- engine.firings + 1;
+  if known engine pred tuple || also_known pred tuple then begin
+    engine.duplicate_firings <- engine.duplicate_firings + 1;
+    acc
+  end
+  else begin
+    ignore (Database.add_fact engine.pending pred tuple);
+    engine.new_tuples <- engine.new_tuples + 1;
+    (pred, tuple) :: acc
+  end
+
+let bootstrap engine =
+  if engine.bootstrapped then
+    invalid_arg "Seminaive.bootstrap: already bootstrapped";
+  engine.bootstrapped <- true;
+  let rels : Joiner.relations =
+    {
+      old_of = (fun pred -> Database.find engine.full pred);
+      delta_of = (fun _ -> None);
+    }
+  in
+  let fresh = ref [] in
+  List.iteri
+    (fun idx plan ->
+      let rule = Joiner.rule_of plan in
+      let sources = Array.make (List.length rule.body) Joiner.Current in
+      Joiner.run plan ~sources rels ~emit:(fun t ->
+          engine.rule_firings.(idx) <- engine.rule_firings.(idx) + 1;
+          fresh :=
+            emit_result engine
+              ~also_known:(fun _ _ -> false)
+              rule.head.pred !fresh t))
+    engine.plans;
+  List.rev !fresh
+
+let step engine =
+  if not engine.bootstrapped then
+    invalid_arg "Seminaive.step: bootstrap first";
+  let delta = engine.pending in
+  engine.pending <- Database.create ();
+  if Database.total_tuples delta = 0 then []
+  else begin
+    engine.iterations <- engine.iterations + 1;
+    let rels : Joiner.relations =
+      {
+        old_of = (fun pred -> Database.find engine.full pred);
+        delta_of = (fun pred -> Database.find delta pred);
+      }
+    in
+    let in_delta pred tuple =
+      match Database.find delta pred with
+      | Some r -> Relation.mem r tuple
+      | None -> false
+    in
+    let has_delta pred = Database.cardinal delta pred > 0 in
+    let fresh = ref [] in
+    List.iteri
+      (fun idx plan ->
+        let rule = Joiner.rule_of plan in
+        let body = Array.of_list rule.body in
+        let n = Array.length body in
+        for m = 0 to n - 1 do
+          if has_delta body.(m).Atom.pred then begin
+            let sources =
+              Array.init n (fun i ->
+                  if i < m then Joiner.Old
+                  else if i = m then Joiner.Delta
+                  else Joiner.Current)
+            in
+            Joiner.run plan ~sources rels ~emit:(fun t ->
+                engine.rule_firings.(idx) <- engine.rule_firings.(idx) + 1;
+                fresh :=
+                  emit_result engine ~also_known:in_delta rule.head.pred
+                    !fresh t)
+          end
+        done)
+      engine.plans;
+    ignore (Database.merge_into ~dst:engine.full ~src:delta);
+    List.rev !fresh
+  end
+
+let has_pending engine = Database.total_tuples engine.pending > 0
+
+let run_to_fixpoint engine =
+  if not engine.bootstrapped then ignore (bootstrap engine);
+  while has_pending engine do
+    ignore (step engine)
+  done
+
+let database engine =
+  let snapshot = Database.copy engine.full in
+  ignore (Database.merge_into ~dst:snapshot ~src:engine.pending);
+  snapshot
+
+let stats engine =
+  {
+    iterations = engine.iterations;
+    firings = engine.firings;
+    new_tuples = engine.new_tuples;
+    duplicate_firings = engine.duplicate_firings;
+  }
+
+let evaluate ?pushdown ?reorder program edb =
+  let engine = create ?pushdown ?reorder program ~edb in
+  run_to_fixpoint engine;
+  (database engine, stats engine)
+
+let per_rule_firings engine =
+  List.mapi
+    (fun idx rule -> (rule, engine.rule_firings.(idx)))
+    (Program.rules engine.program)

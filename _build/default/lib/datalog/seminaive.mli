@@ -1,0 +1,75 @@
+(** Incremental semi-naive evaluation.
+
+    The engine enumerates every successful ground substitution of every
+    rule exactly once: an iteration fires, for each rule and each body
+    position [m] holding a changed predicate, the variant in which
+    atoms before [m] read the pre-iteration state, atom [m] reads the
+    delta, and atoms after [m] read their union.
+
+    Besides whole-program evaluation ({!evaluate}), the engine exposes
+    an incremental interface — {!inject} external tuples, {!step} one
+    iteration, observe the newly derived tuples — which is exactly what
+    the parallel runtimes need to drive one processor's program:
+    received tuples are injected, one iteration is run, and the fresh
+    tuples are routed to the channels. *)
+
+type stats = {
+  iterations : int;  (** Delta steps executed (bootstrap excluded). *)
+  firings : int;
+      (** Successful ground substitutions enumerated, guards included —
+          the quantity of Definition 4 / Theorems 2 and 6. *)
+  new_tuples : int;  (** Distinct derived tuples produced. *)
+  duplicate_firings : int;
+      (** Firings whose head tuple had already been derived. *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type t
+
+val create :
+  ?pushdown:bool -> ?reorder:bool -> Program.t -> edb:Database.t -> t
+(** Build an engine over a copy of [edb]. Base-predicate facts of the
+    program are loaded into the database; derived-predicate facts are
+    queued as if injected. [pushdown] and [reorder] are passed to
+    {!Joiner.compile}.
+    @raise Invalid_argument if the program fails {!Program.check}. *)
+
+val inject : t -> string -> Tuple.t -> bool
+(** Queue an externally produced tuple (e.g. received from another
+    processor). Returns [false] when the tuple is already known (in
+    the database or already queued) — such tuples are discarded, which
+    implements the receive-step duplicate elimination of the paper. *)
+
+val bootstrap : t -> (string * Tuple.t) list
+(** Fire every rule once against the initial database and queue the
+    results. Returns the newly queued (pred, tuple) pairs. Must be
+    called exactly once, before the first {!step}. *)
+
+val step : t -> (string * Tuple.t) list
+(** Run one semi-naive iteration over the queued tuples; returns the
+    newly derived (previously unknown) tuples, which are left queued
+    for the next step. An empty result with an empty queue means local
+    fixpoint. *)
+
+val has_pending : t -> bool
+(** Whether any tuple is queued for the next step. *)
+
+val run_to_fixpoint : t -> unit
+(** {!bootstrap} (if not yet done) then {!step} until quiescent. *)
+
+val database : t -> Database.t
+(** A fresh snapshot of the engine's database: base relations plus
+    every derived tuple known so far, including still-queued ones. *)
+
+val stats : t -> stats
+
+val per_rule_firings : t -> (Rule.t * int) list
+(** Successful ground substitutions per rule, in program order — e.g.
+    to compare exit-rule and recursive-rule workloads. *)
+
+val evaluate :
+  ?pushdown:bool -> ?reorder:bool -> Program.t -> Database.t ->
+  Database.t * stats
+(** One-shot sequential evaluation: the least model plus statistics.
+    The input database is not modified. *)

@@ -1,0 +1,55 @@
+let evaluate ?pushdown ?reorder program edb =
+  (match Program.check program with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Stratified.evaluate: " ^ msg));
+  let components = Analysis.sccs program in
+  let db = Database.copy edb in
+  ignore (Database.merge_into ~dst:db ~src:(Program.facts_db program));
+  let totals =
+    ref
+      {
+        Seminaive.iterations = 0;
+        firings = 0;
+        new_tuples = 0;
+        duplicate_firings = 0;
+      }
+  in
+  List.iter
+    (fun component ->
+      let rules =
+        List.filter
+          (fun (r : Rule.t) -> List.mem r.head.Atom.pred component)
+          (Program.rules program)
+      in
+      if rules <> [] then begin
+        (* Lower components' results are already in [db] and look
+           extensional to this stratum. *)
+        let engine =
+          Seminaive.create ?pushdown ?reorder (Program.make rules) ~edb:db
+        in
+        Seminaive.run_to_fixpoint engine;
+        let produced = Seminaive.database engine in
+        List.iter
+          (fun pred ->
+            match Database.find produced pred with
+            | Some rel ->
+              let target =
+                Database.declare db pred (Relation.arity rel)
+              in
+              ignore (Relation.add_all target rel)
+            | None -> ())
+          component;
+        let s = Seminaive.stats engine in
+        totals :=
+          {
+            Seminaive.iterations =
+              !totals.Seminaive.iterations + s.Seminaive.iterations;
+            firings = !totals.Seminaive.firings + s.Seminaive.firings;
+            new_tuples = !totals.Seminaive.new_tuples + s.Seminaive.new_tuples;
+            duplicate_firings =
+              !totals.Seminaive.duplicate_firings
+              + s.Seminaive.duplicate_firings;
+          }
+      end)
+    components;
+  (db, !totals)

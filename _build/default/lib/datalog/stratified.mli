@@ -1,0 +1,17 @@
+(** SCC-stratified sequential evaluation.
+
+    Evaluates the strongly connected components of the dependency graph
+    bottom-up: each component runs a semi-naive fixpoint treating the
+    relations of lower components as extensional. For programs with a
+    deep dependency structure this avoids re-visiting completed
+    components on every iteration. The enumerated set of successful
+    ground substitutions — and hence the firing count — is identical to
+    {!Seminaive.evaluate}'s, which the test suite checks. *)
+
+val evaluate :
+  ?pushdown:bool -> ?reorder:bool -> Program.t -> Database.t ->
+  Database.t * Seminaive.stats
+(** The least model plus aggregate statistics across components
+    ([iterations] sums the per-component iteration counts). The input
+    database is not modified.
+    @raise Invalid_argument if the program fails {!Program.check}. *)

@@ -1,0 +1,58 @@
+type sym = int
+
+(* The table grows but never shrinks; symbols are never freed. A single
+   global table keeps constants comparable across databases, which the
+   parallel runtimes rely on when tuples travel between processors. *)
+
+let lock = Mutex.create ()
+let by_name : (string, int) Hashtbl.t = Hashtbl.create 1024
+let by_sym : string array ref = ref (Array.make 1024 "")
+let next = ref 0
+
+let ensure_capacity n =
+  if n >= Array.length !by_sym then begin
+    let fresh = Array.make (max (2 * Array.length !by_sym) (n + 1)) "" in
+    Array.blit !by_sym 0 fresh 0 (Array.length !by_sym);
+    by_sym := fresh
+  end
+
+let intern s =
+  Mutex.lock lock;
+  let sym =
+    match Hashtbl.find_opt by_name s with
+    | Some sym -> sym
+    | None ->
+      let sym = !next in
+      incr next;
+      ensure_capacity sym;
+      !by_sym.(sym) <- s;
+      Hashtbl.add by_name s sym;
+      sym
+  in
+  Mutex.unlock lock;
+  sym
+
+let name sym =
+  Mutex.lock lock;
+  let ok = sym >= 0 && sym < !next in
+  let s = if ok then !by_sym.(sym) else "" in
+  Mutex.unlock lock;
+  if not ok then invalid_arg "Symtab.name: unknown symbol";
+  s
+
+let mem s =
+  Mutex.lock lock;
+  let r = Hashtbl.mem by_name s in
+  Mutex.unlock lock;
+  r
+
+let count () =
+  Mutex.lock lock;
+  let n = !next in
+  Mutex.unlock lock;
+  n
+
+let to_int sym = sym
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf sym = Format.pp_print_string ppf (name sym)

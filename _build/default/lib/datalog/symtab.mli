@@ -1,0 +1,31 @@
+(** Global string interning table.
+
+    Symbols are dense non-negative integers. Interning the same string
+    twice yields the same symbol. The table is protected by a mutex so
+    that it can be consulted from several domains (interning normally
+    happens while loading data, before any domain is spawned, but
+    printers may run anywhere). *)
+
+type sym = private int
+(** An interned string. *)
+
+val intern : string -> sym
+(** [intern s] returns the unique symbol for [s], creating it if
+    needed. *)
+
+val name : sym -> string
+(** [name sym] is the string that was interned to obtain [sym].
+    @raise Invalid_argument if [sym] was not produced by {!intern}. *)
+
+val mem : string -> bool
+(** [mem s] is [true] iff [s] has already been interned. *)
+
+val count : unit -> int
+(** Number of distinct symbols interned so far. *)
+
+val to_int : sym -> int
+(** The integer identity of a symbol. *)
+
+val compare : sym -> sym -> int
+val equal : sym -> sym -> bool
+val pp : Format.formatter -> sym -> unit

@@ -1,0 +1,23 @@
+type t =
+  | Var of string
+  | Const of Const.t
+
+let var v = Var v
+let const c = Const c
+let int i = Const (Const.int i)
+let sym s = Const (Const.sym s)
+
+let is_var = function Var _ -> true | Const _ -> false
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Const x, Const y -> Const.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Const c -> Const.pp ppf c

@@ -1,0 +1,15 @@
+(** Terms: variables or constants. *)
+
+type t =
+  | Var of string  (** Uppercase identifiers in the concrete syntax. *)
+  | Const of Const.t
+
+val var : string -> t
+val const : Const.t -> t
+val int : int -> t
+val sym : string -> t
+
+val is_var : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

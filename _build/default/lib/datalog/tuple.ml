@@ -1,0 +1,41 @@
+type t = Const.t array
+
+let make a = a
+let of_list = Array.of_list
+let arity = Array.length
+let get t i = t.(i)
+
+let project t positions = Array.map (fun p -> t.(p)) positions
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i = la then 0
+      else
+        let c = Const.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let hash t =
+  (* Polynomial combination of per-constant hashes; cheap and stable. *)
+  let h = ref (Array.length t) in
+  for i = 0 to Array.length t - 1 do
+    h := (!h * 0x01000193) lxor Const.hash t.(i)
+  done;
+  !h land max_int
+
+let pp ppf t =
+  Format.fprintf ppf "(@[%a@])"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Const.pp)
+    t
+
+let to_string t = Format.asprintf "%a" pp t
+let of_ints is = of_list (List.map Const.int is)
+let of_syms ss = of_list (List.map Const.sym ss)

@@ -1,0 +1,32 @@
+(** Immutable tuples of constants.
+
+    A tuple is the unit of storage in a {!Relation} and the unit of
+    communication between processors in the parallel runtimes. *)
+
+type t = Const.t array
+(** Owned by the tuple after construction: callers must not mutate the
+    array they pass to {!make}. *)
+
+val make : Const.t array -> t
+val of_list : Const.t list -> t
+val arity : t -> int
+val get : t -> int -> Const.t
+
+val project : t -> int array -> t
+(** [project t positions] is the sub-tuple of [t] at [positions], in
+    order. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(c1, c2, ...)]. *)
+
+val to_string : t -> string
+
+val of_ints : int list -> t
+(** Convenience: a tuple of integer constants. *)
+
+val of_syms : string list -> t
+(** Convenience: a tuple of symbol constants. *)

@@ -1,0 +1,1 @@
+lib/workload/edb.ml: Array Database Datalog Hashtbl List Option Relation Rng Tuple

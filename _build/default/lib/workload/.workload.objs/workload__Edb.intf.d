@@ -1,0 +1,1 @@
+lib/workload/edb.mli: Database Datalog Graphgen Rng Tuple

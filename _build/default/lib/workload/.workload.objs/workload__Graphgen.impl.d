@@ -1,0 +1,1 @@
+lib/workload/graphgen.ml: Array Hashtbl List Rng

@@ -1,0 +1,1 @@
+lib/workload/progs.ml: Datalog Parser

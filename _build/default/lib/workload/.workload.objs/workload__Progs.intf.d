@@ -1,0 +1,1 @@
+lib/workload/progs.mli: Datalog Program

@@ -1,0 +1,69 @@
+open Datalog
+
+let add_edges db ~pred edges =
+  List.iter
+    (fun (a, b) -> ignore (Database.add_fact db pred (Tuple.of_ints [ a; b ])))
+    edges
+
+let of_edges ?(pred = "par") edges =
+  let db = Database.create () in
+  add_edges db ~pred edges;
+  db
+
+let same_generation rng ~people ~parents_per =
+  let db = Database.create () in
+  for person = 0 to people - 1 do
+    ignore (Database.add_fact db "person" (Tuple.of_ints [ person ]))
+  done;
+  for child = 1 to people - 1 do
+    let wanted = min parents_per child in
+    let chosen = Hashtbl.create 4 in
+    while Hashtbl.length chosen < wanted do
+      let parent = Rng.int rng child in
+      if not (Hashtbl.mem chosen parent) then begin
+        Hashtbl.add chosen parent ();
+        ignore (Database.add_fact db "par" (Tuple.of_ints [ parent; child ]))
+      end
+    done
+  done;
+  db
+
+module Ttbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let partition_random rng ~nprocs db ~pred =
+  let table = Ttbl.create 64 in
+  (match Database.find db pred with
+   | Some rel ->
+     Relation.iter (fun t -> Ttbl.replace table t (Rng.int rng nprocs)) rel
+   | None -> ());
+  fun tuple -> Option.value ~default:0 (Ttbl.find_opt table tuple)
+
+let partition_range ~nprocs db ~pred =
+  let table = Ttbl.create 64 in
+  (match Database.find db pred with
+   | Some rel ->
+     let sorted = Relation.sorted_elements rel in
+     let total = List.length sorted in
+     let per = max 1 ((total + nprocs - 1) / nprocs) in
+     List.iteri
+       (fun idx t -> Ttbl.replace table t (min (nprocs - 1) (idx / per)))
+       sorted
+   | None -> ());
+  fun tuple -> Option.value ~default:0 (Ttbl.find_opt table tuple)
+
+let fragment_sizes ~nprocs partition db ~pred =
+  let sizes = Array.make nprocs 0 in
+  (match Database.find db pred with
+   | Some rel ->
+     Relation.iter
+       (fun t ->
+         let f = partition t in
+         if f >= 0 && f < nprocs then sizes.(f) <- sizes.(f) + 1)
+       rel
+   | None -> ());
+  sizes

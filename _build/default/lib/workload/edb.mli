@@ -1,0 +1,30 @@
+(** Packaging generated data into extensional databases. *)
+
+open Datalog
+
+val of_edges : ?pred:string -> Graphgen.edge list -> Database.t
+(** A database with one binary relation (default name ["par"]) holding
+    the edges as integer tuples. *)
+
+val add_edges : Database.t -> pred:string -> Graphgen.edge list -> unit
+
+val same_generation :
+  Rng.t -> people:int -> parents_per:int -> Database.t
+(** ["person"] and ["par"] relations for the same-generation query:
+    person [i] gets [parents_per] random parents among the people with
+    smaller index (so the relation is acyclic). *)
+
+val partition_random : Rng.t -> nprocs:int -> Database.t -> pred:string ->
+  (Tuple.t -> int)
+(** An arbitrary horizontal partition of a relation: each tuple is
+    assigned a uniformly random fragment, memoized so the assignment is
+    a function. Tuples outside the relation map to fragment 0. *)
+
+val partition_range : nprocs:int -> Database.t -> pred:string ->
+  (Tuple.t -> int)
+(** Fragments of contiguous tuple ranges (sorted order), mimicking a
+    range-partitioned storage layout. *)
+
+val fragment_sizes :
+  nprocs:int -> (Tuple.t -> int) -> Database.t -> pred:string -> int array
+(** How many tuples of the relation each fragment holds. *)

@@ -1,0 +1,93 @@
+type edge = int * int
+
+let chain n = List.init (max 0 (n - 1)) (fun i -> (i, i + 1))
+
+let cycle n = if n < 2 then [] else (n - 1, 0) :: chain n
+
+let binary_tree ~depth =
+  if depth < 0 || depth > 24 then
+    invalid_arg "Graphgen.binary_tree: depth must be in [0,24]";
+  let edges = ref [] in
+  (* Nodes at depth d occupy [2^d - 1, 2^(d+1) - 2]. *)
+  let last_parent = (1 lsl depth) - 2 in
+  for parent = last_parent downto 0 do
+    edges := (parent, (2 * parent) + 1) :: (parent, (2 * parent) + 2) :: !edges
+  done;
+  !edges
+
+let random_digraph rng ~nodes ~edges =
+  if nodes < 2 then []
+  else begin
+    let wanted = min edges (nodes * (nodes - 1)) in
+    let seen = Hashtbl.create (2 * wanted) in
+    let acc = ref [] in
+    (* Rejection sampling is fine while the graph is sparse; fall back
+       to exhaustive choice when the request is dense. *)
+    if wanted * 3 < nodes * (nodes - 1) then begin
+      while Hashtbl.length seen < wanted do
+        let a = Rng.int rng nodes and b = Rng.int rng nodes in
+        if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+          Hashtbl.add seen (a, b) ();
+          acc := (a, b) :: !acc
+        end
+      done;
+      List.rev !acc
+    end
+    else begin
+      let all = Array.make (nodes * (nodes - 1)) (0, 0) in
+      let k = ref 0 in
+      for a = 0 to nodes - 1 do
+        for b = 0 to nodes - 1 do
+          if a <> b then begin
+            all.(!k) <- (a, b);
+            incr k
+          end
+        done
+      done;
+      Rng.shuffle rng all;
+      Array.to_list (Array.sub all 0 wanted)
+    end
+  end
+
+let layered_dag rng ~layers ~width ~out_degree =
+  if layers < 2 || width < 1 then []
+  else begin
+    let node layer pos = (layer * width) + pos in
+    let acc = ref [] in
+    for layer = 0 to layers - 2 do
+      for pos = 0 to width - 1 do
+        let seen = Hashtbl.create 8 in
+        let tries = ref 0 in
+        while Hashtbl.length seen < min out_degree width && !tries < 20 * out_degree
+        do
+          incr tries;
+          let succ = Rng.int rng width in
+          if not (Hashtbl.mem seen succ) then begin
+            Hashtbl.add seen succ ();
+            acc := (node layer pos, node (layer + 1) succ) :: !acc
+          end
+        done
+      done
+    done;
+    List.rev !acc
+  end
+
+let grid ~rows ~cols =
+  let node r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = rows - 1 downto 0 do
+    for c = cols - 1 downto 0 do
+      if c + 1 < cols then acc := (node r c, node r (c + 1)) :: !acc;
+      if r + 1 < rows then acc := (node r c, node (r + 1) c) :: !acc
+    done
+  done;
+  !acc
+
+let node_count edges =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace seen a ();
+      Hashtbl.replace seen b ())
+    edges;
+  Hashtbl.length seen

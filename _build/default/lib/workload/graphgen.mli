@@ -1,0 +1,36 @@
+(** Generators of binary "parent"-style relations.
+
+    Each generator returns a deduplicated edge list over integer nodes
+    [0 .. nodes-1]. The families cover the communication-pattern
+    extremes of the paper's examples: deep chains (long recursions,
+    tiny frontiers), trees (balanced fan-out), random digraphs (wide
+    frontiers, duplicate derivations), cycles (maximal closures) and
+    layered DAGs (bounded recursion depth with controllable width). *)
+
+type edge = int * int
+
+val chain : int -> edge list
+(** [chain n]: edges [i → i+1] for [i < n-1]. *)
+
+val cycle : int -> edge list
+(** [chain n] plus the closing edge [n-1 → 0]. *)
+
+val binary_tree : depth:int -> edge list
+(** Complete binary tree of the given depth (root 0; [2^(depth+1) - 2]
+    edges).
+    @raise Invalid_argument if [depth < 0] or [depth > 24]. *)
+
+val random_digraph : Rng.t -> nodes:int -> edges:int -> edge list
+(** Uniform distinct directed edges (no self-loops). [edges] is capped
+    at [nodes*(nodes-1)]. *)
+
+val layered_dag : Rng.t -> layers:int -> width:int -> out_degree:int -> edge list
+(** Nodes arranged in [layers] rows of [width]; each node gets
+    [out_degree] random successors in the next row. Recursion depth is
+    exactly [layers - 1]. *)
+
+val grid : rows:int -> cols:int -> edge list
+(** Right and down edges on a [rows × cols] grid. *)
+
+val node_count : edge list -> int
+(** Number of distinct endpoints. *)

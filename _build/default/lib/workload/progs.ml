@@ -1,0 +1,27 @@
+open Datalog
+
+let ancestor =
+  Parser.program_exn
+    "anc(X,Y) :- par(X,Y). anc(X,Y) :- par(X,Z), anc(Z,Y)."
+
+let ancestor_nonlinear =
+  Parser.program_exn
+    "anc(X,Y) :- par(X,Y). anc(X,Y) :- anc(X,Z), anc(Z,Y)."
+
+let example6 =
+  Parser.program_exn "p(X,Y) :- q(X,Y). p(X,Y) :- p(Y,Z), r(X,Z)."
+
+let example7 =
+  Parser.program_exn
+    "p(U,V,W) :- s(U,V,W). p(U,V,W) :- p(V,W,Z), q(U,Z)."
+
+let same_generation =
+  Parser.program_exn
+    "sg(X,X) :- person(X). sg(X,Y) :- par(XP,X), sg(XP,YP), par(YP,Y)."
+
+let reverse_pair =
+  Parser.program_exn "p(X,Y) :- q(X,Y). p(X,Y) :- p(Y,X), q(X,Y)."
+
+let chain_query =
+  Parser.program_exn
+    "p(X,Y) :- e0(X,Y). p(X,Y) :- e1(X,Z), p(Z,W), e2(W,Y)."

@@ -1,0 +1,36 @@
+(** The paper's example programs, ready to parse-free use. *)
+
+open Datalog
+
+val ancestor : Program.t
+(** The linear transitive closure (Sections 2 and 4):
+    [anc(X,Y) :- par(X,Y).  anc(X,Y) :- par(X,Z), anc(Z,Y).] *)
+
+val ancestor_nonlinear : Program.t
+(** Example 8: [anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- anc(X,Z), anc(Z,Y).] *)
+
+val example6 : Program.t
+(** [p(X,Y) :- q(X,Y).  p(X,Y) :- p(Y,Z), r(X,Z).] *)
+
+val example7 : Program.t
+(** [p(U,V,W) :- s(U,V,W).  p(U,V,W) :- p(V,W,Z), q(U,Z).]
+    (Examples 4 and 7, Figures 1 and 4.) *)
+
+val same_generation : Program.t
+(** [sg(X,Y) :- person(X), person(Y)... ] — the classic same-generation
+    query in its flat-base form:
+    [sg(X,X) :- person(X).  sg(X,Y) :- par(XP,X), sg(XP,YP), par(YP,Y).] *)
+
+val reverse_pair : Program.t
+(** A sirup whose dataflow graph is the 2-cycle [1→2→1]:
+    [p(X,Y) :- q(X,Y).  p(X,Y) :- p(Y,X), q(X,Y).] — exercises
+    Theorem 3 beyond self-loops. *)
+
+val chain_query : Program.t
+(** A simple chain query in the sense of Afrati & Papadimitriou
+    (reference [1] of the paper):
+    [p(X,Y) :- e0(X,Y).  p(X,Y) :- e1(X,Z), p(Z,W), e2(W,Y).]
+    Its dataflow graph has no edges at all (no recursive-atom variable
+    survives into the head), so Theorem 3 offers no communication-free
+    choice — discriminating sequences must route tuples. *)

@@ -1,0 +1,32 @@
+type t = { mutable state : int }
+
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+let next t =
+  t.state <- t.state + 0x1E3779B97F4A7C15;
+  mix t.state land max_int
+
+let create ~seed = { state = mix (seed lxor 0x2545F4914F6CDD1D) }
+let split t = { state = next t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod bound
+
+let float t = float_of_int (next t land 0xFFFFFFFFFFFF) /. 281474976710656.0
+let bool t = next t land 1 = 1
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,26 @@
+(** Deterministic splitmix64 pseudo-random numbers.
+
+    Workloads must be reproducible across runs and independent of any
+    global state, so generators carry their own state and are seeded
+    explicitly. *)
+
+type t
+
+val create : seed:int -> t
+val split : t -> t
+(** An independent stream derived from (and advancing) the parent. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

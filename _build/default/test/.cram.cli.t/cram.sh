@@ -1,0 +1,22 @@
+  $ cat > anc.dl <<'PROG'
+  > anc(X,Y) :- par(X,Y).
+  > anc(X,Y) :- par(X,Z), anc(Z,Y).
+  > PROG
+  $ datalogp gen chain --size 5 > chain.dl
+  $ cat chain.dl
+  $ datalogp run anc.dl --edb chain.dl
+  $ datalogp run anc.dl --edb chain.dl --engine stratified -q
+  $ datalogp query anc.dl 'anc(0,X)' --edb chain.dl
+  $ datalogp query anc.dl 'anc(X,X)' --edb chain.dl
+  $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 --verify | head -3
+  $ datalogp dataflow anc.dl
+  $ cat > ex7.dl <<'PROG'
+  > p(U,V,W) :- s(U,V,W).
+  > p(U,V,W) :- p(V,W,Z), q(U,Z).
+  > PROG
+  $ datalogp network ex7.dl --ve U,V,W --vr V,W,Z --linear 1,-1,1 | tail -1
+  $ datalogp dong anc.dl --edb chain.dl -q -n 2 | head -1
+  $ cat > bad.dl <<'PROG'
+  > p(X,W) :- q(X).
+  > PROG
+  $ datalogp run bad.dl

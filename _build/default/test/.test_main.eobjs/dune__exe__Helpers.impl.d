@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Atom Const Database Datalog Hashtbl List Pardatalog Relation Rule String Tuple Workload

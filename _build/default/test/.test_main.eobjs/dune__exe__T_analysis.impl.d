@@ -1,0 +1,1 @@
+test/t_analysis.ml: Alcotest Analysis Datalog Helpers List Parser Program String Workload

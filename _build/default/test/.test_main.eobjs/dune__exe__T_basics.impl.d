@@ -1,0 +1,1 @@
+test/t_basics.ml: Alcotest Const Datalog Domain Helpers List Printf Symtab Term Tuple

@@ -1,0 +1,1 @@
+test/t_decompose.ml: Alcotest Array Const Database Datalog Decompose Helpers List Pardatalog Parser Relation Result Seminaive Sim_runtime Stats Tuple Workload

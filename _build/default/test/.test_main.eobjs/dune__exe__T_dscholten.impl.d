@@ -1,0 +1,1 @@
+test/t_dscholten.ml: Alcotest Array Datalog Domain_runtime Dscholten Helpers Pardatalog Result Seminaive Sim_runtime Strategy Workload

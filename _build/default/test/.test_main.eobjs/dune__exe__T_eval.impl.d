@@ -1,0 +1,1 @@
+test/t_eval.ml: Alcotest Array Const Database Datalog Helpers Joiner List Naive Parser Relation Rule Seminaive Tuple Workload

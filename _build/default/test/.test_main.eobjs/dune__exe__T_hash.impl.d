@@ -1,0 +1,1 @@
+test/t_hash.ml: Alcotest Array Const Datalog Discriminant Fun Hash_fn Helpers List Pardatalog Parser Pid Result Tuple

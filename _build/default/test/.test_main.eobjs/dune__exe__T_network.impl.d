@@ -1,0 +1,1 @@
+test/t_network.ml: Alcotest Analysis Database Dataflow Datalog Derive Discriminant Hash_fn Helpers List Netgraph Pardatalog Pid Result Rewrite Sim_runtime Strategy String Tuple Verify Workload

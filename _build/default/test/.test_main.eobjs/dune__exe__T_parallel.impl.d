@@ -1,0 +1,1 @@
+test/t_parallel.ml: Alcotest Array Datalog Domain Domain_runtime Helpers List Mailbox Pardatalog Printf Result Safra Seminaive Sim_runtime Stats Strategy Unix Workload

@@ -1,0 +1,1 @@
+test/t_relation.ml: Alcotest Const Database Datalog Helpers List Relation Tuple

@@ -1,0 +1,1 @@
+test/t_strategy.ml: Alcotest Array Database Datalog Helpers List Pardatalog Parser Printf Program Relation Result Rewrite Rule Sim_runtime Stats Strategy Verify Workload

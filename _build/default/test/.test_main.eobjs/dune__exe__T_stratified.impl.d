@@ -1,0 +1,1 @@
+test/t_stratified.ml: Alcotest Database Datalog Helpers Parser Seminaive Stratified Workload

@@ -1,0 +1,1 @@
+test/t_syntax.ml: Alcotest Array Atom Const Database Datalog Helpers List Parser Program Rule String Term Tuple

@@ -1,0 +1,66 @@
+(* Shared test utilities: Alcotest testables and small fixtures. *)
+
+open Datalog
+
+let const_t = Alcotest.testable Const.pp Const.equal
+let tuple_t = Alcotest.testable Tuple.pp Tuple.equal
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+let database_t = Alcotest.testable Database.pp Database.equal
+let atom_t = Alcotest.testable Atom.pp Atom.equal
+
+let rule_t =
+  Alcotest.testable Rule.pp (fun a b ->
+      String.equal (Rule.to_string a) (Rule.to_string b))
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let edb_of_edges ?(pred = "par") edges =
+  let db = Database.create () in
+  List.iter
+    (fun (a, b) -> ignore (Database.add_fact db pred (Tuple.of_ints [ a; b ])))
+    edges;
+  db
+
+let ancestor = Workload.Progs.ancestor
+
+let relation_of_pairs pairs =
+  Relation.of_list ~arity:2 (List.map (fun (a, b) -> Tuple.of_ints [ a; b ]) pairs)
+
+(* The transitive closure of an edge list, computed independently of
+   the engines under test (plain Floyd–Warshall reachability). *)
+let closure_pairs edges =
+  let nodes =
+    List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) edges)
+  in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.add index n i) nodes;
+  let n = List.length nodes in
+  let reach = Array.make_matrix n n false in
+  List.iter
+    (fun (a, b) ->
+      reach.(Hashtbl.find index a).(Hashtbl.find index b) <- true)
+    edges;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if reach.(i).(k) && reach.(k).(j) then reach.(i).(j) <- true
+      done
+    done
+  done;
+  let arr = Array.of_list nodes in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      if reach.(i).(j) then acc := (arr.(i), arr.(j)) :: !acc
+    done
+  done;
+  !acc
+
+let anc_relation db = Database.get db "anc"
+
+(* Run a rewrite on the simulated runtime and return the pooled anc
+   relation plus stats. *)
+let run_sim rw edb =
+  let r = Pardatalog.Sim_runtime.run rw ~edb in
+  (r.Pardatalog.Sim_runtime.answers, r.Pardatalog.Sim_runtime.stats)

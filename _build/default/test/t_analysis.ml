@@ -1,0 +1,94 @@
+(* Tests for the static analysis: dependency graph, SCCs, sirup
+   recognition. *)
+
+open Datalog
+open Helpers
+
+let mutual =
+  Parser.program_exn
+    "even(X) :- zero(X). even(X) :- succ(Y,X), odd(Y).
+     odd(X) :- succ(Y,X), even(Y)."
+
+let stratified =
+  Parser.program_exn
+    "tc(X,Y) :- e(X,Y). tc(X,Y) :- e(X,Z), tc(Z,Y).
+     twohop(X,Y) :- tc(X,Z), tc(Z,Y)."
+
+let analysis_tests =
+  [
+    case "dependency graph of ancestor" (fun () ->
+        Alcotest.(check (list (pair string (list string))))
+          "deps"
+          [ ("anc", [ "anc"; "par" ]) ]
+          (Analysis.dependency_graph ancestor));
+    case "sccs of mutual recursion" (fun () ->
+        let comps = Analysis.sccs mutual in
+        Alcotest.(check bool) "even and odd together" true
+          (List.mem [ "even"; "odd" ] comps));
+    case "sccs are bottom-up for stratified program" (fun () ->
+        match Analysis.sccs stratified with
+        | [ [ "tc" ]; [ "twohop" ] ] -> ()
+        | other ->
+          Alcotest.failf "unexpected sccs: %s"
+            (String.concat "; "
+               (List.map (fun c -> String.concat "," c) other)));
+    case "mutually_recursive" (fun () ->
+        Alcotest.(check bool) "even~odd" true
+          (Analysis.mutually_recursive mutual "even" "odd");
+        Alcotest.(check bool) "tc~tc (self loop)" true
+          (Analysis.mutually_recursive stratified "tc" "tc");
+        Alcotest.(check bool) "twohop not self-recursive" false
+          (Analysis.mutually_recursive stratified "twohop" "twohop");
+        Alcotest.(check bool) "tc !~ twohop" false
+          (Analysis.mutually_recursive stratified "tc" "twohop"));
+    case "recursive_atoms of the ancestor rules" (fun () ->
+        let rules = Program.rules ancestor in
+        Alcotest.(check int) "exit has none" 0
+          (List.length (Analysis.recursive_atoms ancestor (List.nth rules 0)));
+        Alcotest.(check int) "recursive has one" 1
+          (List.length (Analysis.recursive_atoms ancestor (List.nth rules 1))));
+    case "linearity" (fun () ->
+        Alcotest.(check bool) "ancestor linear" true
+          (Analysis.is_linear ancestor);
+        Alcotest.(check bool) "nonlinear ancestor is not" false
+          (Analysis.is_linear Workload.Progs.ancestor_nonlinear));
+    case "as_sirup accepts ancestor" (fun () ->
+        match Analysis.as_sirup ancestor with
+        | Ok s ->
+          Alcotest.(check string) "pred" "anc" s.Analysis.pred;
+          Alcotest.(check (array string))
+            "head vars" [| "X"; "Y" |] s.Analysis.head_vars;
+          Alcotest.(check (array string))
+            "rec vars" [| "Z"; "Y" |] s.Analysis.rec_vars;
+          Alcotest.(check int) "one base atom" 1
+            (List.length s.Analysis.base_atoms)
+        | Error e -> Alcotest.fail e);
+    case "as_sirup rejects two derived predicates" (fun () ->
+        match Analysis.as_sirup stratified with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+    case "as_sirup rejects nonlinear rules" (fun () ->
+        match Analysis.as_sirup Workload.Progs.ancestor_nonlinear with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+    case "as_sirup rejects constants in the recursive head" (fun () ->
+        let p =
+          Parser.program_exn "p(X,Y) :- q(X,Y). p(X,1) :- p(Y,X), q(X,Y)."
+        in
+        match Analysis.as_sirup p with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+    case "as_sirup rejects missing exit rule" (fun () ->
+        let p = Parser.program_exn "p(X,Y) :- p(Y,X), q(X,Y)." in
+        match Analysis.as_sirup p with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+    case "as_sirup accepts example7" (fun () ->
+        match Analysis.as_sirup Workload.Progs.example7 with
+        | Ok s ->
+          Alcotest.(check (array string))
+            "rec vars" [| "V"; "W"; "Z" |] s.Analysis.rec_vars
+        | Error e -> Alcotest.fail e);
+  ]
+
+let suites = [ ("analysis", analysis_tests) ]

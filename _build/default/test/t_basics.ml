@@ -1,0 +1,154 @@
+(* Tests for Symtab, Const, Tuple and Term. *)
+
+open Datalog
+open Helpers
+
+let symtab_tests =
+  [
+    case "intern is idempotent" (fun () ->
+        let a = Symtab.intern "alpha" in
+        let b = Symtab.intern "alpha" in
+        Alcotest.(check bool) "same symbol" true (Symtab.equal a b));
+    case "distinct strings get distinct symbols" (fun () ->
+        let a = Symtab.intern "alpha" in
+        let b = Symtab.intern "beta" in
+        Alcotest.(check bool) "different" false (Symtab.equal a b));
+    case "name round-trips" (fun () ->
+        let a = Symtab.intern "gamma" in
+        Alcotest.(check string) "name" "gamma" (Symtab.name a));
+    case "mem reflects interning" (fun () ->
+        ignore (Symtab.intern "delta");
+        Alcotest.(check bool) "present" true (Symtab.mem "delta");
+        Alcotest.(check bool) "absent" false
+          (Symtab.mem "never-interned-xyzzy"));
+    case "count grows by one per fresh string" (fun () ->
+        let before = Symtab.count () in
+        ignore (Symtab.intern "fresh-string-for-count-test");
+        Alcotest.(check int) "one more" (before + 1) (Symtab.count ());
+        ignore (Symtab.intern "fresh-string-for-count-test");
+        Alcotest.(check int) "unchanged" (before + 1) (Symtab.count ()));
+    case "concurrent interning is consistent" (fun () ->
+        let strings = List.init 64 (fun i -> Printf.sprintf "conc-%d" i) in
+        let domains =
+          List.init 4 (fun _ ->
+              Domain.spawn (fun () -> List.map Symtab.intern strings))
+        in
+        let results = List.map Domain.join domains in
+        List.iter
+          (fun r ->
+            Alcotest.(check (list int))
+              "all domains agree"
+              (List.map Symtab.to_int (List.hd results))
+              (List.map Symtab.to_int r))
+          results);
+  ]
+
+let const_tests =
+  [
+    case "int constants compare numerically" (fun () ->
+        Alcotest.(check bool) "1 < 2" true
+          (Const.compare (Const.int 1) (Const.int 2) < 0));
+    case "ints sort before symbols" (fun () ->
+        Alcotest.(check bool) "Int < Sym" true
+          (Const.compare (Const.int 99999) (Const.sym "a") < 0));
+    case "equal symbols are equal constants" (fun () ->
+        Alcotest.check const_t "eq" (Const.sym "x") (Const.sym "x"));
+    case "int and sym never equal" (fun () ->
+        Alcotest.(check bool) "neq" false
+          (Const.equal (Const.int 0) (Const.sym "0")));
+    case "hash is stable" (fun () ->
+        Alcotest.(check int) "same value"
+          (Const.hash (Const.int 42))
+          (Const.hash (Const.int 42)));
+    case "hash mixes consecutive integers" (fun () ->
+        (* The low bit of the hash should not equal the low bit of the
+           value for all inputs (i.e. the hash is not the identity). *)
+        let same = ref 0 in
+        for i = 0 to 999 do
+          if Const.hash (Const.int i) land 1 = i land 1 then incr same
+        done;
+        Alcotest.(check bool) "not identity-like" true
+          (!same > 300 && !same < 700));
+    case "seeded hashes differ between seeds" (fun () ->
+        let differs = ref 0 in
+        for i = 0 to 99 do
+          if
+            Const.hash_seeded 1 (Const.int i)
+            <> Const.hash_seeded 2 (Const.int i)
+          then incr differs
+        done;
+        Alcotest.(check bool) "mostly different" true (!differs > 90));
+    case "hash is non-negative" (fun () ->
+        for i = -1000 to 1000 do
+          if Const.hash (Const.int i) < 0 then
+            Alcotest.failf "negative hash for %d" i
+        done);
+    case "printing" (fun () ->
+        Alcotest.(check string) "int" "42" (Const.to_string (Const.int 42));
+        Alcotest.(check string)
+          "sym" "hello"
+          (Const.to_string (Const.sym "hello")));
+  ]
+
+let tuple_tests =
+  [
+    case "arity" (fun () ->
+        Alcotest.(check int) "3" 3 (Tuple.arity (Tuple.of_ints [ 1; 2; 3 ])));
+    case "get" (fun () ->
+        Alcotest.check const_t "component" (Const.int 2)
+          (Tuple.get (Tuple.of_ints [ 1; 2; 3 ]) 1));
+    case "equal tuples" (fun () ->
+        Alcotest.check tuple_t "eq" (Tuple.of_ints [ 1; 2 ])
+          (Tuple.of_ints [ 1; 2 ]));
+    case "unequal lengths" (fun () ->
+        Alcotest.(check bool) "neq" false
+          (Tuple.equal (Tuple.of_ints [ 1 ]) (Tuple.of_ints [ 1; 1 ])));
+    case "compare is lexicographic" (fun () ->
+        Alcotest.(check bool) "(1,9) < (2,0)" true
+          (Tuple.compare (Tuple.of_ints [ 1; 9 ]) (Tuple.of_ints [ 2; 0 ]) < 0));
+    case "shorter tuples sort first" (fun () ->
+        Alcotest.(check bool) "() < (0)" true
+          (Tuple.compare (Tuple.of_ints []) (Tuple.of_ints [ 0 ]) < 0));
+    case "project" (fun () ->
+        Alcotest.check tuple_t "projection"
+          (Tuple.of_ints [ 3; 1 ])
+          (Tuple.project (Tuple.of_ints [ 1; 2; 3 ]) [| 2; 0 |]));
+    case "project empty positions" (fun () ->
+        Alcotest.check tuple_t "empty"
+          (Tuple.of_ints [])
+          (Tuple.project (Tuple.of_ints [ 1; 2 ]) [||]));
+    case "hash equal for equal tuples" (fun () ->
+        Alcotest.(check int) "same"
+          (Tuple.hash (Tuple.of_syms [ "a"; "b" ]))
+          (Tuple.hash (Tuple.of_syms [ "a"; "b" ])));
+    case "hash differs for swapped components" (fun () ->
+        Alcotest.(check bool) "different" true
+          (Tuple.hash (Tuple.of_ints [ 1; 2 ])
+           <> Tuple.hash (Tuple.of_ints [ 2; 1 ])));
+    case "printing" (fun () ->
+        Alcotest.(check string) "pair" "(1, 2)"
+          (Tuple.to_string (Tuple.of_ints [ 1; 2 ])));
+  ]
+
+let term_tests =
+  [
+    case "is_var" (fun () ->
+        Alcotest.(check bool) "var" true (Term.is_var (Term.var "X"));
+        Alcotest.(check bool) "const" false (Term.is_var (Term.int 3)));
+    case "vars sort before constants" (fun () ->
+        Alcotest.(check bool) "Var < Const" true
+          (Term.compare (Term.var "Z") (Term.int 0) < 0));
+    case "equal" (fun () ->
+        Alcotest.(check bool) "same var" true
+          (Term.equal (Term.var "X") (Term.var "X"));
+        Alcotest.(check bool) "diff var" false
+          (Term.equal (Term.var "X") (Term.var "Y")));
+  ]
+
+let suites =
+  [
+    ("symtab", symtab_tests);
+    ("const", const_tests);
+    ("tuple", tuple_tests);
+    ("term", term_tests);
+  ]

@@ -1,0 +1,205 @@
+(* Coverage of printers, small accessors, and the chain-query program:
+   functions that matter for usability but are easy to leave untested. *)
+
+open Datalog
+open Pardatalog
+open Helpers
+
+let string_of pp v = Format.asprintf "%a" pp v
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    i + n <= h && (String.equal (String.sub haystack i n) needle || go (i + 1))
+  in
+  go 0
+
+let printer_tests =
+  [
+    case "Pid.pp prints labels" (fun () ->
+        Alcotest.(check string) "bitvec" "(01)"
+          (string_of (Pid.pp (Pid.bitvec 2)) 1));
+    case "Hash_fn.pp mentions name and size" (fun () ->
+        let s = string_of Hash_fn.pp (Hash_fn.modulo ~nprocs:4 ~arity:2 ()) in
+        Alcotest.(check bool) "name" true (contains s "h");
+        Alcotest.(check bool) "size" true (contains s "4"));
+    case "Seminaive.pp_stats fields" (fun () ->
+        let _, stats = Seminaive.evaluate ancestor (edb_of_edges [ (1, 2) ]) in
+        let s = string_of Seminaive.pp_stats stats in
+        List.iter
+          (fun field -> Alcotest.(check bool) field true (contains s field))
+          [ "iterations"; "firings"; "new_tuples"; "duplicates" ]);
+    case "Program.pp includes rules and facts" (fun () ->
+        let p = Parser.program_exn "p(X) :- q(X). q(1)." in
+        let s = string_of Program.pp p in
+        Alcotest.(check bool) "rule" true (contains s "p(X) :- q(X).");
+        Alcotest.(check bool) "fact" true (contains s "q(1)."));
+    case "Dataflow.pp on an empty graph" (fun () ->
+        let s =
+          string_of Dataflow.pp
+            (Dataflow.of_sirup
+               (Result.get_ok (Analysis.as_sirup Workload.Progs.chain_query)))
+        in
+        Alcotest.(check string) "no edges" "(no edges)" s);
+    case "Netgraph.pp on an empty graph" (fun () ->
+        Alcotest.(check string) "no edges" "(no edges)"
+          (string_of Netgraph.pp (Netgraph.make (Pid.dense 2) [])));
+    case "Verify.pp_report mentions the verdict" (fun () ->
+        let rw = Result.get_ok (Strategy.example3 ~nprocs:2 ancestor) in
+        let report = Verify.check rw ~edb:(edb_of_edges [ (1, 2); (2, 3) ]) in
+        let s = string_of Verify.pp_report report in
+        Alcotest.(check bool) "verdict" true (contains s "non-redundant"));
+    case "Rewrite.pp sections" (fun () ->
+        let rw = Result.get_ok (Strategy.example3 ~nprocs:2 ancestor) in
+        let s = string_of Rewrite.pp rw in
+        List.iter
+          (fun sec -> Alcotest.(check bool) sec true (contains s sec))
+          [ "processor 0"; "--- sends ---"; "--- base relations ---" ]);
+    case "Parser.pp_error format" (fun () ->
+        match Parser.program "p(" with
+        | Error e ->
+          let s = string_of Parser.pp_error e in
+          Alcotest.(check bool) "position" true (contains s "line 1")
+        | Ok _ -> Alcotest.fail "expected error");
+    case "Database.get raises Not_found" (fun () ->
+        Alcotest.check_raises "missing" Not_found (fun () ->
+            ignore (Database.get (Database.create ()) "nope")));
+    case "Derive.space_of_spec" (fun () ->
+        (match Derive.space_of_spec (Hash_fn.Linear { coeffs = [| 1; -1 |]; lo = -1 })
+         with
+         | Some s ->
+           Alcotest.(check int) "size" 3 (Pid.size s);
+           Alcotest.(check string) "low" "-1" (Pid.label s 0)
+         | None -> Alcotest.fail "expected a space");
+        Alcotest.(check bool) "opaque has none" true
+          (Derive.space_of_spec Hash_fn.Opaque = None));
+  ]
+
+let chain_query_tests =
+  [
+    case "chain query: empty dataflow graph, no Theorem-3 choice" (fun () ->
+        let s = Result.get_ok (Analysis.as_sirup Workload.Progs.chain_query) in
+        let g = Dataflow.of_sirup s in
+        Alcotest.(check (list (pair int int))) "no edges" [] g.Dataflow.edges;
+        Alcotest.(check bool) "no free choice" true
+          (Dataflow.communication_free_choice s = None));
+    case "chain query: general scheme is exact and non-redundant" (fun () ->
+        let rng = Workload.Rng.create ~seed:33 in
+        let db = Database.create () in
+        List.iter
+          (fun pred ->
+            List.iter
+              (fun (a, b) ->
+                ignore (Database.add_fact db pred (Tuple.of_ints [ a; b ])))
+              (Workload.Graphgen.random_digraph rng ~nodes:12 ~edges:30))
+          [ "e0"; "e1"; "e2" ];
+        match Strategy.general ~nprocs:4 Workload.Progs.chain_query with
+        | Error e -> Alcotest.fail e
+        | Ok rw ->
+          let report = Verify.check rw ~edb:db in
+          Alcotest.(check bool) "equal" true report.Verify.equal_answers;
+          Alcotest.(check bool) "non-redundant" true
+            report.Verify.non_redundant);
+    case "chain query: scheme Q with v(r) inside the recursive atom"
+      (fun () ->
+        let rng = Workload.Rng.create ~seed:34 in
+        let db = Database.create () in
+        List.iter
+          (fun pred ->
+            List.iter
+              (fun (a, b) ->
+                ignore (Database.add_fact db pred (Tuple.of_ints [ a; b ])))
+              (Workload.Graphgen.random_digraph rng ~nodes:10 ~edges:25))
+          [ "e0"; "e1"; "e2" ];
+        match
+          Strategy.hash_q ~nprocs:3 ~ve:[ "X" ] ~vr:[ "Z"; "W" ]
+            Workload.Progs.chain_query
+        with
+        | Error e -> Alcotest.fail e
+        | Ok rw ->
+          let report = Verify.check rw ~edb:db in
+          Alcotest.(check bool) "equal" true report.Verify.equal_answers;
+          Alcotest.(check bool) "non-redundant" true
+            report.Verify.non_redundant);
+  ]
+
+let api_tests =
+  [
+    case "Atom.matches_tuple semantics" (fun () ->
+        let a = Parser.atom_exn "p(X,X,1)" in
+        Alcotest.(check bool) "match" true
+          (Atom.matches_tuple a (Tuple.of_ints [ 5; 5; 1 ]));
+        Alcotest.(check bool) "repeated var mismatch" false
+          (Atom.matches_tuple a (Tuple.of_ints [ 5; 6; 1 ]));
+        Alcotest.(check bool) "constant mismatch" false
+          (Atom.matches_tuple a (Tuple.of_ints [ 5; 5; 2 ]));
+        Alcotest.(check bool) "arity raises" true
+          (try
+             ignore (Atom.matches_tuple a (Tuple.of_ints [ 5; 5 ]));
+             false
+           with Invalid_argument _ -> true));
+    case "has_pending transitions" (fun () ->
+        let engine =
+          Seminaive.create ancestor ~edb:(edb_of_edges [ (1, 2); (2, 3) ])
+        in
+        Alcotest.(check bool) "nothing before bootstrap" false
+          (Seminaive.has_pending engine);
+        ignore (Seminaive.bootstrap engine);
+        Alcotest.(check bool) "pending after bootstrap" true
+          (Seminaive.has_pending engine);
+        Seminaive.run_to_fixpoint engine;
+        Alcotest.(check bool) "quiet at fixpoint" false
+          (Seminaive.has_pending engine));
+    case "channels_within rejects foreign channels" (fun () ->
+        let rw = Result.get_ok (Strategy.example3 ~nprocs:3 ancestor) in
+        let r =
+          Sim_runtime.run rw ~edb:(edb_of_edges (Workload.Graphgen.chain 10))
+        in
+        (* The self-only network cannot contain a communicating run. *)
+        Alcotest.(check bool) "violations detected" false
+          (Verify.channels_within r.Sim_runtime.stats
+             (Netgraph.self_only (Pid.dense 3))));
+    case "used_channels excludes self loops by default" (fun () ->
+        let rw =
+          Result.get_ok (Strategy.hash_q ~nprocs:3 ~ve:[ "Y" ] ~vr:[ "Y" ] ancestor)
+        in
+        let r =
+          Sim_runtime.run rw ~edb:(edb_of_edges (Workload.Graphgen.chain 10))
+        in
+        Alcotest.(check (list (pair int int)))
+          "no cross channels" []
+          (Stats.used_channels r.Sim_runtime.stats);
+        Alcotest.(check bool) "self channels exist" true
+          (Stats.used_channels ~include_self:true r.Sim_runtime.stats <> []));
+    case "Pid.of_label on dense spaces" (fun () ->
+        Alcotest.(check (option int)) "found" (Some 2)
+          (Pid.of_label (Pid.dense 4) "2");
+        Alcotest.(check (option int)) "missing" None
+          (Pid.of_label (Pid.dense 4) "4"));
+    case "partition_induced with empty assignment falls back" (fun () ->
+        let fallback = Hash_fn.modulo ~nprocs:2 ~arity:1 () in
+        let h = Hash_fn.partition_induced ~nprocs:2 ~fallback [] in
+        let v = Hash_fn.apply h [| Const.int 3 |] in
+        Alcotest.(check int) "same as fallback"
+          (Hash_fn.apply fallback [| Const.int 3 |]) v);
+    case "frontier of an empty run" (fun () ->
+        let rw = Result.get_ok (Strategy.example3 ~nprocs:2 ancestor) in
+        let r = Sim_runtime.run rw ~edb:(Database.create ()) in
+        Alcotest.(check int) "no tuples" 0
+          (List.fold_left ( + ) 0
+             (Stats.frontier_profile r.Sim_runtime.stats));
+        Alcotest.(check int) "no parallelism" 0
+          (Stats.peak_parallelism r.Sim_runtime.stats));
+    case "var_count reflects distinct variables" (fun () ->
+        let plan =
+          Joiner.compile (Parser.rule_exn "p(X,Y) :- q(X,Z), r(Z,Y,X).")
+        in
+        Alcotest.(check int) "three vars" 3 (Joiner.var_count plan));
+  ]
+
+let suites =
+  [
+    ("printers", printer_tests);
+    ("chain-query", chain_query_tests);
+    ("api", api_tests);
+  ]

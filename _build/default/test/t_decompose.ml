@@ -1,0 +1,108 @@
+(* Tests for the Dong-decomposition baseline. *)
+
+open Datalog
+open Pardatalog
+open Helpers
+
+(* Two disjoint chains shifted apart: two constant components. *)
+let two_components =
+  Workload.Graphgen.chain 10
+  @ List.map (fun (a, b) -> (a + 100, b + 100)) (Workload.Graphgen.chain 10)
+
+let decompose_tests =
+  [
+    case "check_program accepts ancestor" (fun () ->
+        Alcotest.(check bool) "ok" true
+          (Result.is_ok (Decompose.check_program ancestor)));
+    case "check_program rejects rules with constants" (fun () ->
+        let p = Parser.program_exn "p(X) :- q(X, 1)." in
+        Alcotest.(check bool) "rejected" true
+          (Result.is_error (Decompose.check_program p)));
+    case "check_program rejects disconnected bodies" (fun () ->
+        let p = Parser.program_exn "p(X,Y) :- q(X), r(Y)." in
+        Alcotest.(check bool) "rejected" true
+          (Result.is_error (Decompose.check_program p)));
+    case "analyze counts components" (fun () ->
+        let edb = edb_of_edges two_components in
+        let a = Decompose.analyze ~nprocs:2 edb in
+        Alcotest.(check int) "two components" 2 a.Decompose.component_count;
+        Alcotest.(check (array int))
+          "balanced tuple split" [| 9; 9 |] a.Decompose.tuples_per_proc);
+    case "constants of one tuple share a component" (fun () ->
+        let edb = edb_of_edges [ (1, 2); (2, 3) ] in
+        let a = Decompose.analyze ~nprocs:3 edb in
+        Alcotest.(check int) "one component" 1 a.Decompose.component_count;
+        Alcotest.(check int) "same processor"
+          (a.Decompose.assignment (Const.int 1))
+          (a.Decompose.assignment (Const.int 3)));
+    case "unknown constants go to processor 0" (fun () ->
+        let edb = edb_of_edges [ (1, 2) ] in
+        let a = Decompose.analyze ~nprocs:2 edb in
+        Alcotest.(check int) "fallback" 0
+          (a.Decompose.assignment (Const.int 999)));
+    case "run is exact on multi-component data" (fun () ->
+        let edb = edb_of_edges two_components in
+        let seq, seq_stats = Seminaive.evaluate ancestor edb in
+        match Decompose.run ancestor ~nprocs:2 edb with
+        | Error e -> Alcotest.fail e
+        | Ok (r, _) ->
+          Alcotest.check relation_t "equal" (anc_relation seq)
+            (anc_relation r.Sim_runtime.answers);
+          Alcotest.(check int) "no messages" 0
+            (Stats.total_messages ~include_self:true r.Sim_runtime.stats);
+          Alcotest.(check int) "non-redundant"
+            seq_stats.Seminaive.firings
+            (Stats.total_firings r.Sim_runtime.stats));
+    case "run is exact but unbalanced on connected data" (fun () ->
+        let edb = edb_of_edges (Workload.Graphgen.cycle 20) in
+        let seq, _ = Seminaive.evaluate ancestor edb in
+        match Decompose.run ancestor ~nprocs:4 edb with
+        | Error e -> Alcotest.fail e
+        | Ok (r, a) ->
+          Alcotest.check relation_t "equal" (anc_relation seq)
+            (anc_relation r.Sim_runtime.answers);
+          Alcotest.(check int) "one component" 1 a.Decompose.component_count;
+          (* All work on a single processor: the paper's scalability
+             criticism. *)
+          let fires =
+            Array.map (fun p -> p.Stats.firings)
+              r.Sim_runtime.stats.Stats.per_proc
+          in
+          let busy = Array.to_list fires |> List.filter (fun f -> f > 0) in
+          Alcotest.(check int) "exactly one busy processor" 1
+            (List.length busy));
+    case "run propagates applicability errors" (fun () ->
+        let p = Parser.program_exn "p(X) :- q(X, 1)." in
+        match Decompose.run p ~nprocs:2 (Database.create ()) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+    case "run on same-generation families" (fun () ->
+        (* Two disjoint families: two components under sg's program. *)
+        let rng = Workload.Rng.create ~seed:14 in
+        let fam1 = Workload.Edb.same_generation rng ~people:12 ~parents_per:2 in
+        let edb = Database.copy fam1 in
+        (* Shift the second family's ids by 1000. *)
+        let shift t =
+          Tuple.make
+            (Array.map
+               (function Const.Int i -> Const.int (i + 1000) | c -> c)
+               t)
+        in
+        Relation.iter
+          (fun t -> ignore (Database.add_fact edb "par" (shift t)))
+          (Database.get fam1 "par");
+        Relation.iter
+          (fun t -> ignore (Database.add_fact edb "person" (shift t)))
+          (Database.get fam1 "person");
+        let seq, _ = Seminaive.evaluate Workload.Progs.same_generation edb in
+        match Decompose.run Workload.Progs.same_generation ~nprocs:2 edb with
+        | Error e -> Alcotest.fail e
+        | Ok (r, a) ->
+          Alcotest.(check bool) "several components" true
+            (a.Decompose.component_count >= 2);
+          Alcotest.check relation_t "equal"
+            (Database.get seq "sg")
+            (Database.get r.Sim_runtime.answers "sg"));
+  ]
+
+let suites = [ ("decompose", decompose_tests) ]

@@ -1,0 +1,135 @@
+(* Tests for Dijkstra-Scholten termination detection: the pure state
+   machine, and the domain runtime running under it. *)
+
+open Datalog
+open Pardatalog
+open Helpers
+
+let unit_tests =
+  [
+    case "root starts with a virtual deficit of N-1" (fun () ->
+        let root = Dscholten.create ~pid:0 ~nprocs:4 in
+        Alcotest.(check int) "deficit" 3 (Dscholten.deficit root);
+        Alcotest.(check bool) "engaged" true (Dscholten.engaged root));
+    case "non-roots start engaged with the root" (fun () ->
+        let w = Dscholten.create ~pid:2 ~nprocs:4 in
+        Alcotest.(check int) "deficit" 0 (Dscholten.deficit w);
+        Alcotest.(check bool) "engaged" true (Dscholten.engaged w);
+        match Dscholten.on_passive w with
+        | `Ack_parent 0 -> ()
+        | _ -> Alcotest.fail "expected detachment toward the root");
+    case "engaged processes acknowledge data immediately" (fun () ->
+        let w = Dscholten.create ~pid:1 ~nprocs:3 in
+        (match Dscholten.on_data w ~src:2 with
+         | `Ack_now 2 -> ()
+         | _ -> Alcotest.fail "expected immediate ack");
+        Alcotest.(check bool) "still engaged" true (Dscholten.engaged w));
+    case "detached processes re-engage with the sender" (fun () ->
+        let w = Dscholten.create ~pid:1 ~nprocs:3 in
+        (match Dscholten.on_passive w with
+         | `Ack_parent 0 -> ()
+         | _ -> Alcotest.fail "expected detachment");
+        (match Dscholten.on_data w ~src:2 with
+         | `Engaged -> ()
+         | _ -> Alcotest.fail "expected re-engagement");
+        match Dscholten.on_passive w with
+        | `Ack_parent 2 -> ()
+        | _ -> Alcotest.fail "new parent should be the reactivator");
+    case "outstanding deficits block detachment" (fun () ->
+        let w = Dscholten.create ~pid:1 ~nprocs:2 in
+        Dscholten.record_send w;
+        (match Dscholten.on_passive w with
+         | `Wait -> ()
+         | _ -> Alcotest.fail "must wait for the ack");
+        Dscholten.on_ack w;
+        match Dscholten.on_passive w with
+        | `Ack_parent 0 -> ()
+        | _ -> Alcotest.fail "expected detachment after the ack");
+    case "root detects only at zero deficit" (fun () ->
+        let root = Dscholten.create ~pid:0 ~nprocs:2 in
+        (match Dscholten.on_passive root with
+         | `Wait -> ()
+         | _ -> Alcotest.fail "child still engaged");
+        Dscholten.on_ack root;
+        match Dscholten.on_passive root with
+        | `Terminated -> ()
+        | _ -> Alcotest.fail "expected termination");
+    case "single-process system terminates immediately" (fun () ->
+        let root = Dscholten.create ~pid:0 ~nprocs:1 in
+        match Dscholten.on_passive root with
+        | `Terminated -> ()
+        | _ -> Alcotest.fail "expected termination");
+    case "simulated tree episode" (fun () ->
+        (* 0 engages 1 and 2 virtually; 1 sends work to 2; 2 finishes
+           first but 1's message keeps the count straight. *)
+        let states = Array.init 3 (fun pid -> Dscholten.create ~pid ~nprocs:3) in
+        Dscholten.record_send states.(1);
+        (match Dscholten.on_data states.(2) ~src:1 with
+         | `Ack_now 1 -> Dscholten.on_ack states.(1)
+         | `Engaged -> Alcotest.fail "2 was still engaged with the root"
+         | `Ack_now _ -> Alcotest.fail "wrong ack target");
+        (* Both workers drain and detach. *)
+        (match Dscholten.on_passive states.(2) with
+         | `Ack_parent 0 -> Dscholten.on_ack states.(0)
+         | _ -> Alcotest.fail "2 detaches to root");
+        (match Dscholten.on_passive states.(1) with
+         | `Ack_parent 0 -> Dscholten.on_ack states.(0)
+         | _ -> Alcotest.fail "1 detaches to root");
+        match Dscholten.on_passive states.(0) with
+        | `Terminated -> ()
+        | _ -> Alcotest.fail "root should detect");
+  ]
+
+let edges = Workload.Graphgen.binary_tree ~depth:5
+let edb = edb_of_edges edges
+
+let runtime_tests =
+  [
+    slow_case "domain runtime under DS equals sequential" (fun () ->
+        let rw = Result.get_ok (Strategy.example3 ~nprocs:4 ancestor) in
+        let seq, _ = Seminaive.evaluate ancestor edb in
+        let r = Domain_runtime.run ~detector:Domain_runtime.Dijkstra_scholten rw ~edb in
+        Alcotest.check relation_t "equal" (anc_relation seq)
+          (anc_relation r.Sim_runtime.answers));
+    slow_case "DS and Safra produce identical answers" (fun () ->
+        let rw = Result.get_ok (Strategy.example3 ~nprocs:3 ancestor) in
+        let a = Domain_runtime.run ~detector:Domain_runtime.Safra rw ~edb in
+        let b =
+          Domain_runtime.run ~detector:Domain_runtime.Dijkstra_scholten rw ~edb
+        in
+        Alcotest.check relation_t "equal"
+          (anc_relation a.Sim_runtime.answers)
+          (anc_relation b.Sim_runtime.answers));
+    slow_case "DS terminates with no communication scheme" (fun () ->
+        let rw = Result.get_ok (Strategy.no_communication ~nprocs:4 ancestor) in
+        let seq, _ = Seminaive.evaluate ancestor edb in
+        let r =
+          Domain_runtime.run ~detector:Domain_runtime.Dijkstra_scholten rw ~edb
+        in
+        Alcotest.check relation_t "equal" (anc_relation seq)
+          (anc_relation r.Sim_runtime.answers));
+    slow_case "DS on a single processor" (fun () ->
+        let rw = Result.get_ok (Strategy.example3 ~nprocs:1 ancestor) in
+        let seq, _ = Seminaive.evaluate ancestor edb in
+        let r =
+          Domain_runtime.run ~detector:Domain_runtime.Dijkstra_scholten rw ~edb
+        in
+        Alcotest.check relation_t "equal" (anc_relation seq)
+          (anc_relation r.Sim_runtime.answers));
+    slow_case "DS on the nonlinear general scheme" (fun () ->
+        let rw =
+          Result.get_ok
+            (Strategy.general ~nprocs:3 Workload.Progs.ancestor_nonlinear)
+        in
+        let small = edb_of_edges (Workload.Graphgen.chain 12) in
+        let seq, _ = Seminaive.evaluate ancestor small in
+        let r =
+          Domain_runtime.run ~detector:Domain_runtime.Dijkstra_scholten rw
+            ~edb:small
+        in
+        Alcotest.check relation_t "equal" (anc_relation seq)
+          (anc_relation r.Sim_runtime.answers));
+  ]
+
+let suites =
+  [ ("dscholten", unit_tests); ("dscholten-runtime", runtime_tests) ]

@@ -1,0 +1,368 @@
+(* Tests for Joiner, Naive and Seminaive. *)
+
+open Datalog
+open Helpers
+
+let empty_rels : Joiner.relations =
+  { old_of = (fun _ -> None); delta_of = (fun _ -> None) }
+
+let rels_of db : Joiner.relations =
+  { old_of = (fun pred -> Database.find db pred); delta_of = (fun _ -> None) }
+
+let run_rule rule db =
+  let plan = Joiner.compile rule in
+  let acc = ref [] in
+  Joiner.run plan
+    ~sources:(Array.make (List.length rule.Rule.body) Joiner.Current)
+    (rels_of db)
+    ~emit:(fun t -> acc := t :: !acc);
+  List.sort Tuple.compare !acc
+
+let joiner_tests =
+  [
+    case "compile rejects unsafe rules" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Joiner.compile (Parser.rule_exn "p(X,W) :- q(X)."));
+             false
+           with Invalid_argument _ -> true));
+    case "single-atom scan" (fun () ->
+        let db = edb_of_edges [ (1, 2); (3, 4) ] in
+        let out = run_rule (Parser.rule_exn "p(X,Y) :- par(X,Y).") db in
+        Alcotest.(check int) "two results" 2 (List.length out));
+    case "join on shared variable" (fun () ->
+        let db = edb_of_edges [ (1, 2); (2, 3); (2, 4) ] in
+        let out = run_rule (Parser.rule_exn "p(X,Y) :- par(X,Z), par(Z,Y).") db in
+        Alcotest.(check (list (pair int int)))
+          "paths of length 2"
+          [ (1, 3); (1, 4) ]
+          (List.map
+             (fun t ->
+               match Tuple.get t 0, Tuple.get t 1 with
+               | Const.Int a, Const.Int b -> (a, b)
+               | _ -> (-1, -1))
+             out));
+    case "constants in body filter" (fun () ->
+        let db = edb_of_edges [ (1, 2); (3, 4) ] in
+        let out = run_rule (Parser.rule_exn "p(Y) :- par(1,Y).") db in
+        Alcotest.(check int) "one" 1 (List.length out);
+        Alcotest.check tuple_t "value" (Tuple.of_ints [ 2 ]) (List.hd out));
+    case "constants in head are emitted" (fun () ->
+        let db = edb_of_edges [ (1, 2) ] in
+        let out = run_rule (Parser.rule_exn "p(0,Y) :- par(X,Y).") db in
+        Alcotest.check tuple_t "value" (Tuple.of_ints [ 0; 2 ]) (List.hd out));
+    case "repeated variable within an atom" (fun () ->
+        let db = edb_of_edges [ (1, 1); (1, 2); (3, 3) ] in
+        let out = run_rule (Parser.rule_exn "p(X) :- par(X,X).") db in
+        Alcotest.(check int) "two self loops" 2 (List.length out));
+    case "repeated variable across head positions" (fun () ->
+        let db = edb_of_edges [ (1, 2) ] in
+        let out = run_rule (Parser.rule_exn "p(X,X) :- par(X,Y).") db in
+        Alcotest.check tuple_t "doubled" (Tuple.of_ints [ 1; 1 ]) (List.hd out));
+    case "empty relation yields nothing" (fun () ->
+        let plan = Joiner.compile (Parser.rule_exn "p(X) :- q(X).") in
+        let hit = ref false in
+        Joiner.run plan ~sources:[| Joiner.Current |] empty_rels
+          ~emit:(fun _ -> hit := true);
+        Alcotest.(check bool) "no emission" false !hit);
+    case "guards filter substitutions" (fun () ->
+        let g =
+          Rule.guard ~name:"h" ~vars:[ "X" ]
+            ~fn:(fun key ->
+              match key.(0) with Const.Int i -> i mod 2 | _ -> 0)
+            ~expect:0
+        in
+        let rule =
+          Rule.make ~guards:[ g ]
+            (Parser.atom_exn "p(X,Y)")
+            [ Parser.atom_exn "par(X,Y)" ]
+        in
+        let db = edb_of_edges [ (1, 2); (2, 3); (4, 5) ] in
+        let out = run_rule rule db in
+        Alcotest.(check int) "even sources only" 2 (List.length out));
+    case "pushdown and post-join guards agree" (fun () ->
+        let g =
+          Rule.guard ~name:"h" ~vars:[ "Z" ]
+            ~fn:(fun key ->
+              match key.(0) with Const.Int i -> i mod 3 | _ -> 0)
+            ~expect:1
+        in
+        let rule =
+          Rule.make ~guards:[ g ]
+            (Parser.atom_exn "p(X,Y)")
+            [ Parser.atom_exn "par(X,Z)"; Parser.atom_exn "par(Z,Y)" ]
+        in
+        let db =
+          edb_of_edges [ (1, 2); (2, 3); (3, 4); (4, 7); (7, 8); (0, 1) ]
+        in
+        let with_push =
+          let plan = Joiner.compile ~pushdown:true rule in
+          let acc = ref [] in
+          Joiner.run plan ~sources:[| Joiner.Current; Joiner.Current |]
+            (rels_of db) ~emit:(fun t -> acc := t :: !acc);
+          List.sort Tuple.compare !acc
+        in
+        let without_push =
+          let plan = Joiner.compile ~pushdown:false rule in
+          let acc = ref [] in
+          Joiner.run plan ~sources:[| Joiner.Current; Joiner.Current |]
+            (rels_of db) ~emit:(fun t -> acc := t :: !acc);
+          List.sort Tuple.compare !acc
+        in
+        Alcotest.(check int) "same count" (List.length with_push)
+          (List.length without_push);
+        List.iter2
+          (fun a b -> Alcotest.check tuple_t "same tuples" a b)
+          with_push without_push);
+    case "delta sources see only the delta" (fun () ->
+        let full = edb_of_edges [ (1, 2) ] in
+        let delta = edb_of_edges [ (2, 3) ] in
+        let rels : Joiner.relations =
+          {
+            old_of = (fun p -> Database.find full p);
+            delta_of = (fun p -> Database.find delta p);
+          }
+        in
+        let plan = Joiner.compile (Parser.rule_exn "p(X,Y) :- par(X,Y).") in
+        let count src =
+          let n = ref 0 in
+          Joiner.run plan ~sources:[| src |] rels ~emit:(fun _ -> incr n);
+          !n
+        in
+        Alcotest.(check int) "old" 1 (count Joiner.Old);
+        Alcotest.(check int) "delta" 1 (count Joiner.Delta);
+        Alcotest.(check int) "current" 2 (count Joiner.Current));
+    case "reordered plans enumerate the same substitutions" (fun () ->
+        (* Written in a deliberately bad order (cross product first). *)
+        let rule = Parser.rule_exn "p(X,Y) :- a(X), b(Y), ab(X,Y)." in
+        let db = Database.create () in
+        List.iter
+          (fun i -> ignore (Database.add_fact db "a" (Tuple.of_ints [ i ])))
+          [ 1; 2; 3 ];
+        List.iter
+          (fun i -> ignore (Database.add_fact db "b" (Tuple.of_ints [ i ])))
+          [ 4; 5; 6 ];
+        List.iter
+          (fun (x, y) ->
+            ignore (Database.add_fact db "ab" (Tuple.of_ints [ x; y ])))
+          [ (1, 4); (2, 5); (9, 9) ];
+        let collect reorder =
+          let plan = Joiner.compile ~reorder rule in
+          let acc = ref [] in
+          Joiner.run plan
+            ~sources:(Array.make 3 Joiner.Current)
+            (rels_of db)
+            ~emit:(fun t -> acc := t :: !acc);
+          List.sort Tuple.compare !acc
+        in
+        let plain = collect false and reordered = collect true in
+        Alcotest.(check int) "same count" (List.length plain)
+          (List.length reordered);
+        List.iter2
+          (fun a b -> Alcotest.check tuple_t "same tuples" a b)
+          plain reordered);
+    case "reordering preserves delta-variant semantics" (fun () ->
+        let db = edb_of_edges (Workload.Graphgen.binary_tree ~depth:4) in
+        let plain, ps = Seminaive.evaluate ancestor db in
+        let opt, os = Seminaive.evaluate ~reorder:true ancestor db in
+        Alcotest.check database_t "same model" plain opt;
+        Alcotest.(check int) "same firings" ps.Seminaive.firings
+          os.Seminaive.firings);
+    case "reordering preserves nonlinear evaluation" (fun () ->
+        let db = edb_of_edges (Workload.Graphgen.chain 10) in
+        let plain, ps =
+          Seminaive.evaluate Workload.Progs.ancestor_nonlinear db
+        in
+        let opt, os =
+          Seminaive.evaluate ~reorder:true Workload.Progs.ancestor_nonlinear db
+        in
+        Alcotest.check database_t "same model" plain opt;
+        Alcotest.(check int) "same firings" ps.Seminaive.firings
+          os.Seminaive.firings);
+    case "sources length mismatch raises" (fun () ->
+        let plan = Joiner.compile (Parser.rule_exn "p(X) :- q(X).") in
+        Alcotest.(check bool) "raises" true
+          (try
+             Joiner.run plan ~sources:[||] empty_rels ~emit:(fun _ -> ());
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+(* Naive and semi-naive evaluation. *)
+
+let check_closure name edges =
+  let db = edb_of_edges edges in
+  let expected = relation_of_pairs (closure_pairs edges) in
+  let ndb = Naive.evaluate ancestor db in
+  let sdb, _ = Seminaive.evaluate ancestor db in
+  Alcotest.check relation_t (name ^ " naive") expected (anc_relation ndb);
+  Alcotest.check relation_t (name ^ " seminaive") expected (anc_relation sdb)
+
+let eval_tests =
+  [
+    case "closure of a chain" (fun () ->
+        check_closure "chain" (Workload.Graphgen.chain 12));
+    case "closure of a cycle" (fun () ->
+        check_closure "cycle" (Workload.Graphgen.cycle 8));
+    case "closure of a tree" (fun () ->
+        check_closure "tree" (Workload.Graphgen.binary_tree ~depth:4));
+    case "closure of a random graph" (fun () ->
+        let rng = Workload.Rng.create ~seed:7 in
+        check_closure "random"
+          (Workload.Graphgen.random_digraph rng ~nodes:25 ~edges:40));
+    case "empty edb yields empty output" (fun () ->
+        let db, stats = Seminaive.evaluate ancestor (Database.create ()) in
+        Alcotest.(check int) "no anc" 0 (Database.cardinal db "anc");
+        Alcotest.(check int) "no firings" 0 stats.Seminaive.firings);
+    case "program facts are honoured" (fun () ->
+        let p =
+          Parser.program_exn
+            "anc(X,Y) :- par(X,Y). anc(X,Y) :- par(X,Z), anc(Z,Y).
+             par(1,2). par(2,3)."
+        in
+        let db, _ = Seminaive.evaluate p (Database.create ()) in
+        Alcotest.check relation_t "closure"
+          (relation_of_pairs [ (1, 2); (2, 3); (1, 3) ])
+          (anc_relation db));
+    case "input database is not modified" (fun () ->
+        let db = edb_of_edges [ (1, 2); (2, 3) ] in
+        ignore (Seminaive.evaluate ancestor db);
+        Alcotest.(check bool) "no anc in input" false (Database.mem db "anc");
+        ignore (Naive.evaluate ancestor db);
+        Alcotest.(check bool) "still none" false (Database.mem db "anc"));
+    case "seminaive firing count on a chain is exact" (fun () ->
+        (* On a chain of n nodes, anc has n(n-1)/2 tuples and each is
+           derived exactly once, so firings = |anc|. *)
+        let n = 10 in
+        let db = edb_of_edges (Workload.Graphgen.chain n) in
+        let _, stats = Seminaive.evaluate ancestor db in
+        Alcotest.(check int) "firings" (n * (n - 1) / 2)
+          stats.Seminaive.firings;
+        Alcotest.(check int) "no duplicates" 0
+          stats.Seminaive.duplicate_firings);
+    case "seminaive firings equal naive-per-substitution on diamonds"
+      (fun () ->
+        (* Diamond: 0->1, 0->2, 1->3, 2->3 gives two derivations of
+           (0,3): firings = 5 exit + ... just check duplicates > 0 and
+           new_tuples = |anc|. *)
+        let edges = [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+        let db = edb_of_edges edges in
+        let out, stats = Seminaive.evaluate ancestor db in
+        Alcotest.(check int) "anc size" 5 (Database.cardinal out "anc");
+        Alcotest.(check int) "new tuples" 5 stats.Seminaive.new_tuples;
+        Alcotest.(check int) "one duplicate derivation" 1
+          stats.Seminaive.duplicate_firings;
+        Alcotest.(check int) "firings = new + dup" 6 stats.Seminaive.firings);
+    case "iterations equal recursion depth" (fun () ->
+        let n = 9 in
+        let db = edb_of_edges (Workload.Graphgen.chain n) in
+        let _, stats = Seminaive.evaluate ancestor db in
+        (* Chain of 9 nodes: longest anc path 8 edges; bootstrap gives
+           depth-1 tuples, each iteration extends by one, plus a final
+           empty-delta-confirming iteration. *)
+        Alcotest.(check bool) "about n iterations" true
+          (stats.Seminaive.iterations >= n - 2
+           && stats.Seminaive.iterations <= n));
+    case "nonlinear ancestor agrees with linear" (fun () ->
+        let edges = Workload.Graphgen.binary_tree ~depth:4 in
+        let db = edb_of_edges edges in
+        let lin, _ = Seminaive.evaluate ancestor db in
+        let nonlin, _ = Seminaive.evaluate Workload.Progs.ancestor_nonlinear db in
+        Alcotest.check relation_t "same closure" (anc_relation lin)
+          (anc_relation nonlin));
+    case "same-generation agrees with naive" (fun () ->
+        let rng = Workload.Rng.create ~seed:5 in
+        let db = Workload.Edb.same_generation rng ~people:20 ~parents_per:2 in
+        let s, _ = Seminaive.evaluate Workload.Progs.same_generation db in
+        let n = Naive.evaluate Workload.Progs.same_generation db in
+        Alcotest.check relation_t "sg equal" (Database.get s "sg")
+          (Database.get n "sg"));
+    case "incremental injection behaves like initial facts" (fun () ->
+        let db = edb_of_edges [ (1, 2); (2, 3) ] in
+        let engine = Seminaive.create ancestor ~edb:db in
+        ignore (Seminaive.bootstrap engine);
+        (* Inject an anc tuple as if received from elsewhere. *)
+        Alcotest.(check bool) "fresh" true
+          (Seminaive.inject engine "anc" (Tuple.of_ints [ 3; 9 ]));
+        Alcotest.(check bool) "duplicate refused" false
+          (Seminaive.inject engine "anc" (Tuple.of_ints [ 3; 9 ]));
+        Seminaive.run_to_fixpoint engine;
+        let result = Seminaive.database engine in
+        Alcotest.(check bool) "derived via injected tuple" true
+          (Relation.mem (anc_relation result) (Tuple.of_ints [ 1; 9 ])));
+    case "incremental base insertions extend the fixpoint" (fun () ->
+        (* The engine is not restricted to derived predicates: injecting
+           a new base tuple after a fixpoint and stepping again performs
+           insertion-only incremental maintenance. *)
+        let db = edb_of_edges [ (1, 2); (3, 4) ] in
+        let engine = Seminaive.create ancestor ~edb:db in
+        Seminaive.run_to_fixpoint engine;
+        Alcotest.(check int) "two facts derived" 2
+          (Relation.cardinal (anc_relation (Seminaive.database engine)));
+        (* Now connect the two chains. *)
+        Alcotest.(check bool) "new base tuple" true
+          (Seminaive.inject engine "par" (Tuple.of_ints [ 2; 3 ]));
+        Seminaive.run_to_fixpoint engine;
+        let anc = anc_relation (Seminaive.database engine) in
+        Alcotest.check relation_t "full closure"
+          (relation_of_pairs (closure_pairs [ (1, 2); (2, 3); (3, 4) ]))
+          anc);
+    case "incremental insertions agree with from-scratch evaluation"
+      (fun () ->
+        let rng = Workload.Rng.create ~seed:41 in
+        let edges = Workload.Graphgen.random_digraph rng ~nodes:20 ~edges:40 in
+        let first, rest =
+          List.filteri (fun i _ -> i < 20) edges,
+          List.filteri (fun i _ -> i >= 20) edges
+        in
+        let engine = Seminaive.create ancestor ~edb:(edb_of_edges first) in
+        Seminaive.run_to_fixpoint engine;
+        List.iter
+          (fun (a, b) ->
+            ignore (Seminaive.inject engine "par" (Tuple.of_ints [ a; b ]));
+            Seminaive.run_to_fixpoint engine)
+          rest;
+        let scratch, _ = Seminaive.evaluate ancestor (edb_of_edges edges) in
+        Alcotest.check relation_t "same closure" (anc_relation scratch)
+          (anc_relation (Seminaive.database engine)));
+    case "bootstrap twice raises" (fun () ->
+        let engine = Seminaive.create ancestor ~edb:(edb_of_edges [ (1, 2) ]) in
+        ignore (Seminaive.bootstrap engine);
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Seminaive.bootstrap engine);
+             false
+           with Invalid_argument _ -> true));
+    case "step before bootstrap raises" (fun () ->
+        let engine = Seminaive.create ancestor ~edb:(edb_of_edges [ (1, 2) ]) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Seminaive.step engine);
+             false
+           with Invalid_argument _ -> true));
+    case "per-rule firing counts split exit and recursion" (fun () ->
+        let n = 10 in
+        let db = edb_of_edges (Workload.Graphgen.chain n) in
+        let engine = Seminaive.create ancestor ~edb:db in
+        Seminaive.run_to_fixpoint engine;
+        (match Seminaive.per_rule_firings engine with
+         | [ (_, exit_f); (_, rec_f) ] ->
+           Alcotest.(check int) "exit rule" (n - 1) exit_f;
+           Alcotest.(check int) "recursive rule" ((n - 1) * (n - 2) / 2) rec_f
+         | _ -> Alcotest.fail "expected two rules");
+        Alcotest.(check int) "they sum to the total"
+          (Seminaive.stats engine).Seminaive.firings
+          (List.fold_left
+             (fun acc (_, f) -> acc + f)
+             0
+             (Seminaive.per_rule_firings engine)));
+    case "naive respects the iteration budget" (fun () ->
+        let db = edb_of_edges (Workload.Graphgen.chain 30) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Naive.evaluate ~max_iterations:2 ancestor db);
+             false
+           with Failure _ -> true));
+  ]
+
+let suites = [ ("joiner", joiner_tests); ("eval", eval_tests) ]

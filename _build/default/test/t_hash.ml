@@ -1,0 +1,259 @@
+(* Tests for Pid, Hash_fn and Discriminant. *)
+
+open Datalog
+open Pardatalog
+open Helpers
+
+let pid_tests =
+  [
+    case "dense labels" (fun () ->
+        let s = Pid.dense 3 in
+        Alcotest.(check int) "size" 3 (Pid.size s);
+        Alcotest.(check string) "label" "2" (Pid.label s 2));
+    case "dense rejects zero processors" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Pid.dense 0);
+             false
+           with Invalid_argument _ -> true));
+    case "label out of range raises" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Pid.label (Pid.dense 2) 2);
+             false
+           with Invalid_argument _ -> true));
+    case "bitvec labels are big-endian" (fun () ->
+        let s = Pid.bitvec 2 in
+        Alcotest.(check int) "size" 4 (Pid.size s);
+        Alcotest.(check string) "0" "(00)" (Pid.label s 0);
+        Alcotest.(check string) "1" "(01)" (Pid.label s 1);
+        Alcotest.(check string) "2" "(10)" (Pid.label s 2);
+        Alcotest.(check string) "3" "(11)" (Pid.label s 3));
+    case "range labels include negatives" (fun () ->
+        let s = Pid.range ~lo:(-1) ~hi:2 in
+        Alcotest.(check int) "size" 4 (Pid.size s);
+        Alcotest.(check string) "first" "-1" (Pid.label s 0);
+        Alcotest.(check string) "last" "2" (Pid.label s 3));
+    case "of_label inverts label" (fun () ->
+        let s = Pid.bitvec 3 in
+        List.iter
+          (fun i ->
+            Alcotest.(check (option int))
+              "inverse" (Some i)
+              (Pid.of_label s (Pid.label s i)))
+          (Pid.all s);
+        Alcotest.(check (option int)) "unknown" None (Pid.of_label s "(0)"));
+    case "all enumerates the space" (fun () ->
+        Alcotest.(check (list int)) "dense 4" [ 0; 1; 2; 3 ]
+          (Pid.all (Pid.dense 4)));
+  ]
+
+let key ints = Array.of_list (List.map Const.int ints)
+
+let hash_tests =
+  [
+    case "modulo lands in range" (fun () ->
+        let h = Hash_fn.modulo ~nprocs:5 ~arity:2 () in
+        for i = 0 to 200 do
+          let v = Hash_fn.apply h (key [ i; i * 3 ]) in
+          if v < 0 || v >= 5 then Alcotest.failf "out of range: %d" v
+        done);
+    case "modulo covers all processors" (fun () ->
+        let h = Hash_fn.modulo ~nprocs:4 ~arity:1 () in
+        let seen = Array.make 4 false in
+        for i = 0 to 100 do
+          seen.(Hash_fn.apply h (key [ i ])) <- true
+        done;
+        Alcotest.(check bool) "all hit" true (Array.for_all Fun.id seen));
+    case "modulo is deterministic" (fun () ->
+        let h = Hash_fn.modulo ~nprocs:7 ~arity:2 () in
+        Alcotest.(check int) "same"
+          (Hash_fn.apply h (key [ 4; 5 ]))
+          (Hash_fn.apply h (key [ 4; 5 ])));
+    case "different seeds give different functions" (fun () ->
+        let a = Hash_fn.modulo ~seed:1 ~nprocs:16 ~arity:1 () in
+        let b = Hash_fn.modulo ~seed:2 ~nprocs:16 ~arity:1 () in
+        let differs = ref 0 in
+        for i = 0 to 99 do
+          if Hash_fn.apply a (key [ i ]) <> Hash_fn.apply b (key [ i ]) then
+            incr differs
+        done;
+        Alcotest.(check bool) "mostly differ" true (!differs > 50));
+    case "apply checks arity" (fun () ->
+        let h = Hash_fn.modulo ~nprocs:3 ~arity:2 () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Hash_fn.apply h (key [ 1 ]));
+             false
+           with Invalid_argument _ -> true));
+    case "symmetric_modulo is order-invariant" (fun () ->
+        let h = Hash_fn.symmetric_modulo ~nprocs:8 ~arity:3 () in
+        for i = 0 to 50 do
+          let a = Hash_fn.apply h (key [ i; i + 1; i * 2 ]) in
+          let b = Hash_fn.apply h (key [ i * 2; i; i + 1 ]) in
+          Alcotest.(check int) "permutation invariant" a b
+        done);
+    case "plain modulo is not order-invariant" (fun () ->
+        let h = Hash_fn.modulo ~nprocs:64 ~arity:2 () in
+        let differs = ref 0 in
+        for i = 0 to 63 do
+          if
+            Hash_fn.apply h (key [ i; i + 1 ])
+            <> Hash_fn.apply h (key [ i + 1; i ])
+          then incr differs
+        done;
+        Alcotest.(check bool) "some differ" true (!differs > 0));
+    case "bit is binary and seed-dependent" (fun () ->
+        let all01 = ref true and differs = ref 0 in
+        for i = 0 to 199 do
+          let b = Hash_fn.bit ~seed:3 (Const.int i) in
+          if b <> 0 && b <> 1 then all01 := false;
+          if b <> Hash_fn.bit ~seed:4 (Const.int i) then incr differs
+        done;
+        Alcotest.(check bool) "binary" true !all01;
+        Alcotest.(check bool) "seed matters" true (!differs > 30));
+    case "bitvec encodes bits big-endian" (fun () ->
+        let h = Hash_fn.bitvec ~arity:2 () in
+        let c1 = Const.int 11 and c2 = Const.int 22 in
+        let expected =
+          (2 * Hash_fn.bit ~seed:0 c1) + Hash_fn.bit ~seed:0 c2
+        in
+        Alcotest.(check int) "encoding" expected
+          (Hash_fn.apply h [| c1; c2 |]);
+        Alcotest.(check int) "space" 4 (Pid.size h.Hash_fn.space));
+    case "linear realizes the paper's range" (fun () ->
+        let h = Hash_fn.linear ~coeffs:[ 1; -1; 1 ] () in
+        Alcotest.(check int) "4 processors" 4 (Pid.size h.Hash_fn.space);
+        Alcotest.(check string) "low label" "-1"
+          (Pid.label h.Hash_fn.space 0);
+        for i = 0 to 100 do
+          let v = Hash_fn.apply h (key [ i; i * 5 + 1; i * 9 + 2 ]) in
+          if v < 0 || v > 3 then Alcotest.failf "out of range: %d" v
+        done);
+    case "linear matches its definition" (fun () ->
+        let h = Hash_fn.linear ~seed:9 ~coeffs:[ 1; -1; 1 ] () in
+        let cs = [| Const.int 3; Const.int 14; Const.int 15 |] in
+        let g c = Hash_fn.bit ~seed:9 c in
+        let expected = g cs.(0) - g cs.(1) + g cs.(2) + 1 in
+        Alcotest.(check int) "value" expected (Hash_fn.apply h cs));
+    case "constant always answers the same" (fun () ->
+        let h = Hash_fn.constant ~nprocs:4 ~arity:2 3 in
+        for i = 0 to 20 do
+          Alcotest.(check int) "3" 3 (Hash_fn.apply h (key [ i; -i ]))
+        done);
+    case "constant validates the pid" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Hash_fn.constant ~nprocs:4 ~arity:1 4);
+             false
+           with Invalid_argument _ -> true));
+    case "partition_induced follows the assignment" (fun () ->
+        let fallback = Hash_fn.modulo ~nprocs:3 ~arity:2 () in
+        let h =
+          Hash_fn.partition_induced ~nprocs:3 ~fallback
+            [
+              (Tuple.of_ints [ 1; 2 ], 2);
+              (Tuple.of_ints [ 3; 4 ], 0);
+            ]
+        in
+        Alcotest.(check int) "assigned" 2 (Hash_fn.apply h (key [ 1; 2 ]));
+        Alcotest.(check int) "assigned" 0 (Hash_fn.apply h (key [ 3; 4 ]));
+        let v = Hash_fn.apply h (key [ 9; 9 ]) in
+        Alcotest.(check bool) "fallback in range" true (v >= 0 && v < 3));
+    case "partition_induced rejects conflicting fragments" (fun () ->
+        let fallback = Hash_fn.modulo ~nprocs:2 ~arity:1 () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Hash_fn.partition_induced ~nprocs:2 ~fallback
+                  [
+                    (Tuple.of_ints [ 1 ], 0);
+                    (Tuple.of_ints [ 1 ], 1);
+                  ]);
+             false
+           with Invalid_argument _ -> true));
+    case "mixture endpoints" (fun () ->
+        let base = Hash_fn.modulo ~nprocs:4 ~arity:1 () in
+        let keep = Hash_fn.mixture ~alpha:1.0 ~self:2 base in
+        let send = Hash_fn.mixture ~alpha:0.0 ~self:2 base in
+        for i = 0 to 50 do
+          Alcotest.(check int) "alpha=1 keeps" 2
+            (Hash_fn.apply keep (key [ i ]));
+          Alcotest.(check int) "alpha=0 routes"
+            (Hash_fn.apply base (key [ i ]))
+            (Hash_fn.apply send (key [ i ]))
+        done);
+    case "mixture interpolates" (fun () ->
+        let base = Hash_fn.modulo ~nprocs:4 ~arity:1 () in
+        let h = Hash_fn.mixture ~alpha:0.5 ~self:3 base in
+        let kept = ref 0 in
+        for i = 0 to 999 do
+          if
+            Hash_fn.apply h (key [ i ]) = 3
+            && Hash_fn.apply base (key [ i ]) <> 3
+          then incr kept
+        done;
+        (* About half of the ~750 tuples not already routed to 3. *)
+        Alcotest.(check bool) "roughly half kept" true
+          (!kept > 250 && !kept < 500));
+    case "mixture validates alpha" (fun () ->
+        let base = Hash_fn.modulo ~nprocs:2 ~arity:1 () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Hash_fn.mixture ~alpha:1.5 ~self:0 base);
+             false
+           with Invalid_argument _ -> true));
+    case "of_fun clamps into the space" (fun () ->
+        let h =
+          Hash_fn.of_fun ~name:"f" ~arity:1 ~space:(Pid.dense 3) (fun _ -> -7)
+        in
+        let v = Hash_fn.apply h (key [ 0 ]) in
+        Alcotest.(check bool) "in range" true (v >= 0 && v < 3));
+  ]
+
+let discriminant_tests =
+  [
+    case "make validates arity" (fun () ->
+        let fn = Hash_fn.modulo ~nprocs:2 ~arity:2 () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Discriminant.make ~vars:[ "X" ] ~fn);
+             false
+           with Invalid_argument _ -> true));
+    case "check_for_rule accepts body variables" (fun () ->
+        let fn = Hash_fn.modulo ~nprocs:2 ~arity:1 () in
+        let d = Discriminant.make ~vars:[ "Z" ] ~fn in
+        let r = Parser.rule_exn "anc(X,Y) :- par(X,Z), anc(Z,Y)." in
+        Alcotest.(check bool) "ok" true
+          (Result.is_ok (Discriminant.check_for_rule d r)));
+    case "check_for_rule rejects foreign variables" (fun () ->
+        let fn = Hash_fn.modulo ~nprocs:2 ~arity:1 () in
+        let d = Discriminant.make ~vars:[ "W" ] ~fn in
+        let r = Parser.rule_exn "anc(X,Y) :- par(X,Z), anc(Z,Y)." in
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Discriminant.check_for_rule d r)));
+    case "covered_positions finds first occurrences" (fun () ->
+        let a = Parser.atom_exn "p(X,Y,X)" in
+        (match Discriminant.covered_positions [ "Y"; "X" ] a with
+         | Some ps -> Alcotest.(check (array int)) "positions" [| 1; 0 |] ps
+         | None -> Alcotest.fail "expected coverage"));
+    case "covered_positions detects gaps" (fun () ->
+        let a = Parser.atom_exn "p(X,Y)" in
+        Alcotest.(check bool) "none" true
+          (Discriminant.covered_positions [ "Z" ] a = None));
+    case "check_in_atom mirrors covered_positions" (fun () ->
+        let fn = Hash_fn.modulo ~nprocs:2 ~arity:1 () in
+        let d = Discriminant.make ~vars:[ "Y" ] ~fn in
+        Alcotest.(check bool) "covered" true
+          (Result.is_ok (Discriminant.check_in_atom d (Parser.atom_exn "t(Z,Y)")));
+        Alcotest.(check bool) "uncovered" true
+          (Result.is_error
+             (Discriminant.check_in_atom d (Parser.atom_exn "t(Z,W)"))));
+  ]
+
+let suites =
+  [
+    ("pid", pid_tests);
+    ("hash_fn", hash_tests);
+    ("discriminant", discriminant_tests);
+  ]

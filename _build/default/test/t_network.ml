@@ -1,0 +1,252 @@
+(* Tests for Dataflow, Netgraph and Derive — the Section 5 results,
+   including exact reproductions of Figures 1 through 4. *)
+
+open Datalog
+open Pardatalog
+open Helpers
+
+let sirup_of p = Result.get_ok (Analysis.as_sirup p)
+
+let dataflow_tests =
+  [
+    case "Figure 1: chain dataflow graph of example 4/7" (fun () ->
+        let g = Dataflow.of_sirup (sirup_of Workload.Progs.example7) in
+        Alcotest.(check (list (pair int int)))
+          "edges" [ (1, 2); (2, 3) ] g.Dataflow.edges;
+        Alcotest.(check (list int)) "nodes" [ 1; 2 ] g.Dataflow.nodes);
+    case "Figure 2: ancestor has a self-loop on position 2" (fun () ->
+        let g = Dataflow.of_sirup (sirup_of ancestor) in
+        Alcotest.(check (list (pair int int)))
+          "edges" [ (2, 2) ] g.Dataflow.edges);
+    case "example 6 dataflow" (fun () ->
+        (* p(X,Y) :- p(Y,Z), r(X,Z): Y (body pos 1) = head pos 2. *)
+        let g = Dataflow.of_sirup (sirup_of Workload.Progs.example6) in
+        Alcotest.(check (list (pair int int)))
+          "edges" [ (1, 2) ] g.Dataflow.edges);
+    case "find_cycle on acyclic graphs" (fun () ->
+        let g = Dataflow.of_sirup (sirup_of Workload.Progs.example7) in
+        Alcotest.(check bool) "none" true (Dataflow.find_cycle g = None));
+    case "find_cycle on the ancestor self-loop" (fun () ->
+        let g = Dataflow.of_sirup (sirup_of ancestor) in
+        Alcotest.(check (option (list int))) "self" (Some [ 2 ])
+          (Dataflow.find_cycle g));
+    case "find_cycle on a 2-cycle" (fun () ->
+        let g = Dataflow.of_sirup (sirup_of Workload.Progs.reverse_pair) in
+        match Dataflow.find_cycle g with
+        | Some c -> Alcotest.(check int) "length 2" 2 (List.length c)
+        | None -> Alcotest.fail "expected a cycle");
+    case "communication-free choice for ancestor is Y/Y (Example 1)"
+      (fun () ->
+        match Dataflow.communication_free_choice (sirup_of ancestor) with
+        | Some fc ->
+          Alcotest.(check (list string)) "ve" [ "Y" ] fc.Dataflow.ve;
+          Alcotest.(check (list string)) "vr" [ "Y" ] fc.Dataflow.vr
+        | None -> Alcotest.fail "expected a choice");
+    case "no choice for acyclic dataflow" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Dataflow.communication_free_choice (sirup_of Workload.Progs.example7)
+           = None));
+    case "theorem 3 execution really is communication-free" (fun () ->
+        (* Run the Theorem-3 choice for the 2-cycle sirup and check no
+           inter-processor messages flow. *)
+        let p = Workload.Progs.reverse_pair in
+        let rw = Result.get_ok (Strategy.no_communication ~nprocs:4 p) in
+        let edb = edb_of_edges ~pred:"q" [ (1, 2); (2, 1); (3, 4); (5, 5) ] in
+        let report = Verify.check rw ~edb in
+        Alcotest.(check bool) "equal" true report.Verify.equal_answers;
+        Alcotest.(check int) "no messages" 0 report.Verify.messages);
+  ]
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    i + n <= h && (String.equal (String.sub haystack i n) needle || go (i + 1))
+  in
+  go 0
+
+let netgraph_tests =
+  [
+    case "complete graph size" (fun () ->
+        Alcotest.(check int) "n^2" 16
+          (Netgraph.edge_count (Netgraph.complete (Pid.dense 4))));
+    case "self_only" (fun () ->
+        let g = Netgraph.self_only (Pid.dense 3) in
+        Alcotest.(check int) "three" 3 (Netgraph.edge_count g);
+        Alcotest.(check bool) "has self" true (Netgraph.mem g 1 1);
+        Alcotest.(check bool) "no cross" false (Netgraph.mem g 0 1));
+    case "without_self strips loops" (fun () ->
+        let g = Netgraph.make (Pid.dense 3) [ (0, 0); (0, 1) ] in
+        Alcotest.(check int) "one left" 1
+          (Netgraph.edge_count (Netgraph.without_self g)));
+    case "make dedups and validates" (fun () ->
+        let g = Netgraph.make (Pid.dense 2) [ (0, 1); (0, 1) ] in
+        Alcotest.(check int) "dedup" 1 (Netgraph.edge_count g);
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Netgraph.make (Pid.dense 2) [ (0, 2) ]);
+             false
+           with Invalid_argument _ -> true));
+    case "subgraph and equal" (fun () ->
+        let small = Netgraph.make (Pid.dense 3) [ (0, 1) ] in
+        let big = Netgraph.make (Pid.dense 3) [ (0, 1); (1, 2) ] in
+        Alcotest.(check bool) "subgraph" true (Netgraph.subgraph small big);
+        Alcotest.(check bool) "not super" false (Netgraph.subgraph big small);
+        Alcotest.(check bool) "equal self" true (Netgraph.equal big big));
+    case "union" (fun () ->
+        let a = Netgraph.make (Pid.dense 3) [ (0, 1) ] in
+        let b = Netgraph.make (Pid.dense 3) [ (1, 2) ] in
+        Alcotest.(check int) "two" 2 (Netgraph.edge_count (Netgraph.union a b)));
+    case "of_labels resolves bit-vector names" (fun () ->
+        let g = Netgraph.of_labels (Pid.bitvec 2) [ ("(00)", "(10)") ] in
+        Alcotest.(check bool) "edge" true (Netgraph.mem g 0 2));
+    case "to_dot mentions every edge" (fun () ->
+        let dot = Netgraph.to_dot (Netgraph.self_only (Pid.dense 2)) in
+        Alcotest.(check bool) "has self edge" true (contains dot "n0 -> n0"));
+  ]
+
+let figure3_expected =
+  Netgraph.of_labels (Pid.bitvec 2)
+    [
+      ("(00)", "(00)"); ("(00)", "(10)");
+      ("(01)", "(00)"); ("(01)", "(01)"); ("(01)", "(10)");
+      ("(10)", "(01)"); ("(10)", "(10)"); ("(10)", "(11)");
+      ("(11)", "(01)"); ("(11)", "(11)");
+    ]
+
+let figure4_expected =
+  let space = Pid.range ~lo:(-1) ~hi:2 in
+  Netgraph.of_labels space
+    [
+      ("-1", "-1"); ("-1", "1"); ("-1", "2");
+      ("0", "0"); ("0", "1"); ("0", "2");
+      ("1", "-1"); ("1", "0"); ("1", "1");
+      ("2", "-1"); ("2", "0"); ("2", "2");
+    ]
+
+let derive_tests =
+  [
+    case "Figure 3: Example 6 minimal network" (fun () ->
+        let s = sirup_of Workload.Progs.example6 in
+        match
+          Derive.minimal_network
+            { sirup = s; ve = [ "X"; "Y" ]; vr = [ "Y"; "Z" ];
+              spec = Hash_fn.Bitvec }
+        with
+        | Ok net ->
+          Alcotest.(check bool) "matches the paper" true
+            (Netgraph.equal net figure3_expected)
+        | Error e -> Alcotest.fail e);
+    case "Figure 4: Example 7 minimal network" (fun () ->
+        let s = sirup_of Workload.Progs.example7 in
+        match
+          Derive.minimal_network
+            { sirup = s; ve = [ "U"; "V"; "W" ]; vr = [ "V"; "W"; "Z" ];
+              spec = Hash_fn.Linear { coeffs = [| 1; -1; 1 |]; lo = -1 } }
+        with
+        | Ok net ->
+          Alcotest.(check bool) "matches equations (4)-(5)" true
+            (Netgraph.equal net figure4_expected)
+        | Error e -> Alcotest.fail e);
+    case "cycle-aligned sequences derive the self-only network" (fun () ->
+        (* Ancestor with ve = vr = <Y>: the derived network must show no
+           cross-processor edges, the compile-time face of Example 1. *)
+        let s = sirup_of ancestor in
+        match
+          Derive.minimal_network
+            { sirup = s; ve = [ "Y" ]; vr = [ "Y" ]; spec = Hash_fn.Bitvec }
+        with
+        | Ok net ->
+          Alcotest.(check bool) "self only" true
+            (Netgraph.equal net (Netgraph.self_only (Pid.bitvec 1)))
+        | Error e -> Alcotest.fail e);
+    case "opaque specs are rejected" (fun () ->
+        let s = sirup_of ancestor in
+        Alcotest.(check bool) "error" true
+          (Result.is_error
+             (Derive.minimal_network
+                { sirup = s; ve = [ "Y" ]; vr = [ "Y" ];
+                  spec = Hash_fn.Opaque })));
+    case "uncovered v(r) is rejected (broadcast case)" (fun () ->
+        let s = sirup_of ancestor in
+        Alcotest.(check bool) "error" true
+          (Result.is_error
+             (Derive.minimal_network
+                { sirup = s; ve = [ "X" ]; vr = [ "X" ];
+                  spec = Hash_fn.Bitvec })));
+    case "derived network contains every used channel (Example 6)"
+      (fun () ->
+        (* Execute Example 6 with the bit-vector hash and check that
+           every channel the run used is an edge of Figure 3. *)
+        let p = Workload.Progs.example6 in
+        let h = Hash_fn.bitvec ~arity:2 () in
+        let rw =
+          Rewrite.make p
+            ~policies:
+              [
+                Rewrite.Uniform
+                  (Discriminant.make ~vars:[ "X"; "Y" ] ~fn:h);
+                Rewrite.Uniform
+                  (Discriminant.make ~vars:[ "Y"; "Z" ] ~fn:h);
+              ]
+        in
+        let rng = Workload.Rng.create ~seed:3 in
+        let edb = Database.create () in
+        List.iter
+          (fun (a, b) ->
+            ignore (Database.add_fact edb "q" (Tuple.of_ints [ a; b ])))
+          (Workload.Graphgen.random_digraph rng ~nodes:15 ~edges:30);
+        List.iter
+          (fun (a, b) ->
+            ignore (Database.add_fact edb "r" (Tuple.of_ints [ a; b ])))
+          (Workload.Graphgen.random_digraph rng ~nodes:15 ~edges:30);
+        let report = Verify.check rw ~edb in
+        Alcotest.(check bool) "equal" true report.Verify.equal_answers;
+        Alcotest.(check bool) "channels within Figure 3" true
+          (Verify.channels_within report.Verify.stats figure3_expected));
+    case "execution on the derived network succeeds (Definition 3)"
+      (fun () ->
+        let h = Hash_fn.bitvec ~arity:2 () in
+        let rw =
+          Rewrite.make Workload.Progs.example6
+            ~policies:
+              [
+                Rewrite.Uniform (Discriminant.make ~vars:[ "X"; "Y" ] ~fn:h);
+                Rewrite.Uniform (Discriminant.make ~vars:[ "Y"; "Z" ] ~fn:h);
+              ]
+        in
+        let rng = Workload.Rng.create ~seed:6 in
+        let edb = Database.create () in
+        List.iter
+          (fun (a, b) ->
+            ignore (Database.add_fact edb "q" (Tuple.of_ints [ a; b ]));
+            ignore (Database.add_fact edb "r" (Tuple.of_ints [ b; a ])))
+          (Workload.Graphgen.random_digraph rng ~nodes:20 ~edges:40);
+        let options =
+          { Sim_runtime.default_options with network = Some figure3_expected }
+        in
+        (* Must complete without a Definition 3 violation. *)
+        let r = Sim_runtime.run ~options rw ~edb in
+        Alcotest.(check bool) "produced answers" true
+          (Datalog.Database.mem r.Sim_runtime.answers "p"));
+    case "a too-small network aborts the run (Definition 3)" (fun () ->
+        let rw = Result.get_ok (Strategy.example3 ~nprocs:4 ancestor) in
+        let edb = edb_of_edges (Workload.Graphgen.chain 20) in
+        let options =
+          {
+            Sim_runtime.default_options with
+            network = Some (Netgraph.self_only (Pid.dense 4));
+          }
+        in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Sim_runtime.run ~options rw ~edb);
+             false
+           with Failure _ -> true));
+  ]
+
+let suites =
+  [
+    ("dataflow", dataflow_tests);
+    ("netgraph", netgraph_tests);
+    ("derive", derive_tests);
+  ]

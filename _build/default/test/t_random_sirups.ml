@@ -1,0 +1,322 @@
+(* Property tests over RANDOMLY GENERATED linear sirups.
+
+   The fixed example programs exercise the common shapes; these tests
+   generate arbitrary linear sirups — random arities, random variable
+   patterns (including repeated variables), several base atoms, chained
+   join variables — plus random discriminating sequences and processor
+   counts, and check Theorems 1 and 2 on random data. *)
+
+open Datalog
+open Pardatalog
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A generated sirup:
+     t(X1..Xa) :- s(X1..Xa).
+     t(head pattern) :- t(rec pattern), b1(...), ..., bk(...).
+   where the head pattern draws its variables from the body, the rec
+   atom introduces variables Y1..Ya (possibly repeated), and base atoms
+   mix rec variables and fresh ones so the rule stays safe. *)
+
+type gen_sirup = {
+  gs_arity : int;
+  gs_head : string array;  (* variable names, drawn from the body *)
+  gs_rec : string array;  (* variable names of the recursive atom *)
+  gs_bases : (string * string array) list;
+  gs_source : string;  (* rendered program *)
+}
+
+let sirup_gen =
+  QCheck.Gen.(
+    let var_pool = [| "A"; "B"; "C"; "D"; "E"; "F" |] in
+    let* arity = int_range 1 3 in
+    (* Recursive atom variables: sampled with replacement so repeats
+       happen. *)
+    let* rec_idx = list_size (return arity) (int_range 0 3) in
+    let gs_rec = Array.of_list (List.map (fun i -> var_pool.(i)) rec_idx) in
+    (* Base atoms: 1 or 2, each of arity 1-2, each argument either a
+       recursive-atom variable or a fresh one (from the tail of the
+       pool). *)
+    let* nbases = int_range 1 2 in
+    let fresh_pool = [| "U"; "V"; "W" |] in
+    let* bases =
+      list_size (return nbases)
+        (let* bar = int_range 1 2 in
+         let* args =
+           list_size (return bar)
+             (oneof
+                [
+                  map (fun i -> gs_rec.(i mod Array.length gs_rec))
+                    (int_range 0 5);
+                  map (fun i -> fresh_pool.(i)) (int_range 0 2);
+                ])
+         in
+         return (Array.of_list args))
+    in
+    let bases = List.mapi (fun i a -> (Printf.sprintf "b%d" i, a)) bases in
+    (* Head: every variable must appear in the body. *)
+    let body_vars =
+      Array.to_list gs_rec
+      @ List.concat_map (fun (_, a) -> Array.to_list a) bases
+      |> List.sort_uniq String.compare
+      |> Array.of_list
+    in
+    let* head_idx =
+      list_size (return arity) (int_range 0 (Array.length body_vars - 1))
+    in
+    let gs_head = Array.of_list (List.map (fun i -> body_vars.(i)) head_idx) in
+    let render () =
+      let atom p args =
+        Printf.sprintf "%s(%s)" p (String.concat "," (Array.to_list args))
+      in
+      let svars = Array.init arity (fun i -> Printf.sprintf "S%d" i) in
+      let body =
+        atom "t" gs_rec :: List.map (fun (p, a) -> atom p a) bases
+      in
+      Printf.sprintf "t(%s) :- s(%s).\nt(%s) :- %s."
+        (String.concat "," (Array.to_list svars))
+        (String.concat "," (Array.to_list svars))
+        (String.concat "," (Array.to_list gs_head))
+        (String.concat ", " body)
+    in
+    return
+      { gs_arity = arity; gs_head; gs_rec; gs_bases = bases;
+        gs_source = render () })
+
+let sirup_arb =
+  QCheck.make ~print:(fun gs -> gs.gs_source) sirup_gen
+
+(* Random EDB for a generated sirup: small constant universe so joins
+   actually connect. *)
+let edb_for gs seed =
+  let rng = Workload.Rng.create ~seed in
+  let db = Database.create () in
+  let universe = 6 in
+  let random_tuple arity =
+    Tuple.of_ints (List.init arity (fun _ -> Workload.Rng.int rng universe))
+  in
+  for _ = 1 to 12 do
+    ignore (Database.add_fact db "s" (random_tuple gs.gs_arity))
+  done;
+  List.iter
+    (fun (pred, args) ->
+      for _ = 1 to 10 do
+        ignore (Database.add_fact db pred (random_tuple (Array.length args)))
+      done)
+    gs.gs_bases;
+  db
+
+(* A random discriminating sequence: a non-empty subset of the
+   recursive rule's body variables. *)
+let disc_vars_of gs pick =
+  let rule = List.nth (Program.rules (Parser.program_exn gs.gs_source)) 1 in
+  let bvs = Array.of_list (Rule.body_vars rule) in
+  let n = Array.length bvs in
+  let chosen =
+    List.sort_uniq compare (List.map (fun i -> i mod n) pick)
+  in
+  match chosen with
+  | [] -> [ bvs.(0) ]
+  | l -> List.map (fun i -> bvs.(i)) l
+
+let config_arb =
+  QCheck.make
+    ~print:(fun (gs, n, seed, picks) ->
+      Printf.sprintf "%s\nN=%d seed=%d picks=%s" gs.gs_source n seed
+        (String.concat "," (List.map string_of_int picks)))
+    QCheck.Gen.(
+      let* gs = sirup_gen in
+      let* n = int_range 1 5 in
+      let* seed = int_range 0 999 in
+      let* picks = list_size (int_range 1 3) (int_range 0 9) in
+      return (gs, n, seed, picks))
+
+let build gs n seed picks =
+  let program = Parser.program_exn gs.gs_source in
+  match Analysis.as_sirup program with
+  | Error _ -> None (* e.g. the "recursive" rule degenerated *)
+  | Ok s ->
+    let vr = disc_vars_of gs picks in
+    let ve = Atom.vars s.Analysis.exit_rule.Rule.head in
+    let ve = if ve = [] then vr else ve in
+    (match
+       Strategy.hash_q ~seed ~nprocs:n ~ve ~vr program
+     with
+     | Ok rw -> Some (program, rw)
+     | Error _ -> None)
+
+let prop_random_sirups_exact =
+  QCheck.Test.make ~count:150
+    ~name:"random sirups: parallel = sequential (Theorem 1)" config_arb
+    (fun (gs, n, seed, picks) ->
+      match build gs n seed picks with
+      | None -> QCheck.assume_fail ()
+      | Some (_, rw) ->
+        let edb = edb_for gs seed in
+        let report = Verify.check rw ~edb in
+        report.Verify.equal_answers)
+
+let prop_random_sirups_non_redundant =
+  QCheck.Test.make ~count:150
+    ~name:"random sirups: non-redundant (Theorem 2)" config_arb
+    (fun (gs, n, seed, picks) ->
+      match build gs n seed picks with
+      | None -> QCheck.assume_fail ()
+      | Some (_, rw) ->
+        let edb = edb_for gs seed in
+        let report = Verify.check rw ~edb in
+        report.Verify.non_redundant)
+
+let prop_random_sirups_general_scheme =
+  QCheck.Test.make ~count:100
+    ~name:"random sirups under the Section 7 scheme" config_arb
+    (fun (gs, n, seed, _) ->
+      let program = Parser.program_exn gs.gs_source in
+      match Strategy.general ~seed ~nprocs:n program with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok rw ->
+        let edb = edb_for gs seed in
+        let report = Verify.check rw ~edb in
+        report.Verify.equal_answers && report.Verify.non_redundant)
+
+let prop_random_sirups_tradeoff =
+  QCheck.Test.make ~count:80
+    ~name:"random sirups under the Section 6 scheme (Theorem 4)"
+    (QCheck.pair config_arb (QCheck.float_bound_inclusive 1.0))
+    (fun ((gs, n, seed, _), alpha) ->
+      let program = Parser.program_exn gs.gs_source in
+      match Strategy.tradeoff ~seed ~nprocs:n ~alpha program with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok rw ->
+        let edb = edb_for gs seed in
+        let report = Verify.check rw ~edb in
+        report.Verify.equal_answers)
+
+let prop_random_sirups_domain_runtime =
+  QCheck.Test.make ~count:25
+    ~name:"random sirups on the domain runtime" config_arb
+    (fun (gs, n, seed, picks) ->
+      match build gs (min n 3) seed picks with
+      | None -> QCheck.assume_fail ()
+      | Some (program, rw) ->
+        let edb = edb_for gs seed in
+        let seq, _ = Seminaive.evaluate program edb in
+        let r = Domain_runtime.run rw ~edb in
+        Relation.equal (Database.get seq "t")
+          (Database.get r.Sim_runtime.answers "t"))
+
+(* ------------------------------------------------------------------ *)
+(* Section 5 on random sirups: the derived minimal network must contain
+   every channel any execution uses, for any bit function g.           *)
+(* ------------------------------------------------------------------ *)
+
+let derive_config_arb =
+  QCheck.make
+    ~print:(fun (gs, seed, coeffs) ->
+      Printf.sprintf "%s\nseed=%d coeffs=%s" gs.gs_source seed
+        (String.concat ","
+           (List.map string_of_int (Array.to_list coeffs))))
+    QCheck.Gen.(
+      let* gs = sirup_gen in
+      let* seed = int_range 0 200 in
+      let* k = int_range 1 (min 3 gs.gs_arity) in
+      let* coeffs =
+        array_size (return k) (map (fun i -> i - 1) (int_range 0 2))
+      in
+      (* Avoid the all-zero form (a single processor, trivially). *)
+      let coeffs = if Array.for_all (( = ) 0) coeffs then [| 1 |] else coeffs in
+      return (gs, seed, coeffs))
+
+let prop_derived_network_contains_random_runs =
+  QCheck.Test.make ~count:120
+    ~name:"Section 5 on random sirups: channels within derived network"
+    derive_config_arb
+    (fun (gs, seed, coeffs) ->
+      let program = Parser.program_exn gs.gs_source in
+      match Analysis.as_sirup program with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok s ->
+        let k = Array.length coeffs in
+        (* Take the first k distinct recursive-atom variables as the
+           shared discriminating sequence (ve = exit head vars at the
+           same positions, so h' = h applies to the same components). *)
+        let rec_vars = Atom.vars s.Analysis.rec_atom in
+        if List.length rec_vars < k then QCheck.assume_fail ()
+        else begin
+          let vr = List.filteri (fun i _ -> i < k) rec_vars in
+          (* ve must come from the exit rule; use its head variables at
+             the positions where vr's variables sit in the rec atom. *)
+          let positions =
+            match Discriminant.covered_positions vr s.Analysis.rec_atom with
+            | Some ps -> ps
+            | None -> [||]
+          in
+          let exit_head = s.Analysis.exit_rule.Rule.head in
+          let ve =
+            Array.to_list
+              (Array.map
+                 (fun p ->
+                   match exit_head.Atom.args.(p) with
+                   | Term.Var v -> v
+                   | Term.Const _ -> "!")
+                 positions)
+          in
+          if List.mem "!" ve || Array.length positions <> k then
+            QCheck.assume_fail ()
+          else begin
+            let lo =
+              Array.fold_left (fun acc c -> acc + min 0 c) 0 coeffs
+            in
+            let spec = Hash_fn.Linear { coeffs; lo } in
+            match
+              Derive.minimal_network { sirup = s; ve; vr; spec }
+            with
+            | Error _ -> QCheck.assume_fail ()
+            | Ok derived ->
+              let h =
+                Hash_fn.linear ~seed ~coeffs:(Array.to_list coeffs) ()
+              in
+              (match
+                 ( Discriminant.check_for_rule
+                     (Discriminant.make ~vars:ve ~fn:h)
+                     s.Analysis.exit_rule,
+                   Discriminant.check_for_rule
+                     (Discriminant.make ~vars:vr ~fn:h)
+                     s.Analysis.rec_rule )
+               with
+               | Ok (), Ok () ->
+                 let rw =
+                   Rewrite.make program
+                     ~policies:
+                       (List.map
+                          (fun (r : Rule.t) ->
+                            if r == s.Analysis.rec_rule then
+                              Rewrite.Uniform
+                                (Discriminant.make ~vars:vr ~fn:h)
+                            else
+                              Rewrite.Uniform
+                                (Discriminant.make ~vars:ve ~fn:h))
+                          (Program.rules program))
+                 in
+                 let edb = edb_for gs seed in
+                 let r = Sim_runtime.run rw ~edb in
+                 Verify.channels_within r.Sim_runtime.stats derived
+               | _ -> QCheck.assume_fail ())
+          end
+        end)
+
+let suites =
+  [
+    ( "random-sirups",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_random_sirups_exact;
+          prop_random_sirups_non_redundant;
+          prop_random_sirups_general_scheme;
+          prop_random_sirups_tradeoff;
+          prop_random_sirups_domain_runtime;
+          prop_derived_network_contains_random_runs;
+        ] );
+  ]

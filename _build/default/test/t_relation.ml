@@ -1,0 +1,164 @@
+(* Tests for Relation and Database. *)
+
+open Datalog
+open Helpers
+
+let relation_tests =
+  [
+    case "add returns true for fresh tuples" (fun () ->
+        let r = Relation.create ~arity:2 () in
+        Alcotest.(check bool) "fresh" true (Relation.add r (Tuple.of_ints [ 1; 2 ]));
+        Alcotest.(check bool) "dup" false (Relation.add r (Tuple.of_ints [ 1; 2 ]));
+        Alcotest.(check int) "cardinal" 1 (Relation.cardinal r));
+    case "arity mismatch raises" (fun () ->
+        let r = Relation.create ~arity:2 () in
+        Alcotest.check_raises "bad arity"
+          (Invalid_argument "Relation.add: arity 3, expected 2") (fun () ->
+            ignore (Relation.add r (Tuple.of_ints [ 1; 2; 3 ]))));
+    case "mem" (fun () ->
+        let r = relation_of_pairs [ (1, 2); (3, 4) ] in
+        Alcotest.(check bool) "present" true (Relation.mem r (Tuple.of_ints [ 3; 4 ]));
+        Alcotest.(check bool) "absent" false (Relation.mem r (Tuple.of_ints [ 4; 3 ])));
+    case "iter preserves insertion order" (fun () ->
+        let r = Relation.create ~arity:1 () in
+        List.iter (fun i -> ignore (Relation.add r (Tuple.of_ints [ i ]))) [ 3; 1; 2 ];
+        let order = ref [] in
+        Relation.iter (fun t -> order := Tuple.get t 0 :: !order) r;
+        Alcotest.(check (list int)) "order" [ 3; 1; 2 ]
+          (List.rev_map (function Const.Int i -> i | _ -> -1) !order));
+    case "sorted_elements is sorted and complete" (fun () ->
+        let r = relation_of_pairs [ (3, 0); (1, 2); (2, 1) ] in
+        Alcotest.(check (list (pair int int)))
+          "sorted"
+          [ (1, 2); (2, 1); (3, 0) ]
+          (List.map
+             (fun t ->
+               match Tuple.get t 0, Tuple.get t 1 with
+               | Const.Int a, Const.Int b -> (a, b)
+               | _ -> (-1, -1))
+             (Relation.sorted_elements r)));
+    case "lookup with empty positions returns all" (fun () ->
+        let r = relation_of_pairs [ (1, 2); (3, 4) ] in
+        Alcotest.(check int) "all" 2
+          (List.length (Relation.lookup r ~positions:[||] ~key:[||])));
+    case "lookup by first position" (fun () ->
+        let r = relation_of_pairs [ (1, 2); (1, 3); (2, 3) ] in
+        let hits =
+          Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 1 |]
+        in
+        Alcotest.(check int) "two hits" 2 (List.length hits));
+    case "lookup by both positions" (fun () ->
+        let r = relation_of_pairs [ (1, 2); (1, 3) ] in
+        let hits =
+          Relation.lookup r ~positions:[| 0; 1 |]
+            ~key:[| Const.int 1; Const.int 3 |]
+        in
+        Alcotest.(check int) "one hit" 1 (List.length hits));
+    case "lookup misses return empty" (fun () ->
+        let r = relation_of_pairs [ (1, 2) ] in
+        Alcotest.(check int) "none" 0
+          (List.length
+             (Relation.lookup r ~positions:[| 1 |] ~key:[| Const.int 9 |])));
+    case "index stays correct under later adds" (fun () ->
+        let r = relation_of_pairs [ (1, 2) ] in
+        (* Force index creation, then add. *)
+        ignore (Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 1 |]);
+        ignore (Relation.add r (Tuple.of_ints [ 1; 9 ]));
+        Alcotest.(check int) "index sees new tuple" 2
+          (List.length
+             (Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 1 |])));
+    case "index_count grows per distinct pattern" (fun () ->
+        let r = relation_of_pairs [ (1, 2) ] in
+        ignore (Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 1 |]);
+        ignore (Relation.lookup r ~positions:[| 1 |] ~key:[| Const.int 2 |]);
+        ignore (Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 7 |]);
+        Alcotest.(check int) "two indexes" 2 (Relation.index_count r));
+    case "copy is independent" (fun () ->
+        let r = relation_of_pairs [ (1, 2) ] in
+        let c = Relation.copy r in
+        ignore (Relation.add c (Tuple.of_ints [ 5; 6 ]));
+        Alcotest.(check int) "original unchanged" 1 (Relation.cardinal r);
+        Alcotest.(check int) "copy grew" 2 (Relation.cardinal c));
+    case "clear empties everything" (fun () ->
+        let r = relation_of_pairs [ (1, 2); (3, 4) ] in
+        ignore (Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 1 |]);
+        Relation.clear r;
+        Alcotest.(check int) "empty" 0 (Relation.cardinal r);
+        Alcotest.(check bool) "is_empty" true (Relation.is_empty r);
+        Alcotest.(check int) "lookup finds nothing" 0
+          (List.length
+             (Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 1 |])));
+    case "add_all counts only new tuples" (fun () ->
+        let a = relation_of_pairs [ (1, 2); (3, 4) ] in
+        let b = relation_of_pairs [ (3, 4); (5, 6) ] in
+        Alcotest.(check int) "one new" 1 (Relation.add_all a b);
+        Alcotest.(check int) "total" 3 (Relation.cardinal a));
+    case "equal ignores insertion order" (fun () ->
+        Alcotest.check relation_t "same set"
+          (relation_of_pairs [ (1, 2); (3, 4) ])
+          (relation_of_pairs [ (3, 4); (1, 2) ]));
+    case "equal detects differences" (fun () ->
+        Alcotest.(check bool) "different" false
+          (Relation.equal
+             (relation_of_pairs [ (1, 2) ])
+             (relation_of_pairs [ (1, 3) ])));
+  ]
+
+let database_tests =
+  [
+    case "declare creates once" (fun () ->
+        let db = Database.create () in
+        let r1 = Database.declare db "p" 2 in
+        let r2 = Database.declare db "p" 2 in
+        Alcotest.(check bool) "same relation" true (r1 == r2));
+    case "declare arity mismatch raises" (fun () ->
+        let db = Database.create () in
+        ignore (Database.declare db "p" 2);
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Database.declare db "p" 3);
+             false
+           with Invalid_argument _ -> true));
+    case "add_fact declares on first use" (fun () ->
+        let db = Database.create () in
+        Alcotest.(check bool) "new" true
+          (Database.add_fact db "q" (Tuple.of_ints [ 1 ]));
+        Alcotest.(check (option int)) "arity" (Some 1) (Database.arity db "q"));
+    case "predicates are sorted" (fun () ->
+        let db = Database.create () in
+        ignore (Database.add_fact db "zz" (Tuple.of_ints [ 1 ]));
+        ignore (Database.add_fact db "aa" (Tuple.of_ints [ 1 ]));
+        Alcotest.(check (list string)) "sorted" [ "aa"; "zz" ]
+          (Database.predicates db));
+    case "total_tuples" (fun () ->
+        let db = edb_of_edges [ (1, 2); (2, 3) ] in
+        ignore (Database.add_fact db "other" (Tuple.of_ints [ 9 ]));
+        Alcotest.(check int) "three" 3 (Database.total_tuples db));
+    case "copy is deep" (fun () ->
+        let db = edb_of_edges [ (1, 2) ] in
+        let c = Database.copy db in
+        ignore (Database.add_fact c "par" (Tuple.of_ints [ 9; 9 ]));
+        Alcotest.(check int) "original" 1 (Database.cardinal db "par");
+        Alcotest.(check int) "copy" 2 (Database.cardinal c "par"));
+    case "restrict keeps only listed predicates" (fun () ->
+        let db = edb_of_edges [ (1, 2) ] in
+        ignore (Database.add_fact db "other" (Tuple.of_ints [ 9 ]));
+        let r = Database.restrict db [ "par" ] in
+        Alcotest.(check bool) "par kept" true (Database.mem r "par");
+        Alcotest.(check bool) "other dropped" false (Database.mem r "other"));
+    case "merge_into returns new-tuple count" (fun () ->
+        let dst = edb_of_edges [ (1, 2) ] in
+        let src = edb_of_edges [ (1, 2); (3, 4) ] in
+        Alcotest.(check int) "one new" 1 (Database.merge_into ~dst ~src);
+        Alcotest.(check int) "total" 2 (Database.cardinal dst "par"));
+    case "equal treats missing and empty alike" (fun () ->
+        let a = Database.create () in
+        let b = Database.create () in
+        ignore (Database.declare a "p" 2);
+        Alcotest.check database_t "equal" a b);
+    case "equal detects content differences" (fun () ->
+        Alcotest.(check bool) "different" false
+          (Database.equal (edb_of_edges [ (1, 2) ]) (edb_of_edges [ (2, 1) ])));
+  ]
+
+let suites = [ ("relation", relation_tests); ("database", database_tests) ]

@@ -1,0 +1,195 @@
+(* Tests for Atom, Rule, Program, Parser and pretty-printing. *)
+
+open Datalog
+open Helpers
+
+let atom_tests =
+  [
+    case "vars in first-occurrence order without dups" (fun () ->
+        let a = Parser.atom_exn "p(X,Y,X,Z)" in
+        Alcotest.(check (list string)) "vars" [ "X"; "Y"; "Z" ] (Atom.vars a));
+    case "ground detection" (fun () ->
+        Alcotest.(check bool) "ground" true
+          (Atom.is_ground (Parser.atom_exn "p(1,a)"));
+        Alcotest.(check bool) "non-ground" false
+          (Atom.is_ground (Parser.atom_exn "p(1,X)")));
+    case "to_tuple on ground atom" (fun () ->
+        match Atom.to_tuple (Parser.atom_exn "p(1,2)") with
+        | Some t -> Alcotest.check tuple_t "tuple" (Tuple.of_ints [ 1; 2 ]) t
+        | None -> Alcotest.fail "expected a tuple");
+    case "to_tuple on open atom" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Atom.to_tuple (Parser.atom_exn "p(X)") = None));
+    case "subst replaces bound variables only" (fun () ->
+        let a = Parser.atom_exn "p(X,Y)" in
+        let b = Atom.subst [ ("X", Const.int 7) ] a in
+        Alcotest.check atom_t "partially ground" (Parser.atom_exn "p(7,Y)") b);
+    case "rename_pred" (fun () ->
+        Alcotest.check atom_t "renamed" (Parser.atom_exn "q(X)")
+          (Atom.rename_pred "q" (Parser.atom_exn "p(X)")));
+    case "zero-arity atom" (fun () ->
+        let a = Parser.atom_exn "flag" in
+        Alcotest.(check int) "arity" 0 (Atom.arity a);
+        Alcotest.(check bool) "ground" true (Atom.is_ground a));
+  ]
+
+let rule_tests =
+  [
+    case "head and body vars" (fun () ->
+        let r = Parser.rule_exn "p(X,Y) :- q(X,Z), r(Z,Y)." in
+        Alcotest.(check (list string)) "head" [ "X"; "Y" ] (Rule.head_vars r);
+        Alcotest.(check (list string))
+          "body" [ "X"; "Z"; "Y" ] (Rule.body_vars r));
+    case "safe rule" (fun () ->
+        Alcotest.(check bool) "safe" true
+          (Rule.is_safe (Parser.rule_exn "p(X) :- q(X,Y).")));
+    case "unsafe rule" (fun () ->
+        Alcotest.(check bool) "unsafe" false
+          (Rule.is_safe (Parser.rule_exn "p(X,W) :- q(X).")));
+    case "guard variables must be in body for safety" (fun () ->
+        let g =
+          Rule.guard ~name:"h" ~vars:[ "W" ] ~fn:(fun _ -> 0) ~expect:0
+        in
+        let r =
+          Rule.make ~guards:[ g ]
+            (Parser.atom_exn "p(X)")
+            [ Parser.atom_exn "q(X)" ]
+        in
+        Alcotest.(check bool) "unsafe" false (Rule.is_safe r));
+    case "guard_ok with full binding" (fun () ->
+        let g =
+          Rule.guard ~name:"h" ~vars:[ "X" ]
+            ~fn:(fun key ->
+              match key.(0) with Const.Int i -> i mod 2 | _ -> 0)
+            ~expect:1
+        in
+        Alcotest.(check (option bool)) "holds" (Some true)
+          (Rule.guard_ok g [ ("X", Const.int 3) ]);
+        Alcotest.(check (option bool)) "fails" (Some false)
+          (Rule.guard_ok g [ ("X", Const.int 4) ]));
+    case "guard_ok with missing binding" (fun () ->
+        let g =
+          Rule.guard ~name:"h" ~vars:[ "X" ] ~fn:(fun _ -> 0) ~expect:0
+        in
+        Alcotest.(check (option bool)) "unknown" None (Rule.guard_ok g []));
+    case "is_fact" (fun () ->
+        Alcotest.(check bool) "fact" true
+          (Rule.is_fact (Rule.make (Parser.atom_exn "p(1,2)") []));
+        Alcotest.(check bool) "not fact" false
+          (Rule.is_fact (Rule.make (Parser.atom_exn "p(X,2)") [])));
+  ]
+
+let program_tests =
+  [
+    case "derived vs base predicates" (fun () ->
+        Alcotest.(check (list string)) "derived" [ "anc" ]
+          (Program.derived_predicates ancestor);
+        Alcotest.(check (list string)) "base" [ "par" ]
+          (Program.base_predicates ancestor));
+    case "arities" (fun () ->
+        Alcotest.(check (list (pair string int)))
+          "arities"
+          [ ("anc", 2); ("par", 2) ]
+          (Program.arities ancestor));
+    case "inconsistent arity rejected" (fun () ->
+        let p = Parser.program_exn "p(X) :- q(X). p(X,Y) :- q(X), q(Y)." in
+        match Program.check p with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected arity error");
+    case "unsafe rule rejected" (fun () ->
+        let p = Parser.program_exn "p(X,W) :- q(X)." in
+        match Program.check p with
+        | Error msg ->
+          Alcotest.(check bool) "mentions unsafe" true
+            (String.length msg > 0)
+        | Ok () -> Alcotest.fail "expected safety error");
+    case "facts go to facts_db" (fun () ->
+        let p = Parser.program_exn "p(X) :- q(X). q(1). q(2)." in
+        let db = Program.facts_db p in
+        Alcotest.(check int) "two facts" 2 (Database.cardinal db "q"));
+    case "rules_for filters by head" (fun () ->
+        Alcotest.(check int) "two anc rules" 2
+          (List.length (Program.rules_for ancestor "anc"));
+        Alcotest.(check int) "no par rules" 0
+          (List.length (Program.rules_for ancestor "par")));
+  ]
+
+let parser_tests =
+  [
+    case "fact with symbols" (fun () ->
+        let p = Parser.program_exn "par(adam, abel)." in
+        Alcotest.(check int) "one fact" 1 (List.length p.Program.facts));
+    case "quoted symbols" (fun () ->
+        let a = Parser.atom_exn "p('hello world')" in
+        Alcotest.check atom_t "quoted"
+          (Atom.make "p" [ Term.sym "hello world" ])
+          a);
+    case "negative integers" (fun () ->
+        Alcotest.check atom_t "neg"
+          (Atom.make "p" [ Term.int (-5) ])
+          (Parser.atom_exn "p(-5)"));
+    case "underscore-leading identifiers are variables" (fun () ->
+        let r = Parser.rule_exn "p(X) :- q(X, _Y)." in
+        Alcotest.(check (list string)) "vars" [ "X"; "_Y" ] (Rule.body_vars r));
+    case "comments are skipped" (fun () ->
+        let p =
+          Parser.program_exn
+            "% a comment\np(X) :- q(X). // another\n q(1)."
+        in
+        Alcotest.(check int) "one rule" 1 (List.length (Program.rules p)));
+    case "whitespace is irrelevant" (fun () ->
+        let a = Parser.rule_exn "p(X):-q(X)." in
+        let b = Parser.rule_exn "  p( X )  :-  q( X ) .  " in
+        Alcotest.check rule_t "same rule" a b);
+    case "missing dot is an error" (fun () ->
+        match Parser.rule "p(X) :- q(X)" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected parse error");
+    case "unterminated quote is an error" (fun () ->
+        match Parser.atom "p('oops)" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected parse error");
+    case "error reports line and column" (fun () ->
+        match Parser.program "p(X) :- q(X).\n???" with
+        | Error e ->
+          Alcotest.(check int) "line" 2 e.Parser.line;
+          Alcotest.(check int) "column" 1 e.Parser.column
+        | Ok _ -> Alcotest.fail "expected parse error");
+    case "non-ground fact rejected" (fun () ->
+        match Parser.program "p(X)." with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    case "tuples parses fact files" (fun () ->
+        match Parser.tuples "e(1,2). e(2,3)." with
+        | Ok facts -> Alcotest.(check int) "two" 2 (List.length facts)
+        | Error e -> Alcotest.failf "unexpected: %a" Parser.pp_error e);
+    case "tuples rejects rules" (fun () ->
+        match Parser.tuples "p(X) :- q(X)." with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    case "pretty-printed rules reparse to themselves" (fun () ->
+        let sources =
+          [
+            "anc(X,Y) :- par(X,Y).";
+            "anc(X,Y) :- par(X,Z), anc(Z,Y).";
+            "p(U,V,W) :- p(V,W,Z), q(U,Z).";
+            "p(1,a) :- q(X,X), r('b c').";
+            "flag :- p(X).";
+          ]
+        in
+        List.iter
+          (fun src ->
+            let r = Parser.rule_exn src in
+            let printed = Rule.to_string r in
+            let r' = Parser.rule_exn printed in
+            Alcotest.check rule_t ("round-trip " ^ src) r r')
+          sources);
+  ]
+
+let suites =
+  [
+    ("atom", atom_tests);
+    ("rule", rule_tests);
+    ("program", program_tests);
+    ("parser", parser_tests);
+  ]
