@@ -8,6 +8,7 @@
      rewrite   print the per-processor programs a scheme generates
      dataflow  print a sirup's dataflow graph and Theorem-3 choice
      network   derive the minimal network graph (Section 5)
+     check     static diagnostics, incl. Theorem 2/3 scheme verification
      gen       emit a generated workload as Datalog facts *)
 
 open Datalog
@@ -387,7 +388,7 @@ let dataflow_cmd =
     let program = load_program program in
     match Analysis.as_sirup program with
     | Error e ->
-      Format.eprintf "not a linear sirup: %s@." e;
+      Format.eprintf "not a linear sirup: %s@." (Analysis.explain_not_sirup e);
       exit 2
     | Ok s ->
       let g = Dataflow.of_sirup s in
@@ -435,7 +436,7 @@ let network_cmd =
     let program = load_program program in
     match Analysis.as_sirup program with
     | Error e ->
-      Format.eprintf "not a linear sirup: %s@." e;
+      Format.eprintf "not a linear sirup: %s@." (Analysis.explain_not_sirup e);
       exit 2
     | Ok s ->
       if ve = [] || vr = [] then begin
@@ -466,6 +467,104 @@ let network_cmd =
   in
   Cmd.v (Cmd.info "network" ~doc)
     Term.(const action $ program_arg $ ve_arg $ vr_arg $ spec_arg $ dot_arg)
+
+(* ---------------------------------------------------------------- *)
+(* check                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let check_cmd =
+  let doc =
+    "Statically check a program: safety, arities, stratification, \
+     reachability, sirup shape, and (with --ve/--vr) the Theorem 2/3 \
+     scheme conditions and the Section 5 network prediction."
+  in
+  let program_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"PROGRAM" ~doc:"Datalog program file.")
+  in
+  let linear_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "linear" ] ~docv:"COEFFS"
+          ~doc:
+            "Predict the network for the linear discriminating form with \
+             these coefficients (Example 7).")
+  in
+  let bitvec_arg =
+    Arg.(
+      value & flag
+      & info [ "bitvec" ]
+          ~doc:"Predict the network for the bit-vector form (Example 6).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the findings as a JSON array.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit non-zero on warnings too (for CI).")
+  in
+  let codes_arg =
+    Arg.(
+      value & flag
+      & info [ "codes" ] ~doc:"List every diagnostic code and exit.")
+  in
+  let goal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "goal" ] ~docv:"PRED"
+          ~doc:
+            "The output predicate; reachability (W004) is checked \
+             backwards from it.")
+  in
+  let action program goal ve vr linear bitvec json strict codes =
+    if codes then begin
+      List.iter
+        (fun (c, d) -> Printf.printf "%s  %s\n" c d)
+        Check.Diagnostic.registry;
+      exit 0
+    end;
+    let path =
+      match program with
+      | Some p -> p
+      | None ->
+        Format.eprintf "check requires a PROGRAM (or --codes)@.";
+        exit 2
+    in
+    let p = load_program path in
+    let diags = Check.Engine.check_program ~file:path ?goal p in
+    let diags =
+      if ve = [] && vr = [] then diags
+      else begin
+        let spec =
+          match linear with
+          | Some coeffs ->
+            let arr = Array.of_list coeffs in
+            let lo = Array.fold_left (fun acc c -> acc + min 0 c) 0 arr in
+            Hash_fn.Linear { coeffs = arr; lo }
+          | None -> if bitvec then Hash_fn.Bitvec else Hash_fn.Opaque
+        in
+        let report = Check.Scheme.check_scheme ~file:path ~spec ~ve ~vr p in
+        diags @ report.Check.Scheme.diagnostics
+      end
+    in
+    if json then print_string (Check.Diagnostic.list_to_json diags ^ "\n")
+    else begin
+      if diags <> [] then Format.printf "%a" Check.Diagnostic.pp_list diags;
+      Format.printf "%a@." Check.Diagnostic.pp_summary diags
+    end;
+    exit (Check.Diagnostic.exit_code ~strict diags)
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const action $ program_arg $ goal_arg $ ve_arg $ vr_arg $ linear_arg
+      $ bitvec_arg $ json_arg $ strict_arg $ codes_arg)
 
 (* ---------------------------------------------------------------- *)
 (* dong                                                              *)
@@ -552,4 +651,4 @@ let () =
   let info = Cmd.info "datalogp" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ run_cmd; query_cmd; par_cmd; dong_cmd; rewrite_cmd; dataflow_cmd;
-                      network_cmd; gen_cmd ]))
+                      network_cmd; check_cmd; gen_cmd ]))

@@ -1,0 +1,46 @@
+(** Structured findings of the static checker.
+
+    Every finding carries a stable code ([E…] errors, [W…] warnings,
+    [I…] informational notes), an optional source location, a message,
+    and an optional suggested fix, so tooling can consume the output
+    ([--json]) and CI can gate on it ([--strict]). *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+
+type t = {
+  code : string;  (** Stable diagnostic code, e.g. ["E001"]. *)
+  severity : severity;
+  file : string option;
+  loc : int option;  (** 1-based source line. *)
+  message : string;
+  suggestion : string option;  (** An actionable fix, when there is one. *)
+}
+
+val make :
+  ?file:string -> ?loc:int -> ?suggestion:string ->
+  code:string -> severity:severity -> string -> t
+
+val registry : (string * string) list
+(** Every code with its one-line description (the table printed by
+    [datalogp check --codes] and mirrored in README.md). *)
+
+val describe : string -> string option
+val severity_of_code : string -> severity
+
+val count : severity -> t list -> int
+
+val exit_code : strict:bool -> t list -> int
+(** [1] when there are errors, or (under [--strict]) warnings; [0]
+    otherwise. Info notes never fail a run. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["file:line: severity[CODE]: message"], with a trailing hint line
+    when a suggestion is present. *)
+
+val pp_list : Format.formatter -> t list -> unit
+val pp_summary : Format.formatter -> t list -> unit
+
+val to_json : t -> string
+val list_to_json : t list -> string

@@ -1,0 +1,483 @@
+open Datalog
+
+(* All engine diagnostics derive their severity from their code. *)
+let diag ?file ?loc ?suggestion code msg =
+  Diagnostic.make ?file ?loc ?suggestion ~code
+    ~severity:(Diagnostic.severity_of_code code) msg
+
+(* ------------------------------------------------------------------ *)
+(* Safety / range restriction                                          *)
+(* ------------------------------------------------------------------ *)
+
+let safety ?file (p : Program.t) =
+  List.concat_map
+    (fun (r : Rule.t) ->
+      let loc = r.loc in
+      let bvs = Rule.body_vars r in
+      let unbound vs = List.filter (fun v -> not (List.mem v bvs)) vs in
+      let per_var code what v =
+        diag ?file ?loc code
+          (Printf.sprintf "%s variable %s of rule `%s` is not bound in the \
+                           positive body"
+             what v (Rule.to_string r))
+          ~suggestion:
+            (Printf.sprintf
+               "add a positive body atom binding %s, or replace it with a \
+                constant" v)
+      in
+      let e001 = List.map (per_var "E001" "head") (unbound (Rule.head_vars r)) in
+      let e002 =
+        List.map (per_var "E002" "negated-atom") (unbound (Rule.neg_vars r))
+      in
+      let e003 =
+        List.concat_map
+          (fun (g : Rule.guard) ->
+            List.map (per_var "E003" "guard")
+              (unbound (Array.to_list g.gvars)))
+          r.guards
+      in
+      let w001 =
+        if r.body <> [] && Rule.vars r = [] && Rule.neg_vars r = [] then
+          [
+            diag ?file ?loc "W001"
+              (Printf.sprintf
+                 "rule `%s` contains no variables: it can derive at most \
+                  one tuple and gives a discriminating function nothing to \
+                  hash" (Rule.to_string r))
+              ~suggestion:
+                "generalize the constants to variables, or precompute the \
+                 single derivable tuple as a fact";
+          ]
+        else []
+      in
+      e001 @ e002 @ e003 @ w001)
+    (Program.rules p)
+
+(* ------------------------------------------------------------------ *)
+(* Arity and symbol consistency                                        *)
+(* ------------------------------------------------------------------ *)
+
+type use = {
+  u_pred : string;
+  u_arity : int;
+  u_loc : int option;
+  u_where : string;
+}
+
+let uses_of (p : Program.t) =
+  let of_rule (r : Rule.t) =
+    let at where (a : Atom.t) =
+      { u_pred = a.pred; u_arity = Atom.arity a; u_loc = r.loc;
+        u_where = where }
+    in
+    at "rule head" r.head
+    :: List.map (at "rule body") r.body
+    @ List.map (at "negated atom") r.neg
+  in
+  List.concat_map of_rule (Program.rules p)
+  @ List.map
+      (fun (pred, t) ->
+        { u_pred = pred; u_arity = Tuple.arity t; u_loc = None;
+          u_where = "fact" })
+      p.Program.facts
+
+let arity ?file (p : Program.t) =
+  let first = Hashtbl.create 16 in
+  let reported = Hashtbl.create 16 in
+  List.filter_map
+    (fun u ->
+      match Hashtbl.find_opt first u.u_pred with
+      | None ->
+        Hashtbl.add first u.u_pred u;
+        None
+      | Some u0 when u0.u_arity = u.u_arity -> None
+      | Some u0 ->
+        if Hashtbl.mem reported u.u_pred then None
+        else begin
+          Hashtbl.add reported u.u_pred ();
+          let where u =
+            match u.u_loc with
+            | Some l -> Printf.sprintf "%s at line %d" u.u_where l
+            | None -> u.u_where
+          in
+          Some
+            (diag ?file ?loc:u.u_loc "E004"
+               (Printf.sprintf
+                  "predicate %s is used with arity %d (%s) and arity %d (%s)"
+                  u.u_pred u0.u_arity (where u0) u.u_arity (where u))
+               ~suggestion:
+                 "rename one of the predicates or fix the argument list")
+        end)
+    (uses_of p)
+
+(* ------------------------------------------------------------------ *)
+(* Duplicate rules                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical rendering with variables renamed in first-occurrence order
+   (head, then body, then negated atoms), so duplicates are found up to
+   variable renaming. Rules with guards are never compared (guards carry
+   closures). *)
+let canonical (r : Rule.t) =
+  let ids = Hashtbl.create 8 in
+  let next = ref 0 in
+  let rename = function
+    | Term.Const _ as t -> t
+    | Term.Var v ->
+      let i =
+        match Hashtbl.find_opt ids v with
+        | Some i -> i
+        | None ->
+          let i = !next in
+          incr next;
+          Hashtbl.add ids v i;
+          i
+      in
+      Term.var (Printf.sprintf "V%d" i)
+  in
+  let atom (a : Atom.t) =
+    Format.asprintf "%a" Atom.pp
+      (Atom.make_a a.pred (Array.map rename a.args))
+  in
+  atom r.head ^ " :- "
+  ^ String.concat ", " (List.map atom r.body)
+  ^ (if r.neg = [] then ""
+     else "; not " ^ String.concat ", not " (List.map atom r.neg))
+
+let duplicates ?file (p : Program.t) =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (r : Rule.t) ->
+      if r.guards <> [] then None
+      else
+        let key = canonical r in
+        match Hashtbl.find_opt seen key with
+        | None ->
+          Hashtbl.add seen key r;
+          None
+        | Some (first : Rule.t) ->
+          let first_at =
+            match first.loc with
+            | Some l -> Printf.sprintf " (first occurrence at line %d)" l
+            | None -> ""
+          in
+          Some
+            (diag ?file ?loc:r.loc "W002"
+               (Printf.sprintf
+                  "rule `%s` duplicates an earlier rule up to variable \
+                   renaming%s" (Rule.to_string r) first_at)
+               ~suggestion:"delete the duplicate rule"))
+    (Program.rules p)
+
+(* ------------------------------------------------------------------ *)
+(* Unused / unreachable predicates, empty recursive components         *)
+(* ------------------------------------------------------------------ *)
+
+let body_preds (r : Rule.t) =
+  List.map (fun (a : Atom.t) -> a.pred) (r.body @ r.neg)
+
+let reachability ?file ?goal (p : Program.t) =
+  let rules = Program.rules p in
+  let derived = Program.derived_predicates p in
+  let sccs = Analysis.sccs p in
+  (* Without a goal, every component no outside rule reads is an output;
+     the backward closure of the outputs then covers every derived
+     predicate, so [W004] needs a [goal] to ever fire. *)
+  let used_outside scc =
+    List.exists
+      (fun (r : Rule.t) ->
+        (not (List.mem r.head.pred scc))
+        && List.exists (fun q -> List.mem q scc) (body_preds r))
+      rules
+  in
+  let roots =
+    match goal with
+    | Some g when List.mem g derived -> [ [ g ] ]
+    | Some _ | None ->
+      List.filter (fun scc -> not (used_outside scc)) sccs
+  in
+  let reachable = Hashtbl.create 16 in
+  let rec visit pred =
+    if not (Hashtbl.mem reachable pred) then begin
+      Hashtbl.add reachable pred ();
+      List.iter
+        (fun (r : Rule.t) ->
+          if String.equal r.head.pred pred then
+            List.iter (fun q -> if List.mem q derived then visit q)
+              (body_preds r))
+        rules
+    end
+  in
+  List.iter (fun scc -> List.iter visit scc) roots;
+  let loc_of pred =
+    match Program.rules_for p pred with
+    | (r : Rule.t) :: _ -> r.loc
+    | [] -> None
+  in
+  let w004 =
+    List.filter_map
+      (fun pred ->
+        if Hashtbl.mem reachable pred then None
+        else
+          let why =
+            match goal with
+            | Some g -> Printf.sprintf "the goal %s does not depend on it" g
+            | None -> "no output predicate depends on it"
+          in
+          Some
+            (diag ?file ?loc:(loc_of pred) "W004"
+               (Printf.sprintf
+                  "derived predicate %s is unreachable: %s" pred why)
+               ~suggestion:"delete its rules or reference it from a rule"))
+      derived
+  in
+  let referenced = List.concat_map body_preds rules in
+  let fact_preds =
+    List.sort_uniq String.compare (List.map fst p.Program.facts)
+  in
+  let w003 =
+    if rules = [] then [] (* a pure fact file: nothing reads anything *)
+    else
+      List.filter_map
+        (fun pred ->
+          if List.mem pred referenced || List.mem pred derived then None
+          else
+            Some
+              (diag ?file "W003"
+                 (Printf.sprintf
+                    "facts are given for %s but no rule reads it" pred)
+                 ~suggestion:"delete the facts or add a rule using them"))
+        fact_preds
+  in
+  (* A recursive component with no exit rule derives nothing. *)
+  let w005 =
+    List.filter_map
+      (fun scc ->
+        let is_recursive =
+          match scc with
+          | [ single ] -> Analysis.mutually_recursive p single single
+          | _ -> true
+        in
+        if not is_recursive then None
+        else
+          let component_rules =
+            List.filter (fun (r : Rule.t) -> List.mem r.head.pred scc) rules
+          in
+          let seeded pred =
+            List.exists (fun (q, _) -> String.equal q pred) p.Program.facts
+          in
+          let has_exit =
+            List.exists
+              (fun (r : Rule.t) ->
+                not (List.exists (fun q -> List.mem q scc) (body_preds r)))
+              component_rules
+            || List.exists seeded scc
+          in
+          if has_exit then None
+          else
+            let loc =
+              match component_rules with
+              | (r : Rule.t) :: _ -> r.loc
+              | [] -> None
+            in
+            Some
+              (diag ?file ?loc "W005"
+                 (Printf.sprintf
+                    "recursive component {%s} has no exit rule: every rule \
+                     depends on the component, so its predicates are \
+                     provably empty" (String.concat ", " scc))
+                 ~suggestion:
+                   "add a non-recursive rule (or facts) deriving one of its \
+                    predicates"))
+      sccs
+  in
+  w004 @ w003 @ w005
+
+(* ------------------------------------------------------------------ *)
+(* Stratification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Shortest dependency path [src -> … -> dst] inside [within], following
+   edges of the dependency graph (p -> q when q occurs in a body of a
+   rule for p). *)
+let find_path graph ~src ~dst ~within =
+  let parent = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  Queue.add src queue;
+  Hashtbl.add parent src None;
+  let rec walk () =
+    if Queue.is_empty queue then None
+    else
+      let v = Queue.pop queue in
+      if String.equal v dst then begin
+        let rec unwind v acc =
+          match Hashtbl.find parent v with
+          | None -> v :: acc
+          | Some u -> unwind u (v :: acc)
+        in
+        Some (unwind dst [])
+      end
+      else begin
+        let deps =
+          match List.assoc_opt v graph with Some d -> d | None -> []
+        in
+        List.iter
+          (fun w ->
+            if List.mem w within && not (Hashtbl.mem parent w) then begin
+              Hashtbl.add parent w (Some v);
+              Queue.add w queue
+            end)
+          deps;
+        walk ()
+      end
+  in
+  walk ()
+
+let stratification ?file (p : Program.t) =
+  let rules = Program.rules p in
+  let sccs = Analysis.sccs p in
+  let scc_of pred = List.find_opt (fun scc -> List.mem pred scc) sccs in
+  let graph = Analysis.dependency_graph p in
+  let uses_negation = List.exists (fun (r : Rule.t) -> r.neg <> []) rules in
+  let w006 =
+    if not uses_negation then []
+    else
+      let first =
+        List.find (fun (r : Rule.t) -> r.neg <> []) rules
+      in
+      [
+        diag ?file ?loc:first.loc "W006"
+          "this program uses negation: the checker verifies it \
+           statically, but the evaluation engines reject it"
+          ~suggestion:
+            "stratified negation is analysis-only for now; rewrite the \
+             program positively to evaluate it";
+      ]
+  in
+  let e005 =
+    List.concat_map
+      (fun (r : Rule.t) ->
+        match scc_of r.head.pred with
+        | None -> []
+        | Some scc ->
+          List.filter_map
+            (fun (a : Atom.t) ->
+              if not (List.mem a.pred scc) then None
+              else
+                let witness =
+                  match
+                    find_path graph ~src:a.pred ~dst:r.head.pred ~within:scc
+                  with
+                  | Some path ->
+                    Printf.sprintf " (cycle: %s -[not]-> %s)" r.head.pred
+                      (String.concat " -> " path)
+                  | None -> ""
+                in
+                Some
+                  (diag ?file ?loc:r.loc "E005"
+                     (Printf.sprintf
+                        "unstratifiable: %s depends negatively on its own \
+                         component through `not %s`%s" r.head.pred
+                        (Format.asprintf "%a" Atom.pp a)
+                        witness)
+                     ~suggestion:
+                       "break the cycle so the negated predicate is fully \
+                        computed in a lower stratum"))
+            r.neg)
+      rules
+  in
+  (* Positive multi-predicate recursion is fine — the stratified engine
+     runs the whole clique as one stratum — but a cycle witness is
+     useful context, so report it as a note. *)
+  let i004 =
+    List.filter_map
+      (fun scc ->
+        match scc with
+        | [] | [ _ ] -> None
+        | first :: _ ->
+          let witness =
+            let deps =
+              match List.assoc_opt first graph with Some d -> d | None -> []
+            in
+            let back =
+              List.find_map
+                (fun d ->
+                  if List.mem d scc then
+                    find_path graph ~src:d ~dst:first ~within:scc
+                  else None)
+                deps
+            in
+            (match back with
+             | Some path -> first :: path
+             | None -> scc)
+          in
+          let loc =
+            match Program.rules_for p first with
+            | (r : Rule.t) :: _ -> r.loc
+            | [] -> None
+          in
+          Some
+            (diag ?file ?loc "I004"
+               (Printf.sprintf
+                  "predicates {%s} are mutually recursive (cycle: %s); the \
+                   stratified engine evaluates them as one stratum"
+                  (String.concat ", " scc)
+                  (String.concat " -> " witness))))
+      sccs
+  in
+  w006 @ e005 @ i004
+
+(* ------------------------------------------------------------------ *)
+(* Sirup-shape and linearity classification                            *)
+(* ------------------------------------------------------------------ *)
+
+let classification ?file (p : Program.t) =
+  match Analysis.as_sirup p with
+  | Ok s ->
+    let line (r : Rule.t) =
+      match r.loc with
+      | Some l -> Printf.sprintf "line %d" l
+      | None -> "no source line"
+    in
+    [
+      diag ?file ?loc:s.Analysis.rec_rule.Rule.loc "I001"
+        (Printf.sprintf
+           "linear sirup: predicate %s/%d (exit rule at %s, recursive rule \
+            at %s); the Section 3-6 schemes (q, nocomm, wolfson, tradeoff) \
+            apply" s.Analysis.pred
+           (Array.length s.Analysis.head_vars)
+           (line s.Analysis.exit_rule) (line s.Analysis.rec_rule));
+    ]
+  | Error (Analysis.Ill_formed _) ->
+    (* The safety/arity passes already reported the underlying errors. *)
+    []
+  | Error reason ->
+    let loc =
+      match reason with
+      | Analysis.Nonlinear_recursive_rule r
+      | Analysis.Head_has_constants r
+      | Analysis.Rec_atom_has_constants r -> r.Rule.loc
+      | _ -> None
+    in
+    [
+      diag ?file ?loc "I002"
+        (Printf.sprintf
+           "not a linear sirup: %s; the sirup-only schemes (q, nocomm, \
+            wolfson, tradeoff) are unavailable"
+           (Analysis.explain_not_sirup reason))
+        ~suggestion:
+          "the Section 7 general scheme (--scheme general) applies to any \
+           safe positive program";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The full program-level pass pipeline                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_program ?file ?goal p =
+  arity ?file p
+  @ safety ?file p
+  @ stratification ?file p
+  @ duplicates ?file p
+  @ reachability ?file ?goal p
+  @ classification ?file p

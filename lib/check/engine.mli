@@ -1,0 +1,24 @@
+(** The program-level diagnostic passes of [datalogp check].
+
+    [check_program] runs, in order: arity/symbol consistency ([E004]),
+    safety and range restriction ([E001]–[E003], [W001]),
+    stratification over the signed dependency graph ([E005] with a
+    negative-cycle witness, [W006], [I004]), duplicate-rule detection
+    up to variable renaming ([W002]), unused and unreachable predicates
+    and provably-empty recursive components ([W003]–[W005]), and
+    sirup-shape classification ([I001]/[I002]).
+
+    Scheme-specific checks (Theorems 2 and 3, Section 5) live in
+    {!Scheme}. *)
+
+open Datalog
+
+val check_program :
+  ?file:string -> ?goal:string -> Program.t -> Diagnostic.t list
+(** Diagnostics in pass order; an empty list means a clean program.
+
+    [goal] designates the output predicate (the paper's programs each
+    compute one): reachability is then the backward closure from it,
+    which is what lets [W004] flag derived predicates the goal never
+    uses. Without it, every predicate no rule reads counts as an
+    output. *)

@@ -1,0 +1,266 @@
+open Datalog
+open Pardatalog
+
+let diag ?file ?loc ?suggestion code msg =
+  Diagnostic.make ?file ?loc ?suggestion ~code
+    ~severity:(Diagnostic.severity_of_code code) msg
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  sirup : Analysis.sirup option;
+  free_choice : Dataflow.free_choice option;
+  communication_free : bool;
+  predicted : Netgraph.t option;
+}
+
+let seq vars = "(" ^ String.concat ", " vars ^ ")"
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 2: effectiveness preconditions                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every variable of a discriminating sequence must appear in a body
+   atom of its rule; the rewritten, guarded rule is then safe and the
+   scheme-q execution computes S(P) exactly (Theorem 2). *)
+let theorem2 ?file (s : Analysis.sirup) ~ve ~vr =
+  let missing (r : Rule.t) which vars =
+    let bvs = Rule.body_vars r in
+    List.filter_map
+      (fun v ->
+        if List.mem v bvs then None
+        else
+          Some
+            (diag ?file ?loc:r.Rule.loc "E102"
+               (Printf.sprintf
+                  "variable %s of the %s discriminating sequence %s does \
+                   not appear in the body of `%s`: the guarded rewriting \
+                   is not effective (Theorem 2)" v which (seq vars)
+                  (Rule.to_string r))
+               ~suggestion:
+                 "discriminate only on variables the rule's body binds"))
+      vars
+  in
+  missing s.Analysis.exit_rule "exit" ve
+  @ missing s.Analysis.rec_rule "recursive" vr
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 3: is the chosen (ve, vr) itself communication-free?        *)
+(* ------------------------------------------------------------------ *)
+
+(* The chosen sequences are communication-free (with a symmetric
+   discriminating function) exactly when there are distinct argument
+   positions q₁ … qₖ forming a dataflow cycle q₁ → q₂ → … → qₖ → q₁
+   with vr = (Y_{q₁}, …, Y_{qₖ}) and ve the exit head's variables at
+   the same positions. Search the (tiny) position space directly. *)
+let chosen_cycle (s : Analysis.sirup) (df : Dataflow.t) ~ve ~vr =
+  let k = List.length vr in
+  if k = 0 || List.length ve <> k then None
+  else
+    let ve = Array.of_list ve and vr = Array.of_list vr in
+    let exit_head_var q =
+      match s.Analysis.exit_rule.Rule.head.Atom.args.(q - 1) with
+      | Term.Var v -> Some v
+      | _ -> None
+    in
+    let positions = List.init df.Dataflow.arity (fun i -> i + 1) in
+    let candidates i =
+      List.filter
+        (fun q ->
+          String.equal s.Analysis.rec_vars.(q - 1) vr.(i)
+          && exit_head_var q = Some ve.(i))
+        positions
+    in
+    let edge a b = List.mem (a, b) df.Dataflow.edges in
+    let chosen = Array.make k 0 in
+    let rec go i =
+      if i = k then edge chosen.(k - 1) chosen.(0)
+      else
+        List.exists
+          (fun q ->
+            (not (Array.exists (Int.equal q) (Array.sub chosen 0 i)))
+            && (i = 0 || edge chosen.(i - 1) q)
+            && begin
+              chosen.(i) <- q;
+              go (i + 1)
+            end)
+          (candidates i)
+    in
+    if go 0 then Some (Array.to_list chosen) else None
+
+(* ------------------------------------------------------------------ *)
+(* The full scheme check                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_scheme ?file ?(spec = Hash_fn.Opaque) ~ve ~vr program =
+  match Analysis.as_sirup program with
+  | Error reason ->
+    let loc =
+      match reason with
+      | Analysis.Nonlinear_recursive_rule r
+      | Analysis.Head_has_constants r
+      | Analysis.Rec_atom_has_constants r -> r.Rule.loc
+      | _ -> None
+    in
+    {
+      diagnostics =
+        [
+          diag ?file ?loc "E101"
+            (Printf.sprintf
+               "scheme checking requires a linear sirup (Sections 3-6): %s"
+               (Analysis.explain_not_sirup reason))
+            ~suggestion:
+              "the Section 7 general scheme (--scheme general) partitions \
+               rule instances of any safe program; per-scheme static \
+               checks do not apply to it";
+        ];
+      sirup = None;
+      free_choice = None;
+      communication_free = false;
+      predicted = None;
+    }
+  | Ok s ->
+    let df = Dataflow.of_sirup s in
+    let fc = Dataflow.communication_free_choice s in
+    let e103 =
+      List.filter_map
+        (fun (which, vars, (r : Rule.t)) ->
+          if vars = [] then
+            Some
+              (diag ?file ?loc:r.loc "E103"
+                 (Printf.sprintf
+                    "the %s discriminating sequence is empty: every \
+                     instance of `%s` lands on one processor" which
+                    (Rule.to_string r))
+                 ~suggestion:
+                   "discriminate on at least one variable (see `datalogp \
+                    dataflow` for the Theorem 3 choice)")
+          else None)
+        [ ("exit", ve, s.Analysis.exit_rule);
+          ("recursive", vr, s.Analysis.rec_rule) ]
+    in
+    if e103 <> [] then
+      { diagnostics = e103; sirup = Some s; free_choice = fc;
+        communication_free = false; predicted = None }
+    else begin
+      let e102 = theorem2 ?file s ~ve ~vr in
+      let i100 =
+        if e102 = [] then
+          [
+            diag ?file "I100"
+              (Printf.sprintf
+                 "Theorem 2 holds for ve=%s, vr=%s: every sequence \
+                  variable is bound in its rule's body, so scheme q is \
+                  non-redundant (each instantiation runs on exactly one \
+                  processor)" (seq ve) (seq vr));
+          ]
+        else []
+      in
+      let w101 =
+        match Discriminant.covered_positions vr s.Analysis.rec_atom with
+        | Some _ -> []
+        | None ->
+          [
+            diag ?file ?loc:s.Analysis.rec_rule.Rule.loc "W101"
+              (Printf.sprintf
+                 "vr=%s is not covered by the recursive atom %s: a \
+                  produced tuple does not determine its consumer, so the \
+                  runtime must broadcast (Section 6 locality is violated)"
+                 (seq vr)
+                 (Format.asprintf "%a" Atom.pp s.Analysis.rec_atom))
+              ~suggestion:
+                "choose vr among the recursive atom's variables so tuples \
+                 can be routed point-to-point";
+          ]
+      in
+      let cycle = chosen_cycle s df ~ve ~vr in
+      let theorem3 =
+        match cycle, fc with
+        | Some positions, _ ->
+          [
+            diag ?file "I101"
+              (Printf.sprintf
+                 "ve/vr discriminate on the dataflow cycle %s: with a \
+                  symmetric discriminating function the execution is \
+                  communication-free (Theorem 3)"
+                 (String.concat " -> "
+                    (List.map string_of_int
+                       (positions @ [ List.hd positions ]))));
+          ]
+        | None, Some free ->
+          [
+            diag ?file "W102"
+              (Printf.sprintf
+                 "this choice communicates although a communication-free \
+                  one exists: discriminating on cycle positions %s with \
+                  ve=%s, vr=%s needs no inter-processor messages \
+                  (Theorem 3)"
+                 (String.concat " -> "
+                    (List.map string_of_int
+                       (free.Dataflow.cycle @ [ List.hd free.Dataflow.cycle ])))
+                 (seq free.Dataflow.ve) (seq free.Dataflow.vr))
+              ~suggestion:
+                (Printf.sprintf
+                   "run with --scheme nocomm, or pass --ve %s --vr %s"
+                   (String.concat "," free.Dataflow.ve)
+                   (String.concat "," free.Dataflow.vr));
+          ]
+        | None, None ->
+          let msg =
+            match Dataflow.find_cycle df with
+            | None ->
+              "the dataflow graph is acyclic: no communication-free \
+               choice exists, every discriminating choice communicates \
+               on some database (Theorem 3)"
+            | Some _ ->
+              "the dataflow graph has a cycle, but the exit head carries \
+               a constant at a cycle position: no communication-free \
+               choice is available (Theorem 3)"
+          in
+          [ diag ?file "I102" msg ]
+      in
+      let predicted, prediction =
+        match
+          Derive.minimal_network { Derive.sirup = s; ve; vr; spec }
+        with
+        | Ok net ->
+          let cross = Netgraph.without_self net in
+          let i103 =
+            diag ?file "I103"
+              (Printf.sprintf
+                 "Section 5 prediction: over %d processors the minimal \
+                  network has %d edge(s), %d cross-processor: %s"
+                 (Pid.size (Netgraph.space net))
+                 (Netgraph.edge_count net)
+                 (Netgraph.edge_count cross)
+                 (Format.asprintf "@[<h>%a@]" Netgraph.pp net))
+          in
+          let i104 =
+            if Netgraph.edge_count cross = 0 then
+              [
+                diag ?file "I104"
+                  "the predicted network has no cross-processor edge: \
+                   the execution is communication-free for every \
+                   database";
+              ]
+            else []
+          in
+          (Some net, i103 :: i104)
+        | Error e ->
+          ( None,
+            [
+              diag ?file "I105"
+                (Printf.sprintf
+                   "no Section 5 network prediction: %s" e)
+                ~suggestion:
+                  "predictions need a bitvec or linear discriminating \
+                   function with vr covered by the recursive atom";
+            ] )
+      in
+      {
+        diagnostics = e102 @ i100 @ w101 @ theorem3 @ prediction;
+        sirup = Some s;
+        free_choice = fc;
+        communication_free = cycle <> None;
+        predicted;
+      }
+    end

@@ -1,0 +1,41 @@
+(** Static verification of a discriminating-scheme choice for a linear
+    sirup (Sections 3–6 of the paper).
+
+    Given the discriminating sequences [ve] (exit rule) and [vr]
+    (recursive rule) — and optionally the symbolic shape of the
+    discriminating function — the checker:
+
+    - verifies the Theorem 2 effectiveness preconditions (every
+      sequence variable bound in its rule's body → [E102]/[I100]);
+    - checks Section 6 locality ([vr] covered by the recursive atom,
+      else the runtime broadcasts → [W101]);
+    - decides Theorem 3: whether the chosen sequences discriminate on a
+      dataflow-graph cycle ([I101]), and if not, whether a
+      communication-free choice exists that the user is forgoing
+      ([W102]) or none exists at all ([I102]);
+    - predicts the minimal network graph of Section 5 when the
+      function's spec allows it ([I103]/[I104]/[I105]). *)
+
+open Datalog
+open Pardatalog
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  sirup : Analysis.sirup option;  (** [None] iff [E101] was reported. *)
+  free_choice : Dataflow.free_choice option;
+      (** The Theorem 3 choice, when the dataflow graph has a usable
+          cycle — independent of the sequences under check. *)
+  communication_free : bool;
+      (** Whether the {e chosen} [ve]/[vr] lie on a dataflow cycle, so a
+          symmetric discriminating function makes the run message-free. *)
+  predicted : Netgraph.t option;  (** The Section 5 minimal network. *)
+}
+
+val check_scheme :
+  ?file:string ->
+  ?spec:Hash_fn.spec ->
+  ve:string list ->
+  vr:string list ->
+  Program.t ->
+  report
+(** [spec] defaults to {!Hash_fn.Opaque} (no network prediction). *)

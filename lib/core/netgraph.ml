@@ -1,7 +1,15 @@
+module Edge_set = Set.Make (struct
+  type t = Pid.t * Pid.t
+
+  let compare = compare
+end)
+
 type t = {
   space : Pid.space;
-  edges : (Pid.t * Pid.t) list;  (* sorted, unique *)
+  edge_set : Edge_set.t;
 }
+
+let of_set space edge_set = { space; edge_set }
 
 let make space edges =
   let n = Pid.size space in
@@ -11,36 +19,37 @@ let make space edges =
         invalid_arg
           (Printf.sprintf "Netgraph.make: edge (%d,%d) outside [0,%d)" i j n))
     edges;
-  { space; edges = List.sort_uniq compare edges }
+  of_set space (Edge_set.of_list edges)
 
 let space g = g.space
-let edges g = g.edges
-let mem g i j = List.mem (i, j) g.edges
-let edge_count g = List.length g.edges
+let edges g = Edge_set.elements g.edge_set
+let mem g i j = Edge_set.mem (i, j) g.edge_set
+let edge_count g = Edge_set.cardinal g.edge_set
 
 let complete space =
   let n = Pid.size space in
-  let edges = ref [] in
-  for i = n - 1 downto 0 do
-    for j = n - 1 downto 0 do
-      edges := (i, j) :: !edges
+  let edges = ref Edge_set.empty in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      edges := Edge_set.add (i, j) !edges
     done
   done;
-  { space; edges = !edges }
+  of_set space !edges
 
 let self_only space =
-  { space; edges = List.map (fun i -> (i, i)) (Pid.all space) }
+  of_set space
+    (Edge_set.of_list (List.map (fun i -> (i, i)) (Pid.all space)))
 
 let without_self g =
-  { g with edges = List.filter (fun (i, j) -> i <> j) g.edges }
+  { g with edge_set = Edge_set.filter (fun (i, j) -> i <> j) g.edge_set }
 
 let union a b =
   if Pid.size a.space <> Pid.size b.space then
     invalid_arg "Netgraph.union: space size mismatch";
-  { a with edges = List.sort_uniq compare (a.edges @ b.edges) }
+  { a with edge_set = Edge_set.union a.edge_set b.edge_set }
 
-let subgraph a b = List.for_all (fun e -> List.mem e b.edges) a.edges
-let equal a b = subgraph a b && subgraph b a
+let subgraph a b = Edge_set.subset a.edge_set b.edge_set
+let equal a b = Edge_set.equal a.edge_set b.edge_set
 
 let of_labels space pairs =
   let resolve l =
@@ -51,14 +60,15 @@ let of_labels space pairs =
   make space (List.map (fun (a, b) -> (resolve a, resolve b)) pairs)
 
 let pp ppf g =
-  if g.edges = [] then Format.pp_print_string ppf "(no edges)"
+  if Edge_set.is_empty g.edge_set then
+    Format.pp_print_string ppf "(no edges)"
   else
     Format.pp_print_list
       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
       (fun ppf (i, j) ->
         Format.fprintf ppf "%s -> %s" (Pid.label g.space i)
           (Pid.label g.space j))
-      ppf g.edges
+      ppf (edges g)
 
 let to_dot g =
   let buf = Buffer.create 256 in
@@ -70,6 +80,6 @@ let to_dot g =
     (Pid.all g.space);
   List.iter
     (fun (i, j) -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" i j))
-    g.edges;
+    (edges g);
   Buffer.add_string buf "}\n";
   Buffer.contents buf

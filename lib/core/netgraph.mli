@@ -12,7 +12,12 @@ val make : Pid.space -> (Pid.t * Pid.t) list -> t
 
 val space : t -> Pid.space
 val edges : t -> (Pid.t * Pid.t) list
+(** Sorted, deduplicated. *)
+
 val mem : t -> Pid.t -> Pid.t -> bool
+(** O(log E): edges are backed by a set, so the checker's
+    channel-prediction comparisons stay near-linear. *)
+
 val edge_count : t -> int
 
 val complete : Pid.space -> t
@@ -29,7 +34,8 @@ val union : t -> t -> t
 (** @raise Invalid_argument when the spaces differ in size. *)
 
 val subgraph : t -> t -> bool
-(** [subgraph a b]: every edge of [a] is an edge of [b]. *)
+(** [subgraph a b]: every edge of [a] is an edge of [b].
+    O(E log E) set inclusion, not a quadratic list scan. *)
 
 val equal : t -> t -> bool
 

@@ -101,7 +101,7 @@ let rewrite_rule derived policy pid (rule : Rule.t) =
           ~fn:fn.Hash_fn.apply ~expect:pid;
       ]
   in
-  Rule.make ~guards head body
+  Rule.make ?loc:rule.loc ~guards head body
 
 let send_specs_of_rule program nprocs idx policy (rule : Rule.t) =
   let derived = Program.derived_predicates program in

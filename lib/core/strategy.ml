@@ -8,7 +8,7 @@ let attempt f =
   | rw -> Ok rw
   | exception Invalid_argument msg -> Error msg
 
-let as_sirup = Analysis.as_sirup
+let as_sirup = Analysis.as_sirup_string
 
 let exit_policy ?(seed = 0) ~nprocs (s : Analysis.sirup) =
   (* Default v(e): the exit head's variables (deduplicated), which are

@@ -5,8 +5,22 @@ let dependency_graph p =
       let deps =
         Program.rules_for p pred
         |> List.concat_map (fun (r : Rule.t) ->
-               List.map (fun (a : Atom.t) -> a.pred) r.body)
+               List.map (fun (a : Atom.t) -> a.pred) (r.body @ r.neg))
         |> List.sort_uniq String.compare
+      in
+      (pred, deps))
+    derived
+
+let signed_dependency_graph p =
+  let derived = Program.derived_predicates p in
+  List.map
+    (fun pred ->
+      let deps =
+        Program.rules_for p pred
+        |> List.concat_map (fun (r : Rule.t) ->
+               List.map (fun (a : Atom.t) -> (a.pred, false)) r.body
+               @ List.map (fun (a : Atom.t) -> (a.pred, true)) r.neg)
+        |> List.sort_uniq compare
       in
       (pred, deps))
     derived
@@ -108,17 +122,43 @@ let all_vars (a : Atom.t) =
          a.args)
   with Not_var -> None
 
+type not_sirup =
+  | Not_single_predicate of string list
+  | Ill_formed of string
+  | Wrong_rule_count of { recursive : int; exit : int }
+  | Nonlinear_recursive_rule of Rule.t
+  | Head_has_constants of Rule.t
+  | Rec_atom_has_constants of Rule.t
+
+let explain_not_sirup = function
+  | Not_single_predicate [] -> "the program has no rules"
+  | Not_single_predicate ps ->
+    Printf.sprintf
+      "a sirup must define exactly one predicate, found %d (%s)"
+      (List.length ps) (String.concat ", " ps)
+  | Ill_formed msg -> msg
+  | Wrong_rule_count { recursive; exit } ->
+    Printf.sprintf
+      "a sirup must have one recursive and one exit rule (found %d/%d)"
+      recursive exit
+  | Nonlinear_recursive_rule r ->
+    "the recursive rule must contain exactly one recursive atom: "
+    ^ Rule.to_string r
+  | Head_has_constants r ->
+    "the recursive head's arguments must all be variables: "
+    ^ Rule.to_string r
+  | Rec_atom_has_constants r ->
+    "the recursive body atom's arguments must all be variables: "
+    ^ Rule.to_string r
+
 let as_sirup p =
   let ( let* ) r f = Result.bind r f in
   let* () =
     match Program.derived_predicates p with
     | [ _ ] -> Ok ()
-    | ps ->
-      Error
-        (Printf.sprintf "sirup must define exactly one predicate, found %d"
-           (List.length ps))
+    | ps -> Error (Not_single_predicate ps)
   in
-  let* () = Program.check p in
+  let* () = Result.map_error (fun m -> Ill_formed m) (Program.check p) in
   let recs, exits =
     List.partition (is_recursive_rule p) (Program.rules p)
   in
@@ -127,24 +167,23 @@ let as_sirup p =
     | [ r ], [ e ] -> Ok (r, e)
     | _ ->
       Error
-        (Printf.sprintf
-           "sirup must have one recursive and one exit rule (found %d/%d)"
-           (List.length recs) (List.length exits))
+        (Wrong_rule_count
+           { recursive = List.length recs; exit = List.length exits })
   in
   let* rec_atom =
     match recursive_atoms p rec_rule with
     | [ a ] -> Ok a
-    | _ -> Error "recursive rule must be linear"
+    | _ -> Error (Nonlinear_recursive_rule rec_rule)
   in
   let* head_vars =
     match all_vars rec_rule.head with
     | Some vs -> Ok vs
-    | None -> Error "recursive head arguments must be variables"
+    | None -> Error (Head_has_constants rec_rule)
   in
   let* rec_vars =
     match all_vars rec_atom with
     | Some vs -> Ok vs
-    | None -> Error "recursive body atom arguments must be variables"
+    | None -> Error (Rec_atom_has_constants rec_rule)
   in
   let base_atoms =
     List.filter (fun a -> not (Atom.equal a rec_atom)) rec_rule.body
@@ -154,7 +193,7 @@ let as_sirup p =
       List.exists
         (fun (a : Atom.t) -> String.equal a.pred rec_rule.head.pred)
         base_atoms
-    then Error "recursive rule must contain exactly one recursive atom"
+    then Error (Nonlinear_recursive_rule rec_rule)
     else Ok ()
   in
   Ok
@@ -167,3 +206,5 @@ let as_sirup p =
       rec_vars;
       base_atoms;
     }
+
+let as_sirup_string p = Result.map_error explain_not_sirup (as_sirup p)

@@ -4,7 +4,14 @@
 
 val dependency_graph : Program.t -> (string * string list) list
 (** For each derived predicate, the sorted list of predicates occurring
-    in the bodies of its rules (i.e. the predicates that derive it). *)
+    in the bodies of its rules — negated occurrences included (i.e. the
+    predicates that derive it). *)
+
+val signed_dependency_graph :
+  Program.t -> (string * (string * bool) list) list
+(** Like {!dependency_graph} but each dependency carries whether it is
+    through a negated atom ([true] = negative edge). Used by the static
+    stratification check. *)
 
 val sccs : Program.t -> string list list
 (** Strongly connected components of the dependency graph restricted to
@@ -36,8 +43,23 @@ type sirup = {
 (** The canonical form of a linear sirup:
     [e:  t(Z̄) :- s(Z̄).    r:  t(X̄) :- t(Ȳ), b₁, …, bₖ.] *)
 
-val as_sirup : Program.t -> (sirup, string) result
+type not_sirup =
+  | Not_single_predicate of string list  (** The derived predicates found. *)
+  | Ill_formed of string  (** {!Program.check} failure. *)
+  | Wrong_rule_count of { recursive : int; exit : int }
+  | Nonlinear_recursive_rule of Rule.t  (** More than one recursive atom. *)
+  | Head_has_constants of Rule.t
+  | Rec_atom_has_constants of Rule.t
+(** Why a program is not a linear sirup — structured so diagnostics can
+    point at the offending rule and suggest a remedy. *)
+
+val explain_not_sirup : not_sirup -> string
+
+val as_sirup : Program.t -> (sirup, not_sirup) result
 (** Recognize a linear sirup: exactly one derived predicate, exactly two
     rules — one non-recursive (exit) and one with exactly one recursive
     atom — whose head and recursive-atom arguments are all variables,
     and both rules safe. *)
+
+val as_sirup_string : Program.t -> (sirup, string) result
+(** {!as_sirup} with the error rendered by {!explain_not_sirup}. *)

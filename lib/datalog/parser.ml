@@ -163,48 +163,76 @@ let parse_term st =
     Term.sym s
   | _ -> fail st.lx "expected a term"
 
+(* The argument list of an atom, after the '(' has been consumed. *)
+let parse_args st =
+  let rec args acc =
+    let t = parse_term st in
+    match st.tok with
+    | Comma ->
+      bump st;
+      args (t :: acc)
+    | Rparen ->
+      bump st;
+      List.rev (t :: acc)
+    | _ -> fail st.lx "expected ',' or ')'"
+  in
+  args []
+
 let parse_atom st =
   match st.tok with
   | Ident pred ->
     bump st;
     if st.tok = Lparen then begin
       bump st;
-      let rec args acc =
-        let t = parse_term st in
-        match st.tok with
-        | Comma ->
-          bump st;
-          args (t :: acc)
-        | Rparen ->
-          bump st;
-          List.rev (t :: acc)
-        | _ -> fail st.lx "expected ',' or ')'"
-      in
-      Atom.make pred (args [])
+      Atom.make pred (parse_args st)
     end
     else Atom.make pred []
   | _ -> fail st.lx "expected a predicate symbol"
 
+(* A body literal: an atom, optionally negated with the keyword [not].
+   [not] followed by '(' or by ',' / '.' keeps its old reading as a
+   predicate symbol, so existing programs parse unchanged. *)
+let parse_literal st =
+  match st.tok with
+  | Ident "not" ->
+    bump st;
+    (match st.tok with
+     | Ident _ -> `Neg (parse_atom st)
+     | Lparen ->
+       bump st;
+       `Pos (Atom.make "not" (parse_args st))
+     | _ -> `Pos (Atom.make "not" []))
+  | _ -> `Pos (parse_atom st)
+
 let parse_clause st =
+  (* The current token is the head's predicate symbol; the lexer's line
+     counter still points at it. *)
+  let loc = st.lx.line in
   let head = parse_atom st in
   match st.tok with
   | Dot ->
     bump st;
-    Rule.make head []
+    Rule.make ~loc head []
   | Arrow ->
     bump st;
-    let rec body acc =
-      let a = parse_atom st in
+    let rec body pos neg =
+      let lit = parse_literal st in
+      let pos, neg =
+        match lit with
+        | `Pos a -> (a :: pos, neg)
+        | `Neg a -> (pos, a :: neg)
+      in
       match st.tok with
       | Comma ->
         bump st;
-        body (a :: acc)
+        body pos neg
       | Dot ->
         bump st;
-        List.rev (a :: acc)
+        (List.rev pos, List.rev neg)
       | _ -> fail st.lx "expected ',' or '.'"
     in
-    Rule.make head (body [])
+    let pos, neg = body [] [] in
+    Rule.make ~loc ~neg head pos
   | _ -> fail st.lx "expected '.' or ':-'"
 
 let parse_program st =
@@ -213,7 +241,7 @@ let parse_program st =
     | Eof -> Program.make ~facts:(List.rev facts) (List.rev rules)
     | _ ->
       let clause = parse_clause st in
-      if clause.body = [] then
+      if clause.body = [] && clause.neg = [] then
         match Atom.to_tuple clause.head with
         | Some t -> go rules ((clause.head.pred, t) :: facts)
         | None -> fail st.lx "fact must be ground"

@@ -13,7 +13,8 @@ let derived_predicates p =
 let all_preds_with_arity p =
   let from_atom (a : Atom.t) = (a.pred, Atom.arity a) in
   List.concat_map
-    (fun (r : Rule.t) -> from_atom r.head :: List.map from_atom r.body)
+    (fun (r : Rule.t) ->
+      from_atom r.head :: List.map from_atom (r.body @ r.neg))
     p.rules
   @ List.map (fun (pred, t) -> (pred, Tuple.arity t)) p.facts
 
@@ -43,10 +44,17 @@ let check p =
   match arities p with
   | exception Invalid_argument msg -> Error msg
   | _ ->
-    let unsafe = List.filter (fun r -> not (Rule.is_safe r)) p.rules in
-    (match unsafe with
-     | r :: _ -> Error ("unsafe rule: " ^ Rule.to_string r)
-     | [] -> Ok ())
+    let negated = List.filter (fun (r : Rule.t) -> r.neg <> []) p.rules in
+    (match negated with
+     | r :: _ ->
+       Error
+         ("negation is not supported by the evaluation engines \
+           (use `datalogp check` to analyse it): " ^ Rule.to_string r)
+     | [] ->
+       let unsafe = List.filter (fun r -> not (Rule.is_safe r)) p.rules in
+       (match unsafe with
+        | r :: _ -> Error ("unsafe rule: " ^ Rule.to_string r)
+        | [] -> Ok ()))
 
 let facts_db p =
   let db = Database.create () in

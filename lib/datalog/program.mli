@@ -24,8 +24,10 @@ val arities : t -> (string * int) list
     @raise Invalid_argument if a predicate is used at two arities. *)
 
 val check : t -> (unit, string) result
-(** Well-formedness: consistent arities; every rule safe (head and
-    guard variables occur in the body); facts ground. *)
+(** Well-formedness for the evaluation engines: consistent arities;
+    every rule safe (head and guard variables occur in the body); facts
+    ground; no negated atoms (negation is analysed statically by the
+    checker but not yet evaluated). *)
 
 val facts_db : t -> Database.t
 (** A database holding the program's ground facts. *)

@@ -8,10 +8,15 @@ type guard = {
 type t = {
   head : Atom.t;
   body : Atom.t list;
+  neg : Atom.t list;
   guards : guard list;
+  loc : int option;
 }
 
-let make ?(guards = []) head body = { head; body; guards }
+let make ?loc ?(neg = []) ?(guards = []) head body =
+  { head; body; neg; guards; loc }
+
+let with_loc loc r = { r with loc = Some loc }
 
 let guard ~name ~vars ~fn ~expect =
   { gname = name; gvars = Array.of_list vars; gfn = fn; gexpect = expect }
@@ -29,14 +34,17 @@ let dedup vars =
 
 let head_vars r = Atom.vars r.head
 let body_vars r = dedup (List.concat_map Atom.vars r.body)
+let neg_vars r = dedup (List.concat_map Atom.vars r.neg)
 let vars r = dedup (head_vars r @ body_vars r)
 
-let is_fact r = r.body = [] && r.guards = [] && Atom.is_ground r.head
+let is_fact r =
+  r.body = [] && r.neg = [] && r.guards = [] && Atom.is_ground r.head
 
 let is_safe r =
   let bvs = body_vars r in
   let in_body v = List.mem v bvs in
   List.for_all in_body (head_vars r)
+  && List.for_all in_body (neg_vars r)
   && List.for_all
        (fun g -> Array.for_all in_body g.gvars)
        r.guards
@@ -62,15 +70,21 @@ let pp_guard ppf g =
        Format.pp_print_string)
     g.gvars g.gexpect
 
+let pp_neg ppf a = Format.fprintf ppf "not %a" Atom.pp a
+
 let pp ppf r =
-  match r.body, r.guards with
-  | [], [] -> Format.fprintf ppf "@[%a.@]" Atom.pp r.head
+  match r.body, r.neg, r.guards with
+  | [], [], [] -> Format.fprintf ppf "@[%a.@]" Atom.pp r.head
   | _ ->
     let pp_sep ppf () = Format.fprintf ppf ",@ " in
-    Format.fprintf ppf "@[<hov 2>%a :-@ %a%s%a.@]" Atom.pp r.head
+    let sep_if cond = if cond then ", " else "" in
+    Format.fprintf ppf "@[<hov 2>%a :-@ %a%s%a%s%a.@]" Atom.pp r.head
       (Format.pp_print_list ~pp_sep Atom.pp)
       r.body
-      (if r.body <> [] && r.guards <> [] then ", " else "")
+      (sep_if (r.body <> [] && r.neg <> []))
+      (Format.pp_print_list ~pp_sep pp_neg)
+      r.neg
+      (sep_if ((r.body <> [] || r.neg <> []) && r.guards <> []))
       (Format.pp_print_list ~pp_sep pp_guard)
       r.guards
 

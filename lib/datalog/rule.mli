@@ -15,11 +15,20 @@ type guard = {
 
 type t = {
   head : Atom.t;
-  body : Atom.t list;
+  body : Atom.t list;  (** Positive body atoms. *)
+  neg : Atom.t list;
+      (** Negated body atoms ([not p(X̄)]). The evaluation engines
+          reject rules with negation ({!Program.check}); the static
+          checker analyses them (safety, stratifiability). *)
   guards : guard list;
+  loc : int option;  (** 1-based source line, when parsed from text. *)
 }
 
-val make : ?guards:guard list -> Atom.t -> Atom.t list -> t
+val make : ?loc:int -> ?neg:Atom.t list -> ?guards:guard list ->
+  Atom.t -> Atom.t list -> t
+
+val with_loc : int -> t -> t
+(** Attach a source line to a programmatically built rule. *)
 
 val guard :
   name:string -> vars:string list -> fn:(Const.t array -> int) -> expect:int
@@ -27,15 +36,21 @@ val guard :
 
 val head_vars : t -> string list
 val body_vars : t -> string list
+(** Variables of the positive body atoms only. *)
+
+val neg_vars : t -> string list
+(** Variables of the negated body atoms. *)
 
 val vars : t -> string list
-(** All variables, first-occurrence order (head first). *)
+(** All head and positive-body variables, first-occurrence order (head
+    first). *)
 
 val is_fact : t -> bool
 (** True when the body is empty and the head is ground. *)
 
 val is_safe : t -> bool
-(** Every head variable and every guard variable occurs in the body. *)
+(** Every head, negated-atom and guard variable occurs in the positive
+    body (range restriction). *)
 
 val guard_ok : guard -> (string * Const.t) list -> bool option
 (** [guard_ok g env] is [None] if some guard variable is unbound in

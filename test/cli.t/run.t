@@ -84,3 +84,63 @@ Ill-formed programs are rejected.
   $ datalogp run bad.dl
   invalid program: unsafe rule: p(X, W) :- q(X).
   [2]
+
+The static checker classifies a clean sirup and exits zero.
+
+  $ datalogp check anc.dl
+  anc.dl:2: info[I001]: linear sirup: predicate anc/2 (exit rule at line 1, recursive rule at line 2); the Section 3-6 schemes (q, nocomm, wolfson, tradeoff) apply
+  0 error(s), 0 warning(s), 1 note(s)
+
+With a scheme it verifies Theorem 2, spots the forgone Theorem 3
+choice, and predicts the Section 5 network; --strict turns the
+warning into a failing exit code.
+
+  $ datalogp check anc.dl --ve X,Y --vr Z,Y --bitvec --strict
+  anc.dl:2: info[I001]: linear sirup: predicate anc/2 (exit rule at line 1, recursive rule at line 2); the Section 3-6 schemes (q, nocomm, wolfson, tradeoff) apply
+  anc.dl: info[I100]: Theorem 2 holds for ve=(X, Y), vr=(Z, Y): every sequence variable is bound in its rule's body, so scheme q is non-redundant (each instantiation runs on exactly one processor)
+  anc.dl: warning[W102]: this choice communicates although a communication-free one exists: discriminating on cycle positions 2 -> 2 with ve=(Y), vr=(Y) needs no inter-processor messages (Theorem 3)
+    hint: run with --scheme nocomm, or pass --ve Y --vr Y
+  anc.dl: info[I103]: Section 5 prediction: over 4 processors the minimal network has 8 edge(s), 4 cross-processor: (00) -> (00) (00) -> (10) (01) -> (01) (01) -> (11) (10) -> (00) (10) -> (10) (11) -> (01) (11) -> (11)
+  0 error(s), 1 warning(s), 3 note(s)
+  [1]
+
+Seeded defects are reported with their codes and source lines.
+
+  $ cat > defects.dl <<'PROG'
+  > p(X,Y) :- q(X).
+  > q(1,2).
+  > s(X) :- q(X,Y).
+  > s(A) :- q(A,B).
+  > t(X) :- t(X), q(X,Y).
+  > PROG
+  $ datalogp check defects.dl --strict
+  defects.dl:3: error[E004]: predicate q is used with arity 1 (rule body at line 1) and arity 2 (rule body at line 3)
+    hint: rename one of the predicates or fix the argument list
+  defects.dl:1: error[E001]: head variable Y of rule `p(X, Y) :- q(X).` is not bound in the positive body
+    hint: add a positive body atom binding Y, or replace it with a constant
+  defects.dl:4: warning[W002]: rule `s(A) :- q(A, B).` duplicates an earlier rule up to variable renaming (first occurrence at line 3)
+    hint: delete the duplicate rule
+  defects.dl:5: warning[W005]: recursive component {t} has no exit rule: every rule depends on the component, so its predicates are provably empty
+    hint: add a non-recursive rule (or facts) deriving one of its predicates
+  defects.dl: info[I002]: not a linear sirup: a sirup must define exactly one predicate, found 3 (p, s, t); the sirup-only schemes (q, nocomm, wolfson, tradeoff) are unavailable
+    hint: the Section 7 general scheme (--scheme general) applies to any safe positive program
+  2 error(s), 2 warning(s), 1 note(s)
+  [1]
+
+Findings are machine-readable with --json.
+
+  $ datalogp check defects.dl --json | head -1
+  [{"code":"E004","severity":"error","file":"defects.dl","line":3,"message":"predicate q is used with arity 1 (rule body at line 1) and arity 2 (rule body at line 3)","suggestion":"rename one of the predicates or fix the argument list"},
+
+Negation is analysed statically (stratification, Theorem-style cycle
+witness) but rejected by the evaluation engines.
+
+  $ cat > unstrat.dl <<'PROG'
+  > q(1).
+  > win(X) :- q(X), not win(X).
+  > PROG
+  $ datalogp check unstrat.dl 2>&1 | grep -o 'E005\|W006' | sort -u
+  E005
+  W006
+  $ datalogp run unstrat.dl 2>&1 | head -1
+  invalid program: negation is not supported by the evaluation engines (use `datalogp check` to analyse it): win(X) :- q(X), not win(X).

@@ -62,7 +62,7 @@ let analysis_tests =
             "rec vars" [| "Z"; "Y" |] s.Analysis.rec_vars;
           Alcotest.(check int) "one base atom" 1
             (List.length s.Analysis.base_atoms)
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Analysis.explain_not_sirup e));
     case "as_sirup rejects two derived predicates" (fun () ->
         match Analysis.as_sirup stratified with
         | Error _ -> ()
@@ -88,7 +88,7 @@ let analysis_tests =
         | Ok s ->
           Alcotest.(check (array string))
             "rec vars" [| "V"; "W"; "Z" |] s.Analysis.rec_vars
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Analysis.explain_not_sirup e));
   ]
 
 let suites = [ ("analysis", analysis_tests) ]

@@ -1,0 +1,320 @@
+(* The static checker: one seeded-defect program per diagnostic code,
+   plus properties tying the static claims to dynamic executions — the
+   predicted network graph must contain every channel a run uses, and a
+   claimed communication-free choice must actually run with zero
+   inter-processor messages. *)
+
+open Datalog
+open Pardatalog
+
+let parse = Parser.program_exn
+
+let has ?line code diags =
+  List.exists
+    (fun (d : Check.Diagnostic.t) ->
+      String.equal d.Check.Diagnostic.code code
+      && (match line with
+          | None -> true
+          | Some l -> d.Check.Diagnostic.loc = Some l))
+    diags
+
+let check_has ?line src code =
+  let diags = Check.Engine.check_program (parse src) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s reported" code)
+    true (has ?line code diags)
+
+let scheme_has ?spec ~ve ~vr src code =
+  let report = Check.Scheme.check_scheme ?spec ~ve ~vr (parse src) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s reported" code)
+    true
+    (has code report.Check.Scheme.diagnostics)
+
+let anc = "anc(X,Y) :- par(X,Y).\nanc(X,Y) :- anc(X,Z), par(Z,Y).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Program-level codes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_e001 () = check_has ~line:1 "p(X,Y) :- q(X).\n" "E001"
+
+let test_e002 () =
+  check_has ~line:1 "p(X) :- q(X), not r(Y).\n" "E002"
+
+let test_e003 () =
+  (* Guards only arise from the rewriting, so build the rule directly:
+     a guard over a variable the body does not bind. *)
+  let guard =
+    { Rule.gname = "h"; gvars = [| "Z" |]; gfn = (fun _ -> 0); gexpect = 0 }
+  in
+  let rule =
+    Rule.make ~loc:7 ~guards:[ guard ]
+      (Atom.make "p" [ Term.var "X" ])
+      [ Atom.make "q" [ Term.var "X" ] ]
+  in
+  let diags = Check.Engine.check_program (Program.make [ rule ]) in
+  Alcotest.(check bool) "E003 reported" true (has ~line:7 "E003" diags)
+
+let test_e004 () =
+  check_has ~line:2 "p(X) :- q(X,Y).\nr(X) :- q(X).\n" "E004"
+
+let test_e005 () =
+  check_has ~line:2 "q(1).\nr(X) :- q(X), not r(X).\n" "E005"
+
+let test_w001 () = check_has ~line:1 "p(1) :- q(1).\nr(X) :- q(X).\n" "W001"
+
+let test_w002 () =
+  check_has ~line:2 "s(X) :- q(X,Y).\ns(A) :- q(A,B).\n" "W002"
+
+let test_w003 () = check_has "p(X) :- q(X).\nv(5,6).\n" "W003"
+
+let test_w004 () =
+  let src = "tc(X,Y) :- e(X,Y).\ntc(X,Y) :- tc(X,Z), e(Z,Y).\nh(X) :- e(X,X).\n" in
+  let diags = Check.Engine.check_program ~goal:"tc" (parse src) in
+  Alcotest.(check bool) "W004 reported" true (has ~line:3 "W004" diags);
+  (* Without a goal every unread predicate counts as an output. *)
+  let diags = Check.Engine.check_program (parse src) in
+  Alcotest.(check bool) "no W004 without goal" false (has "W004" diags)
+
+let test_w005 () = check_has ~line:1 "t(X) :- t(X).\n" "W005"
+let test_w006 () = check_has ~line:2 "q(1).\nr(X) :- q(X), not s(X).\ns(2).\n" "W006"
+
+let test_i001 () = check_has ~line:2 anc "I001"
+
+let test_i002 () =
+  check_has "p(X) :- q(X).\nr(X) :- p(X).\n" "I002"
+
+let test_i004 () =
+  check_has
+    "even(X) :- zero(X).\neven(X) :- succ(Y,X), odd(Y).\n\
+     odd(X) :- succ(Y,X), even(Y).\n"
+    "I004"
+
+let test_clean () =
+  let diags = Check.Engine.check_program (parse anc) in
+  List.iter
+    (fun (d : Check.Diagnostic.t) ->
+      Alcotest.(check string)
+        "only the classification note" "I001" d.Check.Diagnostic.code)
+    diags
+
+(* ------------------------------------------------------------------ *)
+(* Scheme-level codes                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_e101 () =
+  scheme_has ~ve:[ "X" ] ~vr:[ "X" ] "p(X) :- q(X).\n" "E101"
+
+let test_e102 () = scheme_has ~ve:[ "X" ] ~vr:[ "Q" ] anc "E102"
+let test_e103 () = scheme_has ~ve:[] ~vr:[ "X" ] anc "E103"
+let test_w101 () = scheme_has ~ve:[ "Y" ] ~vr:[ "Y" ] anc "W101"
+
+let test_w102 () =
+  scheme_has ~ve:[ "X"; "Y" ] ~vr:[ "X"; "Z" ] anc "W102"
+
+let test_i100_i101 () =
+  let report =
+    Check.Scheme.check_scheme ~ve:[ "X" ] ~vr:[ "X" ] (parse anc)
+  in
+  let diags = report.Check.Scheme.diagnostics in
+  Alcotest.(check bool) "I100" true (has "I100" diags);
+  Alcotest.(check bool) "I101" true (has "I101" diags);
+  Alcotest.(check bool) "communication_free" true
+    report.Check.Scheme.communication_free
+
+let test_i102 () =
+  (* Same generation: the dataflow graph is empty, so Theorem 3 gives
+     no communication-free choice at all. *)
+  scheme_has ~ve:[ "X" ] ~vr:[ "U" ]
+    "sg(X,Y) :- flat(X,Y).\nsg(X,Y) :- up(X,U), sg(U,V), down(V,Y).\n"
+    "I102"
+
+let test_i103_i104 () =
+  let report =
+    Check.Scheme.check_scheme ~spec:Hash_fn.Bitvec ~ve:[ "X" ] ~vr:[ "X" ]
+      (parse anc)
+  in
+  let diags = report.Check.Scheme.diagnostics in
+  Alcotest.(check bool) "I103" true (has "I103" diags);
+  Alcotest.(check bool) "I104" true (has "I104" diags);
+  match report.Check.Scheme.predicted with
+  | Some net ->
+    Alcotest.(check int) "no cross edges" 0
+      (Netgraph.edge_count (Netgraph.without_self net))
+  | None -> Alcotest.fail "expected a predicted network"
+
+let test_i105 () = scheme_has ~ve:[ "X" ] ~vr:[ "X" ] anc "I105"
+
+let test_exit_codes () =
+  let open Check.Diagnostic in
+  let e = make ~code:"E001" ~severity:Error "e"
+  and w = make ~code:"W001" ~severity:Warning "w"
+  and i = make ~code:"I001" ~severity:Info "i" in
+  Alcotest.(check int) "errors fail" 1 (exit_code ~strict:false [ e; i ]);
+  Alcotest.(check int) "warnings pass" 0 (exit_code ~strict:false [ w; i ]);
+  Alcotest.(check int) "strict warnings fail" 1 (exit_code ~strict:true [ w ]);
+  Alcotest.(check int) "notes always pass" 0 (exit_code ~strict:true [ i ])
+
+let test_registry_covers_engine () =
+  (* Every code the passes can emit is described in the registry. *)
+  List.iter
+    (fun code ->
+      match Check.Diagnostic.describe code with
+      | Some _ -> ()
+      | None -> Alcotest.fail (code ^ " missing from registry"))
+    [ "E001"; "E002"; "E003"; "E004"; "E005"; "E101"; "E102"; "E103";
+      "W001"; "W002"; "W003"; "W004"; "W005"; "W006"; "W101"; "W102";
+      "I001"; "I002"; "I004"; "I100"; "I101"; "I102"; "I103"; "I104";
+      "I105" ]
+
+(* ------------------------------------------------------------------ *)
+(* Static claims vs dynamic executions                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The checker's Section 5 prediction must be a supergraph of the
+   channels an actual run uses, for random sirups and random linear
+   discriminating forms (the run's function is drawn from the family
+   the spec describes). *)
+let prop_prediction_contains_run =
+  QCheck.Test.make ~count:60
+    ~name:"check: predicted network contains observed channels"
+    T_random_sirups.derive_config_arb
+    (fun (gs, seed, coeffs) ->
+      let program = parse gs.T_random_sirups.gs_source in
+      match Analysis.as_sirup program with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok s ->
+        let k = Array.length coeffs in
+        let rec_vars = Atom.vars s.Analysis.rec_atom in
+        if List.length rec_vars < k then QCheck.assume_fail ()
+        else begin
+          let vr = List.filteri (fun i _ -> i < k) rec_vars in
+          let positions =
+            match Discriminant.covered_positions vr s.Analysis.rec_atom with
+            | Some ps -> ps
+            | None -> [||]
+          in
+          let exit_head = s.Analysis.exit_rule.Rule.head in
+          let ve =
+            Array.to_list
+              (Array.map
+                 (fun p ->
+                   match exit_head.Atom.args.(p) with
+                   | Term.Var v -> v
+                   | Term.Const _ -> "!")
+                 positions)
+          in
+          if List.mem "!" ve || Array.length positions <> k then
+            QCheck.assume_fail ()
+          else begin
+            let lo =
+              Array.fold_left (fun acc c -> acc + min 0 c) 0 coeffs
+            in
+            let spec = Hash_fn.Linear { coeffs; lo } in
+            let report =
+              Check.Scheme.check_scheme ~spec ~ve ~vr program
+            in
+            match report.Check.Scheme.predicted with
+            | None -> QCheck.assume_fail ()
+            | Some predicted ->
+              let h =
+                Hash_fn.linear ~seed ~coeffs:(Array.to_list coeffs) ()
+              in
+              (match
+                 ( Discriminant.check_for_rule
+                     (Discriminant.make ~vars:ve ~fn:h)
+                     s.Analysis.exit_rule,
+                   Discriminant.check_for_rule
+                     (Discriminant.make ~vars:vr ~fn:h)
+                     s.Analysis.rec_rule )
+               with
+               | Ok (), Ok () ->
+                 let rw =
+                   Rewrite.make program
+                     ~policies:
+                       (List.map
+                          (fun (r : Rule.t) ->
+                            if r == s.Analysis.rec_rule then
+                              Rewrite.Uniform
+                                (Discriminant.make ~vars:vr ~fn:h)
+                            else
+                              Rewrite.Uniform
+                                (Discriminant.make ~vars:ve ~fn:h))
+                          (Program.rules program))
+                 in
+                 let edb = T_random_sirups.edb_for gs seed in
+                 let r = Sim_runtime.run rw ~edb in
+                 Verify.channels_within r.Sim_runtime.stats predicted
+               | _ -> QCheck.assume_fail ())
+          end
+        end)
+
+(* Whenever the checker claims a communication-free choice exists
+   (Theorem 3), Strategy.no_communication must indeed run with zero
+   inter-processor messages. *)
+let prop_free_choice_is_free =
+  QCheck.Test.make ~count:60
+    ~name:"check: claimed free choice runs with zero messages"
+    T_random_sirups.config_arb
+    (fun (gs, n, seed, _) ->
+      let program = parse gs.T_random_sirups.gs_source in
+      match Analysis.as_sirup program with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok s ->
+        let ve = Atom.vars s.Analysis.exit_rule.Rule.head in
+        let vr = Atom.vars s.Analysis.rec_atom in
+        if ve = [] || vr = [] then QCheck.assume_fail ()
+        else begin
+          let report = Check.Scheme.check_scheme ~ve ~vr program in
+          match report.Check.Scheme.free_choice with
+          | None -> QCheck.assume_fail ()
+          | Some _ ->
+            (match Strategy.no_communication ~seed ~nprocs:(max 2 n) program with
+             | Error e -> Alcotest.fail ("no_communication refused: " ^ e)
+             | Ok rw ->
+               let edb = T_random_sirups.edb_for gs seed in
+               let r = Sim_runtime.run rw ~edb in
+               Stats.total_messages r.Sim_runtime.stats = 0)
+        end)
+
+let suites =
+  [
+    ( "check-engine",
+      [
+        Alcotest.test_case "E001 unsafe head" `Quick test_e001;
+        Alcotest.test_case "E002 unsafe negation" `Quick test_e002;
+        Alcotest.test_case "E003 unsafe guard" `Quick test_e003;
+        Alcotest.test_case "E004 arity clash" `Quick test_e004;
+        Alcotest.test_case "E005 unstratifiable" `Quick test_e005;
+        Alcotest.test_case "W001 constants only" `Quick test_w001;
+        Alcotest.test_case "W002 duplicate rule" `Quick test_w002;
+        Alcotest.test_case "W003 unused facts" `Quick test_w003;
+        Alcotest.test_case "W004 unreachable from goal" `Quick test_w004;
+        Alcotest.test_case "W005 no exit rule" `Quick test_w005;
+        Alcotest.test_case "W006 negation used" `Quick test_w006;
+        Alcotest.test_case "I001 linear sirup" `Quick test_i001;
+        Alcotest.test_case "I002 not a sirup" `Quick test_i002;
+        Alcotest.test_case "I004 mutual recursion" `Quick test_i004;
+        Alcotest.test_case "clean program" `Quick test_clean;
+        Alcotest.test_case "exit codes" `Quick test_exit_codes;
+        Alcotest.test_case "registry complete" `Quick
+          test_registry_covers_engine;
+      ] );
+    ( "check-scheme",
+      [
+        Alcotest.test_case "E101 not a sirup" `Quick test_e101;
+        Alcotest.test_case "E102 Theorem 2 violated" `Quick test_e102;
+        Alcotest.test_case "E103 empty sequence" `Quick test_e103;
+        Alcotest.test_case "W101 broadcast" `Quick test_w101;
+        Alcotest.test_case "W102 forgone free choice" `Quick test_w102;
+        Alcotest.test_case "I100/I101 Theorem 2+3 hold" `Quick
+          test_i100_i101;
+        Alcotest.test_case "I102 acyclic dataflow" `Quick test_i102;
+        Alcotest.test_case "I103/I104 prediction" `Quick test_i103_i104;
+        Alcotest.test_case "I105 opaque spec" `Quick test_i105;
+      ] );
+    ( "check-vs-runtime",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_prediction_contains_run; prop_free_choice_is_free ] );
+  ]
