@@ -11,7 +11,7 @@
            dune exec bench/main.exe f3 s6 p2   (selected sections)
 
    Sections: f1 f2 f3 f4  e1 e2 e3  t2 s6 e8 d8  p1 p2 p3
-              a1 a2 a3 a4 a5  timing *)
+              a1 a2 a3 a4 a5  r1  timing *)
 
 open Datalog
 open Pardatalog
@@ -658,6 +658,92 @@ let a5 () =
     (t_opt <= t_plain *. 1.10)
 
 (* ------------------------------------------------------------------ *)
+(* R1: robustness — the fault sweep and the checkpoint ablation.       *)
+(* ------------------------------------------------------------------ *)
+
+let r1 () =
+  let rw = Result.get_ok (Strategy.example3 ~seed:0 ~nprocs:4 ancestor) in
+  (* 1. Fault sweep: seeded loss, duplication, reordering, delay and a
+     mid-run crash on every workload — the pooled answers never drift
+     from the sequential least model. *)
+  let all_exact = ref true in
+  List.iter
+    (fun (name, edges) ->
+      let edb = edb_of edges in
+      List.iter
+        (fun drop ->
+          let plan =
+            Fault.make ~seed:11 ~drop ~dup:(drop /. 2.) ~reorder:0.15
+              ~delay:0.15 ~max_delay:3
+              ~crashes:[ { Fault.cr_pid = 2; cr_round = 5; cr_down = 3 } ]
+              ()
+          in
+          let options =
+            { Sim_runtime.default_options with fault = plan;
+              max_rounds = 500_000 }
+          in
+          let r = Verify.check ~options rw ~edb in
+          let f = r.Verify.stats.Stats.faults in
+          Format.printf
+            "  %-16s drop=%.2f  rounds=%5d  drops=%6d retransmits=%6d \
+             crashes=%d  equal=%b@."
+            name drop r.Verify.stats.Stats.rounds f.Stats.drops
+            f.Stats.retransmits f.Stats.crashes r.Verify.equal_answers;
+          if not r.Verify.equal_answers then all_exact := false)
+        [ 0.0; 0.1; 0.3 ])
+    (Lazy.force workloads);
+  claim "pooled answers equal the sequential run under every fault plan"
+    !all_exact;
+  (* 2. Recovery-cost ablation: one crash, decreasing checkpoint
+     interval. The lost bucket re-derives everything since the last
+     stable-storage write, so total firings (lost work included) fall
+     as checkpoints become more frequent. *)
+  let edb = edb_of (Workload.Graphgen.chain 200) in
+  let baseline =
+    Stats.total_firings (Sim_runtime.run rw ~edb).Sim_runtime.stats
+  in
+  let cost checkpoint_every =
+    let plan =
+      Fault.make ~seed:3
+        ~crashes:[ { Fault.cr_pid = 1; cr_round = 60; cr_down = 4 } ]
+        ?checkpoint_every ()
+    in
+    let options =
+      { Sim_runtime.default_options with fault = plan;
+        max_rounds = 500_000 }
+    in
+    let r = Sim_runtime.run ~options rw ~edb in
+    let c = Stats.total_firings r.Sim_runtime.stats - baseline in
+    Format.printf "  checkpoint interval %-5s  redundant firings: %6d@."
+      (match checkpoint_every with
+       | None -> "-"
+       | Some k -> string_of_int k)
+      c;
+    c
+  in
+  let none = cost None in
+  let k32 = cost (Some 32) in
+  let k8 = cost (Some 8) in
+  let k2 = cost (Some 2) in
+  claim "recovery cost falls as the checkpoint interval shrinks"
+    (none >= k32 && k32 >= k8 && k8 >= k2);
+  claim "per-2-round checkpoints beat recovery from the base fragment"
+    (k2 < none);
+  (* 3. The domain runtime survives the same plans. *)
+  let plan =
+    Fault.make ~seed:5 ~drop:0.2 ~dup:0.1
+      ~crashes:[ { Fault.cr_pid = 1; cr_round = 3; cr_down = 1 } ]
+      ()
+  in
+  let edb = edb_of (Workload.Graphgen.cycle 60) in
+  let seq, _ = Seminaive.evaluate ancestor edb in
+  let dom = Domain_runtime.run ~fault:plan rw ~edb in
+  claim "domain runtime under faults agrees with the sequential answers"
+    (Relation.equal
+       (Database.get seq "anc")
+       (Database.get dom.Sim_runtime.answers "anc"))
+
+(* ------------------------------------------------------------------ *)
 (* Timing microbenches (Bechamel).                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -759,6 +845,7 @@ let () =
   section "a3" "ablation - guard push-down vs post-join filtering" a3;
   section "a4" "ablation - base fragmentation vs replication" a4;
   section "a5" "ablation - greedy join reordering vs textual order" a5;
+  section "r1" "robustness - fault sweep and checkpoint ablation" r1;
   section "timing" "Bechamel microbenchmarks" timing;
   Format.printf "@.%s@."
     (if !failures = 0 then "all claims PASS"

@@ -323,8 +323,84 @@ let par_cmd =
           ~doc:"Also run sequentially and check Theorems 1/2-style \
                 properties.")
   in
+  let fault_term =
+    let fault_seed_arg =
+      Arg.(
+        value & opt int 0
+        & info [ "fault-seed" ] ~docv:"SEED"
+            ~doc:"Seed of the deterministic fault plan.")
+    in
+    let drop_arg =
+      Arg.(
+        value & opt float 0.0
+        & info [ "drop" ] ~docv:"P"
+            ~doc:"Per-transmission message drop probability, in [0,1).")
+    in
+    let dup_arg =
+      Arg.(
+        value & opt float 0.0
+        & info [ "dup" ] ~docv:"P"
+            ~doc:"Per-transmission message duplication probability.")
+    in
+    let reorder_arg =
+      Arg.(
+        value & opt float 0.0
+        & info [ "reorder" ] ~docv:"P"
+            ~doc:"Per-message reordering probability.")
+    in
+    let delay_arg =
+      Arg.(
+        value & opt float 0.0
+        & info [ "delay" ] ~docv:"P"
+            ~doc:"Per-message added-latency probability (see --max-delay).")
+    in
+    let max_delay_arg =
+      Arg.(
+        value & opt int 1
+        & info [ "max-delay" ] ~docv:"R"
+            ~doc:"Largest added latency, in rounds.")
+    in
+    let crash_arg =
+      Arg.(
+        value & opt string ""
+        & info [ "crash" ] ~docv:"SPEC"
+            ~doc:
+              "Crash schedule: comma-separated $(b,PID\\@ROUND[+DOWN]) \
+               entries, e.g. $(b,1\\@3+2) crashes processor 1 at round 3 \
+               for 2 rounds. A crash that would leave no live processor \
+               is skipped.")
+    in
+    let checkpoint_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "checkpoint" ] ~docv:"K"
+            ~doc:
+              "Checkpoint every K rounds, so crash recovery resumes from \
+               the snapshot instead of re-deriving from the base \
+               fragment.")
+    in
+    let build fault_seed drop dup reorder delay max_delay crash checkpoint =
+      let crashes =
+        match Fault.parse_crashes crash with
+        | Ok cs -> cs
+        | Error msg ->
+          Format.eprintf "bad --crash: %s@." msg;
+          exit 2
+      in
+      try
+        Fault.make ~seed:fault_seed ~drop ~dup ~reorder ~delay ~max_delay
+          ~crashes ?checkpoint_every:checkpoint ()
+      with Invalid_argument msg ->
+        Format.eprintf "%s@." msg;
+        exit 2
+    in
+    Term.(
+      const build $ fault_seed_arg $ drop_arg $ dup_arg $ reorder_arg
+      $ delay_arg $ max_delay_arg $ crash_arg $ checkpoint_arg)
+  in
   let action program edb_file scheme nprocs seed ve vr alpha runtime domains
-      detector verify quiet verbose =
+      detector verify fault quiet verbose =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level Sim_runtime.log_src (Some Logs.Debug)
@@ -336,16 +412,17 @@ let par_cmd =
       Format.eprintf "cannot build scheme: %s@." msg;
       exit 2
     | Ok rw ->
+      let options = { Sim_runtime.default_options with fault } in
       if verify then begin
-        let report = Verify.check rw ~edb in
+        let report = Verify.check ~options rw ~edb in
         Format.printf "%a@." Verify.pp_report report;
         if not report.Verify.equal_answers then exit 1
       end
       else begin
         let result =
           match runtime with
-          | `Sim -> Sim_runtime.run rw ~edb
-          | `Domain -> Domain_runtime.run ~detector ?domains rw ~edb
+          | `Sim -> Sim_runtime.run ~options rw ~edb
+          | `Domain -> Domain_runtime.run ~detector ?domains ~fault rw ~edb
         in
         if not quiet then
           print_answers result.Sim_runtime.answers rw.Rewrite.derived;
@@ -356,7 +433,7 @@ let par_cmd =
     Term.(
       const action $ program_arg $ edb_arg $ scheme_arg $ nprocs_arg
       $ seed_arg $ ve_arg $ vr_arg $ alpha_arg $ runtime_arg $ domains_arg
-      $ detector_arg $ verify_arg $ quiet_arg $ verbose_arg)
+      $ detector_arg $ verify_arg $ fault_term $ quiet_arg $ verbose_arg)
 
 (* ---------------------------------------------------------------- *)
 (* rewrite                                                           *)

@@ -238,6 +238,7 @@ let run program ~nprocs edb =
       channel_tuples = Array.make_matrix nprocs nprocs 0;
       pooled_tuples = !pooled;
       trace = [];
+      faults = Stats.no_faults;
     }
   in
   Ok ({ Sim_runtime.answers; stats }, analysis)

@@ -5,11 +5,18 @@ type detector =
   | Dijkstra_scholten
 
 (* Messages are addressed to processors; mailboxes belong to domains,
-   which demultiplex. *)
+   which demultiplex. [Data] carries a per-channel sequence number so
+   the reliable-delivery layer can suppress duplicates; [Tack] is its
+   transport-level acknowledgement and [Replay] its recovery broadcast.
+   Control messages (tokens, detector acks, transport acks, replay
+   requests, stop) ride the mailboxes directly and are never subjected
+   to the fault plan — only payload [Data] is. *)
 type msg =
-  | Data of { src : int; dst : int; batch : (string * Tuple.t) list }
+  | Data of { src : int; dst : int; seq : int; batch : (string * Tuple.t) list }
   | Token of { dst : int; token : Safra.token }
   | Ack of { dst : int }
+  | Tack of { sender : int; receiver : int; seq : int }
+  | Replay of { requester : int }
   | Stop
 
 module Key = struct
@@ -21,10 +28,17 @@ end
 
 module Ktbl = Hashtbl.Make (Key)
 
+(* One unacknowledged batch awaiting its transport ack. *)
+type pending = {
+  pd_batch : (string * Tuple.t) list;
+  mutable pd_attempt : int;
+  mutable pd_retry_at : float;
+}
+
 (* Per-processor state, owned by exactly one domain. *)
 type proc_state = {
   pid : int;
-  engine : Seminaive.t;
+  mutable engine : Seminaive.t;  (* replaced on crash recovery *)
   safra : Safra.t;
   ds : Dscholten.t;
   mutable held_token : Safra.token option;
@@ -34,6 +48,17 @@ type proc_state = {
   mutable accepted : int;
   channel_seen : unit Ktbl.t array;  (* per destination *)
   base_resident : int;
+  (* Reliable-delivery state: stable across crashes, like the
+     detector counters — only the engine is volatile. *)
+  next_seq : int array;  (* per destination *)
+  unacked : (int, pending) Hashtbl.t array;  (* per destination *)
+  seen_seq : (int, unit) Hashtbl.t array;  (* per source *)
+  mutable local_rounds : int;  (* semi-naive iterations executed *)
+  mutable crashes_fired : int list;
+  mutable lost_iterations : int;
+  mutable lost_firings : int;
+  mutable lost_new : int;
+  mutable lost_dup : int;
 }
 
 type worker_result = {
@@ -61,9 +86,15 @@ let build_edb (rw : Rewrite.t) edb pid =
     (Database.predicates edb);
   local
 
-let worker detector (rw : Rewrite.t) mailboxes ~domain_of ~own_pids local_edbs
-    my_domain =
+(* Wall-clock retransmission backoff, bounded like the simulated
+   runtime's round-based one. *)
+let retry_delay attempt = 0.001 *. float_of_int (1 lsl min attempt 6)
+
+let worker detector plan (rw : Rewrite.t) mailboxes ~domain_of ~own_pids
+    local_edbs my_domain =
   let n = rw.nprocs in
+  let faulty = not (Fault.is_none plan) in
+  let fc = Fault.counters () in
   let my_mailbox = mailboxes.(my_domain) in
   let send_to_pid pid msg = Mailbox.push mailboxes.(domain_of pid) msg in
   let send_specs_for =
@@ -92,6 +123,15 @@ let worker detector (rw : Rewrite.t) mailboxes ~domain_of ~own_pids local_edbs
           accepted = 0;
           channel_seen = Array.init n (fun _ -> Ktbl.create 64);
           base_resident = Database.total_tuples local_edbs.(pid);
+          next_seq = Array.make n 0;
+          unacked = Array.init n (fun _ -> Hashtbl.create 8);
+          seen_seq = Array.init n (fun _ -> Hashtbl.create 16);
+          local_rounds = 0;
+          crashes_fired = [];
+          lost_iterations = 0;
+          lost_firings = 0;
+          lost_new = 0;
+          lost_dup = 0;
         })
       own_pids
   in
@@ -101,6 +141,47 @@ let worker detector (rw : Rewrite.t) mailboxes ~domain_of ~own_pids local_edbs
     fun pid -> Hashtbl.find tbl pid
   in
   let stopped = ref false in
+  (* One transmission attempt of an already-registered batch. *)
+  let transmit_batch p dst seq pd =
+    let attempt = pd.pd_attempt in
+    pd.pd_attempt <- attempt + 1;
+    pd.pd_retry_at <- Unix.gettimeofday () +. retry_delay attempt;
+    let fate = Fault.fate plan ~src:p.pid ~dst ~seq ~attempt in
+    if fate.f_drop then fc.n_drops <- fc.n_drops + 1
+    else begin
+      (* Delay and reorder are no-ops here: mailbox scheduling is
+         already asynchronous, so added latency changes nothing
+         observable. They are only tallied. *)
+      if fate.f_delay > 0 then fc.n_delays <- fc.n_delays + 1;
+      if fate.f_jitter > 0 then fc.n_reorders <- fc.n_reorders + 1;
+      send_to_pid dst (Data { src = p.pid; dst; seq; batch = pd.pd_batch });
+      if fate.f_dup then begin
+        fc.n_dups_injected <- fc.n_dups_injected + 1;
+        send_to_pid dst (Data { src = p.pid; dst; seq; batch = pd.pd_batch })
+      end
+    end
+  in
+  (* Hand one batch to the channel [p.pid -> dst]. The detectors count
+     at sequence-number granularity: one send per new batch here, one
+     receive per first-seen sequence number at the receiver —
+     retransmissions and duplicates are invisible to them, which keeps
+     the token balance (Safra) and the deficits (Dijkstra-Scholten)
+     sound over lossy channels. *)
+  let send_data ~replay p dst batch =
+    let seq = p.next_seq.(dst) in
+    p.next_seq.(dst) <- seq + 1;
+    (match detector with
+     | Safra -> Safra.record_send p.safra
+     | Dijkstra_scholten -> Dscholten.record_send p.ds);
+    if replay then fc.n_replayed <- fc.n_replayed + List.length batch
+    else p.sent_row.(dst) <- p.sent_row.(dst) + List.length batch;
+    if faulty then begin
+      let pd = { pd_batch = batch; pd_attempt = 0; pd_retry_at = 0.0 } in
+      Hashtbl.replace p.unacked.(dst) seq pd;
+      transmit_batch p dst seq pd
+    end
+    else send_to_pid dst (Data { src = p.pid; dst; seq; batch })
+  in
   let route p produced =
     let batches = Array.make n [] in
     List.iter
@@ -121,14 +202,7 @@ let worker detector (rw : Rewrite.t) mailboxes ~domain_of ~own_pids local_edbs
       produced;
     Array.iteri
       (fun dst batch ->
-        if batch <> [] then begin
-          p.sent_row.(dst) <- p.sent_row.(dst) + List.length batch;
-          (match detector with
-           | Safra -> Safra.record_send p.safra
-           | Dijkstra_scholten -> Dscholten.record_send p.ds);
-          send_to_pid dst
-            (Data { src = p.pid; dst; batch = List.rev batch })
-        end)
+        if batch <> [] then send_data ~replay:false p dst (List.rev batch))
       batches
   in
   let announce_termination () =
@@ -137,23 +211,86 @@ let worker detector (rw : Rewrite.t) mailboxes ~domain_of ~own_pids local_edbs
     done;
     stopped := true
   in
+  (* Crash recovery: the engine is volatile and is lost; detector and
+     delivery-layer state is stable. The processor rebuilds from its
+     base fragment, then broadcasts a replay request — every processor
+     (itself included) re-sends its channel history to the rebuilt
+     engine as fresh-sequence batches. Recovery is immediate
+     ([cr_down] does not apply: an absent mailbox owner would merely
+     delay its own queue). *)
+  let maybe_crash p =
+    match Fault.crash_at plan ~pid:p.pid ~round:p.local_rounds with
+    | Some c when not (List.mem c.Fault.cr_round p.crashes_fired) ->
+      p.crashes_fired <- c.Fault.cr_round :: p.crashes_fired;
+      fc.n_crashes <- fc.n_crashes + 1;
+      let es = Seminaive.stats p.engine in
+      p.lost_iterations <- p.lost_iterations + es.Seminaive.iterations;
+      p.lost_firings <- p.lost_firings + es.Seminaive.firings;
+      p.lost_new <- p.lost_new + es.Seminaive.new_tuples;
+      p.lost_dup <- p.lost_dup + es.Seminaive.duplicate_firings;
+      p.engine <- Seminaive.create rw.programs.(p.pid) ~edb:local_edbs.(p.pid);
+      fc.n_recoveries <- fc.n_recoveries + 1;
+      route p (Seminaive.bootstrap p.engine);
+      for d = 0 to Array.length mailboxes - 1 do
+        Mailbox.push mailboxes.(d) (Replay { requester = p.pid })
+      done
+    | _ -> ()
+  in
+  let pump_retransmits () =
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun p ->
+        Array.iteri
+          (fun dst tbl ->
+            Hashtbl.iter
+              (fun seq pd ->
+                if pd.pd_retry_at <= now then begin
+                  fc.n_retransmits <- fc.n_retransmits + 1;
+                  transmit_batch p dst seq pd
+                end)
+              tbl)
+          p.unacked)
+      procs
+  in
   let dispatch = function
-    | Data { src; dst; batch } ->
+    | Data { src; dst; seq; batch } ->
       let p = proc_of dst in
-      (match detector with
-       | Safra -> Safra.record_receive p.safra
-       | Dijkstra_scholten ->
-         (match Dscholten.on_data p.ds ~src with
-          | `Ack_now target -> send_to_pid target (Ack { dst = target })
-          | `Engaged -> ()));
-      List.iter
-        (fun (pred, tuple) ->
-          p.received <- p.received + 1;
-          if Seminaive.inject p.engine (Rewrite.in_pred pred) tuple then
-            p.accepted <- p.accepted + 1)
-        batch
+      if faulty then
+        send_to_pid src (Tack { sender = src; receiver = dst; seq });
+      if faulty && Hashtbl.mem p.seen_seq.(src) seq then
+        fc.n_dups_suppressed <- fc.n_dups_suppressed + 1
+      else begin
+        if faulty then Hashtbl.replace p.seen_seq.(src) seq ();
+        (match detector with
+         | Safra -> Safra.record_receive p.safra
+         | Dijkstra_scholten ->
+           (match Dscholten.on_data p.ds ~src with
+            | `Ack_now target -> send_to_pid target (Ack { dst = target })
+            | `Engaged -> ()));
+        List.iter
+          (fun (pred, tuple) ->
+            p.received <- p.received + 1;
+            if Seminaive.inject p.engine (Rewrite.in_pred pred) tuple then
+              p.accepted <- p.accepted + 1)
+          batch
+      end
     | Token { dst; token } -> (proc_of dst).held_token <- Some token
     | Ack { dst } -> Dscholten.on_ack (proc_of dst).ds
+    | Tack { sender; receiver; seq } ->
+      let p = proc_of sender in
+      if Hashtbl.mem p.unacked.(receiver) seq then begin
+        Hashtbl.remove p.unacked.(receiver) seq;
+        fc.n_acks <- fc.n_acks + 1
+      end
+    | Replay { requester } ->
+      List.iter
+        (fun q ->
+          let history =
+            Ktbl.fold (fun key () acc -> key :: acc)
+              q.channel_seen.(requester) []
+          in
+          if history <> [] then send_data ~replay:true q requester history)
+        procs
     | Stop -> stopped := true
   in
   (* Returns true when some control action was taken (so the caller
@@ -197,43 +334,65 @@ let worker detector (rw : Rewrite.t) mailboxes ~domain_of ~own_pids local_edbs
   in
   List.iter (fun p -> route p (Seminaive.bootstrap p.engine)) procs;
   while not !stopped do
+    if faulty then pump_retransmits ();
     List.iter dispatch (Mailbox.drain my_mailbox);
     if not !stopped then begin
       let worked = ref false in
       List.iter
         (fun p ->
+          if faulty then maybe_crash p;
           if Seminaive.has_pending p.engine then begin
             worked := true;
-            route p (Seminaive.step p.engine)
+            route p (Seminaive.step p.engine);
+            p.local_rounds <- p.local_rounds + 1
           end)
         procs;
       if (not !worked) && not !stopped then begin
         (* All owned processors idle: run control actions; if nothing
-           moved, block until a message arrives. *)
+           moved, wait for messages — with a timeout when a fault plan
+           is active, so the retransmission pump keeps running. *)
         let acted =
           List.fold_left
             (fun acc p -> if !stopped then acc else passive_action p || acc)
             false procs
         in
-        if (not acted) && not !stopped then
-          List.iter dispatch (Mailbox.drain_blocking my_mailbox)
+        if (not acted) && not !stopped then begin
+          let msgs =
+            if faulty then Mailbox.drain_timeout my_mailbox ~seconds:0.002
+            else Mailbox.drain_blocking my_mailbox
+          in
+          (* A closed, empty mailbox means a peer shut the system down
+             (normally or exceptionally): never stay blocked on it. *)
+          if msgs = [] && Mailbox.is_closed my_mailbox then stopped := true;
+          List.iter dispatch msgs
+        end
       end
     end
   done;
-  List.map
-    (fun p ->
-      {
-        wr_pid = p.pid;
-        wr_db = Seminaive.database p.engine;
-        wr_stats = Seminaive.stats p.engine;
-        wr_sent_row = p.sent_row;
-        wr_received = p.received;
-        wr_accepted = p.accepted;
-        wr_base_resident = p.base_resident;
-      })
-    procs
+  ( List.map
+      (fun p ->
+        let es = Seminaive.stats p.engine in
+        {
+          wr_pid = p.pid;
+          wr_db = Seminaive.database p.engine;
+          wr_stats =
+            {
+              Seminaive.iterations = es.Seminaive.iterations + p.lost_iterations;
+              firings = es.Seminaive.firings + p.lost_firings;
+              new_tuples = es.Seminaive.new_tuples + p.lost_new;
+              duplicate_firings =
+                es.Seminaive.duplicate_firings + p.lost_dup;
+            };
+          wr_sent_row = p.sent_row;
+          wr_received = p.received;
+          wr_accepted = p.accepted;
+          wr_base_resident = p.base_resident;
+        })
+      procs,
+    fc )
 
-let run ?(detector = Safra) ?domains (rw : Rewrite.t) ~edb =
+let run ?(detector = Safra) ?domains ?(fault = Fault.none) (rw : Rewrite.t)
+    ~edb =
   let n = rw.nprocs in
   let ndomains =
     match domains with
@@ -262,14 +421,38 @@ let run ?(detector = Safra) ?domains (rw : Rewrite.t) ~edb =
   let spawned =
     Array.init ndomains (fun d ->
         Domain.spawn (fun () ->
-            worker detector rw mailboxes ~domain_of ~own_pids:(own_pids d)
-              local_edbs d))
+            try
+              worker detector fault rw mailboxes ~domain_of
+                ~own_pids:(own_pids d) local_edbs d
+            with e ->
+              (* Poison-pill shutdown: wake every peer blocked in its
+                 mailbox before propagating, so one crashing domain
+                 cannot leave the others stuck in [Condition.wait]. *)
+              Array.iter Mailbox.close mailboxes;
+              raise e))
   in
+  let joined = Array.to_list spawned |> List.map Domain.join in
   let results =
-    Array.to_list spawned |> List.concat_map Domain.join
+    List.concat_map fst joined
     |> List.sort (fun a b -> Int.compare a.wr_pid b.wr_pid)
     |> Array.of_list
   in
+  let fc = Fault.counters () in
+  List.iter
+    (fun (_, c) ->
+      fc.Fault.n_drops <- fc.Fault.n_drops + c.Fault.n_drops;
+      fc.n_dups_injected <- fc.n_dups_injected + c.Fault.n_dups_injected;
+      fc.n_dups_suppressed <- fc.n_dups_suppressed + c.Fault.n_dups_suppressed;
+      fc.n_delays <- fc.n_delays + c.Fault.n_delays;
+      fc.n_reorders <- fc.n_reorders + c.Fault.n_reorders;
+      fc.n_retransmits <- fc.n_retransmits + c.Fault.n_retransmits;
+      fc.n_acks <- fc.n_acks + c.Fault.n_acks;
+      fc.n_crashes <- fc.n_crashes + c.Fault.n_crashes;
+      fc.n_recoveries <- fc.n_recoveries + c.Fault.n_recoveries;
+      fc.n_replayed <- fc.n_replayed + c.Fault.n_replayed;
+      fc.n_checkpoints <- fc.n_checkpoints + c.Fault.n_checkpoints;
+      fc.n_restores <- fc.n_restores + c.Fault.n_restores)
+    joined;
   let answers = Database.copy edb in
   let pooled = ref 0 in
   Array.iter
@@ -317,6 +500,7 @@ let run ?(detector = Safra) ?domains (rw : Rewrite.t) ~edb =
       channel_tuples;
       pooled_tuples = !pooled;
       trace = [];
+      faults = Fault.freeze fc;
     }
   in
   { Sim_runtime.answers; stats }

@@ -15,7 +15,23 @@
     [Domain.recommended_domain_count ()]): the paper's "constant
     (though unbounded) number of processors" rarely matches the core
     count, so processor [p] is served by domain [p mod domains] and the
-    domain cooperatively schedules its processors. *)
+    domain cooperatively schedules its processors.
+
+    With a non-trivial {!Fault.plan}, payload batches travel over the
+    reliable-delivery layer: per-channel sequence numbers,
+    receiver-side duplicate suppression, transport acknowledgements
+    and time-based bounded retransmission. The termination detectors
+    count at sequence-number granularity — one send per new batch, one
+    receive per first-seen sequence number — so retransmissions and
+    duplicates are invisible to them and detection stays sound over
+    lossy channels. A crash fires when the processor's local iteration
+    count reaches [cr_round]: the engine (volatile) is lost and
+    rebuilt from the base fragment, and every processor replays its
+    channel history to the rebuilt engine; delivery-layer and detector
+    state are stable. Recovery is immediate ([cr_down] does not apply)
+    and delivery is already asynchronous, so the plan's delay and
+    reorder faults are tallied but change nothing observable. Control
+    messages are never faulted. *)
 
 type detector =
   | Safra  (** Token-ring detection (default) — reference [5]'s
@@ -27,11 +43,14 @@ type detector =
 val run :
   ?detector:detector ->
   ?domains:int ->
+  ?fault:Fault.plan ->
   Rewrite.t ->
   edb:Datalog.Database.t ->
   Sim_runtime.result
 (** Execute. In the returned stats, [rounds] is the maximum number of
     semi-naive iterations any processor executed, and [active_rounds]
     is each processor's own iteration count. Both detectors produce
-    identical answers; they differ only in control traffic.
+    identical answers; they differ only in control traffic. [fault]
+    (default {!Fault.none}) injects message and processor faults; the
+    pooled answers are unchanged for every plan.
     @raise Invalid_argument if [domains < 1]. *)

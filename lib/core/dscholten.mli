@@ -15,7 +15,15 @@
     is zero.
 
     This module is the pure per-process state; runtimes deliver the
-    acknowledgement signals. *)
+    acknowledgement signals.
+
+    The algorithm assumes reliable channels. Under fault injection the
+    runtimes call {!record_send} once per new sequence number and
+    {!on_data} once per first-seen sequence number, so the deficit
+    tracks payloads, not transmission attempts: the transport layer's
+    retransmissions, duplicates and acknowledgements (distinct from
+    this module's engagement acknowledgements) never touch the
+    engagement tree. *)
 
 type t
 

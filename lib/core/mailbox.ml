@@ -2,16 +2,36 @@ type 'a t = {
   mutex : Mutex.t;
   nonempty : Condition.t;
   queue : 'a Queue.t;
+  mutable closed : bool;
 }
 
 let create () =
-  { mutex = Mutex.create (); nonempty = Condition.create (); queue = Queue.create () }
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = Queue.create ();
+    closed = false;
+  }
 
 let push mb x =
   Mutex.lock mb.mutex;
-  Queue.add x mb.queue;
-  Condition.signal mb.nonempty;
+  if not mb.closed then begin
+    Queue.add x mb.queue;
+    Condition.signal mb.nonempty
+  end;
   Mutex.unlock mb.mutex
+
+let close mb =
+  Mutex.lock mb.mutex;
+  mb.closed <- true;
+  Condition.broadcast mb.nonempty;
+  Mutex.unlock mb.mutex
+
+let is_closed mb =
+  Mutex.lock mb.mutex;
+  let c = mb.closed in
+  Mutex.unlock mb.mutex;
+  c
 
 let drain_locked mb =
   let acc = ref [] in
@@ -28,12 +48,34 @@ let drain mb =
 
 let drain_blocking mb =
   Mutex.lock mb.mutex;
-  while Queue.is_empty mb.queue do
+  while Queue.is_empty mb.queue && not mb.closed do
     Condition.wait mb.nonempty mb.mutex
   done;
   let xs = drain_locked mb in
   Mutex.unlock mb.mutex;
   xs
+
+(* [Condition] has no timed wait, so the timeout is a short-period poll:
+   coarse but portable, and only used when a fault plan is active. *)
+let drain_timeout mb ~seconds =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec go () =
+    Mutex.lock mb.mutex;
+    if (not (Queue.is_empty mb.queue)) || mb.closed then begin
+      let xs = drain_locked mb in
+      Mutex.unlock mb.mutex;
+      xs
+    end
+    else begin
+      Mutex.unlock mb.mutex;
+      if Unix.gettimeofday () >= deadline then []
+      else begin
+        Unix.sleepf 0.0005;
+        go ()
+      end
+    end
+  in
+  go ()
 
 let is_empty mb =
   Mutex.lock mb.mutex;

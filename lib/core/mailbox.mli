@@ -3,20 +3,39 @@
     The channel abstraction of Section 3 requires only that data put on
     channel [ij] reaches processor [j], error-free, in finite time. A
     mutex/condition-variable queue per receiving domain provides exactly
-    that on shared memory. *)
+    that on shared memory.
+
+    A mailbox can be {!close}d — the poison pill. A closed mailbox drops
+    further pushes, and blocked consumers wake immediately, so a crashed
+    or finished peer can never leave a domain stuck in
+    [Condition.wait]. *)
 
 type 'a t
 
 val create : unit -> 'a t
 
 val push : 'a t -> 'a -> unit
-(** Enqueue and wake the consumer. Safe from any domain. *)
+(** Enqueue and wake the consumer. Safe from any domain. Silently
+    dropped when the mailbox is closed. *)
+
+val close : 'a t -> unit
+(** Close the mailbox: wakes every blocked consumer and makes further
+    {!push}es no-ops. Idempotent; safe from any domain. *)
+
+val is_closed : 'a t -> bool
 
 val drain : 'a t -> 'a list
 (** Dequeue everything currently present, in arrival order, without
     blocking (possibly [[]]). *)
 
 val drain_blocking : 'a t -> 'a list
-(** Like {!drain} but blocks until at least one element is present. *)
+(** Like {!drain} but blocks until at least one element is present —
+    or the mailbox is closed, in which case whatever is queued
+    (possibly [[]]) is returned immediately. *)
+
+val drain_timeout : 'a t -> seconds:float -> 'a list
+(** Like {!drain_blocking} but gives up after [seconds], returning [[]]
+    on timeout. Used by the fault-injecting runtime, whose workers must
+    periodically wake to retransmit unacknowledged messages. *)
 
 val is_empty : 'a t -> bool

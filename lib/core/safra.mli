@@ -9,7 +9,15 @@
     termination only from a clean (white, balanced) round.
 
     This module is the pure per-machine state; the runtimes move the
-    token. All counters are local — no shared state. *)
+    token. All counters are local — no shared state.
+
+    The algorithm assumes reliable channels. When a runtime injects
+    faults, soundness is preserved by counting at the *payload* level:
+    {!record_send} is called once per new sequence number (not per
+    transmission attempt) and {!record_receive} once per first-seen
+    sequence number, so the reliable-delivery layer's retransmissions,
+    duplicates and transport acknowledgements are invisible here — the
+    balance describes exactly the payloads not yet delivered. *)
 
 type color = White | Black
 

@@ -10,6 +10,7 @@ type options = {
   replicate_base : bool;
   max_rounds : int;
   network : Netgraph.t option;
+  fault : Fault.plan;
 }
 
 let default_options =
@@ -19,12 +20,15 @@ let default_options =
     replicate_base = false;
     max_rounds = 1_000_000;
     network = None;
+    fault = Fault.none;
   }
 
 type result = {
   answers : Database.t;
   stats : Stats.t;
 }
+
+exception Round_budget_exceeded of { round : int; stats : Stats.t }
 
 module Key = struct
   type t = string * Tuple.t
@@ -37,7 +41,7 @@ module Ktbl = Hashtbl.Make (Key)
 
 type proc_state = {
   pid : Pid.t;
-  engine : Seminaive.t;
+  mutable engine : Seminaive.t;  (* replaced on crash recovery *)
   outbox : (string * Tuple.t) Queue.t;  (* produced, not yet routed *)
   inbox : (string * Tuple.t) Queue.t;  (* delivered, not yet injected *)
   all_out : (string * Tuple.t) Queue.t;  (* cumulative, for resend_all *)
@@ -46,7 +50,37 @@ type proc_state = {
   mutable tuples_accepted : int;
   mutable active_rounds : int;
   base_resident : int;
+  mutable alive : bool;
+  mutable down_until : int;  (* first round eligible for recovery *)
+  (* Engine snapshot plus the outbox at the same instant: a tuple
+     derived in round r is routed only in round r+1, so a checkpoint
+     that captured the engine alone would leave such a tuple in the
+     restored full database (never re-derived) yet absent from every
+     channel history (never replayed) — silently lost. *)
+  mutable checkpoint : (Seminaive.snapshot * (string * Tuple.t) list) option;
+  (* Work done by engines that crashed, folded into the final stats so
+     total firings stay honest about redundant re-derivation. *)
+  mutable lost_iterations : int;
+  mutable lost_firings : int;
+  mutable lost_new : int;
+  mutable lost_dup : int;
 }
+
+(* One payload on the reliable-delivery layer: a (pred, tuple) pair with
+   a per-channel sequence number, retransmitted until acknowledged. *)
+type payload = {
+  pl_src : Pid.t;
+  pl_dst : Pid.t;
+  pl_seq : int;
+  pl_pred : string;
+  pl_tuple : Tuple.t;
+  mutable pl_attempt : int;  (* transmission attempts made *)
+  mutable pl_retry_at : int;  (* round to retransmit if still unacked *)
+}
+
+type fmsg =
+  | Fdata of { fm_pl : payload; fm_attempt : int }
+  | Fack of { fm_sender : Pid.t; fm_receiver : Pid.t; fm_seq : int }
 
 let build_edb ~replicate (rw : Rewrite.t) edb pid =
   let local = Database.create () in
@@ -66,6 +100,16 @@ let build_edb ~replicate (rw : Rewrite.t) edb pid =
 
 let run ?(options = default_options) (rw : Rewrite.t) ~edb =
   let nprocs = rw.nprocs in
+  let plan = options.fault in
+  (* With [Fault.none] the delivery layer is bypassed entirely and the
+     run takes the exact fault-free code path. *)
+  let faulty = not (Fault.is_none plan) in
+  if faulty && options.resend_all then
+    invalid_arg
+      "Sim_runtime.run: resend_all cannot be combined with fault injection \
+       (every round's re-sends would take fresh sequence numbers and the \
+       unacknowledged buffers would never drain)";
+  let fc = Fault.counters () in
   (* Base facts written in the program text join the EDB; derived facts
      are not supported by the rewrite. *)
   let edb =
@@ -98,13 +142,96 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
           tuples_accepted = 0;
           active_rounds = 0;
           base_resident = Database.total_tuples local_edb;
+          alive = true;
+          down_until = 0;
+          checkpoint = None;
+          lost_iterations = 0;
+          lost_firings = 0;
+          lost_new = 0;
+          lost_dup = 0;
         })
   in
   let channel_tuples = Array.make_matrix nprocs nprocs 0 in
   (* One seen-set per channel: a (pred, tuple) pair travels each channel
-     at most once — the paper's difference-based resend suppression. *)
+     at most once — the paper's difference-based resend suppression. It
+     doubles as the channel history used to replay deliveries to a
+     recovering processor. *)
   let channel_seen = Array.init nprocs (fun _ -> Array.init nprocs
                                             (fun _ -> Ktbl.create 64)) in
+  (* Reliable-delivery state. Everything here is stable storage in the
+     fault model — it survives processor crashes (the issue's "channel
+     counters"); only the engine, the inbox and the receive-side
+     duplicate filter are volatile. *)
+  let next_seq = Array.make_matrix nprocs nprocs 0 in
+  let unacked : (int, payload) Hashtbl.t array array =
+    Array.init nprocs (fun _ ->
+        Array.init nprocs (fun _ -> Hashtbl.create 8))
+  in
+  (* Receive-side content filter per channel: volatile, reset when the
+     receiver crashes so that replays reach the rebuilt engine. *)
+  let recv_seen =
+    Array.init nprocs (fun _ -> Array.init nprocs (fun _ -> Ktbl.create 16))
+  in
+  (* replay_due.(q).(p): q was down when p recovered, so q still owes p
+     a replay of its channel history, performed at q's own recovery. *)
+  let replay_due = Array.make_matrix nprocs nprocs false in
+  let flight : (int, fmsg list ref) Hashtbl.t = Hashtbl.create 32 in
+  let flight_size = ref 0 in
+  let rounds = ref 0 in
+  let schedule at msg =
+    incr flight_size;
+    match Hashtbl.find_opt flight at with
+    | Some l -> l := msg :: !l
+    | None -> Hashtbl.add flight at (ref [ msg ])
+  in
+  let transmit pl =
+    let attempt = pl.pl_attempt in
+    pl.pl_attempt <- attempt + 1;
+    pl.pl_retry_at <- !rounds + Fault.retransmit_after ~attempt;
+    let fate =
+      Fault.fate plan ~src:pl.pl_src ~dst:pl.pl_dst ~seq:pl.pl_seq ~attempt
+    in
+    if fate.f_drop then fc.n_drops <- fc.n_drops + 1
+    else begin
+      if fate.f_delay > 0 then fc.n_delays <- fc.n_delays + 1;
+      if fate.f_jitter > 0 then fc.n_reorders <- fc.n_reorders + 1;
+      let at = !rounds + fate.f_delay + fate.f_jitter in
+      schedule at (Fdata { fm_pl = pl; fm_attempt = attempt });
+      if fate.f_dup then begin
+        fc.n_dups_injected <- fc.n_dups_injected + 1;
+        schedule at (Fdata { fm_pl = pl; fm_attempt = attempt })
+      end
+    end
+  in
+  let check_channel src dst =
+    match options.network with
+    | Some net when not (Netgraph.mem net src dst) ->
+      failwith
+        (Printf.sprintf
+           "Sim_runtime.run: tuple routed along missing channel %d -> %d \
+            (Definition 3 violation)"
+           src dst)
+    | _ -> ()
+  in
+  let send_payload ~replay src dst pred tuple =
+    check_channel src dst;
+    let seq = next_seq.(src).(dst) in
+    next_seq.(src).(dst) <- seq + 1;
+    if replay then fc.n_replayed <- fc.n_replayed + 1;
+    let pl =
+      {
+        pl_src = src;
+        pl_dst = dst;
+        pl_seq = seq;
+        pl_pred = pred;
+        pl_tuple = tuple;
+        pl_attempt = 0;
+        pl_retry_at = 0;
+      }
+    in
+    Hashtbl.replace unacked.(src).(dst) seq pl;
+    transmit pl
+  in
   let send_specs_for =
     let tbl = Hashtbl.create 8 in
     List.iter
@@ -132,18 +259,12 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
               end
             in
             if fresh then begin
-              (match options.network with
-               | Some net when not (Netgraph.mem net src.pid dst) ->
-                 failwith
-                   (Printf.sprintf
-                      "Sim_runtime.run: tuple routed along missing channel \
-                       %d -> %d (Definition 3 violation)"
-                      src.pid dst)
-               | _ -> ());
+              check_channel src.pid dst;
               channel_tuples.(src.pid).(dst) <-
                 channel_tuples.(src.pid).(dst) + 1;
               src.tuples_sent <- src.tuples_sent + 1;
-              Queue.add (pred, tuple) procs.(dst).inbox
+              if faulty then send_payload ~replay:false src.pid dst pred tuple
+              else Queue.add (pred, tuple) procs.(dst).inbox
             end)
           (s.ss_route src.pid tuple))
       (send_specs_for pred)
@@ -167,46 +288,255 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
       boot_row.(p.pid) <- List.length produced;
       collect_new p produced)
     procs;
-  let rounds = ref 0 in
   let trace = ref [ boot_row ] in
+  let build_stats ~pooled () : Stats.t =
+    {
+      nprocs;
+      rounds = !rounds;
+      per_proc =
+        Array.map
+          (fun p ->
+            let es = Seminaive.stats p.engine in
+            {
+              Stats.pid = p.pid;
+              firings = es.Seminaive.firings + p.lost_firings;
+              new_tuples = es.Seminaive.new_tuples + p.lost_new;
+              duplicate_firings =
+                es.Seminaive.duplicate_firings + p.lost_dup;
+              iterations = es.Seminaive.iterations + p.lost_iterations;
+              tuples_sent = p.tuples_sent;
+              tuples_received = p.tuples_received;
+              tuples_accepted = p.tuples_accepted;
+              base_resident = p.base_resident;
+              active_rounds = p.active_rounds;
+            })
+          procs;
+      channel_tuples;
+      pooled_tuples = pooled;
+      trace = List.rev !trace;
+      faults = Fault.freeze fc;
+    }
+  in
+  let live_count () =
+    Array.fold_left (fun n p -> if p.alive then n + 1 else n) 0 procs
+  in
+  let replay_history ~src ~dst =
+    Ktbl.iter
+      (fun (pred, tuple) () -> send_payload ~replay:true src dst pred tuple)
+      channel_seen.(src).(dst)
+  in
+  let do_crash p (c : Fault.crash) =
+    if live_count () <= 1 then
+      Log.info (fun m ->
+          m "round %d: crash of processor %d skipped (last live processor)"
+            !rounds p.pid)
+    else begin
+      fc.n_crashes <- fc.n_crashes + 1;
+      p.alive <- false;
+      p.down_until <- !rounds + c.cr_down;
+      (* Volatile state dies with the processor; the delivery layer's
+         stable state (sequence numbers, unacked buffers, channel
+         history) survives. *)
+      Queue.clear p.outbox;
+      Queue.clear p.inbox;
+      Array.iter Ktbl.reset recv_seen.(p.pid);
+      Log.info (fun m ->
+          m "round %d: processor %d crashed, down for %d round(s)" !rounds
+            p.pid c.cr_down)
+    end
+  in
+  let do_recover p =
+    fc.n_recoveries <- fc.n_recoveries + 1;
+    let survivor =
+      Array.fold_left
+        (fun acc q ->
+          match acc with
+          | Some _ -> acc
+          | None -> if q.alive then Some q.pid else None)
+        None procs
+      |> Option.value ~default:p.pid
+    in
+    let es = Seminaive.stats p.engine in
+    p.lost_iterations <- p.lost_iterations + es.Seminaive.iterations;
+    p.lost_firings <- p.lost_firings + es.Seminaive.firings;
+    p.lost_new <- p.lost_new + es.Seminaive.new_tuples;
+    p.lost_dup <- p.lost_dup + es.Seminaive.duplicate_firings;
+    (match p.checkpoint with
+     | Some (snap, saved_outbox) ->
+       fc.n_restores <- fc.n_restores + 1;
+       p.engine <-
+         Seminaive.restore ~pushdown:options.pushdown rw.programs.(p.pid)
+           snap;
+       (* Products awaiting routing when the snapshot was taken; the
+          per-channel dedup drops any that did get sent before the
+          crash. *)
+       List.iter (fun kt -> Queue.add kt p.outbox) saved_outbox
+     | None ->
+       let local_edb =
+         build_edb ~replicate:options.replicate_base rw edb p.pid
+       in
+       p.engine <-
+         Seminaive.create ~pushdown:options.pushdown rw.programs.(p.pid)
+           ~edb:local_edb;
+       let produced = Seminaive.bootstrap p.engine in
+       collect_new p produced);
+    p.alive <- true;
+    (* Bucket reassignment: the bucket h(v(r)) = pid is rebuilt (hosted
+       by the first survivor), then every live peer — the processor's
+       own loop channel included — replays its channel history so the
+       rebuilt engine re-receives every tuple the dead one had. Peers
+       currently down owe their replay at their own recovery. *)
+    Array.iter
+      (fun q ->
+        if q.alive then replay_history ~src:q.pid ~dst:p.pid
+        else replay_due.(q.pid).(p.pid) <- true)
+      procs;
+    for dst = 0 to nprocs - 1 do
+      if replay_due.(p.pid).(dst) then begin
+        replay_due.(p.pid).(dst) <- false;
+        replay_history ~src:p.pid ~dst
+      end
+    done;
+    Log.info (fun m ->
+        m "round %d: processor %d recovered (%s; bucket rebuilt via %d)"
+          !rounds p.pid
+          (if Option.is_some p.checkpoint then "from checkpoint"
+           else "from base fragment")
+          survivor)
+  in
+  let deliver_due () =
+    match Hashtbl.find_opt flight !rounds with
+    | None -> ()
+    | Some msgs ->
+      Hashtbl.remove flight !rounds;
+      List.iter
+        (fun msg ->
+          decr flight_size;
+          match msg with
+          | Fack { fm_sender; fm_receiver; fm_seq } ->
+            if Hashtbl.mem unacked.(fm_sender).(fm_receiver) fm_seq
+            then begin
+              Hashtbl.remove unacked.(fm_sender).(fm_receiver) fm_seq;
+              fc.n_acks <- fc.n_acks + 1
+            end
+          | Fdata { fm_pl = pl; fm_attempt } ->
+            let p = procs.(pl.pl_dst) in
+            if not p.alive then
+              (* A message arriving at a dead processor is lost; the
+                 sender's unacked buffer retransmits it later. *)
+              fc.n_drops <- fc.n_drops + 1
+            else begin
+              if
+                not
+                  (Fault.ack_dropped plan ~src:pl.pl_src ~dst:pl.pl_dst
+                     ~seq:pl.pl_seq ~attempt:fm_attempt)
+              then
+                schedule (!rounds + 1)
+                  (Fack
+                     {
+                       fm_sender = pl.pl_src;
+                       fm_receiver = pl.pl_dst;
+                       fm_seq = pl.pl_seq;
+                     });
+              let seen = recv_seen.(pl.pl_dst).(pl.pl_src) in
+              let key = (pl.pl_pred, pl.pl_tuple) in
+              if Ktbl.mem seen key then
+                fc.n_dups_suppressed <- fc.n_dups_suppressed + 1
+              else begin
+                Ktbl.add seen key ();
+                Queue.add key p.inbox
+              end
+            end)
+        (List.rev !msgs)
+  in
+  let retransmit_due () =
+    Array.iter
+      (fun row ->
+        Array.iter
+          (fun tbl ->
+            Hashtbl.iter
+              (fun _ pl ->
+                if pl.pl_retry_at <= !rounds then begin
+                  fc.n_retransmits <- fc.n_retransmits + 1;
+                  transmit pl
+                end)
+              tbl)
+          row)
+      unacked
+  in
+  let drain_inbox p =
+    if
+      faulty
+      && Queue.length p.inbox > 1
+      && Fault.reorder_inbox plan ~pid:p.pid ~round:!rounds
+    then begin
+      fc.n_reorders <- fc.n_reorders + 1;
+      let arr = Array.of_seq (Queue.to_seq p.inbox) in
+      Fault.shuffle plan ~pid:p.pid ~round:!rounds arr;
+      Queue.clear p.inbox;
+      Array.iter (fun x -> Queue.add x p.inbox) arr
+    end;
+    Queue.iter
+      (fun (pred, tuple) ->
+        p.tuples_received <- p.tuples_received + 1;
+        if Seminaive.inject p.engine (Rewrite.in_pred pred) tuple then
+          p.tuples_accepted <- p.tuples_accepted + 1)
+      p.inbox;
+    Queue.clear p.inbox
+  in
   let continue = ref true in
   while !continue do
     if !rounds >= options.max_rounds then
-      failwith "Sim_runtime.run: round budget exceeded";
+      raise
+        (Round_budget_exceeded
+           { round = !rounds; stats = build_stats ~pooled:0 () });
+    (* Fault schedule: crashes first, then due recoveries. *)
+    if faulty then begin
+      Array.iter
+        (fun p ->
+          if p.alive then
+            match Fault.crash_at plan ~pid:p.pid ~round:!rounds with
+            | Some c -> do_crash p c
+            | None -> ())
+        procs;
+      Array.iter
+        (fun p ->
+          if (not p.alive) && !rounds >= p.down_until then do_recover p)
+        procs
+    end;
     (* Sending. *)
     Array.iter
       (fun p ->
-        if options.resend_all then begin
+        if not p.alive then ()
+        else if options.resend_all then begin
           Queue.clear p.outbox;
           Queue.iter
             (fun (pred, tuple) -> route_tuple ~dedup:false p pred tuple)
             p.all_out
         end
-        else
+        else begin
           Queue.iter
             (fun (pred, tuple) -> route_tuple ~dedup:true p pred tuple)
             p.outbox;
-        Queue.clear p.outbox)
+          Queue.clear p.outbox
+        end)
       procs;
+    (* Transport: retransmit overdue payloads, then deliver everything
+       landing this round (acknowledgements included). *)
+    if faulty then begin
+      retransmit_due ();
+      deliver_due ()
+    end;
     (* Receiving: drain inboxes into the engines (duplicate
        elimination happens in inject). *)
-    Array.iter
-      (fun p ->
-        Queue.iter
-          (fun (pred, tuple) ->
-            p.tuples_received <- p.tuples_received + 1;
-            if Seminaive.inject p.engine (Rewrite.in_pred pred) tuple then
-              p.tuples_accepted <- p.tuples_accepted + 1)
-          p.inbox;
-        Queue.clear p.inbox)
-      procs;
-    (* Processing: one semi-naive iteration per processor. *)
+    Array.iter (fun p -> if p.alive then drain_inbox p) procs;
+    (* Processing: one semi-naive iteration per live processor. *)
     let any_progress = ref false in
     let produced_this_round = ref 0 in
     let round_row = Array.make nprocs 0 in
     Array.iter
       (fun p ->
-        if Seminaive.has_pending p.engine then begin
+        if p.alive && Seminaive.has_pending p.engine then begin
           let produced = Seminaive.step p.engine in
           p.active_rounds <- p.active_rounds + 1;
           any_progress := true;
@@ -217,13 +547,30 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
       procs;
     trace := round_row :: !trace;
     incr rounds;
+    (* Checkpointing: a stable-storage write at the end of the round. *)
+    if faulty then begin
+      match plan.Fault.checkpoint_every with
+      | Some k when !rounds mod k = 0 ->
+        Array.iter
+          (fun p ->
+            if p.alive then begin
+              p.checkpoint <-
+                Some
+                  (Seminaive.snapshot p.engine,
+                   List.of_seq (Queue.to_seq p.outbox));
+              fc.n_checkpoints <- fc.n_checkpoints + 1
+            end)
+          procs
+      | _ -> ()
+    end;
     Log.debug (fun m ->
         m "round %d: %d new tuples, %d tuples on channels so far" !rounds
           !produced_this_round
           (Array.fold_left
              (fun acc row -> Array.fold_left ( + ) acc row)
              0 channel_tuples));
-    (* Termination: all processors idle, all channels empty. *)
+    (* Termination: all processors up and idle, all channels empty, no
+       payload in flight or awaiting acknowledgement. *)
     let work_left =
       !any_progress
       || Array.exists
@@ -231,7 +578,15 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
              (not (Queue.is_empty p.outbox))
              || not (Queue.is_empty p.inbox))
            procs
-      || Array.exists (fun p -> Seminaive.has_pending p.engine) procs
+      || Array.exists (fun p -> p.alive && Seminaive.has_pending p.engine)
+           procs
+      || (faulty
+          && (!flight_size > 0
+              || Array.exists (fun p -> not p.alive) procs
+              || Array.exists
+                   (fun row ->
+                     Array.exists (fun tbl -> Hashtbl.length tbl > 0) row)
+                   unacked))
     in
     continue := work_left
   done;
@@ -253,31 +608,4 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
             ignore (Relation.add_all target rel))
         rw.derived)
     procs;
-  let engine_stats p = Seminaive.stats p.engine in
-  let stats : Stats.t =
-    {
-      nprocs;
-      rounds = !rounds;
-      per_proc =
-        Array.map
-          (fun p ->
-            let es = engine_stats p in
-            {
-              Stats.pid = p.pid;
-              firings = es.Seminaive.firings;
-              new_tuples = es.Seminaive.new_tuples;
-              duplicate_firings = es.Seminaive.duplicate_firings;
-              iterations = es.Seminaive.iterations;
-              tuples_sent = p.tuples_sent;
-              tuples_received = p.tuples_received;
-              tuples_accepted = p.tuples_accepted;
-              base_resident = p.base_resident;
-              active_rounds = p.active_rounds;
-            })
-          procs;
-      channel_tuples;
-      pooled_tuples = !pooled;
-      trace = List.rev !trace;
-    }
-  in
-  { answers; stats }
+  { answers; stats = build_stats ~pooled:!pooled () }

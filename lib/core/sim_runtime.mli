@@ -7,11 +7,25 @@
     channels are instrumented, and the run is fully deterministic, which
     makes communication and redundancy exactly countable. Termination is
     the global quiescence condition: all processors idle and all
-    channels empty. *)
+    channels empty.
+
+    With a non-trivial {!Fault.plan} the run additionally models lossy
+    channels and crashing processors. Payload tuples then travel over a
+    reliable-delivery layer — per-channel sequence numbers, receiver-side
+    duplicate suppression, acknowledgements and bounded retransmission
+    with exponential backoff — and a crashed processor is rebuilt by
+    bucket reassignment: a survivor re-creates the lost engine from its
+    base fragment (or from the latest checkpoint) and every peer replays
+    its channel history. For every plan that leaves at least one live
+    processor, the pooled answers equal the fault-free run. A round now
+    has the phases: fault schedule (crash / recover), sending,
+    retransmission, delivery, receiving, processing, checkpointing,
+    termination test; crashes scheduled after global quiescence never
+    fire. *)
 
 val log_src : Logs.src
 (** Per-round debug logging ([Logs.Debug]): new-tuple and channel
-    counters. *)
+    counters. Crash and recovery events log at [Logs.Info]. *)
 
 type options = {
   resend_all : bool;
@@ -30,8 +44,8 @@ type options = {
           whole extensional database (ablation A4). Results are
           unchanged; base residency grows. Default [false]. *)
   max_rounds : int;
-      (** Safety valve; the run fails after this many rounds. Default
-          [1_000_000]. *)
+      (** Safety valve; the run raises {!Round_budget_exceeded} after
+          this many rounds. Default [1_000_000]. *)
   network : Netgraph.t option;
       (** Execute on a fixed network (Definition 3): a tuple routed
           along a missing edge aborts the run — there is no routing
@@ -39,6 +53,10 @@ type options = {
           demonstrate that the compile-time analysis is safe, or a
           deliberately small one to see the abort. Default [None] (the
           complete graph of Section 3's abstract architecture). *)
+  fault : Fault.plan;
+      (** Seeded fault plan; {!Fault.none} (the default) bypasses the
+          delivery layer entirely and reproduces the exact message
+          counts of the fault-free executor. *)
 }
 
 val default_options : options
@@ -51,9 +69,18 @@ type result = {
   stats : Stats.t;
 }
 
+exception Round_budget_exceeded of { round : int; stats : Stats.t }
+(** Raised when [max_rounds] is exhausted. Carries the partial
+    statistics accumulated so far ([pooled_tuples] is 0: outputs are
+    not pooled on an aborted run), so callers can see how far the
+    evaluation got — e.g. which processors were still active and what
+    the channels carried. *)
+
 val run :
   ?options:options -> Rewrite.t -> edb:Datalog.Database.t -> result
 (** Execute a rewritten program. The extensional database [edb] is
     distributed to processors according to the rewrite's residency map;
     the original program's base facts are added to [edb] first.
-    @raise Failure when [max_rounds] is exceeded. *)
+    @raise Round_budget_exceeded when [max_rounds] is exceeded.
+    @raise Failure when a tuple is routed along a missing channel of
+    [network]. *)

@@ -11,6 +11,37 @@ type per_proc = {
   active_rounds : int;
 }
 
+type faults = {
+  drops : int;
+  dups_injected : int;
+  dups_suppressed : int;
+  delays : int;
+  reorders : int;
+  retransmits : int;
+  acks : int;
+  crashes : int;
+  recoveries : int;
+  replayed : int;
+  checkpoints : int;
+  restores : int;
+}
+
+let no_faults =
+  {
+    drops = 0;
+    dups_injected = 0;
+    dups_suppressed = 0;
+    delays = 0;
+    reorders = 0;
+    retransmits = 0;
+    acks = 0;
+    crashes = 0;
+    recoveries = 0;
+    replayed = 0;
+    checkpoints = 0;
+    restores = 0;
+  }
+
 type t = {
   nprocs : int;
   rounds : int;
@@ -18,6 +49,7 @@ type t = {
   channel_tuples : int array array;
   pooled_tuples : int;
   trace : int array list;
+  faults : faults;
 }
 
 let frontier_profile t =
@@ -89,6 +121,18 @@ let pp ppf t =
         p.new_tuples p.duplicate_firings p.iterations p.tuples_sent
         p.tuples_received p.tuples_accepted p.base_resident p.active_rounds)
     t.per_proc;
+  if t.faults <> no_faults then begin
+    let f = t.faults in
+    Format.fprintf ppf
+      "faults: drops=%d dups=%d suppressed=%d delays=%d reorders=%d \
+       retransmits=%d acks=%d@,"
+      f.drops f.dups_injected f.dups_suppressed f.delays f.reorders
+      f.retransmits f.acks;
+    Format.fprintf ppf
+      "        crashes=%d recoveries=%d replayed=%d checkpoints=%d \
+       restores=%d@,"
+      f.crashes f.recoveries f.replayed f.checkpoints f.restores
+  end;
   Format.fprintf ppf "@]"
 
 let pp_summary ppf t =

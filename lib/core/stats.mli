@@ -18,6 +18,28 @@ type per_proc = {
   active_rounds : int;  (** Rounds in which the processor fired or received. *)
 }
 
+type faults = {
+  drops : int;  (** Transmission attempts lost by the fault injector. *)
+  dups_injected : int;  (** Extra copies created by the fault injector. *)
+  dups_suppressed : int;
+      (** Deliveries discarded by the receiver-side duplicate
+          suppression of the reliable layer. *)
+  delays : int;  (** Messages given extra latency. *)
+  reorders : int;  (** Messages jittered out of order + inboxes shuffled. *)
+  retransmits : int;  (** Payload retransmissions after an ack timeout. *)
+  acks : int;  (** Transport acknowledgements delivered. *)
+  crashes : int;  (** Processor failures executed. *)
+  recoveries : int;  (** Processors rebuilt by bucket reassignment. *)
+  replayed : int;
+      (** Tuples resent from peers' channel histories during
+          recovery. *)
+  checkpoints : int;  (** Engine snapshots taken. *)
+  restores : int;  (** Recoveries that resumed from a checkpoint. *)
+}
+
+val no_faults : faults
+(** All-zero counters — the value reported by fault-free runs. *)
+
 type t = {
   nprocs : int;
   rounds : int;
@@ -30,6 +52,9 @@ type t = {
           initialization step (the paper's "evaluate initialization
           rule"), so there are [rounds + 1] rows. Empty for runtimes
           without a global round structure (the domain runtime). *)
+  faults : faults;
+      (** Reliable-delivery and recovery counters; {!no_faults} when
+          the run executed on the idealized architecture. *)
 }
 
 val frontier_profile : t -> int list

@@ -175,6 +175,39 @@ let run_to_fixpoint engine =
     ignore (step engine)
   done
 
+type snapshot = {
+  snap_full : Database.t;
+  snap_pending : Database.t;
+  snap_bootstrapped : bool;
+}
+
+let snapshot engine =
+  {
+    snap_full = Database.copy engine.full;
+    snap_pending = Database.copy engine.pending;
+    snap_bootstrapped = engine.bootstrapped;
+  }
+
+let restore ?(pushdown = true) ?(reorder = false) program snap =
+  (match Program.check program with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Seminaive.restore: " ^ msg));
+  {
+    program;
+    plans =
+      List.map
+        (fun r -> Joiner.compile ~pushdown ~reorder r)
+        (Program.rules program);
+    rule_firings = Array.make (List.length (Program.rules program)) 0;
+    full = Database.copy snap.snap_full;
+    pending = Database.copy snap.snap_pending;
+    bootstrapped = snap.snap_bootstrapped;
+    iterations = 0;
+    firings = 0;
+    new_tuples = 0;
+    duplicate_firings = 0;
+  }
+
 let database engine =
   let snapshot = Database.copy engine.full in
   ignore (Database.merge_into ~dst:snapshot ~src:engine.pending);

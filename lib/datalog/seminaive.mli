@@ -62,6 +62,24 @@ val database : t -> Database.t
 (** A fresh snapshot of the engine's database: base relations plus
     every derived tuple known so far, including still-queued ones. *)
 
+type snapshot
+(** A resumable checkpoint: the processed database and the pending
+    delta, kept separate so that {!restore} resumes the semi-naive
+    induction exactly where it stopped (a merged snapshot would lose
+    the firings the pending tuples still owe). *)
+
+val snapshot : t -> snapshot
+(** Copy the engine's state. The engine is unaffected and the snapshot
+    does not alias it. *)
+
+val restore : ?pushdown:bool -> ?reorder:bool -> Program.t -> snapshot -> t
+(** A fresh engine resuming from a {!snapshot} of an engine running
+    the same program: processed relations, pending delta and the
+    bootstrapped flag are restored; statistics restart from zero (the
+    caller accounts for work lost with the dead engine). The snapshot
+    may be restored any number of times.
+    @raise Invalid_argument if the program fails {!Program.check}. *)
+
 val stats : t -> stats
 
 val per_rule_firings : t -> (Rule.t * int) list

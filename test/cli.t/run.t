@@ -55,6 +55,38 @@ run (Theorems 1 and 2).
   firings: sequential=10 parallel=10 (non-redundant, redundancy 0.000)
   messages: 1
 
+Fault injection: seeded message loss, duplication, reordering, delay
+and a processor crash with periodic checkpoints. The reliable-delivery
+layer and bucket reassignment keep the pooled answers equal to the
+sequential run; the seed makes the whole run a deterministic replay.
+
+  $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 --verify \
+  >   --fault-seed 7 --drop 0.3 --dup 0.2 --reorder 0.2 --delay 0.2 \
+  >   --max-delay 3 --crash 1@2+2 --checkpoint 2 | head -2
+  equal answers: true
+  firings: sequential=10 parallel=10 (non-redundant, redundancy 0.000)
+
+The fault counters appear in the statistics report.
+
+  $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 -q \
+  >   --fault-seed 7 --drop 0.25 --crash 1@3
+  2 processors, 21 rounds, 1 messages (+9 self), pooled 10 tuples
+    proc    firings       new   dupfire  iters    sent    recv  accept   baseres  active
+    0             2         2         0      2       2       1       1         2       2
+    1            13        13         0      6       8      12      12         3       6
+  faults: drops=4 dups=0 suppressed=5 delays=0 reorders=0 retransmits=6 acks=16
+          crashes=1 recoveries=1 replayed=6 checkpoints=0 restores=0
+  
+
+Fault plans are validated before the run starts.
+
+  $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 --drop 1.5
+  Fault.make: drop must be in [0, 1), got 1.5
+  [2]
+  $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 --crash x@3
+  bad --crash: bad crash spec "x@3": expected PID@ROUND[+DOWN]
+  [2]
+
 The dataflow analysis recovers the paper's Example 1 choice.
 
   $ datalogp dataflow anc.dl

@@ -1,0 +1,81 @@
+(* A small deterministic fault matrix, run on every `dune runtest` via
+   the @fault alias. Each cell executes a fixture program under a
+   seeded fault plan on the simulated runtime and checks the tentpole
+   guarantee: pooled answers equal the sequential evaluation. Kept
+   intentionally small and fast — the broad randomized sweep lives in
+   the QCheck suite (t_fault.ml). *)
+
+open Datalog
+open Pardatalog
+
+let plans =
+  [
+    ("drop", Fault.make ~seed:1 ~drop:0.3 ());
+    ("dup", Fault.make ~seed:2 ~dup:0.3 ());
+    ("reorder+delay",
+     Fault.make ~seed:3 ~reorder:0.3 ~delay:0.3 ~max_delay:3 ());
+    ("crash",
+     Fault.make ~seed:4
+       ~crashes:[ { Fault.cr_pid = 1; cr_round = 3; cr_down = 2 } ]
+       ());
+    ("crash+checkpoint",
+     Fault.make ~seed:5
+       ~crashes:[ { Fault.cr_pid = 0; cr_round = 2; cr_down = 1 } ]
+       ~checkpoint_every:2 ());
+    ("everything",
+     Fault.make ~seed:6 ~drop:0.25 ~dup:0.2 ~reorder:0.2 ~delay:0.2
+       ~max_delay:2
+       ~crashes:[ { Fault.cr_pid = 1; cr_round = 2; cr_down = 2 } ]
+       ~checkpoint_every:3 ());
+  ]
+
+let chain_edb n =
+  let db = Database.create () in
+  for i = 0 to n - 1 do
+    ignore (Database.add_fact db "par" (Tuple.of_ints [ i; i + 1 ]))
+  done;
+  db
+
+let fixtures =
+  [
+    ("tc/example3",
+     Result.get_ok
+       (Strategy.example3 ~seed:0 ~nprocs:3 Workload.Progs.ancestor),
+     chain_edb 10);
+    ("tc/general",
+     Result.get_ok
+       (Strategy.general ~seed:0 ~nprocs:3 Workload.Progs.ancestor),
+     chain_edb 10);
+    ("nonlinear/general",
+     Result.get_ok
+       (Strategy.general ~seed:0 ~nprocs:2
+          Workload.Progs.ancestor_nonlinear),
+     chain_edb 8);
+  ]
+
+let () =
+  let failures = ref 0 in
+  List.iter
+    (fun (fname, rw, edb) ->
+      List.iter
+        (fun (pname, plan) ->
+          let options =
+            { Sim_runtime.default_options with fault = plan;
+              max_rounds = 50_000 }
+          in
+          let report = Verify.check ~options rw ~edb in
+          let f = report.Verify.stats.Stats.faults in
+          if report.Verify.equal_answers then
+            Printf.printf
+              "ok   %-18s %-16s drops=%d retransmits=%d crashes=%d\n"
+              fname pname f.Stats.drops f.Stats.retransmits f.Stats.crashes
+          else begin
+            incr failures;
+            Printf.printf "FAIL %-18s %-16s answers differ\n" fname pname
+          end)
+        plans)
+    fixtures;
+  if !failures > 0 then begin
+    Printf.printf "%d fault-matrix cell(s) failed\n" !failures;
+    exit 1
+  end

@@ -319,14 +319,20 @@ let sim_tests =
            > Stats.total_messages ~include_self:true normal.Sim_runtime.stats));
     case "round budget enforcement" (fun () ->
         let rw = example3_rw () in
-        Alcotest.(check bool) "raises" true
-          (try
-             ignore
-               (Sim_runtime.run
-                  ~options:{ Sim_runtime.default_options with max_rounds = 1 }
-                  rw ~edb);
-             false
-           with Failure _ -> true));
+        match
+          Sim_runtime.run
+            ~options:{ Sim_runtime.default_options with max_rounds = 1 }
+            rw ~edb
+        with
+        | _ -> Alcotest.fail "expected Round_budget_exceeded"
+        | exception Sim_runtime.Round_budget_exceeded { round; stats } ->
+          Alcotest.(check int) "round at abort" 1 round;
+          Alcotest.(check int) "partial stats carry the round" 1
+            stats.Stats.rounds;
+          Alcotest.(check bool) "partial stats carry channel traffic" true
+            (Stats.total_messages ~include_self:true stats > 0);
+          Alcotest.(check int) "no pooling on abort" 0
+            stats.Stats.pooled_tuples);
   ]
 
 let suites = [ ("rewrite", rewrite_tests); ("sim_runtime", sim_tests) ]
