@@ -249,6 +249,12 @@ let alpha_arg =
         ~doc:"Locality of the tradeoff scheme: probability of keeping a \
               tuple at its producer (0 = non-redundant, 1 = Wolfson).")
 
+let check_alpha alpha =
+  if not (alpha >= 0.0 && alpha <= 1.0) then begin
+    Format.eprintf "--alpha must be in [0,1], got %g@." alpha;
+    exit 2
+  end
+
 let build_scheme scheme ~nprocs ~seed ~ve ~vr ~alpha program edb =
   match scheme with
   | `Q ->
@@ -399,41 +405,168 @@ let par_cmd =
       const build $ fault_seed_arg $ drop_arg $ dup_arg $ reorder_arg
       $ delay_arg $ max_delay_arg $ crash_arg $ checkpoint_arg)
   in
+  let overload_term =
+    let capacity_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "capacity" ] ~docv:"K"
+            ~doc:
+              "Credit-based backpressure: at most K tuples in flight per \
+               channel; over-budget tuples wait at the sender.")
+    in
+    let deadline_arg =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "deadline" ] ~docv:"SEC"
+            ~doc:
+              "Wall-clock budget in seconds; on expiry the run aborts \
+               with partial statistics.")
+    in
+    let max_store_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-store" ] ~docv:"ROWS"
+            ~doc:"Per-processor tuple-store row budget.")
+    in
+    let max_outbox_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-outbox" ] ~docv:"ROWS"
+            ~doc:"Per-processor outbox row budget.")
+    in
+    let max_rounds_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-rounds" ] ~docv:"N"
+            ~doc:
+              "Round budget of --runtime sim; on exhaustion the run \
+               aborts with partial statistics.")
+    in
+    let adaptive_arg =
+      Arg.(
+        value & flag
+        & info [ "adaptive" ]
+            ~doc:
+              "Adaptive degradation: run the tradeoff scheme with a \
+               per-processor alpha moved by backlog feedback \
+               (--high-water), resting at --alpha. Overrides --scheme.")
+    in
+    let high_water_arg =
+      Arg.(
+        value & opt int 64
+        & info [ "high-water" ] ~docv:"N"
+            ~doc:
+              "Backlog (per-channel tuples outstanding) past which an \
+               --adaptive processor raises its alpha.")
+    in
+    let build capacity deadline max_store max_outbox max_rounds adaptive
+        high_water =
+      (match capacity with
+      | Some k when k < 1 ->
+        Format.eprintf "--capacity must be at least 1, got %d@." k;
+        exit 2
+      | _ -> ());
+      (match max_rounds with
+      | Some n when n < 1 ->
+        Format.eprintf "--max-rounds must be at least 1, got %d@." n;
+        exit 2
+      | _ -> ());
+      let limits =
+        {
+          Overload.deadline;
+          max_store_rows = max_store;
+          max_outbox_rows = max_outbox;
+        }
+      in
+      (try Overload.validate limits
+       with Invalid_argument msg ->
+         Format.eprintf "%s@." msg;
+         exit 2);
+      if high_water < 1 then begin
+        Format.eprintf "--high-water must be at least 1, got %d@." high_water;
+        exit 2
+      end;
+      (capacity, limits, max_rounds, adaptive, high_water)
+    in
+    Term.(
+      const build $ capacity_arg $ deadline_arg $ max_store_arg
+      $ max_outbox_arg $ max_rounds_arg $ adaptive_arg $ high_water_arg)
+  in
   let action program edb_file scheme nprocs seed ve vr alpha runtime domains
-      detector verify fault quiet verbose =
+      detector verify fault overload quiet verbose =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level Sim_runtime.log_src (Some Logs.Debug)
     end;
+    check_alpha alpha;
+    let capacity, limits, max_rounds, adaptive, high_water = overload in
     let program = load_program program in
     let edb = load_edb edb_file in
-    match build_scheme scheme ~nprocs ~seed ~ve ~vr ~alpha program edb with
+    let dial =
+      if adaptive then
+        Some (Overload.dial ~alpha ~high_water ~nprocs ())
+      else None
+    in
+    let scheme_result =
+      match dial with
+      | Some dial -> Strategy.adaptive_tradeoff ~seed ~nprocs ~dial program
+      | None -> build_scheme scheme ~nprocs ~seed ~ve ~vr ~alpha program edb
+    in
+    match scheme_result with
     | Error msg ->
       Format.eprintf "cannot build scheme: %s@." msg;
       exit 2
     | Ok rw ->
-      let options = { Sim_runtime.default_options with fault } in
+      let options =
+        {
+          Sim_runtime.default_options with
+          fault;
+          capacity;
+          limits;
+          dial;
+          max_rounds =
+            Option.value max_rounds
+              ~default:Sim_runtime.default_options.Sim_runtime.max_rounds;
+        }
+      in
       if verify then begin
         let report = Verify.check ~options rw ~edb in
         Format.printf "%a@." Verify.pp_report report;
         if not report.Verify.equal_answers then exit 1
       end
       else begin
-        let result =
-          match runtime with
+        match
+          (match runtime with
           | `Sim -> Sim_runtime.run ~options rw ~edb
-          | `Domain -> Domain_runtime.run ~detector ?domains ~fault rw ~edb
-        in
-        if not quiet then
-          print_answers result.Sim_runtime.answers rw.Rewrite.derived;
-        Format.printf "%a@." Stats.pp result.Sim_runtime.stats
+          | `Domain ->
+            Domain_runtime.run ~detector ?domains ~fault ?capacity ~limits
+              ?dial rw ~edb)
+        with
+        | result ->
+          if not quiet then
+            print_answers result.Sim_runtime.answers rw.Rewrite.derived;
+          Format.printf "%a@." Stats.pp result.Sim_runtime.stats
+        | exception Sim_runtime.Round_budget_exceeded { round; stats } ->
+          Format.printf "round budget exceeded after %d rounds@." round;
+          Format.printf "%a@." Stats.pp stats;
+          exit 3
+        | exception Overload.Overload { reason; stats } ->
+          Format.printf "overload: %a@." Overload.pp_reason reason;
+          Format.printf "%a@." Stats.pp stats;
+          exit 4
       end
   in
   Cmd.v (Cmd.info "par" ~doc)
     Term.(
       const action $ program_arg $ edb_arg $ scheme_arg $ nprocs_arg
       $ seed_arg $ ve_arg $ vr_arg $ alpha_arg $ runtime_arg $ domains_arg
-      $ detector_arg $ verify_arg $ fault_term $ quiet_arg $ verbose_arg)
+      $ detector_arg $ verify_arg $ fault_term $ overload_term $ quiet_arg
+      $ verbose_arg)
 
 (* ---------------------------------------------------------------- *)
 (* rewrite                                                           *)
@@ -442,6 +575,7 @@ let par_cmd =
 let rewrite_cmd =
   let doc = "Print the per-processor programs a scheme generates." in
   let action program edb_file scheme nprocs seed ve vr alpha =
+    check_alpha alpha;
     let program = load_program program in
     let edb = load_edb edb_file in
     match build_scheme scheme ~nprocs ~seed ~ve ~vr ~alpha program edb with

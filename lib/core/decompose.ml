@@ -233,12 +233,17 @@ let run program ~nprocs edb =
               tuples_accepted = 0;
               base_resident = Database.total_tuples local_edbs.(pid);
               active_rounds = es.Seminaive.iterations;
+              store_rows = Overload.db_rows (Seminaive.database engine);
+              store_bytes = Overload.db_bytes (Seminaive.database engine);
+              outbox_peak_rows = 0;
+              outbox_peak_bytes = 0;
             })
           engines;
       channel_tuples = Array.make_matrix nprocs nprocs 0;
       pooled_tuples = !pooled;
       trace = [];
       faults = Stats.no_faults;
+      peak_in_flight = 0;
     }
   in
   Ok ({ Sim_runtime.answers; stats }, analysis)

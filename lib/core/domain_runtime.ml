@@ -53,6 +53,16 @@ type proc_state = {
   next_seq : int array;  (* per destination *)
   unacked : (int, pending) Hashtbl.t array;  (* per destination *)
   seen_seq : (int, unit) Hashtbl.t array;  (* per source *)
+  (* Credit-based backpressure (active only under a capacity):
+     [pending] holds tuples deferred for lack of channel credit (the
+     bool marks recovery replays), [credit_used] counts in-flight
+     (un-Tacked) tuples per destination, [inflight_size] remembers each
+     outstanding batch's size so its Tack returns the right credit. *)
+  pending : (string * Tuple.t * bool) Queue.t array;  (* per destination *)
+  credit_used : int array;  (* per destination *)
+  inflight_size : (int, int) Hashtbl.t array;  (* per destination *)
+  mutable outbox_peak_rows : int;
+  mutable outbox_peak_bytes : int;
   mutable local_rounds : int;  (* semi-naive iterations executed *)
   mutable crashes_fired : int list;
   mutable lost_iterations : int;
@@ -69,6 +79,15 @@ type worker_result = {
   wr_received : int;
   wr_accepted : int;
   wr_base_resident : int;
+  wr_outbox_peak_rows : int;
+  wr_outbox_peak_bytes : int;
+}
+
+(* Per-worker overload-control outcome, merged by [run]. *)
+type worker_extra = {
+  we_overload : Overload.reason option;
+  we_credit_stalls : int;
+  we_peak_in_flight : int;
 }
 
 let build_edb (rw : Rewrite.t) edb pid =
@@ -90,11 +109,15 @@ let build_edb (rw : Rewrite.t) edb pid =
    runtime's round-based one. *)
 let retry_delay attempt = 0.001 *. float_of_int (1 lsl min attempt 6)
 
-let worker detector plan (rw : Rewrite.t) mailboxes ~domain_of ~own_pids
-    local_edbs my_domain =
+let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
+    (rw : Rewrite.t) mailboxes ~domain_of ~own_pids local_edbs my_domain =
   let n = rw.nprocs in
   let faulty = not (Fault.is_none plan) in
+  let credited = capacity <> None in
   let fc = Fault.counters () in
+  let credit_stalls = ref 0 in
+  let peak_in_flight = ref 0 in
+  let overload : Overload.reason option ref = ref None in
   let my_mailbox = mailboxes.(my_domain) in
   let send_to_pid pid msg = Mailbox.push mailboxes.(domain_of pid) msg in
   let send_specs_for =
@@ -126,6 +149,11 @@ let worker detector plan (rw : Rewrite.t) mailboxes ~domain_of ~own_pids
           next_seq = Array.make n 0;
           unacked = Array.init n (fun _ -> Hashtbl.create 8);
           seen_seq = Array.init n (fun _ -> Hashtbl.create 16);
+          pending = Array.init n (fun _ -> Queue.create ());
+          credit_used = Array.make n 0;
+          inflight_size = Array.init n (fun _ -> Hashtbl.create 8);
+          outbox_peak_rows = 0;
+          outbox_peak_bytes = 0;
           local_rounds = 0;
           crashes_fired = [];
           lost_iterations = 0;
@@ -167,20 +195,95 @@ let worker detector plan (rw : Rewrite.t) mailboxes ~domain_of ~own_pids
      retransmissions and duplicates are invisible to them, which keeps
      the token balance (Safra) and the deficits (Dijkstra-Scholten)
      sound over lossy channels. *)
-  let send_data ~replay p dst batch =
+  let send_entries p dst entries =
     let seq = p.next_seq.(dst) in
     p.next_seq.(dst) <- seq + 1;
     (match detector with
      | Safra -> Safra.record_send p.safra
      | Dijkstra_scholten -> Dscholten.record_send p.ds);
-    if replay then fc.n_replayed <- fc.n_replayed + List.length batch
-    else p.sent_row.(dst) <- p.sent_row.(dst) + List.length batch;
+    List.iter
+      (fun (_, _, replay) ->
+        if replay then fc.n_replayed <- fc.n_replayed + 1
+        else p.sent_row.(dst) <- p.sent_row.(dst) + 1)
+      entries;
+    let batch = List.map (fun (pred, tuple, _) -> (pred, tuple)) entries in
+    if credited then begin
+      let size = List.length entries in
+      p.credit_used.(dst) <- p.credit_used.(dst) + size;
+      if p.credit_used.(dst) > !peak_in_flight then
+        peak_in_flight := p.credit_used.(dst);
+      Hashtbl.replace p.inflight_size.(dst) seq size
+    end;
     if faulty then begin
       let pd = { pd_batch = batch; pd_attempt = 0; pd_retry_at = 0.0 } in
       Hashtbl.replace p.unacked.(dst) seq pd;
       transmit_batch p dst seq pd
     end
     else send_to_pid dst (Data { src = p.pid; dst; seq; batch })
+  in
+  let send_data ~replay p dst batch =
+    send_entries p dst (List.map (fun (pred, t) -> (pred, t, replay)) batch)
+  in
+  (* Move deferred tuples onto the wire, channel credit permitting;
+     batches are split to fit the remaining credit. *)
+  let flush_pending p =
+    match capacity with
+    | None -> ()
+    | Some k ->
+      for dst = 0 to n - 1 do
+        let q = p.pending.(dst) in
+        if not (Queue.is_empty q) then begin
+          let stalled = ref false in
+          while
+            (not (Queue.is_empty q))
+            && (p.credit_used.(dst) < k || (stalled := true; false))
+          do
+            let room = k - p.credit_used.(dst) in
+            let entries = ref [] in
+            let count = ref 0 in
+            while !count < room && not (Queue.is_empty q) do
+              entries := Queue.pop q :: !entries;
+              incr count
+            done;
+            send_entries p dst (List.rev !entries)
+          done;
+          if !stalled then incr credit_stalls
+        end
+      done
+  in
+  (* Hand a batch to the channel: directly when unbounded, through the
+     credit gate when a capacity is set. Deferral is never a loss — the
+     worker refuses to go passive while anything is pending, and an
+     un-Tacked batch is always outstanding then, so the credit that
+     flushes the remainder is guaranteed to arrive. *)
+  let dispatch_out ~replay p dst batch =
+    if not credited then send_data ~replay p dst batch
+    else begin
+      List.iter
+        (fun (pred, t) -> Queue.add (pred, t, replay) p.pending.(dst))
+        batch;
+      flush_pending p
+    end
+  in
+  let track_outbox_peak p =
+    if credited then begin
+      let rows = ref 0 in
+      Array.iter (fun q -> rows := !rows + Queue.length q) p.pending;
+      if !rows > p.outbox_peak_rows then begin
+        p.outbox_peak_rows <- !rows;
+        let bytes = ref 0 in
+        Array.iter
+          (fun q ->
+            Queue.iter
+              (fun (_, t, _) -> bytes := !bytes + (Tuple.arity t * 8))
+              q)
+          p.pending;
+        p.outbox_peak_bytes <- !bytes
+      end
+    end
+  in
+  let has_pending_out p =
+    Array.exists (fun q -> not (Queue.is_empty q)) p.pending
   in
   let route p produced =
     let batches = Array.make n [] in
@@ -200,10 +303,31 @@ let worker detector plan (rw : Rewrite.t) mailboxes ~domain_of ~own_pids
                 (s.ss_route p.pid tuple))
             (send_specs_for pred))
       produced;
+    (* Adaptive degradation: feed the worst channel demand (this step's
+       batch plus what is still deferred or in flight) to the dial. Each
+       worker only observes — and the dial only writes — its own
+       processors' entries. *)
+    (match dial with
+     | Some d ->
+       let backlog = ref 0 in
+       Array.iteri
+         (fun dst batch ->
+           if dst <> p.pid then begin
+             let b =
+               List.length batch
+               + Queue.length p.pending.(dst)
+               + p.credit_used.(dst)
+             in
+             if b > !backlog then backlog := b
+           end)
+         batches;
+       Overload.observe d ~pid:p.pid ~backlog:!backlog
+     | None -> ());
     Array.iteri
       (fun dst batch ->
-        if batch <> [] then send_data ~replay:false p dst (List.rev batch))
-      batches
+        if batch <> [] then dispatch_out ~replay:false p dst (List.rev batch))
+      batches;
+    track_outbox_peak p
   in
   let announce_termination () =
     for d = 0 to Array.length mailboxes - 1 do
@@ -255,7 +379,9 @@ let worker detector plan (rw : Rewrite.t) mailboxes ~domain_of ~own_pids
   let dispatch = function
     | Data { src; dst; seq; batch } ->
       let p = proc_of dst in
-      if faulty then
+      (* Under a capacity the Tack doubles as the credit grant, so it is
+         sent even on fault-free runs. *)
+      if faulty || credited then
         send_to_pid src (Tack { sender = src; receiver = dst; seq });
       if faulty && Hashtbl.mem p.seen_seq.(src) seq then
         fc.n_dups_suppressed <- fc.n_dups_suppressed + 1
@@ -281,6 +407,15 @@ let worker detector plan (rw : Rewrite.t) mailboxes ~domain_of ~own_pids
       if Hashtbl.mem p.unacked.(receiver) seq then begin
         Hashtbl.remove p.unacked.(receiver) seq;
         fc.n_acks <- fc.n_acks + 1
+      end;
+      if credited then begin
+        match Hashtbl.find_opt p.inflight_size.(receiver) seq with
+        | Some size ->
+          Hashtbl.remove p.inflight_size.(receiver) seq;
+          p.credit_used.(receiver) <- p.credit_used.(receiver) - size;
+          (* Freed credit: try to move deferred work. *)
+          flush_pending p
+        | None -> ()  (* duplicated Tack; credit already returned *)
       end
     | Replay { requester } ->
       List.iter
@@ -289,7 +424,7 @@ let worker detector plan (rw : Rewrite.t) mailboxes ~domain_of ~own_pids
             Ktbl.fold (fun key () acc -> key :: acc)
               q.channel_seen.(requester) []
           in
-          if history <> [] then send_data ~replay:true q requester history)
+          if history <> [] then dispatch_out ~replay:true q requester history)
         procs
     | Stop -> stopped := true
   in
@@ -332,9 +467,58 @@ let worker detector plan (rw : Rewrite.t) mailboxes ~domain_of ~own_pids
          true
        | `Wait -> false)
   in
+  (* Watchdog: on a breach, record the reason and broadcast Stop — the
+     poison pill propagates cancellation; every worker then returns its
+     partial results normally, so the caller can raise a structured
+     [Overload] instead of hanging or dying on OOM. *)
+  let check_limits () =
+    if !overload = None && not (Overload.is_none limits) then begin
+      (match limits.Overload.deadline with
+       | Some seconds ->
+         let elapsed = Unix.gettimeofday () -. t0 in
+         if elapsed > seconds then begin
+           overload :=
+             Some (Overload.Deadline { seconds; elapsed; round = 0 });
+           announce_termination ()
+         end
+       | None -> ());
+      if !overload = None then
+        List.iter
+          (fun p ->
+            (match limits.Overload.max_store_rows with
+             | Some limit when !overload = None ->
+               let rows = Overload.db_rows (Seminaive.database p.engine) in
+               if rows > limit then begin
+                 overload :=
+                   Some (Overload.Store_budget { pid = p.pid; rows; limit });
+                 announce_termination ()
+               end
+             | _ -> ());
+            match limits.Overload.max_outbox_rows with
+            | Some limit when !overload = None ->
+              let rows = ref 0 in
+              Array.iter
+                (fun q -> rows := !rows + Queue.length q)
+                p.pending;
+              if !rows > limit then begin
+                overload :=
+                  Some
+                    (Overload.Outbox_budget
+                       { pid = p.pid; rows = !rows; limit });
+                announce_termination ()
+              end
+            | _ -> ())
+          procs
+    end
+  in
+  (* A blocked drain must time out whenever the worker has periodic
+     duties: retransmissions under a fault plan, deadline checks under
+     a wall-clock limit. *)
+  let timed_drain = faulty || limits.Overload.deadline <> None in
   List.iter (fun p -> route p (Seminaive.bootstrap p.engine)) procs;
   while not !stopped do
     if faulty then pump_retransmits ();
+    check_limits ();
     List.iter dispatch (Mailbox.drain my_mailbox);
     if not !stopped then begin
       let worked = ref false in
@@ -350,15 +534,23 @@ let worker detector plan (rw : Rewrite.t) mailboxes ~domain_of ~own_pids
       if (not !worked) && not !stopped then begin
         (* All owned processors idle: run control actions; if nothing
            moved, wait for messages — with a timeout when a fault plan
-           is active, so the retransmission pump keeps running. *)
+           is active, so the retransmission pump keeps running. A
+           processor with credit-deferred output is NOT passive: its
+           un-Tacked batches guarantee an incoming Tack, whose credit
+           flushes the remainder — skipping the detector action here is
+           what keeps Safra/Dijkstra-Scholten sound under deferral
+           (nothing terminates while tuples wait for credit). *)
         let acted =
           List.fold_left
-            (fun acc p -> if !stopped then acc else passive_action p || acc)
+            (fun acc p ->
+              if !stopped || has_pending_out p then acc
+              else passive_action p || acc)
             false procs
         in
         if (not acted) && not !stopped then begin
           let msgs =
-            if faulty then Mailbox.drain_timeout my_mailbox ~seconds:0.002
+            if timed_drain then
+              Mailbox.drain_timeout my_mailbox ~seconds:0.002
             else Mailbox.drain_blocking my_mailbox
           in
           (* A closed, empty mailbox means a peer shut the system down
@@ -387,13 +579,26 @@ let worker detector plan (rw : Rewrite.t) mailboxes ~domain_of ~own_pids
           wr_received = p.received;
           wr_accepted = p.accepted;
           wr_base_resident = p.base_resident;
+          wr_outbox_peak_rows = p.outbox_peak_rows;
+          wr_outbox_peak_bytes = p.outbox_peak_bytes;
         })
       procs,
-    fc )
+    fc,
+    {
+      we_overload = !overload;
+      we_credit_stalls = !credit_stalls;
+      we_peak_in_flight = !peak_in_flight;
+    } )
 
-let run ?(detector = Safra) ?domains ?(fault = Fault.none) (rw : Rewrite.t)
-    ~edb =
+let run ?(detector = Safra) ?domains ?(fault = Fault.none) ?capacity
+    ?(limits = Overload.no_limits) ?dial (rw : Rewrite.t) ~edb =
   let n = rw.nprocs in
+  (match capacity with
+   | Some c when c < 1 ->
+     invalid_arg "Domain_runtime.run: capacity must be >= 1"
+   | _ -> ());
+  Overload.validate limits;
+  let t0 = Unix.gettimeofday () in
   let ndomains =
     match domains with
     | Some d ->
@@ -422,8 +627,8 @@ let run ?(detector = Safra) ?domains ?(fault = Fault.none) (rw : Rewrite.t)
     Array.init ndomains (fun d ->
         Domain.spawn (fun () ->
             try
-              worker detector fault rw mailboxes ~domain_of
-                ~own_pids:(own_pids d) local_edbs d
+              worker detector fault ~capacity ~limits ~dial ~t0 rw mailboxes
+                ~domain_of ~own_pids:(own_pids d) local_edbs d
             with e ->
               (* Poison-pill shutdown: wake every peer blocked in its
                  mailbox before propagating, so one crashing domain
@@ -433,13 +638,13 @@ let run ?(detector = Safra) ?domains ?(fault = Fault.none) (rw : Rewrite.t)
   in
   let joined = Array.to_list spawned |> List.map Domain.join in
   let results =
-    List.concat_map fst joined
+    List.concat_map (fun (rs, _, _) -> rs) joined
     |> List.sort (fun a b -> Int.compare a.wr_pid b.wr_pid)
     |> Array.of_list
   in
   let fc = Fault.counters () in
   List.iter
-    (fun (_, c) ->
+    (fun (_, c, _) ->
       fc.Fault.n_drops <- fc.Fault.n_drops + c.Fault.n_drops;
       fc.n_dups_injected <- fc.n_dups_injected + c.Fault.n_dups_injected;
       fc.n_dups_suppressed <- fc.n_dups_suppressed + c.Fault.n_dups_suppressed;
@@ -453,6 +658,26 @@ let run ?(detector = Safra) ?domains ?(fault = Fault.none) (rw : Rewrite.t)
       fc.n_checkpoints <- fc.n_checkpoints + c.Fault.n_checkpoints;
       fc.n_restores <- fc.n_restores + c.Fault.n_restores)
     joined;
+  let extras = List.map (fun (_, _, e) -> e) joined in
+  let credit_stalls =
+    List.fold_left (fun acc e -> acc + e.we_credit_stalls) 0 extras
+  in
+  let peak_in_flight =
+    List.fold_left (fun acc e -> max acc e.we_peak_in_flight) 0 extras
+  in
+  let mailbox_drops =
+    Array.fold_left (fun acc mb -> acc + Mailbox.dropped mb) 0 mailboxes
+  in
+  (* The first domain's breach wins when several workers tripped at
+     once. *)
+  let overload_reason =
+    List.fold_left
+      (fun acc e ->
+        match acc, e.we_overload with
+        | Some _, _ -> acc
+        | None, r -> r)
+      None extras
+  in
   let answers = Database.copy edb in
   let pooled = ref 0 in
   Array.iter
@@ -495,12 +720,24 @@ let run ?(detector = Safra) ?domains ?(fault = Fault.none) (rw : Rewrite.t)
               tuples_accepted = r.wr_accepted;
               base_resident = r.wr_base_resident;
               active_rounds = r.wr_stats.Seminaive.iterations;
+              store_rows = Overload.db_rows r.wr_db;
+              store_bytes = Overload.db_bytes r.wr_db;
+              outbox_peak_rows = r.wr_outbox_peak_rows;
+              outbox_peak_bytes = r.wr_outbox_peak_bytes;
             })
           results;
       channel_tuples;
       pooled_tuples = !pooled;
       trace = [];
-      faults = Fault.freeze fc;
+      faults =
+        Fault.freeze fc ~mailbox_drops ~credit_stalls
+          ~alpha_raises:
+            (match dial with Some d -> Overload.raises d | None -> 0)
+          ~alpha_decays:
+            (match dial with Some d -> Overload.decays d | None -> 0);
+      peak_in_flight;
     }
   in
-  { Sim_runtime.answers; stats }
+  match overload_reason with
+  | Some reason -> raise (Overload.Overload { reason; stats })
+  | None -> { Sim_runtime.answers; stats }

@@ -31,7 +31,33 @@
     state are stable. Recovery is immediate ([cr_down] does not apply)
     and delivery is already asynchronous, so the plan's delay and
     reorder faults are tallied but change nothing observable. Control
-    messages are never faulted. *)
+    messages are never faulted.
+
+    With [capacity] the data channels run under credit-based
+    backpressure: at most [capacity] tuples are in flight (sent but not
+    yet acknowledged) per channel at any time; the receiver's transport
+    ack doubles as the credit grant, so it is sent even on fault-free
+    runs. Over-budget tuples wait in the sender's per-channel pending
+    queue — a deferral, never a loss. A processor with deferred output
+    refuses to act passive, which keeps both termination detectors
+    sound: an un-Tacked batch is always outstanding while anything is
+    deferred, so the flushing credit is guaranteed to arrive and
+    detection resumes after it. Control messages (tokens, acks, stop)
+    bypass the credit gate entirely — backpressure can therefore never
+    deadlock the control plane.
+
+    [limits] arms a watchdog (wall-clock deadline, per-processor
+    store/outbox row budgets). The worker that detects a breach
+    broadcasts the Stop poison pill; every worker returns its partial
+    results normally, and [run] raises {!Overload.Overload} carrying
+    the assembled partial statistics — a structured outcome instead of
+    an OOM or a hang, with no process ever killed.
+
+    [dial] activates adaptive degradation: after each semi-naive step a
+    worker feeds its processor's worst channel demand to the
+    {!Overload.dial}, and a {!Strategy.adaptive_tradeoff} rewrite reads
+    the per-processor alpha on every routing decision. Each dial entry
+    is written only by the domain that owns the processor. *)
 
 type detector =
   | Safra  (** Token-ring detection (default) — reference [5]'s
@@ -44,6 +70,9 @@ val run :
   ?detector:detector ->
   ?domains:int ->
   ?fault:Fault.plan ->
+  ?capacity:int ->
+  ?limits:Overload.limits ->
+  ?dial:Overload.dial ->
   Rewrite.t ->
   edb:Datalog.Database.t ->
   Sim_runtime.result
@@ -52,5 +81,10 @@ val run :
     is each processor's own iteration count. Both detectors produce
     identical answers; they differ only in control traffic. [fault]
     (default {!Fault.none}) injects message and processor faults; the
-    pooled answers are unchanged for every plan.
-    @raise Invalid_argument if [domains < 1]. *)
+    pooled answers are unchanged for every plan. [capacity] bounds
+    per-channel in-flight tuples ([Stats.peak_in_flight] reports the
+    observed maximum); [limits] arms the overload watchdog; [dial]
+    activates adaptive degradation.
+    @raise Invalid_argument if [domains < 1] or [capacity < 1] or a
+    limit is nonpositive.
+    @raise Overload.Overload when a watchdog limit is breached. *)

@@ -180,7 +180,8 @@ let counters () =
     n_restores = 0;
   }
 
-let freeze c : Stats.faults =
+let freeze ?(mailbox_drops = 0) ?(credit_stalls = 0) ?(alpha_raises = 0)
+    ?(alpha_decays = 0) c : Stats.faults =
   {
     Stats.drops = c.n_drops;
     dups_injected = c.n_dups_injected;
@@ -194,6 +195,10 @@ let freeze c : Stats.faults =
     replayed = c.n_replayed;
     checkpoints = c.n_checkpoints;
     restores = c.n_restores;
+    mailbox_drops;
+    credit_stalls;
+    alpha_raises;
+    alpha_decays;
   }
 
 let pp ppf p =

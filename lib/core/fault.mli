@@ -129,8 +129,16 @@ type counters = {
 val counters : unit -> counters
 (** A fresh all-zero accumulator. *)
 
-val freeze : counters -> Stats.faults
-(** An immutable copy for the final report. *)
+val freeze :
+  ?mailbox_drops:int ->
+  ?credit_stalls:int ->
+  ?alpha_raises:int ->
+  ?alpha_decays:int ->
+  counters ->
+  Stats.faults
+(** An immutable copy for the final report. The optional arguments fill
+    the overload-control counters (default 0), which are tracked by the
+    runtimes rather than the fault layer. *)
 
 val parse_crashes : string -> (crash list, string) result
 (** Parse a comma-separated crash schedule

@@ -137,6 +137,21 @@ let mixture ?name ?(seed = 77) ~alpha ~self base =
   in
   { name; arity = base.arity; space = base.space; apply; spec = Opaque }
 
+let mixture_dyn ?name ?(seed = 77) ~alpha ~self base =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "h%d[alpha=dyn]" self
+  in
+  let apply key =
+    let a = alpha () in
+    let a = if a < 0.0 then 0.0 else if a > 1.0 then 1.0 else a in
+    let threshold = int_of_float (a *. 1_000_000.) in
+    if combined_hash ~seed key mod 1_000_000 < threshold then self
+    else base.apply key
+  in
+  { name; arity = base.arity; space = base.space; apply; spec = Opaque }
+
 let of_fun ~name ~arity ~space f =
   {
     name;

@@ -74,6 +74,13 @@ val mixture :
     tuple), otherwise routed by the underlying function. [alpha = 1.0]
     is {!constant}[ self]; [alpha = 0.0] is the underlying function. *)
 
+val mixture_dyn :
+  ?name:string -> ?seed:int -> alpha:(unit -> float) -> self:Pid.t -> t -> t
+(** Like {!mixture}, but [alpha] is re-read on every application — the
+    adaptive Section 6 dial. Theorem 4 holds for any per-tuple
+    destination choice under a [Local] policy, so a time-varying alpha
+    preserves correctness. Out-of-range values are clamped to [0,1]. *)
+
 val of_fun :
   name:string ->
   arity:int ->

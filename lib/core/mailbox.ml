@@ -1,30 +1,97 @@
+let src = Logs.Src.create "pardatalog.mailbox" ~doc:"Mailbox diagnostics"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type 'a t = {
   mutex : Mutex.t;
   nonempty : Condition.t;
+  not_full : Condition.t;
   queue : 'a Queue.t;
+  capacity : int option;
   mutable closed : bool;
+  mutable dropped : int;
 }
 
-let create () =
+let create ?capacity () =
+  (match capacity with
+   | Some c when c < 1 -> invalid_arg "Mailbox.create: capacity must be >= 1"
+   | _ -> ());
   {
     mutex = Mutex.create ();
     nonempty = Condition.create ();
+    not_full = Condition.create ();
     queue = Queue.create ();
+    capacity;
     closed = false;
+    dropped = 0;
   }
+
+let full mb =
+  match mb.capacity with
+  | None -> false
+  | Some c -> Queue.length mb.queue >= c
+
+(* Called with the mutex held; the log call happens after unlock. *)
+let note_drop mb =
+  mb.dropped <- mb.dropped + 1;
+  mb.dropped
+
+let log_drop n =
+  Log.debug (fun m -> m "push on closed mailbox dropped (%d so far)" n)
 
 let push mb x =
   Mutex.lock mb.mutex;
-  if not mb.closed then begin
+  if mb.closed then begin
+    let n = note_drop mb in
+    Mutex.unlock mb.mutex;
+    log_drop n
+  end
+  else begin
     Queue.add x mb.queue;
-    Condition.signal mb.nonempty
-  end;
-  Mutex.unlock mb.mutex
+    Condition.signal mb.nonempty;
+    Mutex.unlock mb.mutex
+  end
+
+let try_push mb x =
+  Mutex.lock mb.mutex;
+  if mb.closed then begin
+    Mutex.unlock mb.mutex;
+    `Closed
+  end
+  else if full mb then begin
+    Mutex.unlock mb.mutex;
+    `Full
+  end
+  else begin
+    Queue.add x mb.queue;
+    Condition.signal mb.nonempty;
+    Mutex.unlock mb.mutex;
+    `Ok
+  end
+
+let push_blocking mb x =
+  Mutex.lock mb.mutex;
+  while full mb && not mb.closed do
+    Condition.wait mb.not_full mb.mutex
+  done;
+  if mb.closed then begin
+    let n = note_drop mb in
+    Mutex.unlock mb.mutex;
+    log_drop n;
+    false
+  end
+  else begin
+    Queue.add x mb.queue;
+    Condition.signal mb.nonempty;
+    Mutex.unlock mb.mutex;
+    true
+  end
 
 let close mb =
   Mutex.lock mb.mutex;
   mb.closed <- true;
   Condition.broadcast mb.nonempty;
+  Condition.broadcast mb.not_full;
   Mutex.unlock mb.mutex
 
 let is_closed mb =
@@ -38,6 +105,7 @@ let drain_locked mb =
   while not (Queue.is_empty mb.queue) do
     acc := Queue.pop mb.queue :: !acc
   done;
+  if !acc <> [] && mb.capacity <> None then Condition.broadcast mb.not_full;
   List.rev !acc
 
 let drain mb =
@@ -56,7 +124,8 @@ let drain_blocking mb =
   xs
 
 (* [Condition] has no timed wait, so the timeout is a short-period poll:
-   coarse but portable, and only used when a fault plan is active. *)
+   coarse but portable, and only used when a fault plan or deadline is
+   active. *)
 let drain_timeout mb ~seconds =
   let deadline = Unix.gettimeofday () +. seconds in
   let rec go () =
@@ -82,3 +151,17 @@ let is_empty mb =
   let e = Queue.is_empty mb.queue in
   Mutex.unlock mb.mutex;
   e
+
+let length mb =
+  Mutex.lock mb.mutex;
+  let n = Queue.length mb.queue in
+  Mutex.unlock mb.mutex;
+  n
+
+let capacity mb = mb.capacity
+
+let dropped mb =
+  Mutex.lock mb.mutex;
+  let n = mb.dropped in
+  Mutex.unlock mb.mutex;
+  n

@@ -5,28 +5,49 @@
     mutex/condition-variable queue per receiving domain provides exactly
     that on shared memory.
 
-    A mailbox can be {!close}d — the poison pill. A closed mailbox drops
-    further pushes, and blocked consumers wake immediately, so a crashed
-    or finished peer can never leave a domain stuck in
-    [Condition.wait]. *)
+    A mailbox may be bounded ({!create} [~capacity]): {!push_blocking}
+    then waits while the queue is at capacity, and {!try_push} reports
+    [`Full] — the primitive under the runtimes' credit-based
+    backpressure. The plain {!push} is deliberately exempt from the
+    bound so that control traffic (acks, tokens, poison pills) can
+    never deadlock behind data.
+
+    A mailbox can be {!close}d — the poison pill. A closed mailbox
+    counts and drops further pushes (visible via {!dropped} and a
+    [Logs.Debug] message on the [pardatalog.mailbox] source), and
+    blocked producers and consumers wake immediately, so a crashed or
+    finished peer can never leave a domain stuck in [Condition.wait]. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is unbounded. [create ~capacity ()] bounds the queue
+    for the capacity-respecting entry points.
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val push : 'a t -> 'a -> unit
-(** Enqueue and wake the consumer. Safe from any domain. Silently
-    dropped when the mailbox is closed. *)
+(** Enqueue and wake the consumer, ignoring any capacity. Safe from any
+    domain. Dropped (and counted) when the mailbox is closed. *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+(** Enqueue only if the mailbox is open and below capacity; never
+    blocks. *)
+
+val push_blocking : 'a t -> 'a -> bool
+(** Enqueue, waiting while the mailbox is at capacity. Returns [false]
+    (counting a drop) if the mailbox is or becomes closed — a producer
+    blocked on a full mailbox is woken by {!close}. *)
 
 val close : 'a t -> unit
-(** Close the mailbox: wakes every blocked consumer and makes further
-    {!push}es no-ops. Idempotent; safe from any domain. *)
+(** Close the mailbox: wakes every blocked consumer and producer and
+    makes further pushes counted no-ops. Idempotent; safe from any
+    domain. *)
 
 val is_closed : 'a t -> bool
 
 val drain : 'a t -> 'a list
 (** Dequeue everything currently present, in arrival order, without
-    blocking (possibly [[]]). *)
+    blocking (possibly [[]]). Frees capacity for blocked producers. *)
 
 val drain_blocking : 'a t -> 'a list
 (** Like {!drain} but blocks until at least one element is present —
@@ -35,7 +56,15 @@ val drain_blocking : 'a t -> 'a list
 
 val drain_timeout : 'a t -> seconds:float -> 'a list
 (** Like {!drain_blocking} but gives up after [seconds], returning [[]]
-    on timeout. Used by the fault-injecting runtime, whose workers must
-    periodically wake to retransmit unacknowledged messages. *)
+    on timeout. Used by workers that must periodically wake to
+    retransmit unacknowledged messages or check a deadline. *)
 
 val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Current queue occupancy. *)
+
+val capacity : 'a t -> int option
+
+val dropped : 'a t -> int
+(** Pushes discarded because the mailbox was closed. *)

@@ -11,6 +11,9 @@ type options = {
   max_rounds : int;
   network : Netgraph.t option;
   fault : Fault.plan;
+  capacity : int option;
+  limits : Overload.limits;
+  dial : Overload.dial option;
 }
 
 let default_options =
@@ -21,6 +24,9 @@ let default_options =
     max_rounds = 1_000_000;
     network = None;
     fault = Fault.none;
+    capacity = None;
+    limits = Overload.no_limits;
+    dial = None;
   }
 
 type result = {
@@ -43,8 +49,12 @@ type proc_state = {
   pid : Pid.t;
   mutable engine : Seminaive.t;  (* replaced on crash recovery *)
   outbox : (string * Tuple.t) Queue.t;  (* produced, not yet routed *)
-  inbox : (string * Tuple.t) Queue.t;  (* delivered, not yet injected *)
+  (* delivered, not yet injected; tagged with the sender so receipt can
+     return that channel's credit *)
+  inbox : (Pid.t * string * Tuple.t) Queue.t;
   all_out : (string * Tuple.t) Queue.t;  (* cumulative, for resend_all *)
+  mutable outbox_peak_rows : int;
+  mutable outbox_peak_bytes : int;
   mutable tuples_sent : int;
   mutable tuples_received : int;
   mutable tuples_accepted : int;
@@ -109,6 +119,17 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
       "Sim_runtime.run: resend_all cannot be combined with fault injection \
        (every round's re-sends would take fresh sequence numbers and the \
        unacknowledged buffers would never drain)";
+  (match options.capacity with
+   | Some c when c < 1 ->
+     invalid_arg "Sim_runtime.run: capacity must be >= 1"
+   | Some _ when options.resend_all ->
+     invalid_arg
+       "Sim_runtime.run: resend_all cannot be combined with a channel \
+        capacity (re-sending the whole output every round outgrows any \
+        bound)"
+   | _ -> ());
+  Overload.validate options.limits;
+  let t0 = Unix.gettimeofday () in
   let fc = Fault.counters () in
   (* Base facts written in the program text join the EDB; derived facts
      are not supported by the rewrite. *)
@@ -137,6 +158,8 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
           outbox = Queue.create ();
           inbox = Queue.create ();
           all_out = Queue.create ();
+          outbox_peak_rows = 0;
+          outbox_peak_bytes = 0;
           tuples_sent = 0;
           tuples_received = 0;
           tuples_accepted = 0;
@@ -152,6 +175,24 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
         })
   in
   let channel_tuples = Array.make_matrix nprocs nprocs 0 in
+  (* Per-channel transmission queue: tuples handed to the transport but
+     not yet transmitted, because the channel is out of credit (or the
+     round's pump has not run yet). Part of the stable channel layer —
+     it survives a sender crash, like the sequence numbers and the
+     unacked buffers, so a tuple recorded in [channel_seen] is never
+     lost. The [bool] marks recovery replays, which are not re-counted
+     as fresh communication. *)
+  let chan_pending : (string * Tuple.t * bool) Queue.t array array =
+    Array.init nprocs (fun _ -> Array.init nprocs (fun _ -> Queue.create ()))
+  in
+  (* Credit accounting, active only under a capacity: in-flight =
+     delivered-but-unreceived (fault-free) or unacknowledged (faulty)
+     tuples per channel. *)
+  let in_flight = Array.make_matrix nprocs nprocs 0 in
+  let sent_this_round = Array.make_matrix nprocs nprocs 0 in
+  let peak_in_flight = ref 0 in
+  let credit_stalls = ref 0 in
+  let credited = options.capacity <> None in
   (* One seen-set per channel: a (pred, tuple) pair travels each channel
      at most once — the paper's difference-based resend suppression. It
      doubles as the channel history used to replay deliveries to a
@@ -260,14 +301,47 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
             in
             if fresh then begin
               check_channel src.pid dst;
-              channel_tuples.(src.pid).(dst) <-
-                channel_tuples.(src.pid).(dst) + 1;
-              src.tuples_sent <- src.tuples_sent + 1;
-              if faulty then send_payload ~replay:false src.pid dst pred tuple
-              else Queue.add (pred, tuple) procs.(dst).inbox
+              Queue.add (pred, tuple, false) chan_pending.(src.pid).(dst)
             end)
           (s.ss_route src.pid tuple))
       (send_specs_for pred)
+  in
+  (* The credit-gated pump: move pending tuples onto the wire while the
+     channel has credit. Message counters tick here (not at routing), so
+     they still mean "tuples actually put on the channel". *)
+  let pump () =
+    for src = 0 to nprocs - 1 do
+      for dst = 0 to nprocs - 1 do
+        let q = chan_pending.(src).(dst) in
+        if not (Queue.is_empty q) then begin
+          let has_credit () =
+            match options.capacity with
+            | None -> true
+            | Some k -> in_flight.(src).(dst) < k
+          in
+          let stalled = ref false in
+          while
+            (not (Queue.is_empty q))
+            && (has_credit () || (stalled := true; false))
+          do
+            let pred, tuple, replay = Queue.pop q in
+            if not replay then begin
+              channel_tuples.(src).(dst) <- channel_tuples.(src).(dst) + 1;
+              procs.(src).tuples_sent <- procs.(src).tuples_sent + 1;
+              sent_this_round.(src).(dst) <- sent_this_round.(src).(dst) + 1
+            end;
+            if credited then begin
+              in_flight.(src).(dst) <- in_flight.(src).(dst) + 1;
+              if in_flight.(src).(dst) > !peak_in_flight then
+                peak_in_flight := in_flight.(src).(dst)
+            end;
+            if faulty then send_payload ~replay src dst pred tuple
+            else Queue.add (src, pred, tuple) procs.(dst).inbox
+          done;
+          if !stalled then incr credit_stalls
+        end
+      done
+    done
   in
   let collect_new src produced =
     List.iter
@@ -297,6 +371,7 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
         Array.map
           (fun p ->
             let es = Seminaive.stats p.engine in
+            let db = Seminaive.database p.engine in
             {
               Stats.pid = p.pid;
               firings = es.Seminaive.firings + p.lost_firings;
@@ -309,12 +384,22 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
               tuples_accepted = p.tuples_accepted;
               base_resident = p.base_resident;
               active_rounds = p.active_rounds;
+              store_rows = Overload.db_rows db;
+              store_bytes = Overload.db_bytes db;
+              outbox_peak_rows = p.outbox_peak_rows;
+              outbox_peak_bytes = p.outbox_peak_bytes;
             })
           procs;
       channel_tuples;
       pooled_tuples = pooled;
       trace = List.rev !trace;
-      faults = Fault.freeze fc;
+      faults =
+        Fault.freeze fc ~credit_stalls:!credit_stalls
+          ~alpha_raises:
+            (match options.dial with Some d -> Overload.raises d | None -> 0)
+          ~alpha_decays:
+            (match options.dial with Some d -> Overload.decays d | None -> 0);
+      peak_in_flight = !peak_in_flight;
     }
   in
   let live_count () =
@@ -322,7 +407,8 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
   in
   let replay_history ~src ~dst =
     Ktbl.iter
-      (fun (pred, tuple) () -> send_payload ~replay:true src dst pred tuple)
+      (fun (pred, tuple) () ->
+        Queue.add (pred, tuple, true) chan_pending.(src).(dst))
       channel_seen.(src).(dst)
   in
   let do_crash p (c : Fault.crash) =
@@ -417,7 +503,11 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
             if Hashtbl.mem unacked.(fm_sender).(fm_receiver) fm_seq
             then begin
               Hashtbl.remove unacked.(fm_sender).(fm_receiver) fm_seq;
-              fc.n_acks <- fc.n_acks + 1
+              fc.n_acks <- fc.n_acks + 1;
+              (* The ack doubles as a credit grant. *)
+              if credited then
+                in_flight.(fm_sender).(fm_receiver) <-
+                  in_flight.(fm_sender).(fm_receiver) - 1
             end
           | Fdata { fm_pl = pl; fm_attempt } ->
             let p = procs.(pl.pl_dst) in
@@ -444,7 +534,7 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
                 fc.n_dups_suppressed <- fc.n_dups_suppressed + 1
               else begin
                 Ktbl.add seen key ();
-                Queue.add key p.inbox
+                Queue.add (pl.pl_src, pl.pl_pred, pl.pl_tuple) p.inbox
               end
             end)
         (List.rev !msgs)
@@ -477,12 +567,23 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
       Array.iter (fun x -> Queue.add x p.inbox) arr
     end;
     Queue.iter
-      (fun (pred, tuple) ->
+      (fun (src, pred, tuple) ->
         p.tuples_received <- p.tuples_received + 1;
+        (* Fault-free credit returns on receipt; under faults the ack
+           carries it back instead. *)
+        if credited && not faulty then
+          in_flight.(src).(p.pid) <- in_flight.(src).(p.pid) - 1;
         if Seminaive.inject p.engine (Rewrite.in_pred pred) tuple then
           p.tuples_accepted <- p.tuples_accepted + 1)
       p.inbox;
     Queue.clear p.inbox
+  in
+  let pending_from src =
+    let n = ref 0 in
+    for dst = 0 to nprocs - 1 do
+      n := !n + Queue.length chan_pending.(src).(dst)
+    done;
+    !n
   in
   let continue = ref true in
   while !continue do
@@ -490,6 +591,17 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
       raise
         (Round_budget_exceeded
            { round = !rounds; stats = build_stats ~pooled:0 () });
+    (match options.limits.Overload.deadline with
+     | Some seconds ->
+       let elapsed = Unix.gettimeofday () -. t0 in
+       if elapsed > seconds then
+         raise
+           (Overload.Overload
+              {
+                reason = Deadline { seconds; elapsed; round = !rounds };
+                stats = build_stats ~pooled:0 ();
+              })
+     | None -> ());
     (* Fault schedule: crashes first, then due recoveries. *)
     if faulty then begin
       Array.iter
@@ -521,6 +633,9 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
           Queue.clear p.outbox
         end)
       procs;
+    (* Transmission: push pending tuples onto the wire, channel credit
+       permitting. *)
+    pump ();
     (* Transport: retransmit overdue payloads, then deliver everything
        landing this round (acknowledgements included). *)
     if faulty then begin
@@ -563,6 +678,70 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
           procs
       | _ -> ()
     end;
+    (* Watchdog: outbox peaks and the store/outbox budgets, measured
+       when the round's production has landed. *)
+    Array.iter
+      (fun p ->
+        let backlog = Queue.length p.outbox + pending_from p.pid in
+        if backlog > p.outbox_peak_rows then begin
+          p.outbox_peak_rows <- backlog;
+          let bytes = ref 0 in
+          Queue.iter
+            (fun (_, t) -> bytes := !bytes + (Tuple.arity t * 8))
+            p.outbox;
+          for dst = 0 to nprocs - 1 do
+            Queue.iter
+              (fun (_, t, _) -> bytes := !bytes + (Tuple.arity t * 8))
+              chan_pending.(p.pid).(dst)
+          done;
+          p.outbox_peak_bytes <- !bytes
+        end;
+        (match options.limits.Overload.max_outbox_rows with
+         | Some limit when backlog > limit ->
+           raise
+             (Overload.Overload
+                {
+                  reason =
+                    Outbox_budget { pid = p.pid; rows = backlog; limit };
+                  stats = build_stats ~pooled:0 ();
+                })
+         | _ -> ());
+        match options.limits.Overload.max_store_rows with
+        | Some limit ->
+          let rows = Overload.db_rows (Seminaive.database p.engine) in
+          if rows > limit then
+            raise
+              (Overload.Overload
+                 {
+                   reason = Store_budget { pid = p.pid; rows; limit };
+                   stats = build_stats ~pooled:0 ();
+                 })
+        | None -> ())
+      procs;
+    (* Adaptive degradation: feed each processor's worst channel demand
+       (sent + still pending this round) to the dial; the new alpha
+       takes effect on the next round's routing. *)
+    (match options.dial with
+     | Some d ->
+       for src = 0 to nprocs - 1 do
+         let backlog = ref 0 in
+         for dst = 0 to nprocs - 1 do
+           if dst <> src then begin
+             let b =
+               sent_this_round.(src).(dst)
+               + Queue.length chan_pending.(src).(dst)
+             in
+             if b > !backlog then backlog := b
+           end
+         done;
+         Overload.observe d ~pid:src ~backlog:!backlog
+       done
+     | None -> ());
+    for src = 0 to nprocs - 1 do
+      for dst = 0 to nprocs - 1 do
+        sent_this_round.(src).(dst) <- 0
+      done
+    done;
     Log.debug (fun m ->
         m "round %d: %d new tuples, %d tuples on channels so far" !rounds
           !produced_this_round
@@ -578,6 +757,9 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
              (not (Queue.is_empty p.outbox))
              || not (Queue.is_empty p.inbox))
            procs
+      || Array.exists
+           (fun row -> Array.exists (fun q -> not (Queue.is_empty q)) row)
+           chan_pending
       || Array.exists (fun p -> p.alive && Seminaive.has_pending p.engine)
            procs
       || (faulty

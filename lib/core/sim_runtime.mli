@@ -57,6 +57,26 @@ type options = {
       (** Seeded fault plan; {!Fault.none} (the default) bypasses the
           delivery layer entirely and reproduces the exact message
           counts of the fault-free executor. *)
+  capacity : int option;
+      (** Per-channel credit: at most this many tuples in flight on any
+          channel at once (in flight = delivered-but-unreceived, or
+          unacknowledged under faults, where the ack doubles as the
+          credit grant). Tuples over budget wait in the channel's
+          pending queue — a deferral, never a loss — and
+          [Stats.faults.credit_stalls] counts the deferrals.
+          [Stats.peak_in_flight] reports the observed maximum. Default
+          [None] (unbounded). Incompatible with [resend_all]. *)
+  limits : Overload.limits;
+      (** Resource watchdog: wall-clock deadline (checked every round)
+          and per-processor store/outbox row budgets (checked after each
+          processing phase). A breach raises {!Overload.Overload} with
+          partial stats. Default {!Overload.no_limits}. *)
+  dial : Overload.dial option;
+      (** Adaptive degradation: once per round each processor's worst
+          per-channel demand (tuples sent plus still pending) is fed to
+          the dial, whose per-processor alpha a
+          {!Strategy.adaptive_tradeoff} rewrite reads on every routing
+          decision. Default [None]. *)
 }
 
 val default_options : options
@@ -82,5 +102,8 @@ val run :
     distributed to processors according to the rewrite's residency map;
     the original program's base facts are added to [edb] first.
     @raise Round_budget_exceeded when [max_rounds] is exceeded.
+    @raise Overload.Overload when a limit of [options.limits] is
+    breached; the exception carries the partial statistics and the
+    offending processor.
     @raise Failure when a tuple is routed along a missing channel of
     [network]. *)

@@ -9,6 +9,10 @@ type per_proc = {
   tuples_accepted : int;
   base_resident : int;
   active_rounds : int;
+  store_rows : int;
+  store_bytes : int;
+  outbox_peak_rows : int;
+  outbox_peak_bytes : int;
 }
 
 type faults = {
@@ -24,6 +28,10 @@ type faults = {
   replayed : int;
   checkpoints : int;
   restores : int;
+  mailbox_drops : int;
+  credit_stalls : int;
+  alpha_raises : int;
+  alpha_decays : int;
 }
 
 let no_faults =
@@ -40,6 +48,10 @@ let no_faults =
     replayed = 0;
     checkpoints = 0;
     restores = 0;
+    mailbox_drops = 0;
+    credit_stalls = 0;
+    alpha_raises = 0;
+    alpha_decays = 0;
   }
 
 type t = {
@@ -50,6 +62,7 @@ type t = {
   pooled_tuples : int;
   trace : int array list;
   faults : faults;
+  peak_in_flight : int;
 }
 
 let frontier_profile t =
@@ -87,6 +100,8 @@ let used_channels ?(include_self = false) t =
   !acc
 
 let total_base_resident t = sum_by (fun p -> p.base_resident) t
+let total_store_rows t = sum_by (fun p -> p.store_rows) t
+let total_store_bytes t = sum_by (fun p -> p.store_bytes) t
 
 let load_imbalance t =
   let total = total_firings t in
@@ -107,22 +122,36 @@ let redundancy_vs ~sequential_firings t =
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   Format.fprintf ppf
-    "%d processors, %d rounds, %d messages (+%d self), pooled %d tuples@,"
+    "%d processors, %d rounds, %d messages (+%d self), pooled %d tuples%t@,"
     t.nprocs t.rounds (total_messages t)
     (total_messages ~include_self:true t - total_messages t)
-    t.pooled_tuples;
+    t.pooled_tuples
+    (fun ppf ->
+      if t.peak_in_flight > 0 then
+        Format.fprintf ppf ", peak in-flight %d" t.peak_in_flight);
   Format.fprintf ppf
-    "  %-5s %9s %9s %9s %6s %7s %7s %7s %9s %7s@," "proc" "firings"
-    "new" "dupfire" "iters" "sent" "recv" "accept" "baseres" "active";
+    "  %-5s %9s %9s %9s %6s %7s %7s %7s %9s %7s %7s %7s@," "proc" "firings"
+    "new" "dupfire" "iters" "sent" "recv" "accept" "baseres" "active"
+    "store" "outbox";
   Array.iter
     (fun p ->
       Format.fprintf ppf
-        "  %-5d %9d %9d %9d %6d %7d %7d %7d %9d %7d@," p.pid p.firings
-        p.new_tuples p.duplicate_firings p.iterations p.tuples_sent
-        p.tuples_received p.tuples_accepted p.base_resident p.active_rounds)
+        "  %-5d %9d %9d %9d %6d %7d %7d %7d %9d %7d %7d %7d@," p.pid
+        p.firings p.new_tuples p.duplicate_firings p.iterations
+        p.tuples_sent p.tuples_received p.tuples_accepted p.base_resident
+        p.active_rounds p.store_rows p.outbox_peak_rows)
     t.per_proc;
-  if t.faults <> no_faults then begin
-    let f = t.faults in
+  let f = t.faults in
+  let legacy =
+    {
+      f with
+      mailbox_drops = 0;
+      credit_stalls = 0;
+      alpha_raises = 0;
+      alpha_decays = 0;
+    }
+  in
+  if legacy <> no_faults then begin
     Format.fprintf ppf
       "faults: drops=%d dups=%d suppressed=%d delays=%d reorders=%d \
        retransmits=%d acks=%d@,"
@@ -133,6 +162,14 @@ let pp ppf t =
        restores=%d@,"
       f.crashes f.recoveries f.replayed f.checkpoints f.restores
   end;
+  if
+    f.mailbox_drops > 0 || f.credit_stalls > 0 || f.alpha_raises > 0
+    || f.alpha_decays > 0
+  then
+    Format.fprintf ppf
+      "overload: mailbox-drops=%d credit-stalls=%d alpha-raises=%d \
+       alpha-decays=%d@,"
+      f.mailbox_drops f.credit_stalls f.alpha_raises f.alpha_decays;
   Format.fprintf ppf "@]"
 
 let pp_summary ppf t =

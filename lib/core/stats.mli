@@ -16,6 +16,13 @@ type per_proc = {
   tuples_accepted : int;  (** Received tuples that were new after dedup. *)
   base_resident : int;  (** EDB tuples resident at this processor. *)
   active_rounds : int;  (** Rounds in which the processor fired or received. *)
+  store_rows : int;  (** Tuple-store rows at the end of the run. *)
+  store_bytes : int;
+      (** Word-size estimate of the store footprint
+          ({!Overload.db_bytes}). *)
+  outbox_peak_rows : int;
+      (** Largest outbox + unsent-channel backlog observed. *)
+  outbox_peak_bytes : int;  (** Word-size estimate of that peak. *)
 }
 
 type faults = {
@@ -35,6 +42,14 @@ type faults = {
           recovery. *)
   checkpoints : int;  (** Engine snapshots taken. *)
   restores : int;  (** Recoveries that resumed from a checkpoint. *)
+  mailbox_drops : int;
+      (** Pushes discarded because the target mailbox was already
+          closed (previously silent). *)
+  credit_stalls : int;
+      (** Times a sender wanted to transmit but had to defer for lack
+          of channel credit. *)
+  alpha_raises : int;  (** Adaptive-dial increments (backlog high). *)
+  alpha_decays : int;  (** Adaptive-dial decrements (backlog drained). *)
 }
 
 val no_faults : faults
@@ -55,6 +70,10 @@ type t = {
   faults : faults;
       (** Reliable-delivery and recovery counters; {!no_faults} when
           the run executed on the idealized architecture. *)
+  peak_in_flight : int;
+      (** Largest per-channel in-flight occupancy observed. Tracked
+          only when a channel capacity is set (0 otherwise), and then
+          guaranteed [<= capacity] by the credit protocol. *)
 }
 
 val frontier_profile : t -> int list
@@ -76,6 +95,12 @@ val used_channels : ?include_self:bool -> t -> (Pid.t * Pid.t) list
 (** Channels that carried at least one tuple. *)
 
 val total_base_resident : t -> int
+
+val total_store_rows : t -> int
+(** Sum of per-processor tuple-store rows. *)
+
+val total_store_bytes : t -> int
+(** Sum of per-processor store-footprint estimates. *)
 
 val load_imbalance : t -> float
 (** Max over processors of firings, divided by the mean (1.0 = perfectly

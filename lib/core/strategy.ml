@@ -170,6 +170,27 @@ let tradeoff ?(seed = 0) ~nprocs ~alpha program =
   attempt (fun () ->
       Rewrite.make program ~policies:(List.map policy_of (Program.rules program)))
 
+let adaptive_tradeoff ?(seed = 0) ~nprocs ~dial program =
+  let* s = as_sirup program in
+  let vars = local_vars s in
+  let arity = List.length vars in
+  let base = Hash_fn.modulo ~seed ~nprocs ~arity () in
+  let policy_of (r : Rule.t) =
+    if r == s.rec_rule then
+      Rewrite.Local
+        {
+          vars;
+          fn_for =
+            (fun i ->
+              Hash_fn.mixture_dyn ~seed:(seed + 31)
+                ~alpha:(fun () -> Overload.alpha dial i)
+                ~self:i base);
+        }
+    else exit_policy ~seed ~nprocs s
+  in
+  attempt (fun () ->
+      Rewrite.make program ~policies:(List.map policy_of (Program.rules program)))
+
 let default_choice program =
   let derived = Program.derived_predicates program in
   fun (rule : Rule.t) ->

@@ -72,6 +72,18 @@ val tradeoff :
     recursive atom's variables. [alpha = 0.] is the non-redundant
     scheme; [alpha = 1.] is {!wolfson_redundant}. *)
 
+val adaptive_tradeoff :
+  ?seed:int ->
+  nprocs:int ->
+  dial:Overload.dial ->
+  Program.t ->
+  (Rewrite.t, string) result
+(** {!tradeoff} with the per-processor alpha read from an
+    {!Overload.dial} on every routing decision, so a runtime feedback
+    controller can shed communication under backlog. Correct for any
+    dial trajectory (Theorem 4 holds per tuple under a [Local]
+    policy). *)
+
 val general :
   ?seed:int ->
   ?choose:(Rule.t -> string list) ->

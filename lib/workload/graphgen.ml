@@ -72,6 +72,33 @@ let layered_dag rng ~layers ~width ~out_degree =
     List.rev !acc
   end
 
+let hotspot rng ~nodes ~edges ~hubs =
+  if nodes < 2 then []
+  else begin
+    let hubs = max 1 (min hubs nodes) in
+    let wanted = min edges (nodes * (nodes - 1)) in
+    let seen = Hashtbl.create (2 * wanted) in
+    let acc = ref [] in
+    let attempts = ref 0 in
+    (* Nine out of ten edges leave a hub, so the closure frontier — and
+       with a hash-partitioned scheme, one processor's channels — is
+       dominated by a handful of source values. Attempts are bounded:
+       a saturated hub neighbourhood stops growing instead of
+       spinning. *)
+    while Hashtbl.length seen < wanted && !attempts < 30 * wanted do
+      incr attempts;
+      let a =
+        if Rng.int rng 10 < 9 then Rng.int rng hubs else Rng.int rng nodes
+      in
+      let b = Rng.int rng nodes in
+      if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+        Hashtbl.add seen (a, b) ();
+        acc := (a, b) :: !acc
+      end
+    done;
+    List.rev !acc
+  end
+
 let grid ~rows ~cols =
   let node r c = (r * cols) + c in
   let acc = ref [] in

@@ -29,6 +29,14 @@ val layered_dag : Rng.t -> layers:int -> width:int -> out_degree:int -> edge lis
     [out_degree] random successors in the next row. Recursion depth is
     exactly [layers - 1]. *)
 
+val hotspot : Rng.t -> nodes:int -> edges:int -> hubs:int -> edge list
+(** Skewed digraph: ~90% of the distinct edges leave one of the first
+    [hubs] nodes (clamped to [1 .. nodes]), the rest are uniform — a
+    hot-spot workload whose closure concentrates traffic on the few
+    processors owning the hub values. [edges] is capped by
+    availability; generation is attempt-bounded, so a saturated hub
+    set may return slightly fewer edges. *)
+
 val grid : rows:int -> cols:int -> edge list
 (** Right and down edges on a [rows × cols] grid. *)
 

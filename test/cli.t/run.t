@@ -71,9 +71,9 @@ The fault counters appear in the statistics report.
   $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 -q \
   >   --fault-seed 7 --drop 0.25 --crash 1@3
   2 processors, 21 rounds, 1 messages (+9 self), pooled 10 tuples
-    proc    firings       new   dupfire  iters    sent    recv  accept   baseres  active
-    0             2         2         0      2       2       1       1         2       2
-    1            13        13         0      6       8      12      12         3       6
+    proc    firings       new   dupfire  iters    sent    recv  accept   baseres  active   store  outbox
+    0             2         2         0      2       2       1       1         2       2       5       1
+    1            13        13         0      6       8      12      12         3       6      20       5
   faults: drops=4 dups=0 suppressed=5 delays=0 reorders=0 retransmits=6 acks=16
           crashes=1 recoveries=1 replayed=6 checkpoints=0 restores=0
   
@@ -85,6 +85,69 @@ Fault plans are validated before the run starts.
   [2]
   $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 --crash x@3
   bad --crash: bad crash spec "x@3": expected PID@ROUND[+DOWN]
+  [2]
+
+Overload robustness. Credit-based backpressure bounds the per-channel
+in-flight tuples; the stats report the observed peak and the sender
+stalls.
+
+  $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 -q --capacity 1
+  2 processors, 9 rounds, 1 messages (+9 self), pooled 10 tuples, peak in-flight 1
+    proc    firings       new   dupfire  iters    sent    recv  accept   baseres  active   store  outbox
+    0             2         2         0      2       2       1       1         2       2       5       1
+    1             8         8         0      8       8       9       9         3       8      20       3
+  overload: mailbox-drops=0 credit-stalls=7 alpha-raises=0 alpha-decays=0
+  
+
+Adaptive degradation moves each processor's Section 6 alpha with
+backlog feedback; the raise/decay counters show the dial at work.
+
+  $ datalogp par anc.dl --edb chain.dl --adaptive --alpha 0 --high-water 1 \
+  >   --capacity 1 -n 2 -q
+  2 processors, 7 rounds, 1 messages (+9 self), pooled 10 tuples, peak in-flight 1
+    proc    firings       new   dupfire  iters    sent    recv  accept   baseres  active   store  outbox
+    0             5         5         0      4       5       4       4         4       4      13       2
+    1             5         5         0      6       5       6       6         4       6      15       1
+  overload: mailbox-drops=0 credit-stalls=3 alpha-raises=1 alpha-decays=1
+  
+
+The tradeoff alpha is validated up front, like the fault plan.
+
+  $ datalogp par anc.dl --edb chain.dl --scheme tradeoff --alpha 1.5 -n 2 -q
+  --alpha must be in [0,1], got 1.5
+  [2]
+  $ datalogp rewrite anc.dl --scheme tradeoff --alpha=-0.1
+  --alpha must be in [0,1], got -0.1
+  [2]
+  $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 -q --capacity 0
+  --capacity must be at least 1, got 0
+  [2]
+
+An exhausted round budget aborts with the partial statistics and a
+distinct exit code.
+
+  $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 -q --max-rounds 2
+  round budget exceeded after 2 rounds
+  2 processors, 2 rounds, 1 messages (+6 self), pooled 0 tuples
+    proc    firings       new   dupfire  iters    sent    recv  accept   baseres  active   store  outbox
+    0             2         2         0      2       2       1       1         2       2       5       1
+    1             7         7         0      2       5       6       6         3       2      16       2
+  
+  [3]
+
+So does a breached resource budget: the watchdog names the offending
+processor and the run ends as a structured outcome, not a hang.
+
+  $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 -q --max-store 4
+  overload: processor 0 tuple store holds 5 rows (budget 4)
+  2 processors, 1 rounds, 0 messages (+4 self), pooled 0 tuples
+    proc    firings       new   dupfire  iters    sent    recv  accept   baseres  active   store  outbox
+    0             2         2         0      1       1       1       1         2       1       5       1
+    1             5         5         0      1       3       3       3         3       1      11       0
+  
+  [4]
+  $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 -q --deadline 0
+  Overload: deadline must be positive
   [2]
 
 The dataflow analysis recovers the paper's Example 1 choice.

@@ -1,0 +1,134 @@
+(* Overload stress harness, run on every `dune runtest` via the
+   @stress alias. A skewed hot-spot workload — most edges leave a
+   handful of hub nodes, so the processors owning the hub values take
+   the brunt of the traffic — is evaluated under a deliberately small
+   per-channel credit, with the watchdog armed on a generous deadline.
+   Each cell checks the tentpole guarantees: pooled answers equal the
+   sequential evaluation, the observed in-flight peak respects the
+   credit, and the run completes (no hang, no watchdog breach) inside
+   the time budget. Kept deliberately modest in size so the whole
+   matrix stays well under its deadline on a loaded CI machine; the
+   broad randomized sweep lives in t_overload.ml. *)
+
+open Datalog
+open Pardatalog
+
+let capacity = 2
+let deadline = 20.0
+
+let edges =
+  let rng = Workload.Rng.create ~seed:42 in
+  Workload.Graphgen.hotspot rng ~nodes:40 ~edges:160 ~hubs:2
+
+let edb =
+  let db = Database.create () in
+  List.iter
+    (fun (a, b) ->
+      ignore (Database.add_fact db "par" (Tuple.of_ints [ a; b ])))
+    edges;
+  db
+
+let sequential =
+  let db, _ = Seminaive.evaluate Workload.Progs.ancestor edb in
+  Database.get db "anc"
+
+let limits = { Overload.no_limits with deadline = Some deadline }
+
+let plan = Fault.make ~seed:9 ~drop:0.2 ~dup:0.1 ()
+
+(* Each cell returns (answers, peak) or raises. *)
+let cells =
+  [
+    ( "sim/example3+credit",
+      fun () ->
+        let rw =
+          Result.get_ok
+            (Strategy.example3 ~seed:0 ~nprocs:4 Workload.Progs.ancestor)
+        in
+        let options =
+          {
+            Sim_runtime.default_options with
+            capacity = Some capacity;
+            limits;
+            max_rounds = 200_000;
+          }
+        in
+        let r = Sim_runtime.run ~options rw ~edb in
+        (r.Sim_runtime.answers, r.Sim_runtime.stats) );
+    ( "sim/adaptive+faults",
+      fun () ->
+        let dial = Overload.dial ~high_water:4 ~nprocs:4 () in
+        let rw =
+          Result.get_ok
+            (Strategy.adaptive_tradeoff ~seed:0 ~nprocs:4 ~dial
+               Workload.Progs.ancestor)
+        in
+        let options =
+          {
+            Sim_runtime.default_options with
+            capacity = Some capacity;
+            limits;
+            dial = Some dial;
+            fault = plan;
+            max_rounds = 200_000;
+          }
+        in
+        let r = Sim_runtime.run ~options rw ~edb in
+        (r.Sim_runtime.answers, r.Sim_runtime.stats) );
+    ( "domain/example3+credit",
+      fun () ->
+        let rw =
+          Result.get_ok
+            (Strategy.example3 ~seed:0 ~nprocs:3 Workload.Progs.ancestor)
+        in
+        let r =
+          Domain_runtime.run ~capacity ~limits rw ~edb
+        in
+        (r.Sim_runtime.answers, r.Sim_runtime.stats) );
+    ( "domain/adaptive+faults",
+      fun () ->
+        let dial = Overload.dial ~high_water:4 ~nprocs:3 () in
+        let rw =
+          Result.get_ok
+            (Strategy.adaptive_tradeoff ~seed:0 ~nprocs:3 ~dial
+               Workload.Progs.ancestor)
+        in
+        let r =
+          Domain_runtime.run ~capacity ~limits ~dial ~fault:plan rw ~edb
+        in
+        (r.Sim_runtime.answers, r.Sim_runtime.stats) );
+  ]
+
+let () =
+  Printf.printf "hotspot workload: %d edges, %d nodes, closure %d tuples\n"
+    (List.length edges)
+    (Workload.Graphgen.node_count edges)
+    (Relation.cardinal sequential);
+  let failures = ref 0 in
+  List.iter
+    (fun (name, cell) ->
+      match cell () with
+      | answers, stats ->
+        let ok_answers =
+          Relation.equal sequential (Database.get answers "anc")
+        in
+        let peak = stats.Stats.peak_in_flight in
+        let ok_peak = peak >= 1 && peak <= capacity in
+        if ok_answers && ok_peak then
+          Printf.printf "ok   %-24s peak=%d stalls=%d raises=%d\n" name peak
+            stats.Stats.faults.Stats.credit_stalls
+            stats.Stats.faults.Stats.alpha_raises
+        else begin
+          incr failures;
+          Printf.printf "FAIL %-24s answers=%b peak=%d\n" name ok_answers
+            peak
+        end
+      | exception Overload.Overload { reason; _ } ->
+        incr failures;
+        Format.printf "FAIL %-24s overload: %a@." name Overload.pp_reason
+          reason)
+    cells;
+  if !failures > 0 then begin
+    Printf.printf "%d stress cell(s) failed\n" !failures;
+    exit 1
+  end
