@@ -437,7 +437,10 @@ let p2 () =
   List.iter
     (fun domains ->
       let t, _ =
-        time_once (fun () -> Domain_runtime.run ~domains rw ~edb)
+        time_once (fun () ->
+            Domain_runtime.run
+              ~config:Run_config.(default |> with_domains (Some domains))
+              rw ~edb)
       in
       Format.printf "  %-22s %9.3f %9.2f@."
         (Printf.sprintf "4 procs / %d domain(s)" domains)
@@ -555,7 +558,7 @@ let a1 () =
   let normal = Sim_runtime.run rw ~edb in
   let noisy =
     Sim_runtime.run
-      ~options:{ Sim_runtime.default_options with resend_all = true }
+      ~config:Run_config.(default |> with_resend_all true)
       rw ~edb
   in
   let m1 = Stats.total_messages ~include_self:true normal.Sim_runtime.stats in
@@ -596,7 +599,7 @@ let a3 () =
   let t_flat, r_flat =
     time_once (fun () ->
         Sim_runtime.run
-          ~options:{ Sim_runtime.default_options with pushdown = false }
+          ~config:Run_config.(default |> with_pushdown false)
           rw ~edb)
   in
   Format.printf "  guard pushed into the join: %.3fs;  post-join: %.3fs@."
@@ -614,7 +617,7 @@ let a4 () =
   let frag = Sim_runtime.run rw ~edb in
   let repl =
     Sim_runtime.run
-      ~options:{ Sim_runtime.default_options with replicate_base = true }
+      ~config:Run_config.(default |> with_replicate_base true)
       rw ~edb
   in
   let b1 = Stats.total_base_resident frag.Sim_runtime.stats in
@@ -678,11 +681,11 @@ let r1 () =
               ~crashes:[ { Fault.cr_pid = 2; cr_round = 5; cr_down = 3 } ]
               ()
           in
-          let options =
-            { Sim_runtime.default_options with fault = plan;
-              max_rounds = 500_000 }
+          let config =
+            Run_config.(
+              default |> with_fault plan |> with_max_rounds 500_000)
           in
-          let r = Verify.check ~options rw ~edb in
+          let r = Verify.check ~config rw ~edb in
           let f = r.Verify.stats.Stats.faults in
           Format.printf
             "  %-16s drop=%.2f  rounds=%5d  drops=%6d retransmits=%6d \
@@ -708,11 +711,10 @@ let r1 () =
         ~crashes:[ { Fault.cr_pid = 1; cr_round = 60; cr_down = 4 } ]
         ?checkpoint_every ()
     in
-    let options =
-      { Sim_runtime.default_options with fault = plan;
-        max_rounds = 500_000 }
+    let config =
+      Run_config.(default |> with_fault plan |> with_max_rounds 500_000)
     in
-    let r = Sim_runtime.run ~options rw ~edb in
+    let r = Sim_runtime.run ~config rw ~edb in
     let c = Stats.total_firings r.Sim_runtime.stats - baseline in
     Format.printf "  checkpoint interval %-5s  redundant firings: %6d@."
       (match checkpoint_every with
@@ -737,7 +739,9 @@ let r1 () =
   in
   let edb = edb_of (Workload.Graphgen.cycle 60) in
   let seq, _ = Seminaive.evaluate ancestor edb in
-  let dom = Domain_runtime.run ~fault:plan rw ~edb in
+  let dom =
+    Domain_runtime.run ~config:Run_config.(default |> with_fault plan) rw ~edb
+  in
   claim "domain runtime under faults agrees with the sequential answers"
     (Relation.equal
        (Database.get seq "anc")
@@ -762,10 +766,11 @@ let r2 () =
   let all_exact = ref true and all_bounded = ref true in
   List.iter
     (fun capacity ->
-      let options =
-        { Sim_runtime.default_options with capacity; max_rounds = 500_000 }
+      let config =
+        Run_config.(
+          default |> with_capacity capacity |> with_max_rounds 500_000)
       in
-      let r = Sim_runtime.run ~options rw ~edb in
+      let r = Sim_runtime.run ~config rw ~edb in
       let s = r.Sim_runtime.stats in
       Format.printf
         "  capacity %-4s rounds=%5d  peak=%2d  stalls=%6d  equal=%b@."
@@ -788,9 +793,9 @@ let r2 () =
   let static =
     let rw = Result.get_ok (Strategy.tradeoff ~seed:0 ~nprocs:4 ~alpha:0.0 ancestor) in
     Sim_runtime.run
-      ~options:
-        { Sim_runtime.default_options with capacity = Some 2;
-          max_rounds = 500_000 }
+      ~config:
+        Run_config.(
+          default |> with_capacity (Some 2) |> with_max_rounds 500_000)
       rw ~edb
   in
   let dial = Overload.dial ~high_water:4 ~nprocs:4 () in
@@ -799,9 +804,10 @@ let r2 () =
       Result.get_ok (Strategy.adaptive_tradeoff ~seed:0 ~nprocs:4 ~dial ancestor)
     in
     Sim_runtime.run
-      ~options:
-        { Sim_runtime.default_options with capacity = Some 2;
-          dial = Some dial; max_rounds = 500_000 }
+      ~config:
+        Run_config.(
+          default |> with_capacity (Some 2) |> with_dial (Some dial)
+          |> with_max_rounds 500_000)
       rw ~edb
   in
   let messages r = Stats.total_messages r.Sim_runtime.stats in
@@ -821,9 +827,11 @@ let r2 () =
   let structured =
     match
       Sim_runtime.run
-        ~options:
-          { Sim_runtime.default_options with
-            limits = { Overload.no_limits with max_store_rows = Some 40 } }
+        ~config:
+          Run_config.(
+            default
+            |> with_limits
+                 { Overload.no_limits with max_store_rows = Some 40 })
         rw ~edb
     with
     | _ -> false
@@ -915,6 +923,63 @@ let timing () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* OBS: observability — metrics cross-check and the PR4 baseline.      *)
+(* ------------------------------------------------------------------ *)
+
+let obs () =
+  let runs = ref [] in
+  let run_one name ?(fault = Fault.none) edges =
+    let rw = Result.get_ok (Strategy.example3 ~seed:0 ~nprocs:4 ancestor) in
+    let metrics = Obs.Metrics.create () in
+    let trace = Obs.Trace.create () in
+    let config =
+      Run_config.(
+        default |> with_fault fault |> with_max_rounds 500_000
+        |> with_obs { Obs.trace; metrics })
+    in
+    let r = Sim_runtime.run ~config rw ~edb:(edb_of edges) in
+    let s = r.Sim_runtime.stats in
+    claim (name ^ ": metrics firings = Stats firings")
+      (Obs.Metrics.counter metrics "runtime.firings" = Stats.total_firings s);
+    claim (name ^ ": metrics tuples_sent = Stats messages")
+      (Obs.Metrics.counter metrics "runtime.tuples_sent"
+      = Stats.total_messages ~include_self:true s);
+    claim (name ^ ": enabled tracing recorded spans")
+      (Obs.Trace.event_count trace > 0);
+    Format.printf "  %-18s firings=%6d  messages=%6d  trace events=%6d@." name
+      (Stats.total_firings s)
+      (Stats.total_messages ~include_self:true s)
+      (Obs.Trace.event_count trace);
+    runs := (name, s, metrics) :: !runs
+  in
+  List.iter
+    (fun (name, edges) -> run_one name edges)
+    (Lazy.force workloads);
+  (* One faulty run: loss plus a mid-run crash, still exact and still
+     accounted tuple-for-tuple by the metrics registry. *)
+  let plan =
+    Fault.make ~seed:2026 ~drop:0.05
+      ~crashes:[ { Fault.cr_pid = 1; cr_round = 4; cr_down = 2 } ]
+      ()
+  in
+  run_one "faulty-chain-200" ~fault:plan (Workload.Graphgen.chain 200);
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"schema\":1,\"bench\":\"PR4\",\"seed\":2026,\"runs\":[";
+  List.iteri
+    (fun i (name, s, metrics) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":%S,\"stats\":%s,\"metrics\":%s}" name
+           (Stats.to_json s)
+           (Obs.Metrics.to_json metrics)))
+    (List.rev !runs);
+  Buffer.add_string buf "]}\n";
+  let oc = open_out "BENCH_PR4.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "  wrote BENCH_PR4.json (%d runs)@." (List.length !runs)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   section "f1" "Figure 1 - dataflow graph of Example 4" f1;
@@ -939,6 +1004,7 @@ let () =
   section "r1" "robustness - fault sweep and checkpoint ablation" r1;
   section "r2" "overload - skewed traffic, credit, budgets, the dial" r2;
   section "timing" "Bechamel microbenchmarks" timing;
+  section "obs" "observability - metrics cross-check, PR4 baseline" obs;
   Format.printf "@.%s@."
     (if !failures = 0 then "all claims PASS"
      else Printf.sprintf "%d claim(s) FAILED" !failures);

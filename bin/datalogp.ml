@@ -314,9 +314,9 @@ let par_cmd =
       value
       & opt
           (enum
-             [ ("safra", Domain_runtime.Safra);
-               ("dijkstra-scholten", Domain_runtime.Dijkstra_scholten) ])
-          Domain_runtime.Safra
+             [ ("safra", Run_config.Safra);
+               ("dijkstra-scholten", Run_config.Dijkstra_scholten) ])
+          Run_config.Safra
       & info [ "detector" ] ~docv:"ALG"
           ~doc:
             "Termination detection for --runtime domain: $(b,safra) \
@@ -328,6 +328,33 @@ let par_cmd =
       & info [ "verify" ]
           ~doc:"Also run sequentially and check Theorems 1/2-style \
                 properties.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON file covering every \
+             (processor, round, phase) of the run; open it in Perfetto \
+             or chrome://tracing.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a versioned JSON metrics snapshot (counters, gauges, \
+             histograms) of the run.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the run statistics as versioned JSON (schema 1) \
+             instead of the table.")
   in
   let fault_term =
     let fault_seed_arg =
@@ -498,7 +525,8 @@ let par_cmd =
       $ max_outbox_arg $ max_rounds_arg $ adaptive_arg $ high_water_arg)
   in
   let action program edb_file scheme nprocs seed ve vr alpha runtime domains
-      detector verify fault overload quiet verbose =
+      detector verify fault overload trace_file metrics_file json quiet
+      verbose =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level Sim_runtime.log_src (Some Logs.Debug)
@@ -522,42 +550,58 @@ let par_cmd =
       Format.eprintf "cannot build scheme: %s@." msg;
       exit 2
     | Ok rw ->
-      let options =
-        {
-          Sim_runtime.default_options with
-          fault;
-          capacity;
-          limits;
-          dial;
-          max_rounds =
-            Option.value max_rounds
-              ~default:Sim_runtime.default_options.Sim_runtime.max_rounds;
-        }
+      let trace =
+        if trace_file = None then Obs.Trace.none else Obs.Trace.create ()
+      in
+      let metrics =
+        if metrics_file = None then Obs.Metrics.none
+        else Obs.Metrics.create ()
+      in
+      let config =
+        Run_config.(
+          default |> with_fault fault |> with_capacity capacity
+          |> with_limits limits |> with_dial dial |> with_detector detector
+          |> with_domains domains |> with_trace trace
+          |> with_metrics metrics
+          |> with_max_rounds
+               (Option.value max_rounds ~default:default.max_rounds))
+      in
+      (* The sinks are flushed on every outcome — an aborted run's trace
+         is exactly the one worth looking at. *)
+      let write_sinks () =
+        Option.iter (Obs.Trace.write trace) trace_file;
+        Option.iter (Obs.Metrics.write metrics) metrics_file
+      in
+      let print_stats stats =
+        if json then print_endline (Stats.to_json stats)
+        else Format.printf "%a@." Stats.pp stats
       in
       if verify then begin
-        let report = Verify.check ~options rw ~edb in
+        let report = Verify.check ~config rw ~edb in
+        write_sinks ();
         Format.printf "%a@." Verify.pp_report report;
         if not report.Verify.equal_answers then exit 1
       end
       else begin
         match
           (match runtime with
-          | `Sim -> Sim_runtime.run ~options rw ~edb
-          | `Domain ->
-            Domain_runtime.run ~detector ?domains ~fault ?capacity ~limits
-              ?dial rw ~edb)
+          | `Sim -> Sim_runtime.run ~config rw ~edb
+          | `Domain -> Domain_runtime.run ~config rw ~edb)
         with
         | result ->
+          write_sinks ();
           if not quiet then
             print_answers result.Sim_runtime.answers rw.Rewrite.derived;
-          Format.printf "%a@." Stats.pp result.Sim_runtime.stats
+          print_stats result.Sim_runtime.stats
         | exception Sim_runtime.Round_budget_exceeded { round; stats } ->
+          write_sinks ();
           Format.printf "round budget exceeded after %d rounds@." round;
-          Format.printf "%a@." Stats.pp stats;
+          print_stats stats;
           exit 3
         | exception Overload.Overload { reason; stats } ->
+          write_sinks ();
           Format.printf "overload: %a@." Overload.pp_reason reason;
-          Format.printf "%a@." Stats.pp stats;
+          print_stats stats;
           exit 4
       end
   in
@@ -565,8 +609,8 @@ let par_cmd =
     Term.(
       const action $ program_arg $ edb_arg $ scheme_arg $ nprocs_arg
       $ seed_arg $ ve_arg $ vr_arg $ alpha_arg $ runtime_arg $ domains_arg
-      $ detector_arg $ verify_arg $ fault_term $ overload_term $ quiet_arg
-      $ verbose_arg)
+      $ detector_arg $ verify_arg $ fault_term $ overload_term $ trace_arg
+      $ metrics_arg $ json_arg $ quiet_arg $ verbose_arg)
 
 (* ---------------------------------------------------------------- *)
 (* rewrite                                                           *)

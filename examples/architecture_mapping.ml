@@ -77,10 +77,8 @@ let () =
               Rewrite.Uniform (Discriminant.make ~vars:[ "Y"; "Z" ] ~fn:h);
             ]
       in
-      let options =
-        { Sim_runtime.default_options with network = Some net }
-      in
-      let r = Sim_runtime.run ~options rw ~edb:(random_edb 1) in
+      let config = Run_config.(default |> with_network (Some net)) in
+      let r = Sim_runtime.run ~config rw ~edb:(random_edb 1) in
       Format.printf
         "           executed on it: %d messages, answers computed (%d p \
          tuples)@."

@@ -1,6 +1,6 @@
 open Datalog
 
-type detector =
+type detector = Run_config.detector =
   | Safra
   | Dijkstra_scholten
 
@@ -109,11 +109,13 @@ let build_edb (rw : Rewrite.t) edb pid =
    runtime's round-based one. *)
 let retry_delay attempt = 0.001 *. float_of_int (1 lsl min attempt 6)
 
-let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
+let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
     (rw : Rewrite.t) mailboxes ~domain_of ~own_pids local_edbs my_domain =
   let n = rw.nprocs in
   let faulty = not (Fault.is_none plan) in
   let credited = capacity <> None in
+  let tr = obs.Obs.trace in
+  let mx = obs.Obs.metrics in
   let fc = Fault.counters () in
   let credit_stalls = ref 0 in
   let peak_in_flight = ref 0 in
@@ -168,6 +170,31 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
     List.iter (fun p -> Hashtbl.add tbl p.pid p) procs;
     fun pid -> Hashtbl.find tbl pid
   in
+  (* Engine-counter deltas around every bootstrap / step: the metric
+     totals then equal the final engine counters plus the lost_* work
+     folded in at crash time — exactly what [wr_stats] reports. *)
+  let observe_engine p f =
+    if not (Obs.Metrics.enabled mx) then f ()
+    else begin
+      let b = Seminaive.stats p.engine in
+      let pb = Seminaive.join_probes p.engine in
+      let r = f () in
+      let a = Seminaive.stats p.engine in
+      Obs.Metrics.incr mx
+        ~by:(a.Seminaive.firings - b.Seminaive.firings)
+        "runtime.firings";
+      Obs.Metrics.incr mx
+        ~by:(a.Seminaive.new_tuples - b.Seminaive.new_tuples)
+        "runtime.new_tuples";
+      Obs.Metrics.incr mx
+        ~by:(a.Seminaive.duplicate_firings - b.Seminaive.duplicate_firings)
+        "runtime.duplicate_firings";
+      Obs.Metrics.incr mx
+        ~by:(Seminaive.join_probes p.engine - pb)
+        "joiner.probes";
+      r
+    end
+  in
   let stopped = ref false in
   (* One transmission attempt of an already-registered batch. *)
   let transmit_batch p dst seq pd =
@@ -204,7 +231,10 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
     List.iter
       (fun (_, _, replay) ->
         if replay then fc.n_replayed <- fc.n_replayed + 1
-        else p.sent_row.(dst) <- p.sent_row.(dst) + 1)
+        else begin
+          p.sent_row.(dst) <- p.sent_row.(dst) + 1;
+          Obs.Metrics.incr mx "runtime.tuples_sent"
+        end)
       entries;
     let batch = List.map (fun (pred, tuple, _) -> (pred, tuple)) entries in
     if credited then begin
@@ -212,6 +242,7 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
       p.credit_used.(dst) <- p.credit_used.(dst) + size;
       if p.credit_used.(dst) > !peak_in_flight then
         peak_in_flight := p.credit_used.(dst);
+      Obs.Metrics.max_gauge mx "runtime.peak_in_flight" p.credit_used.(dst);
       Hashtbl.replace p.inflight_size.(dst) seq size
     end;
     if faulty then begin
@@ -247,7 +278,10 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
             done;
             send_entries p dst (List.rev !entries)
           done;
-          if !stalled then incr credit_stalls
+          if !stalled then begin
+            incr credit_stalls;
+            Obs.Metrics.incr mx "runtime.credit_stalls"
+          end
         end
       done
   in
@@ -286,6 +320,8 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
     Array.exists (fun q -> not (Queue.is_empty q)) p.pending
   in
   let route p produced =
+    Obs.Trace.span tr ~pid:p.pid ~round:p.local_rounds Obs.Trace.Sending
+      (fun () ->
     let batches = Array.make n [] in
     List.iter
       (fun (out_name, tuple) ->
@@ -321,13 +357,14 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
              if b > !backlog then backlog := b
            end)
          batches;
-       Overload.observe d ~pid:p.pid ~backlog:!backlog
+       Overload.observe d ~pid:p.pid ~backlog:!backlog;
+       Obs.Metrics.observe mx "dial.alpha" (Overload.alpha d p.pid)
      | None -> ());
     Array.iteri
       (fun dst batch ->
         if batch <> [] then dispatch_out ~replay:false p dst (List.rev batch))
       batches;
-    track_outbox_peak p
+    track_outbox_peak p)
   in
   let announce_termination () =
     for d = 0 to Array.length mailboxes - 1 do
@@ -352,9 +389,11 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
       p.lost_firings <- p.lost_firings + es.Seminaive.firings;
       p.lost_new <- p.lost_new + es.Seminaive.new_tuples;
       p.lost_dup <- p.lost_dup + es.Seminaive.duplicate_firings;
+      Obs.Trace.instant tr ~pid:p.pid ~round:p.local_rounds "crash";
       p.engine <- Seminaive.create rw.programs.(p.pid) ~edb:local_edbs.(p.pid);
       fc.n_recoveries <- fc.n_recoveries + 1;
-      route p (Seminaive.bootstrap p.engine);
+      Obs.Trace.instant tr ~pid:p.pid ~round:p.local_rounds "recover";
+      route p (observe_engine p (fun () -> Seminaive.bootstrap p.engine));
       for d = 0 to Array.length mailboxes - 1 do
         Mailbox.push mailboxes.(d) (Replay { requester = p.pid })
       done
@@ -364,42 +403,48 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
     let now = Unix.gettimeofday () in
     List.iter
       (fun p ->
-        Array.iteri
-          (fun dst tbl ->
-            Hashtbl.iter
-              (fun seq pd ->
-                if pd.pd_retry_at <= now then begin
-                  fc.n_retransmits <- fc.n_retransmits + 1;
-                  transmit_batch p dst seq pd
-                end)
-              tbl)
-          p.unacked)
+        Obs.Trace.span tr ~pid:p.pid ~round:p.local_rounds
+          Obs.Trace.Retransmission (fun () ->
+            Array.iteri
+              (fun dst tbl ->
+                Hashtbl.iter
+                  (fun seq pd ->
+                    if pd.pd_retry_at <= now then begin
+                      fc.n_retransmits <- fc.n_retransmits + 1;
+                      Obs.Metrics.incr mx "runtime.retransmits";
+                      transmit_batch p dst seq pd
+                    end)
+                  tbl)
+              p.unacked))
       procs
   in
   let dispatch = function
     | Data { src; dst; seq; batch } ->
       let p = proc_of dst in
-      (* Under a capacity the Tack doubles as the credit grant, so it is
-         sent even on fault-free runs. *)
-      if faulty || credited then
-        send_to_pid src (Tack { sender = src; receiver = dst; seq });
-      if faulty && Hashtbl.mem p.seen_seq.(src) seq then
-        fc.n_dups_suppressed <- fc.n_dups_suppressed + 1
-      else begin
-        if faulty then Hashtbl.replace p.seen_seq.(src) seq ();
-        (match detector with
-         | Safra -> Safra.record_receive p.safra
-         | Dijkstra_scholten ->
-           (match Dscholten.on_data p.ds ~src with
-            | `Ack_now target -> send_to_pid target (Ack { dst = target })
-            | `Engaged -> ()));
-        List.iter
-          (fun (pred, tuple) ->
-            p.received <- p.received + 1;
-            if Seminaive.inject p.engine (Rewrite.in_pred pred) tuple then
-              p.accepted <- p.accepted + 1)
-          batch
-      end
+      Obs.Trace.span tr ~pid:dst ~round:p.local_rounds Obs.Trace.Receiving
+        (fun () ->
+          (* Under a capacity the Tack doubles as the credit grant, so
+             it is sent even on fault-free runs. *)
+          if faulty || credited then
+            send_to_pid src (Tack { sender = src; receiver = dst; seq });
+          if faulty && Hashtbl.mem p.seen_seq.(src) seq then
+            fc.n_dups_suppressed <- fc.n_dups_suppressed + 1
+          else begin
+            if faulty then Hashtbl.replace p.seen_seq.(src) seq ();
+            (match detector with
+             | Safra -> Safra.record_receive p.safra
+             | Dijkstra_scholten ->
+               (match Dscholten.on_data p.ds ~src with
+                | `Ack_now target -> send_to_pid target (Ack { dst = target })
+                | `Engaged -> ()));
+            List.iter
+              (fun (pred, tuple) ->
+                p.received <- p.received + 1;
+                Obs.Metrics.incr mx "runtime.tuples_received";
+                if Seminaive.inject p.engine (Rewrite.in_pred pred) tuple
+                then p.accepted <- p.accepted + 1)
+              batch
+          end)
     | Token { dst; token } -> (proc_of dst).held_token <- Some token
     | Ack { dst } -> Dscholten.on_ack (proc_of dst).ds
     | Tack { sender; receiver; seq } ->
@@ -515,11 +560,20 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
      duties: retransmissions under a fault plan, deadline checks under
      a wall-clock limit. *)
   let timed_drain = faulty || limits.Overload.deadline <> None in
-  List.iter (fun p -> route p (Seminaive.bootstrap p.engine)) procs;
+  let note_depth msgs =
+    if Obs.Metrics.enabled mx then
+      Obs.Metrics.observe mx "mailbox.depth" (float_of_int (List.length msgs));
+    msgs
+  in
+  List.iter
+    (fun p ->
+      route p (observe_engine p (fun () -> Seminaive.bootstrap p.engine));
+      Obs.Trace.instant tr ~pid:p.pid ~round:0 "bootstrap")
+    procs;
   while not !stopped do
     if faulty then pump_retransmits ();
     check_limits ();
-    List.iter dispatch (Mailbox.drain my_mailbox);
+    List.iter dispatch (note_depth (Mailbox.drain my_mailbox));
     if not !stopped then begin
       let worked = ref false in
       List.iter
@@ -527,7 +581,9 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
           if faulty then maybe_crash p;
           if Seminaive.has_pending p.engine then begin
             worked := true;
-            route p (Seminaive.step p.engine);
+            Obs.Trace.span tr ~pid:p.pid ~round:p.local_rounds
+              Obs.Trace.Processing (fun () ->
+                route p (observe_engine p (fun () -> Seminaive.step p.engine)));
             p.local_rounds <- p.local_rounds + 1
           end)
         procs;
@@ -544,7 +600,10 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
           List.fold_left
             (fun acc p ->
               if !stopped || has_pending_out p then acc
-              else passive_action p || acc)
+              else
+                Obs.Trace.span tr ~pid:p.pid ~round:p.local_rounds
+                  Obs.Trace.Termination_test (fun () -> passive_action p)
+                || acc)
             false procs
         in
         if (not acted) && not !stopped then begin
@@ -556,7 +615,7 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
           (* A closed, empty mailbox means a peer shut the system down
              (normally or exceptionally): never stay blocked on it. *)
           if msgs = [] && Mailbox.is_closed my_mailbox then stopped := true;
-          List.iter dispatch msgs
+          List.iter dispatch (note_depth msgs)
         end
       end
     end
@@ -590,8 +649,14 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~t0
       we_peak_in_flight = !peak_in_flight;
     } )
 
-let run ?(detector = Safra) ?domains ?(fault = Fault.none) ?capacity
-    ?(limits = Overload.no_limits) ?dial (rw : Rewrite.t) ~edb =
+let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
+  let detector = config.Run_config.detector in
+  let domains = config.Run_config.domains in
+  let fault = config.Run_config.fault in
+  let capacity = config.Run_config.capacity in
+  let limits = config.Run_config.limits in
+  let dial = config.Run_config.dial in
+  let obs = config.Run_config.obs in
   let n = rw.nprocs in
   (match capacity with
    | Some c when c < 1 ->
@@ -627,8 +692,8 @@ let run ?(detector = Safra) ?domains ?(fault = Fault.none) ?capacity
     Array.init ndomains (fun d ->
         Domain.spawn (fun () ->
             try
-              worker detector fault ~capacity ~limits ~dial ~t0 rw mailboxes
-                ~domain_of ~own_pids:(own_pids d) local_edbs d
+              worker detector fault ~capacity ~limits ~dial ~obs ~t0 rw
+                mailboxes ~domain_of ~own_pids:(own_pids d) local_edbs d
             with e ->
               (* Poison-pill shutdown: wake every peer blocked in its
                  mailbox before propagating, so one crashing domain
@@ -741,3 +806,18 @@ let run ?(detector = Safra) ?domains ?(fault = Fault.none) ?capacity
   match overload_reason with
   | Some reason -> raise (Overload.Overload { reason; stats })
   | None -> { Sim_runtime.answers; stats }
+
+let run_with ?(detector = Safra) ?domains ?(fault = Fault.none) ?capacity
+    ?(limits = Overload.no_limits) ?dial rw ~edb =
+  let config =
+    {
+      Run_config.default with
+      detector;
+      domains;
+      fault;
+      capacity;
+      limits;
+      dial;
+    }
+  in
+  run ~config rw ~edb

@@ -59,7 +59,7 @@
     the per-processor alpha on every routing decision. Each dial entry
     is written only by the domain that owns the processor. *)
 
-type detector =
+type detector = Run_config.detector =
   | Safra  (** Token-ring detection (default) — reference [5]'s
                quiescence condition via EWD 998. *)
   | Dijkstra_scholten
@@ -67,6 +67,29 @@ type detector =
           reference [7]. *)
 
 val run :
+  ?config:Run_config.t ->
+  Rewrite.t ->
+  edb:Datalog.Database.t ->
+  Sim_runtime.result
+(** Execute under a {!Run_config.t} (default {!Run_config.default}).
+    The fields this runtime reads are [detector], [domains], [fault],
+    [capacity], [limits], [dial] and [obs]; the simulator-only fields
+    (ablations, [max_rounds], [network]) are ignored. In the returned
+    stats, [rounds] is the maximum number of semi-naive iterations any
+    processor executed, and [active_rounds] is each processor's own
+    iteration count. Both detectors produce identical answers; they
+    differ only in control traffic. [fault] (default {!Fault.none})
+    injects message and processor faults; the pooled answers are
+    unchanged for every plan. [capacity] bounds per-channel in-flight
+    tuples ([Stats.peak_in_flight] reports the observed maximum);
+    [limits] arms the overload watchdog; [dial] activates adaptive
+    degradation. With the default (disabled) {!Obs.sinks} the
+    instrumented workers take the exact historical code path.
+    @raise Invalid_argument if [domains < 1] or [capacity < 1] or a
+    limit is nonpositive.
+    @raise Overload.Overload when a watchdog limit is breached. *)
+
+val run_with :
   ?detector:detector ->
   ?domains:int ->
   ?fault:Fault.plan ->
@@ -76,15 +99,7 @@ val run :
   Rewrite.t ->
   edb:Datalog.Database.t ->
   Sim_runtime.result
-(** Execute. In the returned stats, [rounds] is the maximum number of
-    semi-naive iterations any processor executed, and [active_rounds]
-    is each processor's own iteration count. Both detectors produce
-    identical answers; they differ only in control traffic. [fault]
-    (default {!Fault.none}) injects message and processor faults; the
-    pooled answers are unchanged for every plan. [capacity] bounds
-    per-channel in-flight tuples ([Stats.peak_in_flight] reports the
-    observed maximum); [limits] arms the overload watchdog; [dial]
-    activates adaptive degradation.
-    @raise Invalid_argument if [domains < 1] or [capacity < 1] or a
-    limit is nonpositive.
-    @raise Overload.Overload when a watchdog limit is breached. *)
+[@@ocaml.deprecated
+  "use Domain_runtime.run ?config with a Run_config.t instead"]
+(** Thin wrapper over {!run} for the pre-[Run_config] signature; kept
+    for one PR. *)

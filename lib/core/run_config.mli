@@ -1,0 +1,52 @@
+(** One configuration record for both runtimes.
+
+    [Run_config.t] subsumes the simulator's ablation/fault/overload
+    options and the multicore executor's optional arguments (detector,
+    domain count), and carries the observability sinks ({!Obs.sinks}).
+    Build a configuration from {!default} with the [with_*] builders:
+
+    {[
+      Run_config.(default |> with_fault plan |> with_capacity (Some 4))
+    ]}
+
+    Fields only one runtime understands are documented as such; the
+    other runtime ignores them. *)
+
+type detector = Safra | Dijkstra_scholten
+(** Termination detector used by the multicore runtime (Section 3's
+    termination test on asynchronous channels). *)
+
+type t = {
+  resend_all : bool;  (** Ablation A1 (simulator only). *)
+  pushdown : bool;  (** Guard pushdown; [false] is ablation A3. *)
+  replicate_base : bool;  (** Ablation A4 (simulator only). *)
+  max_rounds : int;  (** Round budget (simulator only). *)
+  network : Netgraph.t option;  (** Fixed network (simulator only). *)
+  fault : Fault.plan;  (** Seeded fault plan, {!Fault.none} by default. *)
+  capacity : int option;  (** Per-channel credit bound. *)
+  limits : Overload.limits;  (** Resource watchdog budgets. *)
+  dial : Overload.dial option;  (** Adaptive-degradation dial. *)
+  detector : detector;  (** Multicore runtime only. *)
+  domains : int option;  (** Domain count (multicore runtime only). *)
+  obs : Obs.sinks;  (** Tracing / metrics sinks, disabled by default. *)
+}
+
+val default : t
+(** Fault-free, unbounded, ablations off, [Safra] detector, disabled
+    observability — the exact behaviour of the historical defaults of
+    both runtimes. *)
+
+val with_resend_all : bool -> t -> t
+val with_pushdown : bool -> t -> t
+val with_replicate_base : bool -> t -> t
+val with_max_rounds : int -> t -> t
+val with_network : Netgraph.t option -> t -> t
+val with_fault : Fault.plan -> t -> t
+val with_capacity : int option -> t -> t
+val with_limits : Overload.limits -> t -> t
+val with_dial : Overload.dial option -> t -> t
+val with_detector : detector -> t -> t
+val with_domains : int option -> t -> t
+val with_obs : Obs.sinks -> t -> t
+val with_trace : Obs.Trace.t -> t -> t
+val with_metrics : Obs.Metrics.t -> t -> t

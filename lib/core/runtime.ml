@@ -1,0 +1,24 @@
+module type S = sig
+  val name : string
+
+  val run :
+    config:Run_config.t ->
+    Rewrite.t ->
+    edb:Datalog.Database.t ->
+    Sim_runtime.result
+end
+
+module Sim : S = struct
+  let name = "sim"
+  let run ~config rw ~edb = Sim_runtime.run ~config rw ~edb
+end
+
+module Domains : S = struct
+  let name = "domains"
+  let run ~config rw ~edb = Domain_runtime.run ~config rw ~edb
+end
+
+let all : (module S) list = [ (module Sim); (module Domains) ]
+
+let find name =
+  List.find_opt (fun (module R : S) -> String.equal R.name name) all

@@ -1,0 +1,30 @@
+(** The unified runtime interface.
+
+    Both executors — the deterministic simulator and the multicore
+    domain runtime — satisfy {!S}: one [run] function over a
+    {!Run_config.t}. Code that must work on either (the CLI, the test
+    harness, bench) is written against the module type and picks an
+    implementation from {!all}. *)
+
+module type S = sig
+  val name : string
+  (** ["sim"] or ["domains"]. *)
+
+  val run :
+    config:Run_config.t ->
+    Rewrite.t ->
+    edb:Datalog.Database.t ->
+    Sim_runtime.result
+end
+
+module Sim : S
+(** {!Sim_runtime.run}. *)
+
+module Domains : S
+(** {!Domain_runtime.run}. *)
+
+val all : (module S) list
+(** Both runtimes, simulator first. *)
+
+val find : string -> (module S) option
+(** Look an implementation up by {!S.name}. *)

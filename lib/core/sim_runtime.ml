@@ -108,7 +108,49 @@ let build_edb ~replicate (rw : Rewrite.t) edb pid =
     (Database.predicates edb);
   local
 
-let run ?(options = default_options) (rw : Rewrite.t) ~edb =
+let config_of_options (o : options) : Run_config.t =
+  {
+    Run_config.default with
+    resend_all = o.resend_all;
+    pushdown = o.pushdown;
+    replicate_base = o.replicate_base;
+    max_rounds = o.max_rounds;
+    network = o.network;
+    fault = o.fault;
+    capacity = o.capacity;
+    limits = o.limits;
+    dial = o.dial;
+  }
+
+let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
+  let options : Run_config.t = config in
+  let tr = config.Run_config.obs.Obs.trace in
+  let mx = config.Run_config.obs.Obs.metrics in
+  (* Engine-counter deltas around every bootstrap / step call: metric
+     totals then equal final engine counters plus the work lost with
+     crashed engines — exactly the accounting [build_stats] does. *)
+  let observe_engine p f =
+    if not (Obs.Metrics.enabled mx) then f ()
+    else begin
+      let b = Seminaive.stats p.engine in
+      let pb = Seminaive.join_probes p.engine in
+      let r = f () in
+      let a = Seminaive.stats p.engine in
+      Obs.Metrics.incr mx
+        ~by:(a.Seminaive.firings - b.Seminaive.firings)
+        "runtime.firings";
+      Obs.Metrics.incr mx
+        ~by:(a.Seminaive.new_tuples - b.Seminaive.new_tuples)
+        "runtime.new_tuples";
+      Obs.Metrics.incr mx
+        ~by:(a.Seminaive.duplicate_firings - b.Seminaive.duplicate_firings)
+        "runtime.duplicate_firings";
+      Obs.Metrics.incr mx
+        ~by:(Seminaive.join_probes p.engine - pb)
+        "joiner.probes";
+      r
+    end
+  in
   let nprocs = rw.nprocs in
   let plan = options.fault in
   (* With [Fault.none] the delivery layer is bypassed entirely and the
@@ -328,17 +370,23 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
             if not replay then begin
               channel_tuples.(src).(dst) <- channel_tuples.(src).(dst) + 1;
               procs.(src).tuples_sent <- procs.(src).tuples_sent + 1;
-              sent_this_round.(src).(dst) <- sent_this_round.(src).(dst) + 1
+              sent_this_round.(src).(dst) <- sent_this_round.(src).(dst) + 1;
+              Obs.Metrics.incr mx "runtime.tuples_sent"
             end;
             if credited then begin
               in_flight.(src).(dst) <- in_flight.(src).(dst) + 1;
               if in_flight.(src).(dst) > !peak_in_flight then
-                peak_in_flight := in_flight.(src).(dst)
+                peak_in_flight := in_flight.(src).(dst);
+              Obs.Metrics.max_gauge mx "runtime.peak_in_flight"
+                in_flight.(src).(dst)
             end;
             if faulty then send_payload ~replay src dst pred tuple
             else Queue.add (src, pred, tuple) procs.(dst).inbox
           done;
-          if !stalled then incr credit_stalls
+          if !stalled then begin
+            incr credit_stalls;
+            Obs.Metrics.incr mx "runtime.credit_stalls"
+          end
         end
       done
     done
@@ -358,7 +406,8 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
   let boot_row = Array.make nprocs 0 in
   Array.iter
     (fun p ->
-      let produced = Seminaive.bootstrap p.engine in
+      let produced = observe_engine p (fun () -> Seminaive.bootstrap p.engine) in
+      Obs.Trace.instant tr ~pid:p.pid ~round:0 "bootstrap";
       boot_row.(p.pid) <- List.length produced;
       collect_new p produced)
     procs;
@@ -426,6 +475,7 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
       Queue.clear p.outbox;
       Queue.clear p.inbox;
       Array.iter Ktbl.reset recv_seen.(p.pid);
+      Obs.Trace.instant tr ~pid:p.pid ~round:!rounds "crash";
       Log.info (fun m ->
           m "round %d: processor %d crashed, down for %d round(s)" !rounds
             p.pid c.cr_down)
@@ -464,9 +514,12 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
        p.engine <-
          Seminaive.create ~pushdown:options.pushdown rw.programs.(p.pid)
            ~edb:local_edb;
-       let produced = Seminaive.bootstrap p.engine in
+       let produced =
+         observe_engine p (fun () -> Seminaive.bootstrap p.engine)
+       in
        collect_new p produced);
     p.alive <- true;
+    Obs.Trace.instant tr ~pid:p.pid ~round:!rounds "recover";
     (* Bucket reassignment: the bucket h(v(r)) = pid is rebuilt (hosted
        by the first survivor), then every live peer — the processor's
        own loop channel included — replays its channel history so the
@@ -540,18 +593,21 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
         (List.rev !msgs)
   in
   let retransmit_due () =
-    Array.iter
-      (fun row ->
-        Array.iter
-          (fun tbl ->
-            Hashtbl.iter
-              (fun _ pl ->
-                if pl.pl_retry_at <= !rounds then begin
-                  fc.n_retransmits <- fc.n_retransmits + 1;
-                  transmit pl
-                end)
-              tbl)
-          row)
+    Array.iteri
+      (fun src row ->
+        Obs.Trace.span tr ~pid:src ~round:!rounds Obs.Trace.Retransmission
+          (fun () ->
+            Array.iter
+              (fun tbl ->
+                Hashtbl.iter
+                  (fun _ pl ->
+                    if pl.pl_retry_at <= !rounds then begin
+                      fc.n_retransmits <- fc.n_retransmits + 1;
+                      Obs.Metrics.incr mx "runtime.retransmits";
+                      transmit pl
+                    end)
+                  tbl)
+              row))
       unacked
   in
   let drain_inbox p =
@@ -569,6 +625,7 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
     Queue.iter
       (fun (src, pred, tuple) ->
         p.tuples_received <- p.tuples_received + 1;
+        Obs.Metrics.incr mx "runtime.tuples_received";
         (* Fault-free credit returns on receipt; under faults the ack
            carries it back instead. *)
         if credited && not faulty then
@@ -602,6 +659,7 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
                 stats = build_stats ~pooled:0 ();
               })
      | None -> ());
+    let round_now = !rounds in
     (* Fault schedule: crashes first, then due recoveries. *)
     if faulty then begin
       Array.iter
@@ -619,19 +677,21 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
     (* Sending. *)
     Array.iter
       (fun p ->
-        if not p.alive then ()
-        else if options.resend_all then begin
-          Queue.clear p.outbox;
-          Queue.iter
-            (fun (pred, tuple) -> route_tuple ~dedup:false p pred tuple)
-            p.all_out
-        end
-        else begin
-          Queue.iter
-            (fun (pred, tuple) -> route_tuple ~dedup:true p pred tuple)
-            p.outbox;
-          Queue.clear p.outbox
-        end)
+        Obs.Trace.span tr ~pid:p.pid ~round:round_now Obs.Trace.Sending
+          (fun () ->
+            if not p.alive then ()
+            else if options.resend_all then begin
+              Queue.clear p.outbox;
+              Queue.iter
+                (fun (pred, tuple) -> route_tuple ~dedup:false p pred tuple)
+                p.all_out
+            end
+            else begin
+              Queue.iter
+                (fun (pred, tuple) -> route_tuple ~dedup:true p pred tuple)
+                p.outbox;
+              Queue.clear p.outbox
+            end))
       procs;
     (* Transmission: push pending tuples onto the wire, channel credit
        permitting. *)
@@ -640,26 +700,38 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
        landing this round (acknowledgements included). *)
     if faulty then begin
       retransmit_due ();
-      deliver_due ()
+      Obs.Trace.span tr ~pid:Obs.Trace.transport_pid ~round:round_now
+        Obs.Trace.Delivery deliver_due
     end;
     (* Receiving: drain inboxes into the engines (duplicate
        elimination happens in inject). *)
-    Array.iter (fun p -> if p.alive then drain_inbox p) procs;
+    Array.iter
+      (fun p ->
+        Obs.Trace.span tr ~pid:p.pid ~round:round_now Obs.Trace.Receiving
+          (fun () -> if p.alive then drain_inbox p))
+      procs;
     (* Processing: one semi-naive iteration per live processor. *)
     let any_progress = ref false in
     let produced_this_round = ref 0 in
     let round_row = Array.make nprocs 0 in
     Array.iter
       (fun p ->
-        if p.alive && Seminaive.has_pending p.engine then begin
-          let produced = Seminaive.step p.engine in
-          p.active_rounds <- p.active_rounds + 1;
-          any_progress := true;
-          produced_this_round := !produced_this_round + List.length produced;
-          round_row.(p.pid) <- List.length produced;
-          collect_new p produced
-        end)
+        Obs.Trace.span tr ~pid:p.pid ~round:round_now Obs.Trace.Processing
+          (fun () ->
+            if p.alive && Seminaive.has_pending p.engine then begin
+              let produced =
+                observe_engine p (fun () -> Seminaive.step p.engine)
+              in
+              p.active_rounds <- p.active_rounds + 1;
+              any_progress := true;
+              produced_this_round :=
+                !produced_this_round + List.length produced;
+              round_row.(p.pid) <- List.length produced;
+              collect_new p produced
+            end))
       procs;
+    Obs.Metrics.observe mx "round.new_tuples"
+      (float_of_int !produced_this_round);
     trace := round_row :: !trace;
     incr rounds;
     (* Checkpointing: a stable-storage write at the end of the round. *)
@@ -668,13 +740,14 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
       | Some k when !rounds mod k = 0 ->
         Array.iter
           (fun p ->
-            if p.alive then begin
-              p.checkpoint <-
-                Some
-                  (Seminaive.snapshot p.engine,
-                   List.of_seq (Queue.to_seq p.outbox));
-              fc.n_checkpoints <- fc.n_checkpoints + 1
-            end)
+            if p.alive then
+              Obs.Trace.span tr ~pid:p.pid ~round:round_now
+                Obs.Trace.Checkpointing (fun () ->
+                  p.checkpoint <-
+                    Some
+                      (Seminaive.snapshot p.engine,
+                       List.of_seq (Queue.to_seq p.outbox));
+                  fc.n_checkpoints <- fc.n_checkpoints + 1))
           procs
       | _ -> ()
     end;
@@ -734,7 +807,8 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
              if b > !backlog then backlog := b
            end
          done;
-         Overload.observe d ~pid:src ~backlog:!backlog
+         Overload.observe d ~pid:src ~backlog:!backlog;
+         Obs.Metrics.observe mx "dial.alpha" (Overload.alpha d src)
        done
      | None -> ());
     for src = 0 to nprocs - 1 do
@@ -749,19 +823,24 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
              (fun acc row -> Array.fold_left ( + ) acc row)
              0 channel_tuples));
     (* Termination: all processors up and idle, all channels empty, no
-       payload in flight or awaiting acknowledgement. *)
+       payload in flight or awaiting acknowledgement. The per-processor
+       part runs under a span (and therefore for every processor, no
+       short-circuit) so the trace shows the test each round. *)
+    let proc_busy p =
+      Obs.Trace.span tr ~pid:p.pid ~round:round_now
+        Obs.Trace.Termination_test (fun () ->
+          (not (Queue.is_empty p.outbox))
+          || (not (Queue.is_empty p.inbox))
+          || (p.alive && Seminaive.has_pending p.engine))
+    in
+    let any_busy =
+      Array.fold_left (fun acc p -> proc_busy p || acc) false procs
+    in
     let work_left =
-      !any_progress
-      || Array.exists
-           (fun p ->
-             (not (Queue.is_empty p.outbox))
-             || not (Queue.is_empty p.inbox))
-           procs
+      !any_progress || any_busy
       || Array.exists
            (fun row -> Array.exists (fun q -> not (Queue.is_empty q)) row)
            chan_pending
-      || Array.exists (fun p -> p.alive && Seminaive.has_pending p.engine)
-           procs
       || (faulty
           && (!flight_size > 0
               || Array.exists (fun p -> not p.alive) procs
@@ -791,3 +870,6 @@ let run ?(options = default_options) (rw : Rewrite.t) ~edb =
         rw.derived)
     procs;
   { answers; stats = build_stats ~pooled:!pooled () }
+
+let run_with_options ?(options = default_options) rw ~edb =
+  run ~config:(config_of_options options) rw ~edb

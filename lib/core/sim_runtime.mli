@@ -97,13 +97,27 @@ exception Round_budget_exceeded of { round : int; stats : Stats.t }
     the channels carried. *)
 
 val run :
-  ?options:options -> Rewrite.t -> edb:Datalog.Database.t -> result
+  ?config:Run_config.t -> Rewrite.t -> edb:Datalog.Database.t -> result
 (** Execute a rewritten program. The extensional database [edb] is
     distributed to processors according to the rewrite's residency map;
-    the original program's base facts are added to [edb] first.
-    @raise Round_budget_exceeded when [max_rounds] is exceeded.
-    @raise Overload.Overload when a limit of [options.limits] is
+    the original program's base facts are added to [edb] first. The
+    configuration defaults to {!Run_config.default}; with the default
+    (disabled) {!Obs.sinks} the instrumented executor takes the exact
+    historical code path and reproduces its message and firing counts.
+    @raise Round_budget_exceeded when [config.max_rounds] is exceeded.
+    @raise Overload.Overload when a limit of [config.limits] is
     breached; the exception carries the partial statistics and the
     offending processor.
     @raise Failure when a tuple is routed along a missing channel of
-    [network]. *)
+    [config.network]. *)
+
+val config_of_options : options -> Run_config.t
+(** Embed the legacy options record into a {!Run_config.t} (other
+    fields at their defaults). *)
+
+val run_with_options :
+  ?options:options -> Rewrite.t -> edb:Datalog.Database.t -> result
+[@@ocaml.deprecated
+  "use Sim_runtime.run ?config with a Run_config.t instead"]
+(** Thin wrapper over {!run} for the pre-[Run_config] signature; kept
+    for one PR. *)

@@ -172,6 +172,48 @@ let pp ppf t =
       f.mailbox_drops f.credit_stalls f.alpha_raises f.alpha_decays;
   Format.fprintf ppf "@]"
 
+(* Versioned machine-readable snapshot ("schema": 1), shared by
+   `datalogp par --json`, the Obs metrics snapshot and the bench
+   baseline files. Hand-rolled: the values are ints only. *)
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\"schema\":1,\"nprocs\":%d,\"rounds\":%d,\"pooled\":%d,\"peak_in_flight\":%d,"
+    t.nprocs t.rounds t.pooled_tuples t.peak_in_flight;
+  add
+    "\"totals\":{\"firings\":%d,\"new_tuples\":%d,\"duplicate_firings\":%d,\"messages\":%d,\"tuples_sent\":%d,\"base_resident\":%d,\"store_rows\":%d,\"store_bytes\":%d},"
+    (total_firings t) (total_new_tuples t) (total_duplicate_firings t)
+    (total_messages t)
+    (total_messages ~include_self:true t)
+    (total_base_resident t) (total_store_rows t) (total_store_bytes t);
+  add "\"per_proc\":[";
+  Array.iteri
+    (fun i p ->
+      if i > 0 then add ",";
+      add
+        "{\"pid\":%d,\"firings\":%d,\"new_tuples\":%d,\"duplicate_firings\":%d,\"iterations\":%d,\"tuples_sent\":%d,\"tuples_received\":%d,\"tuples_accepted\":%d,\"base_resident\":%d,\"active_rounds\":%d,\"store_rows\":%d,\"store_bytes\":%d,\"outbox_peak_rows\":%d,\"outbox_peak_bytes\":%d}"
+        p.pid p.firings p.new_tuples p.duplicate_firings p.iterations
+        p.tuples_sent p.tuples_received p.tuples_accepted p.base_resident
+        p.active_rounds p.store_rows p.store_bytes p.outbox_peak_rows
+        p.outbox_peak_bytes)
+    t.per_proc;
+  add "],\"channel_tuples\":[";
+  Array.iteri
+    (fun i row ->
+      if i > 0 then add ",";
+      add "[%s]"
+        (String.concat "," (Array.to_list (Array.map string_of_int row))))
+    t.channel_tuples;
+  add "],\"frontier\":[%s],"
+    (String.concat "," (List.map string_of_int (frontier_profile t)));
+  let f = t.faults in
+  add
+    "\"faults\":{\"drops\":%d,\"dups_injected\":%d,\"dups_suppressed\":%d,\"delays\":%d,\"reorders\":%d,\"retransmits\":%d,\"acks\":%d,\"crashes\":%d,\"recoveries\":%d,\"replayed\":%d,\"checkpoints\":%d,\"restores\":%d,\"mailbox_drops\":%d,\"credit_stalls\":%d,\"alpha_raises\":%d,\"alpha_decays\":%d}}"
+    f.drops f.dups_injected f.dups_suppressed f.delays f.reorders
+    f.retransmits f.acks f.crashes f.recoveries f.replayed f.checkpoints
+    f.restores f.mailbox_drops f.credit_stalls f.alpha_raises f.alpha_decays;
+  Buffer.contents buf
+
 let pp_summary ppf t =
   Format.fprintf ppf
     "procs=%d rounds=%d firings=%d msgs=%d imbalance=%.2f" t.nprocs

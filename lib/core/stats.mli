@@ -113,5 +113,12 @@ val redundancy_vs : sequential_firings:int -> t -> float
 val pp : Format.formatter -> t -> unit
 (** A compact multi-line report. *)
 
+val to_json : t -> string
+(** A stable, versioned machine-readable snapshot. The top-level
+    object carries ["schema": 1]; future field additions keep existing
+    keys and bump the schema only on incompatible changes. Shared by
+    [datalogp par --json], the {!Obs.Metrics} snapshot and the bench
+    baselines ([BENCH_PR4.json]). *)
+
 val pp_summary : Format.formatter -> t -> unit
 (** A one-line summary. *)

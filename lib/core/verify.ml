@@ -10,9 +10,9 @@ type report = {
   stats : Stats.t;
 }
 
-let check ?options (rw : Rewrite.t) ~edb =
+let check ?config (rw : Rewrite.t) ~edb =
   let seq_db, seq_stats = Seminaive.evaluate rw.original edb in
-  let result = Sim_runtime.run ?options rw ~edb in
+  let result = Sim_runtime.run ?config rw ~edb in
   let equal_answers =
     List.for_all
       (fun pred ->

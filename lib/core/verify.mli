@@ -18,7 +18,7 @@ type report = {
 }
 
 val check :
-  ?options:Sim_runtime.options ->
+  ?config:Run_config.t ->
   Rewrite.t ->
   edb:Datalog.Database.t ->
   report

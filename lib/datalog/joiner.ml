@@ -38,10 +38,12 @@ type plan = {
   pre_guards : compiled_guard list;  (* guards with no variables *)
   atoms : compiled_atom list;
   nbody : int;
+  mutable probes : int;  (* candidate tuples scanned across all runs *)
 }
 
 let rule_of p = p.rule
 let var_count p = p.nvars
+let probes p = p.probes
 
 (* Greedy scan-order heuristic: repeatedly pick the atom with the most
    already-bound argument positions (then the fewest unbound variables,
@@ -212,6 +214,7 @@ let compile ?(pushdown = true) ?(reorder = false) (rule : Rule.t) =
     pre_guards;
     atoms;
     nbody;
+    probes = 0;
   }
 
 type relations = {
@@ -259,6 +262,7 @@ let run plan ~sources rels ~emit =
              ca.ca_key)
       in
       let try_tuple t =
+        plan.probes <- plan.probes + 1;
         List.iter (fun b -> env.(b.b_var) <- Tuple.get t b.b_position)
           ca.ca_binds;
         let checks_ok =

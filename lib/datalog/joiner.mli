@@ -29,6 +29,12 @@ val compile : ?pushdown:bool -> ?reorder:bool -> Rule.t -> plan
 val rule_of : plan -> Rule.t
 val var_count : plan -> int
 
+val probes : plan -> int
+(** Cumulative number of candidate tuples scanned by {!run} for this
+    plan — one probe per tuple pulled from an index lookup, whether or
+    not it survived the equality checks and guards. A cheap,
+    always-maintained effort counter for the observability layer. *)
+
 type relations = {
   old_of : string -> Relation.t option;
       (** Pre-iteration contents of a predicate; [None] = empty. *)

@@ -221,6 +221,9 @@ let stats engine =
     duplicate_firings = engine.duplicate_firings;
   }
 
+let join_probes engine =
+  List.fold_left (fun acc plan -> acc + Joiner.probes plan) 0 engine.plans
+
 let evaluate ?pushdown ?reorder program edb =
   let engine = create ?pushdown ?reorder program ~edb in
   run_to_fixpoint engine;

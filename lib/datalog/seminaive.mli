@@ -82,6 +82,10 @@ val restore : ?pushdown:bool -> ?reorder:bool -> Program.t -> snapshot -> t
 
 val stats : t -> stats
 
+val join_probes : t -> int
+(** Sum of {!Joiner.probes} over the engine's plans: the candidate
+    tuples scanned by the join machinery so far. *)
+
 val per_rule_firings : t -> (Rule.t * int) list
 (** Successful ground substitutions per rule, in program order — e.g.
     to compare exit-rule and recursive-rule workloads. *)

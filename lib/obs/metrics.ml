@@ -1,0 +1,164 @@
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  buckets : int array; (* bucket i counts observations <= 2^i (i = 0 .. 31) *)
+}
+
+type t = {
+  on : bool;
+  mu : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let make on =
+  {
+    on;
+    mu = Mutex.create ();
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
+
+let none = make false
+let create () = make true
+let enabled t = t.on
+
+let locked t f =
+  Mutex.lock t.mu;
+  let r = f () in
+  Mutex.unlock t.mu;
+  r
+
+let cell tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add tbl name r;
+      r
+
+let incr ?(by = 1) t name =
+  if t.on then
+    locked t (fun () ->
+        let r = cell t.counters name in
+        r := !r + by)
+
+let set_gauge t name v =
+  if t.on then locked t (fun () -> cell t.gauges name := v)
+
+let max_gauge t name v =
+  if t.on then
+    locked t (fun () ->
+        let r = cell t.gauges name in
+        if v > !r then r := v)
+
+let bucket_index v =
+  if v <= 1.0 then 0
+  else begin
+    let i = ref 0 and b = ref 1.0 in
+    while v > !b && !i < 31 do
+      b := !b *. 2.0;
+      i := !i + 1
+    done;
+    !i
+  end
+
+let observe t name v =
+  if t.on then
+    locked t (fun () ->
+        let h =
+          match Hashtbl.find_opt t.hists name with
+          | Some h -> h
+          | None ->
+              let h =
+                { h_count = 0; h_sum = 0.; h_min = infinity; h_max = neg_infinity;
+                  buckets = Array.make 32 0 }
+              in
+              Hashtbl.add t.hists name h;
+              h
+        in
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v;
+        let i = bucket_index v in
+        h.buckets.(i) <- h.buckets.(i) + 1)
+
+let counter t name =
+  if not t.on then 0
+  else
+    locked t (fun () ->
+        match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+
+let gauge t name =
+  if not t.on then 0
+  else
+    locked t (fun () ->
+        match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0)
+
+let hist_count t name =
+  if not t.on then 0
+  else
+    locked t (fun () ->
+        match Hashtbl.find_opt t.hists name with Some h -> h.h_count | None -> 0)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t =
+  if not t.on then []
+  else locked t (fun () -> List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.counters))
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let ints name tbl =
+    Buffer.add_string buf (Printf.sprintf "\"%s\":{" name);
+    List.iteri
+      (fun i (k, r) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\"%s\":%d" k !r))
+      (sorted_bindings tbl);
+    Buffer.add_char buf '}'
+  in
+  locked t (fun () ->
+      Buffer.add_string buf "{\"schema\":1,";
+      ints "counters" t.counters;
+      Buffer.add_char buf ',';
+      ints "gauges" t.gauges;
+      Buffer.add_string buf ",\"histograms\":{";
+      List.iteri
+        (fun i (k, h) ->
+          if i > 0 then Buffer.add_char buf ',';
+          (* drop trailing empty buckets for compactness *)
+          let last = ref (-1) in
+          Array.iteri (fun j n -> if n > 0 then last := j) h.buckets;
+          let bs =
+            Array.to_list (Array.sub h.buckets 0 (!last + 1))
+            |> List.map string_of_int |> String.concat ","
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"le_pow2\":[%s]}"
+               k h.h_count (float_str h.h_sum)
+               (float_str (if h.h_count = 0 then 0. else h.h_min))
+               (float_str (if h.h_count = 0 then 0. else h.h_max))
+               bs))
+        (sorted_bindings t.hists);
+      Buffer.add_string buf "}}");
+  Buffer.contents buf
+
+let write t path =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,70 @@
+(** Zero-cost-when-disabled tracing for the parallel runtimes.
+
+    A sink collects span and instant events keyed by [(pid, round,
+    phase)].  The phases mirror the per-round structure the two
+    runtimes already share: sending, retransmission, delivery,
+    receiving, processing, checkpointing and the termination test.
+    When the sink is [none] every operation returns immediately after
+    a single flag test, so instrumented code keeps its exact
+    behaviour (and its exact counters) with tracing off.
+
+    Events export as Chrome [trace_event] JSON ("X" complete events
+    for spans, "i" for instants), which loads directly in Perfetto or
+    [chrome://tracing]. *)
+
+type phase =
+  | Sending
+  | Retransmission
+  | Delivery
+  | Receiving
+  | Processing
+  | Checkpointing
+  | Termination_test
+
+val phase_name : phase -> string
+(** Stable lower-case name used in the exported JSON, e.g.
+    ["termination-test"]. *)
+
+type t
+(** A trace sink.  Thread-safe: the multicore runtime records events
+    from several domains into one sink. *)
+
+val none : t
+(** The disabled sink: every operation is a no-op. *)
+
+val create : unit -> t
+(** A fresh enabled sink; timestamps are relative to its creation. *)
+
+val enabled : t -> bool
+
+val span : t -> pid:int -> round:int -> phase -> (unit -> 'a) -> 'a
+(** [span t ~pid ~round phase f] runs [f ()] and, when enabled,
+    records a complete event covering its duration.  The event is
+    recorded even if [f] raises (overload aborts still produce a
+    usable trace).  When disabled, [f] is called directly. *)
+
+val instant : t -> pid:int -> round:int -> string -> unit
+(** Record a point event (e.g. ["bootstrap"], ["crash"],
+    ["recover"]). *)
+
+val transport_pid : int
+(** Pseudo-pid used for transport-level phases (message delivery)
+    that belong to no processor. *)
+
+val event_count : t -> int
+(** Number of recorded events (0 when disabled). *)
+
+val covered : t -> pid:int -> round:int -> phase -> bool
+(** Whether a span for this [(pid, round, phase)] was recorded.  Test
+    hook for the coverage criterion. *)
+
+val instant_count : t -> name:string -> int
+(** Number of instant events recorded under [name]. *)
+
+val to_chrome_json : t -> string
+(** The whole trace as a Chrome [trace_event] JSON object:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+
+val write : t -> string -> unit
+(** [write t path] writes [to_chrome_json t] to [path].  Writes an
+    empty (but valid) trace when the sink is disabled. *)

@@ -150,6 +150,41 @@ processor and the run ends as a structured outcome, not a hang.
   Overload: deadline must be positive
   [2]
 
+Observability. --trace exports a Chrome trace-event JSON (open it in
+Perfetto), --metrics a versioned snapshot of the metrics registry, and
+--json switches the statistics report to the versioned Stats JSON.
+The metric totals equal the Stats counters of the same run.
+
+  $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 -q \
+  >   --trace trace.json --metrics metrics.json > /dev/null
+  $ head -c 16 trace.json
+  {"traceEvents":[
+  $ grep -o '"displayTimeUnit":"ms"' trace.json
+  "displayTimeUnit":"ms"
+  $ grep -o '"name":"sending"' trace.json | sort -u
+  "name":"sending"
+  $ grep -c '"ph":"M"' trace.json
+  2
+  $ grep -o '"schema":1' metrics.json
+  "schema":1
+  $ grep -o '"runtime.firings":[0-9]*' metrics.json
+  "runtime.firings":10
+  $ grep -o '"runtime.tuples_sent":[0-9]*' metrics.json
+  "runtime.tuples_sent":10
+  $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 -q --json \
+  >   | grep -o '"schema":1\|"pooled":[0-9]*'
+  "schema":1
+  "pooled":10
+
+The sinks are flushed even when the run aborts: a breached round
+budget still leaves a readable trace behind.
+
+  $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 -q \
+  >   --max-rounds 2 --trace aborted.json > /dev/null 2>&1
+  [3]
+  $ head -c 16 aborted.json
+  {"traceEvents":[
+
 The dataflow analysis recovers the paper's Example 1 choice.
 
   $ datalogp dataflow anc.dl

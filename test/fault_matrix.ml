@@ -59,11 +59,11 @@ let () =
     (fun (fname, rw, edb) ->
       List.iter
         (fun (pname, plan) ->
-          let options =
-            { Sim_runtime.default_options with fault = plan;
-              max_rounds = 50_000 }
+          let config =
+            Run_config.(
+              default |> with_fault plan |> with_max_rounds 50_000)
           in
-          let report = Verify.check ~options rw ~edb in
+          let report = Verify.check ~config rw ~edb in
           let f = report.Verify.stats.Stats.faults in
           if report.Verify.equal_answers then
             Printf.printf

@@ -59,8 +59,34 @@ let closure_pairs edges =
 
 let anc_relation db = Database.get db "anc"
 
+(* ------------------------------------------------------------------ *)
+(* Functorized both-runtimes harness.                                  *)
+(*                                                                     *)
+(* Tests that must hold on either executor are written against         *)
+(* [Pardatalog.Runtime.S] and instantiated per runtime (or handed a    *)
+(* first-class module and instantiated inline).                        *)
+(* ------------------------------------------------------------------ *)
+
+module Harness (R : Pardatalog.Runtime.S) = struct
+  include R
+
+  let run ?(config = Pardatalog.Run_config.default) rw ~edb =
+    R.run ~config rw ~edb
+
+  (* Does [pred] pooled by this runtime equal the sequential least
+     model's relation? *)
+  let agrees_with_sequential ?config ~pred program rw ~edb =
+    let seq, _ = Seminaive.evaluate program edb in
+    let r = run ?config rw ~edb in
+    Relation.equal (Database.get seq pred)
+      (Database.get r.Pardatalog.Sim_runtime.answers pred)
+end
+
+module Sim_harness = Harness (Pardatalog.Runtime.Sim)
+module Domain_harness = Harness (Pardatalog.Runtime.Domains)
+
 (* Run a rewrite on the simulated runtime and return the pooled anc
    relation plus stats. *)
 let run_sim rw edb =
-  let r = Pardatalog.Sim_runtime.run rw ~edb in
+  let r = Sim_harness.run rw ~edb in
   (r.Pardatalog.Sim_runtime.answers, r.Pardatalog.Sim_runtime.stats)

@@ -1,0 +1,48 @@
+(* Fast observability smoke, wired into `dune runtest` through the
+   @obs alias: one small simulator run with both sinks enabled must
+   cover every (pid, round, phase), export Chrome trace-event JSON,
+   and account for exactly the Stats totals in the metrics registry. *)
+
+open Pardatalog
+
+let failures = ref 0
+
+let claim name ok =
+  if not ok then begin
+    incr failures;
+    Printf.printf "FAIL %s\n" name
+  end
+
+let () =
+  let edb =
+    Workload.Edb.of_edges (List.init 10 (fun i -> (i, i + 1)))
+  in
+  let rw =
+    Result.get_ok (Strategy.example3 ~seed:0 ~nprocs:2 Workload.Progs.ancestor)
+  in
+  let trace = Obs.Trace.create () in
+  let metrics = Obs.Metrics.create () in
+  let config = Run_config.(default |> with_obs { Obs.trace; metrics }) in
+  let r = Sim_runtime.run ~config rw ~edb in
+  let s = r.Sim_runtime.stats in
+  claim "metrics firings equal Stats firings"
+    (Obs.Metrics.counter metrics "runtime.firings" = Stats.total_firings s);
+  claim "metrics tuples_sent equal Stats messages"
+    (Obs.Metrics.counter metrics "runtime.tuples_sent"
+    = Stats.total_messages ~include_self:true s);
+  let covered = ref true in
+  for pid = 0 to s.Stats.nprocs - 1 do
+    for round = 0 to s.Stats.rounds - 1 do
+      List.iter
+        (fun phase ->
+          covered := !covered && Obs.Trace.covered trace ~pid ~round phase)
+        Obs.Trace.[ Sending; Receiving; Processing; Termination_test ]
+    done
+  done;
+  claim "the trace covers every (pid, round, phase)" !covered;
+  let json = String.trim (Obs.Trace.to_chrome_json trace) in
+  claim "the export is a JSON object"
+    (String.length json > 2 && json.[0] = '{'
+    && json.[String.length json - 1] = '}');
+  if !failures = 0 then print_endline "obs smoke ok";
+  exit (if !failures = 0 then 0 else 1)

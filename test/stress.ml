@@ -45,15 +45,12 @@ let cells =
           Result.get_ok
             (Strategy.example3 ~seed:0 ~nprocs:4 Workload.Progs.ancestor)
         in
-        let options =
-          {
-            Sim_runtime.default_options with
-            capacity = Some capacity;
-            limits;
-            max_rounds = 200_000;
-          }
+        let config =
+          Run_config.(
+            default |> with_capacity (Some capacity) |> with_limits limits
+            |> with_max_rounds 200_000)
         in
-        let r = Sim_runtime.run ~options rw ~edb in
+        let r = Sim_runtime.run ~config rw ~edb in
         (r.Sim_runtime.answers, r.Sim_runtime.stats) );
     ( "sim/adaptive+faults",
       fun () ->
@@ -63,17 +60,13 @@ let cells =
             (Strategy.adaptive_tradeoff ~seed:0 ~nprocs:4 ~dial
                Workload.Progs.ancestor)
         in
-        let options =
-          {
-            Sim_runtime.default_options with
-            capacity = Some capacity;
-            limits;
-            dial = Some dial;
-            fault = plan;
-            max_rounds = 200_000;
-          }
+        let config =
+          Run_config.(
+            default |> with_capacity (Some capacity) |> with_limits limits
+            |> with_dial (Some dial) |> with_fault plan
+            |> with_max_rounds 200_000)
         in
-        let r = Sim_runtime.run ~options rw ~edb in
+        let r = Sim_runtime.run ~config rw ~edb in
         (r.Sim_runtime.answers, r.Sim_runtime.stats) );
     ( "domain/example3+credit",
       fun () ->
@@ -82,7 +75,11 @@ let cells =
             (Strategy.example3 ~seed:0 ~nprocs:3 Workload.Progs.ancestor)
         in
         let r =
-          Domain_runtime.run ~capacity ~limits rw ~edb
+          Domain_runtime.run
+            ~config:
+              Run_config.(
+                default |> with_capacity (Some capacity) |> with_limits limits)
+            rw ~edb
         in
         (r.Sim_runtime.answers, r.Sim_runtime.stats) );
     ( "domain/adaptive+faults",
@@ -94,7 +91,12 @@ let cells =
                Workload.Progs.ancestor)
         in
         let r =
-          Domain_runtime.run ~capacity ~limits ~dial ~fault:plan rw ~edb
+          Domain_runtime.run
+            ~config:
+              Run_config.(
+                default |> with_capacity (Some capacity) |> with_limits limits
+                |> with_dial (Some dial) |> with_fault plan)
+            rw ~edb
         in
         (r.Sim_runtime.answers, r.Sim_runtime.stats) );
   ]

@@ -5,6 +5,8 @@ open Datalog
 open Pardatalog
 open Helpers
 
+let ds_config = Run_config.(default |> with_detector Dijkstra_scholten)
+
 let unit_tests =
   [
     case "root starts with a virtual deficit of N-1" (fun () ->
@@ -88,14 +90,14 @@ let runtime_tests =
     slow_case "domain runtime under DS equals sequential" (fun () ->
         let rw = Result.get_ok (Strategy.example3 ~nprocs:4 ancestor) in
         let seq, _ = Seminaive.evaluate ancestor edb in
-        let r = Domain_runtime.run ~detector:Domain_runtime.Dijkstra_scholten rw ~edb in
+        let r = Domain_runtime.run ~config:ds_config rw ~edb in
         Alcotest.check relation_t "equal" (anc_relation seq)
           (anc_relation r.Sim_runtime.answers));
     slow_case "DS and Safra produce identical answers" (fun () ->
         let rw = Result.get_ok (Strategy.example3 ~nprocs:3 ancestor) in
-        let a = Domain_runtime.run ~detector:Domain_runtime.Safra rw ~edb in
+        let a = Domain_runtime.run rw ~edb in
         let b =
-          Domain_runtime.run ~detector:Domain_runtime.Dijkstra_scholten rw ~edb
+          Domain_runtime.run ~config:ds_config rw ~edb
         in
         Alcotest.check relation_t "equal"
           (anc_relation a.Sim_runtime.answers)
@@ -104,7 +106,7 @@ let runtime_tests =
         let rw = Result.get_ok (Strategy.no_communication ~nprocs:4 ancestor) in
         let seq, _ = Seminaive.evaluate ancestor edb in
         let r =
-          Domain_runtime.run ~detector:Domain_runtime.Dijkstra_scholten rw ~edb
+          Domain_runtime.run ~config:ds_config rw ~edb
         in
         Alcotest.check relation_t "equal" (anc_relation seq)
           (anc_relation r.Sim_runtime.answers));
@@ -112,7 +114,7 @@ let runtime_tests =
         let rw = Result.get_ok (Strategy.example3 ~nprocs:1 ancestor) in
         let seq, _ = Seminaive.evaluate ancestor edb in
         let r =
-          Domain_runtime.run ~detector:Domain_runtime.Dijkstra_scholten rw ~edb
+          Domain_runtime.run ~config:ds_config rw ~edb
         in
         Alcotest.check relation_t "equal" (anc_relation seq)
           (anc_relation r.Sim_runtime.answers));
@@ -124,7 +126,7 @@ let runtime_tests =
         let small = edb_of_edges (Workload.Graphgen.chain 12) in
         let seq, _ = Seminaive.evaluate ancestor small in
         let r =
-          Domain_runtime.run ~detector:Domain_runtime.Dijkstra_scholten rw
+          Domain_runtime.run ~config:ds_config rw
             ~edb:small
         in
         Alcotest.check relation_t "equal" (anc_relation seq)

@@ -97,25 +97,34 @@ let faulty_config_arb =
       let* cfg = plan_cfg_gen in
       return (base, cfg))
 
-let sim_options plan =
-  { Sim_runtime.default_options with fault = plan; max_rounds = 50_000 }
+let sim_config plan =
+  Run_config.(default |> with_fault plan |> with_max_rounds 50_000)
 
 (* ------------------------------------------------------------------ *)
-(* Theorem 1 under failures: 150 random sirups x EDBs x fault plans    *)
+(* Theorem 1 under failures: random sirups x EDBs x fault plans, one   *)
+(* generator instantiated per runtime through the Runtime.S harness.   *)
 (* ------------------------------------------------------------------ *)
 
-let prop_faulty_equals_sequential =
-  QCheck.Test.make ~count:150
-    ~name:"random faults: parallel = sequential (Theorem 1 under failures)"
+let prop_faulty_runtime (module R : Runtime.S) ~count ~max_n =
+  let module H = Harness (R) in
+  QCheck.Test.make ~count
+    ~name:
+      (Printf.sprintf
+         "random faults: %s runtime = sequential (Theorem 1 under failures)"
+         R.name)
     faulty_config_arb
     (fun ((gs, n, seed, picks), cfg) ->
+      let n = min n max_n in
       match T_random_sirups.build gs n seed picks with
       | None -> QCheck.assume_fail ()
-      | Some (_, rw) ->
+      | Some (program, rw) ->
         let edb = T_random_sirups.edb_for gs seed in
         let plan = plan_of cfg ~nprocs:n in
-        let report = Verify.check ~options:(sim_options plan) rw ~edb in
-        report.Verify.equal_answers)
+        H.agrees_with_sequential ~config:(sim_config plan) ~pred:"t" program
+          rw ~edb)
+
+let prop_faulty_equals_sequential =
+  prop_faulty_runtime (module Runtime.Sim) ~count:150 ~max_n:max_int
 
 (* Same, under the Section 7 general scheme (non-sirup rewrites). *)
 let prop_faulty_general_scheme =
@@ -128,7 +137,7 @@ let prop_faulty_general_scheme =
       | Ok rw ->
         let edb = T_random_sirups.edb_for gs seed in
         let plan = plan_of cfg ~nprocs:n in
-        let report = Verify.check ~options:(sim_options plan) rw ~edb in
+        let report = Verify.check ~config:(sim_config plan) rw ~edb in
         report.Verify.equal_answers)
 
 (* ------------------------------------------------------------------ *)
@@ -150,7 +159,7 @@ let prop_zero_fault_exact_counts =
         let plain = Sim_runtime.run rw ~edb in
         let layered =
           Sim_runtime.run
-            ~options:(sim_options (Fault.make ~checkpoint_every:3 ()))
+            ~config:(sim_config (Fault.make ~checkpoint_every:3 ()))
             rw ~edb
         in
         let sent s =
@@ -179,8 +188,8 @@ let prop_fault_runs_deterministic =
       | Some (_, rw) ->
         let edb = T_random_sirups.edb_for gs seed in
         let plan = plan_of cfg ~nprocs:n in
-        let a = Sim_runtime.run ~options:(sim_options plan) rw ~edb in
-        let b = Sim_runtime.run ~options:(sim_options plan) rw ~edb in
+        let a = Sim_runtime.run ~config:(sim_config plan) rw ~edb in
+        let b = Sim_runtime.run ~config:(sim_config plan) rw ~edb in
         Database.equal a.Sim_runtime.answers b.Sim_runtime.answers
         && a.Sim_runtime.stats.Stats.rounds = b.Sim_runtime.stats.Stats.rounds
         && a.Sim_runtime.stats.Stats.channel_tuples
@@ -189,23 +198,12 @@ let prop_fault_runs_deterministic =
            = b.Sim_runtime.stats.Stats.faults)
 
 (* ------------------------------------------------------------------ *)
-(* The domain runtime survives the same plans.                         *)
+(* The domain runtime survives the same plans (same generator,         *)
+(* smaller N and count).                                               *)
 (* ------------------------------------------------------------------ *)
 
 let prop_domain_runtime_faulty =
-  QCheck.Test.make ~count:20 ~name:"faults on the domain runtime"
-    faulty_config_arb
-    (fun ((gs, n, seed, picks), cfg) ->
-      let n = min n 3 in
-      match T_random_sirups.build gs n seed picks with
-      | None -> QCheck.assume_fail ()
-      | Some (program, rw) ->
-        let edb = T_random_sirups.edb_for gs seed in
-        let plan = plan_of cfg ~nprocs:n in
-        let seq, _ = Seminaive.evaluate program edb in
-        let r = Domain_runtime.run ~fault:plan rw ~edb in
-        Relation.equal (Database.get seq "t")
-          (Database.get r.Sim_runtime.answers "t"))
+  prop_faulty_runtime (module Runtime.Domains) ~count:20 ~max_n:3
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic cases                                                 *)
@@ -232,7 +230,7 @@ let fault_cases =
             ~crashes:[ { Fault.cr_pid = 1; cr_round = 4; cr_down = 2 } ]
             ()
         in
-        let r = Sim_runtime.run ~options:(sim_options plan) rw ~edb in
+        let r = Sim_runtime.run ~config:(sim_config plan) rw ~edb in
         Alcotest.check relation_t "closure survives the crash"
           (relation_of_pairs (closure_pairs edges))
           (anc_relation r.Sim_runtime.answers);
@@ -256,7 +254,7 @@ let fault_cases =
             ()
         in
         let r =
-          Sim_runtime.run ~options:(sim_options plan)
+          Sim_runtime.run ~config:(sim_config plan)
             rw ~edb:(edb_of_edges edges)
         in
         Alcotest.(check int) "no crash happened" 0
@@ -274,7 +272,7 @@ let fault_cases =
               ~crashes:[ { Fault.cr_pid = 1; cr_round = 8; cr_down = 2 } ]
               ?checkpoint_every ()
           in
-          let r = Sim_runtime.run ~options:(sim_options plan) rw ~edb in
+          let r = Sim_runtime.run ~config:(sim_config plan) rw ~edb in
           Alcotest.check relation_t "closure correct"
             (relation_of_pairs (closure_pairs edges))
             (anc_relation r.Sim_runtime.answers);

@@ -221,25 +221,23 @@ let derive_tests =
             ignore (Database.add_fact edb "q" (Tuple.of_ints [ a; b ]));
             ignore (Database.add_fact edb "r" (Tuple.of_ints [ b; a ])))
           (Workload.Graphgen.random_digraph rng ~nodes:20 ~edges:40);
-        let options =
-          { Sim_runtime.default_options with network = Some figure3_expected }
+        let config =
+          Run_config.(default |> with_network (Some figure3_expected))
         in
         (* Must complete without a Definition 3 violation. *)
-        let r = Sim_runtime.run ~options rw ~edb in
+        let r = Sim_runtime.run ~config rw ~edb in
         Alcotest.(check bool) "produced answers" true
           (Datalog.Database.mem r.Sim_runtime.answers "p"));
     case "a too-small network aborts the run (Definition 3)" (fun () ->
         let rw = Result.get_ok (Strategy.example3 ~nprocs:4 ancestor) in
         let edb = edb_of_edges (Workload.Graphgen.chain 20) in
-        let options =
-          {
-            Sim_runtime.default_options with
-            network = Some (Netgraph.self_only (Pid.dense 4));
-          }
+        let config =
+          Run_config.(
+            default |> with_network (Some (Netgraph.self_only (Pid.dense 4))))
         in
         Alcotest.(check bool) "raises" true
           (try
-             ignore (Sim_runtime.run ~options rw ~edb);
+             ignore (Sim_runtime.run ~config rw ~edb);
              false
            with Failure _ -> true));
   ]

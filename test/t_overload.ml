@@ -61,30 +61,34 @@ let dial_of oc ~nprocs =
     ~high_water:oc.oc_high_water ~nprocs ()
 
 (* The adaptive run pools to the sequential answers, and capacity K
-   bounds the observed per-channel in-flight peak by K — on the
-   deterministic simulator, under random fault plans.  *)
-let prop_adaptive_sim =
-  QCheck.Test.make ~count:170
-    ~name:"adaptive runs = sequential; peak in-flight <= capacity (sim)"
+   bounds the observed per-channel in-flight peak by K — under random
+   fault plans, on whichever runtime the harness is instantiated
+   with. *)
+let prop_adaptive (module R : Runtime.S) ~count ~max_n =
+  let module H = Harness (R) in
+  QCheck.Test.make ~count
+    ~name:
+      (Printf.sprintf
+         "adaptive runs = sequential; peak in-flight <= capacity (%s)" R.name)
     adaptive_config_arb
     (fun ((gs, n, seed, _), oc, fc) ->
+      let n = min n max_n in
       let program = Parser.program_exn gs.T_random_sirups.gs_source in
       let dial = dial_of oc ~nprocs:n in
       match Strategy.adaptive_tradeoff ~seed ~nprocs:n ~dial program with
       | Error _ -> QCheck.assume_fail ()
       | Ok rw ->
         let edb = T_random_sirups.edb_for gs seed in
-        let options =
-          {
-            Sim_runtime.default_options with
-            fault = T_fault.plan_of fc ~nprocs:n;
-            capacity = oc.oc_capacity;
-            dial = Some dial;
-            max_rounds = 50_000;
-          }
+        let config =
+          Run_config.(
+            default
+            |> with_fault (T_fault.plan_of fc ~nprocs:n)
+            |> with_capacity oc.oc_capacity
+            |> with_dial (Some dial)
+            |> with_max_rounds 50_000)
         in
         let seq, _ = Seminaive.evaluate program edb in
-        let r = Sim_runtime.run ~options rw ~edb in
+        let r = H.run ~config rw ~edb in
         let peak = r.Sim_runtime.stats.Stats.peak_in_flight in
         Relation.equal (Database.get seq "t")
           (Database.get r.Sim_runtime.answers "t")
@@ -92,31 +96,12 @@ let prop_adaptive_sim =
             | None -> peak = 0
             | Some k -> peak <= k))
 
-(* Same on the true multicore runtime. *)
+let prop_adaptive_sim =
+  prop_adaptive (module Runtime.Sim) ~count:170 ~max_n:max_int
+
+(* Same property on the true multicore runtime. *)
 let prop_adaptive_domain =
-  QCheck.Test.make ~count:40
-    ~name:"adaptive runs = sequential; peak in-flight <= capacity (domain)"
-    adaptive_config_arb
-    (fun ((gs, n, seed, _), oc, fc) ->
-      let n = min n 3 in
-      let program = Parser.program_exn gs.T_random_sirups.gs_source in
-      let dial = dial_of oc ~nprocs:n in
-      match Strategy.adaptive_tradeoff ~seed ~nprocs:n ~dial program with
-      | Error _ -> QCheck.assume_fail ()
-      | Ok rw ->
-        let edb = T_random_sirups.edb_for gs seed in
-        let seq, _ = Seminaive.evaluate program edb in
-        let r =
-          Domain_runtime.run
-            ~fault:(T_fault.plan_of fc ~nprocs:n)
-            ?capacity:oc.oc_capacity ~dial rw ~edb
-        in
-        let peak = r.Sim_runtime.stats.Stats.peak_in_flight in
-        Relation.equal (Database.get seq "t")
-          (Database.get r.Sim_runtime.answers "t")
-        && (match oc.oc_capacity with
-            | None -> peak = 0
-            | Some k -> peak <= k))
+  prop_adaptive (module Runtime.Domains) ~count:40 ~max_n:3
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic backpressure cases                                    *)
@@ -134,10 +119,8 @@ let backpressure_cases =
     case "capacity 1 bounds in-flight and counts deferrals" (fun () ->
         let edges = chain_edges 12 in
         let rw = example3_rw () in
-        let options =
-          { Sim_runtime.default_options with capacity = Some 1 }
-        in
-        let r = Sim_runtime.run ~options rw ~edb:(edb_of_edges edges) in
+        let config = Run_config.(default |> with_capacity (Some 1)) in
+        let r = Sim_runtime.run ~config rw ~edb:(edb_of_edges edges) in
         Alcotest.check relation_t "closure unchanged by backpressure"
           (relation_of_pairs (closure_pairs edges))
           (anc_relation r.Sim_runtime.answers);
@@ -162,15 +145,12 @@ let backpressure_cases =
             ~crashes:[ { Fault.cr_pid = 1; cr_round = 3; cr_down = 2 } ]
             ()
         in
-        let options =
-          {
-            Sim_runtime.default_options with
-            fault = plan;
-            capacity = Some 2;
-            max_rounds = 50_000;
-          }
+        let config =
+          Run_config.(
+            default |> with_fault plan |> with_capacity (Some 2)
+            |> with_max_rounds 50_000)
         in
-        let r = Sim_runtime.run ~options rw ~edb:(edb_of_edges edges) in
+        let r = Sim_runtime.run ~config rw ~edb:(edb_of_edges edges) in
         Alcotest.check relation_t "closure survives faults under credit"
           (relation_of_pairs (closure_pairs edges))
           (anc_relation r.Sim_runtime.answers);
@@ -181,12 +161,10 @@ let backpressure_cases =
           (try
              ignore
                (Sim_runtime.run
-                  ~options:
-                    {
-                      Sim_runtime.default_options with
-                      capacity = Some 1;
-                      resend_all = true;
-                    }
+                  ~config:
+                    Run_config.(
+                      default |> with_capacity (Some 1)
+                      |> with_resend_all true)
                   (example3_rw ())
                   ~edb:(edb_of_edges (chain_edges 4)));
              false
@@ -200,14 +178,13 @@ let backpressure_cases =
 let watchdog_cases =
   [
     case "deadline breach carries partial stats (sim)" (fun () ->
-        let options =
-          {
-            Sim_runtime.default_options with
-            limits = { Overload.no_limits with deadline = Some 1e-9 };
-          }
+        let config =
+          Run_config.(
+            default
+            |> with_limits { Overload.no_limits with deadline = Some 1e-9 })
         in
         match
-          Sim_runtime.run ~options (example3_rw ())
+          Sim_runtime.run ~config (example3_rw ())
             ~edb:(edb_of_edges (chain_edges 10))
         with
         | _ -> Alcotest.fail "expected Overload"
@@ -219,14 +196,14 @@ let watchdog_cases =
         | exception Overload.Overload _ ->
           Alcotest.fail "expected a Deadline reason");
     case "store budget names the offending processor (sim)" (fun () ->
-        let options =
-          {
-            Sim_runtime.default_options with
-            limits = { Overload.no_limits with max_store_rows = Some 5 };
-          }
+        let config =
+          Run_config.(
+            default
+            |> with_limits
+                 { Overload.no_limits with max_store_rows = Some 5 })
         in
         match
-          Sim_runtime.run ~options (example3_rw ())
+          Sim_runtime.run ~config (example3_rw ())
             ~edb:(edb_of_edges (chain_edges 10))
         with
         | _ -> Alcotest.fail "expected Overload"
@@ -242,15 +219,14 @@ let watchdog_cases =
         | exception Overload.Overload _ ->
           Alcotest.fail "expected a Store_budget reason");
     case "outbox budget fires under a stalled channel (sim)" (fun () ->
-        let options =
-          {
-            Sim_runtime.default_options with
-            capacity = Some 1;
-            limits = { Overload.no_limits with max_outbox_rows = Some 1 };
-          }
+        let config =
+          Run_config.(
+            default |> with_capacity (Some 1)
+            |> with_limits
+                 { Overload.no_limits with max_outbox_rows = Some 1 })
         in
         match
-          Sim_runtime.run ~options (example3_rw ())
+          Sim_runtime.run ~config (example3_rw ())
             ~edb:(edb_of_edges (chain_edges 16))
         with
         | _ -> Alcotest.fail "expected Overload"
@@ -260,11 +236,13 @@ let watchdog_cases =
         | exception Overload.Overload _ ->
           Alcotest.fail "expected an Outbox_budget reason");
     case "deadline breach is structured on the domain runtime" (fun () ->
-        let limits =
-          { Overload.no_limits with deadline = Some 1e-9 }
+        let config =
+          Run_config.(
+            default
+            |> with_limits { Overload.no_limits with deadline = Some 1e-9 })
         in
         match
-          Domain_runtime.run ~limits (example3_rw ())
+          Domain_runtime.run ~config (example3_rw ())
             ~edb:(edb_of_edges (chain_edges 10))
         with
         | _ -> Alcotest.fail "expected Overload"
@@ -274,11 +252,14 @@ let watchdog_cases =
         | exception Overload.Overload _ ->
           Alcotest.fail "expected a Deadline reason");
     case "store budget is structured on the domain runtime" (fun () ->
-        let limits =
-          { Overload.no_limits with max_store_rows = Some 5 }
+        let config =
+          Run_config.(
+            default
+            |> with_limits
+                 { Overload.no_limits with max_store_rows = Some 5 })
         in
         match
-          Domain_runtime.run ~limits (example3_rw ())
+          Domain_runtime.run ~config (example3_rw ())
             ~edb:(edb_of_edges (chain_edges 10))
         with
         | _ -> Alcotest.fail "expected Overload"
@@ -364,12 +345,10 @@ let dial_cases =
           match Strategy.adaptive_tradeoff ~seed:0 ~nprocs:2 ~dial ancestor with
           | Ok rw ->
             Sim_runtime.run
-              ~options:
-                {
-                  Sim_runtime.default_options with
-                  capacity = Some 1;
-                  dial = Some dial;
-                }
+              ~config:
+                Run_config.(
+                  default |> with_capacity (Some 1)
+                  |> with_dial (Some dial))
               rw ~edb
           | Error msg -> Alcotest.fail msg
         in

@@ -178,7 +178,11 @@ let domain_tests =
         let seq, _ = Seminaive.evaluate ancestor edb in
         List.iter
           (fun domains ->
-            let r = Domain_runtime.run ~domains rw ~edb in
+            let r =
+              Domain_runtime.run
+                ~config:Run_config.(default |> with_domains (Some domains))
+                rw ~edb
+            in
             Alcotest.check relation_t
               (Printf.sprintf "%d domains" domains)
               (anc_relation seq)
@@ -188,22 +192,34 @@ let domain_tests =
         let rw = Result.get_ok (Strategy.example3 ~nprocs:5 ancestor) in
         let seq, _ = Seminaive.evaluate ancestor edb in
         let r =
-          Domain_runtime.run ~detector:Domain_runtime.Dijkstra_scholten
-            ~domains:2 rw ~edb
+          Domain_runtime.run
+            ~config:
+              Run_config.(
+                default
+                |> with_detector Dijkstra_scholten
+                |> with_domains (Some 2))
+            rw ~edb
         in
         Alcotest.check relation_t "equal" (anc_relation seq)
           (anc_relation r.Sim_runtime.answers));
     slow_case "domains above nprocs are capped" (fun () ->
         let rw = Result.get_ok (Strategy.example3 ~nprocs:2 ancestor) in
         let seq, _ = Seminaive.evaluate ancestor edb in
-        let r = Domain_runtime.run ~domains:16 rw ~edb in
+        let r =
+          Domain_runtime.run
+            ~config:Run_config.(default |> with_domains (Some 16))
+            rw ~edb
+        in
         Alcotest.check relation_t "equal" (anc_relation seq)
           (anc_relation r.Sim_runtime.answers));
     slow_case "zero domains rejected" (fun () ->
         let rw = Result.get_ok (Strategy.example3 ~nprocs:2 ancestor) in
         Alcotest.(check bool) "raises" true
           (try
-             ignore (Domain_runtime.run ~domains:0 rw ~edb);
+             ignore
+               (Domain_runtime.run
+                  ~config:Run_config.(default |> with_domains (Some 0))
+                  rw ~edb);
              false
            with Invalid_argument _ -> true));
     slow_case "repeated runs are deterministic in their answers" (fun () ->

@@ -308,7 +308,7 @@ let sim_tests =
         let normal = Sim_runtime.run rw ~edb in
         let noisy =
           Sim_runtime.run
-            ~options:{ Sim_runtime.default_options with resend_all = true }
+            ~config:Run_config.(default |> with_resend_all true)
             rw ~edb
         in
         Alcotest.check relation_t "same answers"
@@ -321,7 +321,7 @@ let sim_tests =
         let rw = example3_rw () in
         match
           Sim_runtime.run
-            ~options:{ Sim_runtime.default_options with max_rounds = 1 }
+            ~config:Run_config.(default |> with_max_rounds 1)
             rw ~edb
         with
         | _ -> Alcotest.fail "expected Round_budget_exceeded"
