@@ -398,8 +398,8 @@ let par_cmd =
         value & opt string ""
         & info [ "crash" ] ~docv:"SPEC"
             ~doc:
-              "Crash schedule: comma-separated $(b,PID\\@ROUND[+DOWN]) \
-               entries, e.g. $(b,1\\@3+2) crashes processor 1 at round 3 \
+              "Crash schedule: comma-separated $(b,PID@ROUND[+DOWN]) \
+               entries, e.g. $(b,1@3+2) crashes processor 1 at round 3 \
                for 2 rounds. A crash that would leave no live processor \
                is skipped.")
     in

@@ -244,6 +244,7 @@ let run program ~nprocs edb =
       trace = [];
       faults = Stats.no_faults;
       peak_in_flight = 0;
+      phase_ns = [];
     }
   in
   Ok ({ Sim_runtime.answers; stats }, analysis)

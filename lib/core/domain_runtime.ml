@@ -88,6 +88,7 @@ type worker_extra = {
   we_overload : Overload.reason option;
   we_credit_stalls : int;
   we_peak_in_flight : int;
+  we_phase_ns : (string * int) list;
 }
 
 let build_edb (rw : Rewrite.t) edb pid =
@@ -116,6 +117,13 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
   let credited = capacity <> None in
   let tr = obs.Obs.trace in
   let mx = obs.Obs.metrics in
+  (* Per-worker wall-clock accumulator (no cross-domain sharing, so no
+     lock): pooled into [Stats.phase_ns] after the join. *)
+  let ptimer = Obs.Phase_timer.create ~metrics:mx () in
+  let span ~pid ~round phase f =
+    Obs.Phase_timer.time ptimer (Obs.Trace.phase_name phase) (fun () ->
+        Obs.Trace.span tr ~pid ~round phase f)
+  in
   let fc = Fault.counters () in
   let credit_stalls = ref 0 in
   let peak_in_flight = ref 0 in
@@ -320,7 +328,7 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
     Array.exists (fun q -> not (Queue.is_empty q)) p.pending
   in
   let route p produced =
-    Obs.Trace.span tr ~pid:p.pid ~round:p.local_rounds Obs.Trace.Sending
+    span ~pid:p.pid ~round:p.local_rounds Obs.Trace.Sending
       (fun () ->
     let batches = Array.make n [] in
     List.iter
@@ -403,7 +411,7 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
     let now = Unix.gettimeofday () in
     List.iter
       (fun p ->
-        Obs.Trace.span tr ~pid:p.pid ~round:p.local_rounds
+        span ~pid:p.pid ~round:p.local_rounds
           Obs.Trace.Retransmission (fun () ->
             Array.iteri
               (fun dst tbl ->
@@ -421,7 +429,7 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
   let dispatch = function
     | Data { src; dst; seq; batch } ->
       let p = proc_of dst in
-      Obs.Trace.span tr ~pid:dst ~round:p.local_rounds Obs.Trace.Receiving
+      span ~pid:dst ~round:p.local_rounds Obs.Trace.Receiving
         (fun () ->
           (* Under a capacity the Tack doubles as the credit grant, so
              it is sent even on fault-free runs. *)
@@ -581,7 +589,7 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
           if faulty then maybe_crash p;
           if Seminaive.has_pending p.engine then begin
             worked := true;
-            Obs.Trace.span tr ~pid:p.pid ~round:p.local_rounds
+            span ~pid:p.pid ~round:p.local_rounds
               Obs.Trace.Processing (fun () ->
                 route p (observe_engine p (fun () -> Seminaive.step p.engine)));
             p.local_rounds <- p.local_rounds + 1
@@ -601,7 +609,7 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
             (fun acc p ->
               if !stopped || has_pending_out p then acc
               else
-                Obs.Trace.span tr ~pid:p.pid ~round:p.local_rounds
+                span ~pid:p.pid ~round:p.local_rounds
                   Obs.Trace.Termination_test (fun () -> passive_action p)
                 || acc)
             false procs
@@ -647,6 +655,7 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
       we_overload = !overload;
       we_credit_stalls = !credit_stalls;
       we_peak_in_flight = !peak_in_flight;
+      we_phase_ns = Obs.Phase_timer.totals ptimer;
     } )
 
 let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
@@ -730,6 +739,11 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
   let peak_in_flight =
     List.fold_left (fun acc e -> max acc e.we_peak_in_flight) 0 extras
   in
+  let phase_ns =
+    List.fold_left
+      (fun acc e -> Obs.Phase_timer.merge_totals acc e.we_phase_ns)
+      [] extras
+  in
   let mailbox_drops =
     Array.fold_left (fun acc mb -> acc + Mailbox.dropped mb) 0 mailboxes
   in
@@ -801,23 +815,9 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
           ~alpha_decays:
             (match dial with Some d -> Overload.decays d | None -> 0);
       peak_in_flight;
+      phase_ns;
     }
   in
   match overload_reason with
   | Some reason -> raise (Overload.Overload { reason; stats })
   | None -> { Sim_runtime.answers; stats }
-
-let run_with ?(detector = Safra) ?domains ?(fault = Fault.none) ?capacity
-    ?(limits = Overload.no_limits) ?dial rw ~edb =
-  let config =
-    {
-      Run_config.default with
-      detector;
-      domains;
-      fault;
-      capacity;
-      limits;
-      dial;
-    }
-  in
-  run ~config rw ~edb

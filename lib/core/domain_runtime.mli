@@ -88,18 +88,3 @@ val run :
     @raise Invalid_argument if [domains < 1] or [capacity < 1] or a
     limit is nonpositive.
     @raise Overload.Overload when a watchdog limit is breached. *)
-
-val run_with :
-  ?detector:detector ->
-  ?domains:int ->
-  ?fault:Fault.plan ->
-  ?capacity:int ->
-  ?limits:Overload.limits ->
-  ?dial:Overload.dial ->
-  Rewrite.t ->
-  edb:Datalog.Database.t ->
-  Sim_runtime.result
-[@@ocaml.deprecated
-  "use Domain_runtime.run ?config with a Run_config.t instead"]
-(** Thin wrapper over {!run} for the pre-[Run_config] signature; kept
-    for one PR. *)

@@ -132,7 +132,7 @@ let send_specs_of_rule program nprocs idx policy (rule : Rule.t) =
              ss_route =
                (fun _sender tuple ->
                  if pattern_ok tuple then
-                   [ fn.Hash_fn.apply (Tuple.project tuple positions) ]
+                   [ fn.Hash_fn.apply (Tuple.project_key tuple positions) ]
                  else []);
            }
          | None ->
@@ -159,7 +159,7 @@ let send_specs_of_rule program nprocs idx policy (rule : Rule.t) =
           ss_route =
             (fun sender tuple ->
               if pattern_ok tuple then
-                [ (fn_for sender).Hash_fn.apply (Tuple.project tuple positions) ]
+                [ (fn_for sender).Hash_fn.apply (Tuple.project_key tuple positions) ]
               else []);
         })
     derived_atoms
@@ -208,7 +208,7 @@ let residency program policies =
     | Some (Some covers) ->
       List.exists
         (fun ((fn : Hash_fn.t), positions) ->
-          fn.Hash_fn.apply (Tuple.project tuple positions) = pid)
+          fn.Hash_fn.apply (Tuple.project_key tuple positions) = pid)
         covers
     | _ -> true
   in

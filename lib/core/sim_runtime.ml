@@ -4,31 +4,6 @@ let log_src = Logs.Src.create "pardatalog.sim" ~doc:"simulated parallel runtime"
 
 module Log = (val Logs.src_log log_src)
 
-type options = {
-  resend_all : bool;
-  pushdown : bool;
-  replicate_base : bool;
-  max_rounds : int;
-  network : Netgraph.t option;
-  fault : Fault.plan;
-  capacity : int option;
-  limits : Overload.limits;
-  dial : Overload.dial option;
-}
-
-let default_options =
-  {
-    resend_all = false;
-    pushdown = true;
-    replicate_base = false;
-    max_rounds = 1_000_000;
-    network = None;
-    fault = Fault.none;
-    capacity = None;
-    limits = Overload.no_limits;
-    dial = None;
-  }
-
 type result = {
   answers : Database.t;
   stats : Stats.t;
@@ -108,24 +83,17 @@ let build_edb ~replicate (rw : Rewrite.t) edb pid =
     (Database.predicates edb);
   local
 
-let config_of_options (o : options) : Run_config.t =
-  {
-    Run_config.default with
-    resend_all = o.resend_all;
-    pushdown = o.pushdown;
-    replicate_base = o.replicate_base;
-    max_rounds = o.max_rounds;
-    network = o.network;
-    fault = o.fault;
-    capacity = o.capacity;
-    limits = o.limits;
-    dial = o.dial;
-  }
-
 let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
   let options : Run_config.t = config in
   let tr = config.Run_config.obs.Obs.trace in
   let mx = config.Run_config.obs.Obs.metrics in
+  (* Wall-clock accumulator behind [Stats.phase_ns]: unlike the trace
+     sink it is always on — one gettimeofday pair per phase span. *)
+  let ptimer = Obs.Phase_timer.create ~metrics:mx () in
+  let span ~pid ~round phase f =
+    Obs.Phase_timer.time ptimer (Obs.Trace.phase_name phase) (fun () ->
+        Obs.Trace.span tr ~pid ~round phase f)
+  in
   (* Engine-counter deltas around every bootstrap / step call: metric
      totals then equal final engine counters plus the work lost with
      crashed engines — exactly the accounting [build_stats] does. *)
@@ -449,6 +417,7 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
           ~alpha_decays:
             (match options.dial with Some d -> Overload.decays d | None -> 0);
       peak_in_flight = !peak_in_flight;
+      phase_ns = Obs.Phase_timer.totals ptimer;
     }
   in
   let live_count () =
@@ -595,7 +564,7 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
   let retransmit_due () =
     Array.iteri
       (fun src row ->
-        Obs.Trace.span tr ~pid:src ~round:!rounds Obs.Trace.Retransmission
+        span ~pid:src ~round:!rounds Obs.Trace.Retransmission
           (fun () ->
             Array.iter
               (fun tbl ->
@@ -677,7 +646,7 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
     (* Sending. *)
     Array.iter
       (fun p ->
-        Obs.Trace.span tr ~pid:p.pid ~round:round_now Obs.Trace.Sending
+        span ~pid:p.pid ~round:round_now Obs.Trace.Sending
           (fun () ->
             if not p.alive then ()
             else if options.resend_all then begin
@@ -700,14 +669,14 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
        landing this round (acknowledgements included). *)
     if faulty then begin
       retransmit_due ();
-      Obs.Trace.span tr ~pid:Obs.Trace.transport_pid ~round:round_now
+      span ~pid:Obs.Trace.transport_pid ~round:round_now
         Obs.Trace.Delivery deliver_due
     end;
     (* Receiving: drain inboxes into the engines (duplicate
        elimination happens in inject). *)
     Array.iter
       (fun p ->
-        Obs.Trace.span tr ~pid:p.pid ~round:round_now Obs.Trace.Receiving
+        span ~pid:p.pid ~round:round_now Obs.Trace.Receiving
           (fun () -> if p.alive then drain_inbox p))
       procs;
     (* Processing: one semi-naive iteration per live processor. *)
@@ -716,7 +685,7 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
     let round_row = Array.make nprocs 0 in
     Array.iter
       (fun p ->
-        Obs.Trace.span tr ~pid:p.pid ~round:round_now Obs.Trace.Processing
+        span ~pid:p.pid ~round:round_now Obs.Trace.Processing
           (fun () ->
             if p.alive && Seminaive.has_pending p.engine then begin
               let produced =
@@ -741,7 +710,7 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
         Array.iter
           (fun p ->
             if p.alive then
-              Obs.Trace.span tr ~pid:p.pid ~round:round_now
+              span ~pid:p.pid ~round:round_now
                 Obs.Trace.Checkpointing (fun () ->
                   p.checkpoint <-
                     Some
@@ -827,7 +796,7 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
        part runs under a span (and therefore for every processor, no
        short-circuit) so the trace shows the test each round. *)
     let proc_busy p =
-      Obs.Trace.span tr ~pid:p.pid ~round:round_now
+      span ~pid:p.pid ~round:round_now
         Obs.Trace.Termination_test (fun () ->
           (not (Queue.is_empty p.outbox))
           || (not (Queue.is_empty p.inbox))
@@ -870,6 +839,3 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
         rw.derived)
     procs;
   { answers; stats = build_stats ~pooled:!pooled () }
-
-let run_with_options ?(options = default_options) rw ~edb =
-  run ~config:(config_of_options options) rw ~edb

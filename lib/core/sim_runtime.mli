@@ -27,60 +27,6 @@ val log_src : Logs.src
 (** Per-round debug logging ([Logs.Debug]): new-tuple and channel
     counters. Crash and recovery events log at [Logs.Info]. *)
 
-type options = {
-  resend_all : bool;
-      (** Disable the "difference operation" of the paper's sending
-          step: every round, re-route {i all} tuples generated so far
-          instead of only the new ones. Semantics are unchanged; message
-          counts explode (ablation A1). Default [false]. *)
-  pushdown : bool;
-      (** Push the [h(v(r)) = i] guard to the earliest join position
-          (default [true]). With [false] each processor computes the
-          entire join before filtering — the degenerate case discussed
-          at the end of Section 3 (ablation A3). Results are
-          unchanged. *)
-  replicate_base : bool;
-      (** Ignore the fragmentation analysis and give every processor the
-          whole extensional database (ablation A4). Results are
-          unchanged; base residency grows. Default [false]. *)
-  max_rounds : int;
-      (** Safety valve; the run raises {!Round_budget_exceeded} after
-          this many rounds. Default [1_000_000]. *)
-  network : Netgraph.t option;
-      (** Execute on a fixed network (Definition 3): a tuple routed
-          along a missing edge aborts the run — there is no routing
-          through intermediaries. Use a network derived by {!Derive} to
-          demonstrate that the compile-time analysis is safe, or a
-          deliberately small one to see the abort. Default [None] (the
-          complete graph of Section 3's abstract architecture). *)
-  fault : Fault.plan;
-      (** Seeded fault plan; {!Fault.none} (the default) bypasses the
-          delivery layer entirely and reproduces the exact message
-          counts of the fault-free executor. *)
-  capacity : int option;
-      (** Per-channel credit: at most this many tuples in flight on any
-          channel at once (in flight = delivered-but-unreceived, or
-          unacknowledged under faults, where the ack doubles as the
-          credit grant). Tuples over budget wait in the channel's
-          pending queue — a deferral, never a loss — and
-          [Stats.faults.credit_stalls] counts the deferrals.
-          [Stats.peak_in_flight] reports the observed maximum. Default
-          [None] (unbounded). Incompatible with [resend_all]. *)
-  limits : Overload.limits;
-      (** Resource watchdog: wall-clock deadline (checked every round)
-          and per-processor store/outbox row budgets (checked after each
-          processing phase). A breach raises {!Overload.Overload} with
-          partial stats. Default {!Overload.no_limits}. *)
-  dial : Overload.dial option;
-      (** Adaptive degradation: once per round each processor's worst
-          per-channel demand (tuples sent plus still pending) is fed to
-          the dial, whose per-processor alpha a
-          {!Strategy.adaptive_tradeoff} rewrite reads on every routing
-          decision. Default [None]. *)
-}
-
-val default_options : options
-
 type result = {
   answers : Datalog.Database.t;
       (** The pooled output: every original derived predicate, under its
@@ -110,14 +56,3 @@ val run :
     offending processor.
     @raise Failure when a tuple is routed along a missing channel of
     [config.network]. *)
-
-val config_of_options : options -> Run_config.t
-(** Embed the legacy options record into a {!Run_config.t} (other
-    fields at their defaults). *)
-
-val run_with_options :
-  ?options:options -> Rewrite.t -> edb:Datalog.Database.t -> result
-[@@ocaml.deprecated
-  "use Sim_runtime.run ?config with a Run_config.t instead"]
-(** Thin wrapper over {!run} for the pre-[Run_config] signature; kept
-    for one PR. *)

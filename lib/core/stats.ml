@@ -63,6 +63,7 @@ type t = {
   trace : int array list;
   faults : faults;
   peak_in_flight : int;
+  phase_ns : (string * int) list;
 }
 
 let frontier_profile t =
@@ -180,6 +181,11 @@ let to_json t =
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\"schema\":1,\"nprocs\":%d,\"rounds\":%d,\"pooled\":%d,\"peak_in_flight\":%d,"
     t.nprocs t.rounds t.pooled_tuples t.peak_in_flight;
+  add "\"phase_ns\":{%s},"
+    (String.concat ","
+       (List.map
+          (fun (name, ns) -> Printf.sprintf "\"%s\":%d" name ns)
+          t.phase_ns));
   add
     "\"totals\":{\"firings\":%d,\"new_tuples\":%d,\"duplicate_firings\":%d,\"messages\":%d,\"tuples_sent\":%d,\"base_resident\":%d,\"store_rows\":%d,\"store_bytes\":%d},"
     (total_firings t) (total_new_tuples t) (total_duplicate_firings t)

@@ -74,6 +74,12 @@ type t = {
       (** Largest per-channel in-flight occupancy observed. Tracked
           only when a channel capacity is set (0 otherwise), and then
           guaranteed [<= capacity] by the credit protocol. *)
+  phase_ns : (string * int) list;
+      (** Wall-clock nanoseconds per executor phase (sorted by phase
+          name, summed across processors), accumulated by
+          [Obs.Phase_timer]. The phase names are
+          {!Obs.Trace.phase_name} values. Empty for runtimes that do
+          not time their phases. *)
 }
 
 val frontier_profile : t -> int list

@@ -1,0 +1,29 @@
+module Tbl = Hashtbl.Make (Tuple)
+
+type t = {
+  tbl : Tuple.t Tbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(initial_size = 1024) () =
+  { tbl = Tbl.create initial_size; hits = 0; misses = 0 }
+
+let intern a t =
+  match Tbl.find_opt a.tbl t with
+  | Some canonical ->
+    a.hits <- a.hits + 1;
+    canonical
+  | None ->
+    a.misses <- a.misses + 1;
+    Tbl.add a.tbl t t;
+    t
+
+let size a = Tbl.length a.tbl
+let hits a = a.hits
+let misses a = a.misses
+
+let clear a =
+  Tbl.reset a.tbl;
+  a.hits <- 0;
+  a.misses <- 0

@@ -1,0 +1,32 @@
+(** A per-run tuple-interning arena (hash-consing pool).
+
+    [intern] maps every structurally equal tuple to one canonical
+    physical value, so downstream equality checks — relation [seen]
+    probes, channel dedup keys, outbox filters — hit {!Tuple.equal}'s
+    physical-equality fast path.
+
+    Arenas are deliberately {e not} global: the domain runtime runs
+    one semi-naive engine per processor on concurrent domains, and a
+    shared intern table would be a data race. Each {!Seminaive.t}
+    owns its own arena; tuples from different arenas still compare
+    correctly because {!Tuple.equal} falls back to the cached-hash +
+    structural comparison. *)
+
+type t
+
+val create : ?initial_size:int -> unit -> t
+
+val intern : t -> Tuple.t -> Tuple.t
+(** The canonical physical representative of the tuple: the argument
+    itself on first sight, the previously interned copy afterwards. *)
+
+val size : t -> int
+(** Distinct tuples interned. *)
+
+val hits : t -> int
+(** Interns that found an existing canonical tuple. *)
+
+val misses : t -> int
+(** Interns that admitted a new canonical tuple. *)
+
+val clear : t -> unit

@@ -28,6 +28,15 @@ type compiled_atom = {
   ca_binds : binding list;  (* first occurrences of fresh variables *)
   ca_checks : binding list;  (* repeated fresh variables: equality checks *)
   ca_guards : compiled_guard list;  (* guards complete after this atom *)
+  (* Hot-path precomputation: the index positions and the key slots in
+     one array each, fixed at compile time, plus a reusable key buffer
+     so a probe writes constants into place instead of allocating
+     per-invocation lists and arrays. The buffer is sound to share
+     across the recursive scan because each atom owns its own and
+     fills it completely before its index lookup. *)
+  ca_positions : int array;
+  ca_slots : slot array;
+  ca_keybuf : Const.t array;
 }
 
 type plan = {
@@ -127,13 +136,18 @@ let compile ?(pushdown = true) ?(reorder = false) (rule : Rule.t) =
           end)
       a.args;
     Hashtbl.iter (fun v () -> Hashtbl.replace bound v ()) fresh_here;
+    let key = List.rev !key in
     {
       ca_pred = a.pred;
       ca_index = idx;
-      ca_key = List.rev !key;
+      ca_key = key;
       ca_binds = List.rev !binds;
       ca_checks = List.rev !checks;
       ca_guards = [];
+      ca_positions =
+        Array.of_list (List.map (fun kp -> kp.kp_position) key);
+      ca_slots = Array.of_list (List.map (fun kp -> kp.kp_slot) key);
+      ca_keybuf = Array.make (List.length key) (Const.Int 0);
     }
   in
   let atoms = List.map (fun (idx, a) -> compile_atom idx a) scan_order in
@@ -217,21 +231,50 @@ let compile ?(pushdown = true) ?(reorder = false) (rule : Rule.t) =
     probes = 0;
   }
 
-type relations = {
-  old_of : string -> Relation.t option;
-  delta_of : string -> Relation.t option;
+(* A window over one append-only relation: positions [0, w_old) are
+   the pre-iteration state, [w_old, w_cur) the delta, [0, w_cur) their
+   union. Tuples at positions >= w_cur (appended by emits during the
+   run) are invisible to every source — they are the next delta. *)
+type window = {
+  w_rel : Relation.t;
+  w_old : int;
+  w_cur : int;
 }
 
-let relations_for rels pred = function
-  | Old -> (match rels.old_of pred with Some r -> [ r ] | None -> [])
-  | Delta -> (match rels.delta_of pred with Some r -> [ r ] | None -> [])
-  | Current ->
-    let o = rels.old_of pred and d = rels.delta_of pred in
-    List.filter_map Fun.id [ o; d ]
+type relations = { window_of : string -> window option }
+
+let window_all rel =
+  let n = Relation.cardinal rel in
+  { w_rel = rel; w_old = n; w_cur = n }
+
+let current_of find = { window_of = (fun pred -> Option.map window_all (find pred)) }
 
 let guard_holds env cg =
   let key = Array.map (fun slot -> env.(slot)) cg.cg_slots in
   cg.cg.gfn key = cg.cg.gexpect
+
+(* The probe function of one atom: its relation window under the
+   chosen source, with the index already resolved
+   ([Relation.matcher]), so the per-candidate inner loop never touches
+   a string-keyed database lookup or an index-table lookup — both are
+   invariant across the probes of a single run. *)
+let nil_probe _key _f = ()
+
+let staged_probe ca ~sources rels =
+  match rels.window_of ca.ca_pred with
+  | None -> nil_probe
+  | Some w ->
+    let lo, hi =
+      match sources.(ca.ca_index) with
+      | Old -> (0, w.w_old)
+      | Delta -> (w.w_old, w.w_cur)
+      | Current -> (0, w.w_cur)
+    in
+    if lo >= hi then nil_probe
+    else begin
+      let m = Relation.matcher w.w_rel ~positions:ca.ca_positions in
+      fun key f -> m key ~lo ~hi f
+    end
 
 let run plan ~sources rels ~emit =
   if Array.length sources <> plan.nbody then
@@ -245,22 +288,23 @@ let run plan ~sources rels ~emit =
     in
     emit (Tuple.make tuple)
   in
+  let atoms =
+    List.map (fun ca -> (ca, staged_probe ca ~sources rels)) plan.atoms
+  in
   let rec scan atoms =
     match atoms with
     | [] -> emit_head ()
-    | ca :: rest ->
-      let positions =
-        Array.of_list (List.map (fun kp -> kp.kp_position) ca.ca_key)
-      in
-      let key =
-        Array.of_list
-          (List.map
-             (fun kp ->
-               match kp.kp_slot with
-               | Sconst c -> c
-               | Svar i -> env.(i))
-             ca.ca_key)
-      in
+    | (ca, probe) :: rest ->
+      (* Instantiate the index key in the atom's reusable buffer: the
+         positions were fixed at compile time, so a probe costs only
+         the constant writes, no list or array allocation. *)
+      let key = ca.ca_keybuf in
+      for i = 0 to Array.length key - 1 do
+        key.(i) <-
+          (match Array.unsafe_get ca.ca_slots i with
+           | Sconst c -> c
+           | Svar v -> env.(v))
+      done;
       let try_tuple t =
         plan.probes <- plan.probes + 1;
         List.iter (fun b -> env.(b.b_var) <- Tuple.get t b.b_position)
@@ -273,9 +317,6 @@ let run plan ~sources rels ~emit =
         if checks_ok && List.for_all (guard_holds env) ca.ca_guards then
           scan rest
       in
-      List.iter
-        (fun rel ->
-          List.iter try_tuple (Relation.lookup rel ~positions ~key))
-        (relations_for rels ca.ca_pred sources.(ca.ca_index))
+      probe key try_tuple
   in
-  if List.for_all (guard_holds env) plan.pre_guards then scan plan.atoms
+  if List.for_all (guard_holds env) plan.pre_guards then scan atoms

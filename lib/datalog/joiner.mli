@@ -35,12 +35,30 @@ val probes : plan -> int
     not it survived the equality checks and guards. A cheap,
     always-maintained effort counter for the observability layer. *)
 
-type relations = {
-  old_of : string -> Relation.t option;
-      (** Pre-iteration contents of a predicate; [None] = empty. *)
-  delta_of : string -> Relation.t option;
-      (** Current-iteration delta; [None] = empty. *)
+type window = {
+  w_rel : Relation.t;  (** One append-only store for the predicate. *)
+  w_old : int;  (** Old = insertion positions [\[0, w_old)]. *)
+  w_cur : int;
+      (** Delta = [\[w_old, w_cur)]; Current = [\[0, w_cur)]. Tuples at
+          positions [>= w_cur] — appended by emits during the run — are
+          invisible to every source: they are the next delta. *)
 }
+(** The three semi-naive sources as windows over one relation (see
+    DESIGN.md §11): instead of materializing Old, Delta and Current as
+    separate stores and merging after every iteration, the engine keeps
+    a single insertion-ordered relation per predicate and two
+    watermarks. *)
+
+type relations = { window_of : string -> window option }
+(** [None] = the predicate is empty/unknown. *)
+
+val window_all : Relation.t -> window
+(** The whole relation as Old (empty delta) — what a non-incremental
+    caller wants for [Current] scans. *)
+
+val current_of : (string -> Relation.t option) -> relations
+(** Wrap a plain lookup: every predicate's full contents under
+    {!window_all}. *)
 
 val run :
   plan -> sources:source array -> relations -> emit:(Tuple.t -> unit) -> unit

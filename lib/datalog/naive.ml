@@ -2,9 +2,7 @@ let evaluate ?(max_iterations = max_int) program edb =
   let db = Database.copy edb in
   ignore (Database.merge_into ~dst:db ~src:(Program.facts_db program));
   let plans = List.map (fun r -> Joiner.compile r) (Program.rules program) in
-  let rels : Joiner.relations =
-    { old_of = (fun pred -> Database.find db pred); delta_of = (fun _ -> None) }
-  in
+  let rels = Joiner.current_of (fun pred -> Database.find db pred) in
   let changed = ref true in
   let passes = ref 0 in
   while !changed do

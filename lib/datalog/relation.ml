@@ -1,40 +1,61 @@
-module Tbl = Hashtbl.Make (struct
-  type t = Tuple.t
+module Tbl = Hashtbl.Make (Tuple)
 
-  let equal = Tuple.equal
-  let hash = Tuple.hash
-end)
+(* Index buckets are keyed by the *hash* of a tuple's projection on
+   the index positions, not by a materialized key tuple: inserts and
+   lookups cost one hash fold and zero allocations. Hash collisions
+   put unrelated tuples in one bucket, so every probe re-checks the
+   projection with [Tuple.proj_equal] — the same constant-compares an
+   exact index would have saved are instead paid only on the (rare)
+   colliding candidates.
 
-type index = Tuple.t list ref Tbl.t
-(* Keyed by the projection of a tuple on the index's positions. *)
+   A bucket holds *insertion positions* (indexes into [elements]), not
+   tuple pointers: an unboxed, strictly ascending int vector. Ascending
+   order is what makes windowed scans cheap — a probe over positions
+   [lo, hi) binary-searches the lower bound and walks a contiguous int
+   run, touching only in-range candidates. The semi-naive engine sits
+   its Old/Delta/Current sources on exactly this: three windows over
+   one append-only store instead of three physical relations. *)
+type index = {
+  ix_positions : int array;
+  ix_buckets : (int, int Vec.t) Hashtbl.t;
+}
 
 type t = {
   arity : int;
   seen : unit Tbl.t;
-  mutable elements : Tuple.t list;  (* reverse insertion order *)
-  mutable size : int;
-  indexes : (int list, int array * index) Hashtbl.t;
+  elements : Tuple.t Vec.t;  (* insertion order *)
+  indexes : (int list, index) Hashtbl.t;
 }
+
+let dummy_tuple = Tuple.of_list []
 
 let create ?(initial_size = 64) ~arity () =
   {
     arity;
     seen = Tbl.create initial_size;
-    elements = [];
-    size = 0;
+    elements = Vec.create ~capacity:(max initial_size 8) ~dummy:dummy_tuple ();
     indexes = Hashtbl.create 4;
   }
 
 let arity r = r.arity
-let cardinal r = r.size
-let is_empty r = r.size = 0
+let cardinal r = Vec.length r.elements
+let is_empty r = Vec.is_empty r.elements
 let mem r t = Tbl.mem r.seen t
 
-let index_insert (positions, idx) t =
-  let key = Tuple.project t positions in
-  match Tbl.find_opt idx key with
-  | Some cell -> cell := t :: !cell
-  | None -> Tbl.add idx key (ref [ t ])
+let index_insert ix t pos =
+  let h = Tuple.hash_proj t ix.ix_positions in
+  match Hashtbl.find_opt ix.ix_buckets h with
+  | Some bucket -> Vec.push bucket pos
+  | None ->
+    let bucket = Vec.create ~capacity:4 ~dummy:0 () in
+    Vec.push bucket pos;
+    Hashtbl.add ix.ix_buckets h bucket
+
+let unchecked_push r t =
+  let pos = Vec.length r.elements in
+  Tbl.add r.seen t ();
+  Vec.push r.elements t;
+  Hashtbl.iter (fun _ ix -> index_insert ix t pos) r.indexes
 
 let add r t =
   if Tuple.arity t <> r.arity then
@@ -43,51 +64,128 @@ let add r t =
          r.arity);
   if Tbl.mem r.seen t then false
   else begin
-    Tbl.add r.seen t ();
-    r.elements <- t :: r.elements;
-    r.size <- r.size + 1;
-    Hashtbl.iter (fun _ entry -> index_insert entry t) r.indexes;
+    unchecked_push r t;
     true
   end
 
-let iter f r = List.iter f (List.rev r.elements)
-let fold f r init = List.fold_left (fun acc t -> f t acc) init r.elements
-let to_list r = List.rev r.elements
+(* Insert without the membership probe: sound only when the caller
+   guarantees [t] is absent (e.g. the semi-naive merge of a delta whose
+   tuples were checked against the destination at derivation time). A
+   wrong call corrupts the relation with a duplicate. *)
+let add_new r t = unchecked_push r t
+
+let iter f r = Vec.iter f r.elements
+let fold f r init = Vec.fold f r.elements init
+let to_list r = Vec.to_list r.elements
 
 let add_all dst src =
   fold (fun t n -> if add dst t then n + 1 else n) src 0
 
-let sorted_elements r = List.sort Tuple.compare r.elements
+let add_all_new dst src =
+  Vec.iter (fun t -> add_new dst t) src.elements;
+  Vec.length src.elements
+
+let sorted_elements r = List.sort Tuple.compare (to_list r)
 
 let build_index r positions =
-  let idx = Tbl.create (max 16 r.size) in
-  let entry = (positions, idx) in
-  List.iter (fun t -> index_insert entry t) r.elements;
-  Hashtbl.add r.indexes (Array.to_list positions) entry;
-  entry
+  let ix =
+    {
+      ix_positions = positions;
+      ix_buckets = Hashtbl.create (max 16 (cardinal r));
+    }
+  in
+  let els = r.elements in
+  for pos = 0 to Vec.length els - 1 do
+    index_insert ix (Vec.unsafe_get els pos) pos
+  done;
+  Hashtbl.add r.indexes (Array.to_list positions) ix;
+  ix
+
+let index_for r positions =
+  match Hashtbl.find_opt r.indexes (Array.to_list positions) with
+  | Some ix -> ix
+  | None -> build_index r positions
+
+(* First bucket slot whose position is >= lo; the bucket is strictly
+   ascending, so binary search. *)
+let lower_bound bucket lo =
+  let n = Vec.length bucket in
+  if lo = 0 then 0
+  else begin
+    let left = ref 0 and right = ref n in
+    while !left < !right do
+      let mid = (!left + !right) / 2 in
+      if Vec.unsafe_get bucket mid < lo then left := mid + 1
+      else right := mid
+    done;
+    !left
+  end
+
+let probe_index r ix positions key ~lo ~hi f =
+  match Hashtbl.find ix.ix_buckets (Tuple.hash_key key) with
+  | exception Not_found -> ()
+  | bucket ->
+    let els = r.elements in
+    let n = Vec.length bucket in
+    let i = ref (lower_bound bucket lo) in
+    let continue = ref true in
+    while !continue && !i < n do
+      let pos = Vec.unsafe_get bucket !i in
+      if pos >= hi then continue := false
+      else begin
+        let t = Vec.unsafe_get els pos in
+        if Tuple.proj_equal t positions key then f t;
+        incr i
+      end
+    done
+
+let iter_range r ~lo ~hi f =
+  let els = r.elements in
+  for pos = lo to min hi (Vec.length els) - 1 do
+    f (Vec.unsafe_get els pos)
+  done
+
+let iter_matching r ~positions ~key f =
+  if Array.length positions = 0 then Vec.iter f r.elements
+  else
+    probe_index r (index_for r positions) positions key ~lo:0
+      ~hi:(cardinal r) f
+
+(* The staged form the join inner loop uses: index resolution — a
+   string of hashtable lookups that is invariant across the probes of
+   one Joiner.run — is paid once, and each application costs only the
+   bucket lookup plus the windowed walk. The returned closure reads
+   the live index, so tuples added after staging are still found; it
+   is invalidated by [compact] and [clear] (which drop indexes) and
+   must not be kept across them. *)
+let matcher r ~positions =
+  if Array.length positions = 0 then fun _key ~lo ~hi f ->
+    iter_range r ~lo ~hi f
+  else begin
+    let ix = index_for r positions in
+    fun key ~lo ~hi f -> probe_index r ix positions key ~lo ~hi f
+  end
 
 let lookup r ~positions ~key =
   if Array.length positions = 0 then to_list r
   else begin
-    let _, idx =
-      match Hashtbl.find_opt r.indexes (Array.to_list positions) with
-      | Some entry -> entry
-      | None -> build_index r positions
-    in
-    match Tbl.find_opt idx (Tuple.make key) with
-    | Some cell -> !cell
-    | None -> []
+    let acc = ref [] in
+    iter_matching r ~positions ~key (fun t -> acc := t :: !acc);
+    List.rev !acc
   end
 
 let copy r =
-  let fresh = create ~initial_size:(max 16 r.size) ~arity:r.arity () in
+  let fresh = create ~initial_size:(max 16 (cardinal r)) ~arity:r.arity () in
   iter (fun t -> ignore (add fresh t)) r;
   fresh
 
 let clear r =
   Tbl.reset r.seen;
-  r.elements <- [];
-  r.size <- 0;
+  Vec.clear r.elements;
+  Hashtbl.reset r.indexes
+
+let compact r =
+  Vec.compact r.elements;
   Hashtbl.reset r.indexes
 
 let of_list ~arity tuples =
@@ -96,8 +194,9 @@ let of_list ~arity tuples =
   r
 
 let equal a b =
-  a.arity = b.arity && a.size = b.size
-  && List.for_all (fun t -> mem b t) a.elements
+  a.arity = b.arity
+  && cardinal a = cardinal b
+  && Vec.for_all (fun t -> mem b t) a.elements
 
 let pp ppf r =
   Format.fprintf ppf "{@[%a@]}"

@@ -2,7 +2,13 @@
 
     A relation stores tuples of one arity, deduplicated. Lookups by a
     pattern of bound positions build (and thereafter maintain) a hash
-    index keyed by the projection on those positions. *)
+    index keyed by the projection on those positions.
+
+    Storage layout (see DESIGN.md §11): elements live in a growable
+    flat array ({!Vec}) in insertion order, and each index maps the
+    {e hash} of a projection to a flat bucket of tuples — inserts and
+    probes are allocation-free, with candidates re-checked against the
+    key by [Tuple.proj_equal] to absorb hash collisions. *)
 
 type t
 
@@ -21,8 +27,22 @@ val add_all : t -> t -> int
 (** [add_all dst src] inserts every tuple of [src] into [dst]; returns
     the number of tuples that were new. *)
 
+val add_new : t -> Tuple.t -> unit
+(** {!add} without the membership probe. {b Unsafe}: the caller must
+    guarantee the tuple is absent from the relation — the semi-naive
+    engine uses it to merge a delta whose tuples were already checked
+    against the destination when they were derived. *)
+
+val add_all_new : t -> t -> int
+(** [add_new] for every tuple of [src]; returns their count. Same
+    precondition: [src] and [dst] must be disjoint. *)
+
 val iter : (Tuple.t -> unit) -> t -> unit
+(** In insertion order. *)
+
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** In insertion order. *)
+
 val to_list : t -> Tuple.t list
 
 val sorted_elements : t -> Tuple.t list
@@ -34,8 +54,37 @@ val lookup : t -> positions:int array -> key:Const.t array -> Tuple.t list
     call with a given [positions] pattern builds an index, which later
     {!add}s keep up to date. [positions = [||]] returns all tuples. *)
 
+val iter_matching :
+  t -> positions:int array -> key:Const.t array -> (Tuple.t -> unit) -> unit
+(** Allocation-free {!lookup}: applies the function to each matching
+    tuple directly from the index bucket, in insertion order. *)
+
+val matcher :
+  t -> positions:int array ->
+  (Const.t array -> lo:int -> hi:int -> (Tuple.t -> unit) -> unit)
+(** Staged, windowed {!iter_matching}: [matcher r ~positions] resolves
+    (building if necessary) the index once and returns a probe
+    function, so the join inner loop ({!Joiner.run}) pays the index
+    lookup per run instead of per candidate. [lo]/[hi] restrict the
+    probe to tuples whose insertion position is in [\[lo, hi)] — the
+    semi-naive Old/Delta/Current windows over one append-only store.
+    Index buckets hold strictly ascending positions, so a windowed
+    probe binary-searches the lower bound and touches only in-range
+    candidates. The probe sees tuples added after staging; it is
+    invalidated by {!compact} and {!clear}. *)
+
+val iter_range : t -> lo:int -> hi:int -> (Tuple.t -> unit) -> unit
+(** Iterate the tuples with insertion positions in [\[lo, hi)], in
+    insertion order. *)
+
 val copy : t -> t
 val clear : t -> unit
+
+val compact : t -> unit
+(** Release slack: shrink the element store to its current size and
+    drop all materialized indexes (they are rebuilt on the next
+    {!lookup} that needs them). Contents are unchanged. *)
+
 val of_list : arity:int -> Tuple.t list -> t
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

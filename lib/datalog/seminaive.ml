@@ -10,12 +10,32 @@ let pp_stats ppf s =
     "@[iterations=%d firings=%d new_tuples=%d duplicates=%d@]" s.iterations
     s.firings s.new_tuples s.duplicate_firings
 
+(* One append-only relation per predicate plus two watermarks replaces
+   the old full/delta/pending database triple: Old is the prefix
+   [0, m_old), the delta [m_old, m_cur), and everything past m_cur is
+   pending — queued for the next iteration. Advancing an iteration is
+   two integer assignments per predicate; the per-round delta
+   databases, index rebuilds and full-store merges of the previous
+   design are gone (see DESIGN.md §11). *)
+type mark = {
+  m_rel : Relation.t;
+  mutable m_old : int;
+  mutable m_cur : int;
+}
+
 type t = {
   program : Program.t;
   plans : Joiner.plan list;
   rule_firings : int array;
-  full : Database.t;  (* base relations + derived tuples merged so far *)
-  mutable pending : Database.t;  (* derived tuples awaiting processing *)
+  (* Per-engine interning arena (see Arena): every tuple entering the
+     engine — derived heads and injected deliveries alike — is mapped
+     to one canonical physical value, so the seen-probes and dedup
+     paths downstream resolve equality by pointer. Per-engine, not
+     global: the domain runtime runs engines concurrently. [None]
+     disables interning (the property suite checks both modes agree). *)
+  arena : Arena.t option;
+  full : Database.t;  (* the single store; windows select the views *)
+  marks : (string, mark) Hashtbl.t;
   mutable bootstrapped : bool;
   mutable iterations : int;
   mutable firings : int;
@@ -23,17 +43,40 @@ type t = {
   mutable duplicate_firings : int;
 }
 
+let canonical engine tuple =
+  match engine.arena with
+  | Some a -> Arena.intern a tuple
+  | None -> tuple
+
 let arity_of program pred =
   match List.assoc_opt pred (Program.arities program) with
   | Some a -> Some a
   | None -> None
 
-let create ?(pushdown = true) ?(reorder = false) program ~edb =
+(* The predicate's mark, creating the relation and mark on first use.
+   A fresh mark treats everything already in the relation as processed
+   state: that is what {!create} wants for the EDB, and a predicate
+   first seen through {!inject} is empty anyway. *)
+let mark_of engine pred ~arity =
+  match Hashtbl.find_opt engine.marks pred with
+  | Some m -> m
+  | None ->
+    let rel =
+      match Database.find engine.full pred with
+      | Some r -> r
+      | None -> Database.declare engine.full pred arity
+    in
+    let n = Relation.cardinal rel in
+    let m = { m_rel = rel; m_old = n; m_cur = n } in
+    Hashtbl.add engine.marks pred m;
+    m
+
+let create ?(pushdown = true) ?(reorder = false) ?(intern = true) program
+    ~edb =
   (match Program.check program with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Seminaive.create: " ^ msg));
   let full = Database.copy edb in
-  let pending = Database.create () in
   let derived = Program.derived_predicates program in
   (* Declare derived relations so lookups during joins are uniform. *)
   List.iter
@@ -50,8 +93,9 @@ let create ?(pushdown = true) ?(reorder = false) program ~edb =
           (fun r -> Joiner.compile ~pushdown ~reorder r)
           (Program.rules program);
       rule_firings = Array.make (List.length (Program.rules program)) 0;
+      arena = (if intern then Some (Arena.create ()) else None);
       full;
-      pending;
+      marks = Hashtbl.create 16;
       bootstrapped = false;
       iterations = 0;
       firings = 0;
@@ -59,92 +103,120 @@ let create ?(pushdown = true) ?(reorder = false) program ~edb =
       duplicate_firings = 0;
     }
   in
+  (* Base program facts are initial state (visible to the bootstrap
+     scan); derived program facts are queued as if injected. Marking
+     base predicates after their facts and derived predicates before
+     theirs gets both for free. *)
+  List.iter
+    (fun (pred, tuple) ->
+      if not (List.mem pred derived) then
+        ignore (Database.add_fact engine.full pred tuple))
+    program.facts;
+  List.iter
+    (fun pred -> ignore (mark_of engine pred ~arity:0))
+    (Database.predicates engine.full);
   List.iter
     (fun (pred, tuple) ->
       if List.mem pred derived then begin
-        if
-          (not (Database.mem engine.full pred))
-          || not (Relation.mem (Database.get engine.full pred) tuple)
-        then ignore (Database.add_fact engine.pending pred tuple)
-      end
-      else ignore (Database.add_fact engine.full pred tuple))
+        let m = mark_of engine pred ~arity:(Tuple.arity tuple) in
+        if not (Relation.mem m.m_rel tuple) then
+          Relation.add_new m.m_rel (canonical engine tuple)
+      end)
     program.facts;
   engine
 
-let known engine pred tuple =
-  (match Database.find engine.full pred with
-   | Some r -> Relation.mem r tuple
-   | None -> false)
-  ||
-  match Database.find engine.pending pred with
-  | Some r -> Relation.mem r tuple
-  | None -> false
-
 let inject engine pred tuple =
-  if known engine pred tuple then false
-  else Database.add_fact engine.pending pred tuple
-
-(* Record a firing; queue the head tuple when it is new. *)
-let emit_result engine ~also_known pred acc tuple =
-  engine.firings <- engine.firings + 1;
-  if known engine pred tuple || also_known pred tuple then begin
-    engine.duplicate_firings <- engine.duplicate_firings + 1;
-    acc
-  end
+  let m = mark_of engine pred ~arity:(Tuple.arity tuple) in
+  if Relation.mem m.m_rel tuple then false
   else begin
-    ignore (Database.add_fact engine.pending pred tuple);
-    engine.new_tuples <- engine.new_tuples + 1;
-    (pred, tuple) :: acc
+    Relation.add_new m.m_rel (canonical engine tuple);
+    true
   end
+
+let windows engine : Joiner.relations =
+  {
+    window_of =
+      (fun pred ->
+        match Hashtbl.find_opt engine.marks pred with
+        | None -> None
+        | Some m ->
+          Some
+            { Joiner.w_rel = m.m_rel; w_old = m.m_old; w_cur = m.m_cur });
+  }
+
+(* The per-run emit path: the head predicate's relation is resolved
+   once per Joiner.run (it is invariant across the run's firings), so
+   a firing costs one membership probe — the single store covers what
+   used to be separate full-, pending- and delta-probes — and, when
+   new, one unchecked insert. *)
+let make_emit engine ~idx ~head_pred ~head_rel ~fresh =
+ fun t ->
+  engine.rule_firings.(idx) <- engine.rule_firings.(idx) + 1;
+  engine.firings <- engine.firings + 1;
+  if Relation.mem head_rel t then
+    engine.duplicate_firings <- engine.duplicate_firings + 1
+  else begin
+    let t = canonical engine t in
+    (* Absent — checked just above; appended past m_cur, hence part of
+       the next delta, invisible to the sources of this run. *)
+    Relation.add_new head_rel t;
+    engine.new_tuples <- engine.new_tuples + 1;
+    fresh := (head_pred, t) :: !fresh
+  end
+
+let head_mark engine (rule : Rule.t) =
+  mark_of engine rule.head.Atom.pred
+    ~arity:(Array.length rule.head.Atom.args)
 
 let bootstrap engine =
   if engine.bootstrapped then
     invalid_arg "Seminaive.bootstrap: already bootstrapped";
   engine.bootstrapped <- true;
-  let rels : Joiner.relations =
-    {
-      old_of = (fun pred -> Database.find engine.full pred);
-      delta_of = (fun _ -> None);
-    }
-  in
+  let rels = windows engine in
   let fresh = ref [] in
   List.iteri
     (fun idx plan ->
       let rule = Joiner.rule_of plan in
+      let head = head_mark engine rule in
       let sources = Array.make (List.length rule.body) Joiner.Current in
-      Joiner.run plan ~sources rels ~emit:(fun t ->
-          engine.rule_firings.(idx) <- engine.rule_firings.(idx) + 1;
-          fresh :=
-            emit_result engine
-              ~also_known:(fun _ _ -> false)
-              rule.head.pred !fresh t))
+      Joiner.run plan ~sources rels
+        ~emit:
+          (make_emit engine ~idx ~head_pred:rule.head.Atom.pred
+             ~head_rel:head.m_rel ~fresh))
     engine.plans;
   List.rev !fresh
 
 let step engine =
   if not engine.bootstrapped then
     invalid_arg "Seminaive.step: bootstrap first";
-  let delta = engine.pending in
-  engine.pending <- Database.create ();
-  if Database.total_tuples delta = 0 then []
+  (* Advance: yesterday's pending becomes today's delta. Two integer
+     writes per predicate — the old design's delta-database swap and
+     end-of-round merge collapse into this. *)
+  let any_delta = ref false in
+  Hashtbl.iter
+    (fun _ m ->
+      m.m_old <- m.m_cur;
+      m.m_cur <- Relation.cardinal m.m_rel;
+      if m.m_cur > m.m_old then any_delta := true)
+    engine.marks;
+  if not !any_delta then []
   else begin
     engine.iterations <- engine.iterations + 1;
-    let rels : Joiner.relations =
-      {
-        old_of = (fun pred -> Database.find engine.full pred);
-        delta_of = (fun pred -> Database.find delta pred);
-      }
-    in
-    let in_delta pred tuple =
-      match Database.find delta pred with
-      | Some r -> Relation.mem r tuple
+    let rels = windows engine in
+    let has_delta pred =
+      match Hashtbl.find_opt engine.marks pred with
+      | Some m -> m.m_cur > m.m_old
       | None -> false
     in
-    let has_delta pred = Database.cardinal delta pred > 0 in
     let fresh = ref [] in
     List.iteri
       (fun idx plan ->
         let rule = Joiner.rule_of plan in
+        let head = head_mark engine rule in
+        let emit =
+          make_emit engine ~idx ~head_pred:rule.head.Atom.pred
+            ~head_rel:head.m_rel ~fresh
+        in
         let body = Array.of_list rule.body in
         let n = Array.length body in
         for m = 0 to n - 1 do
@@ -155,19 +227,17 @@ let step engine =
                   else if i = m then Joiner.Delta
                   else Joiner.Current)
             in
-            Joiner.run plan ~sources rels ~emit:(fun t ->
-                engine.rule_firings.(idx) <- engine.rule_firings.(idx) + 1;
-                fresh :=
-                  emit_result engine ~also_known:in_delta rule.head.pred
-                    !fresh t)
+            Joiner.run plan ~sources rels ~emit
           end
         done)
       engine.plans;
-    ignore (Database.merge_into ~dst:engine.full ~src:delta);
     List.rev !fresh
   end
 
-let has_pending engine = Database.total_tuples engine.pending > 0
+let has_pending engine =
+  Hashtbl.fold
+    (fun _ m acc -> acc || Relation.cardinal m.m_rel > m.m_cur)
+    engine.marks false
 
 let run_to_fixpoint engine =
   if not engine.bootstrapped then ignore (bootstrap engine);
@@ -175,43 +245,63 @@ let run_to_fixpoint engine =
     ignore (step engine)
   done
 
+(* A checkpoint needs the store plus, per predicate, the frontier
+   between processed state and the still-pending suffix: restoring
+   with a merged store alone would lose the firings the pending tuples
+   still owe. The delta watermark need not be saved — the first step
+   after a restore advances it before any join reads it. *)
 type snapshot = {
-  snap_full : Database.t;
-  snap_pending : Database.t;
+  snap_db : Database.t;
+  snap_frontiers : (string * int) list;
   snap_bootstrapped : bool;
 }
 
 let snapshot engine =
   {
-    snap_full = Database.copy engine.full;
-    snap_pending = Database.copy engine.pending;
+    snap_db = Database.copy engine.full;
+    snap_frontiers =
+      Hashtbl.fold
+        (fun pred m acc -> (pred, m.m_cur) :: acc)
+        engine.marks [];
     snap_bootstrapped = engine.bootstrapped;
   }
 
-let restore ?(pushdown = true) ?(reorder = false) program snap =
+let restore ?(pushdown = true) ?(reorder = false) ?(intern = true) program
+    snap =
   (match Program.check program with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Seminaive.restore: " ^ msg));
-  {
-    program;
-    plans =
-      List.map
-        (fun r -> Joiner.compile ~pushdown ~reorder r)
-        (Program.rules program);
-    rule_firings = Array.make (List.length (Program.rules program)) 0;
-    full = Database.copy snap.snap_full;
-    pending = Database.copy snap.snap_pending;
-    bootstrapped = snap.snap_bootstrapped;
-    iterations = 0;
-    firings = 0;
-    new_tuples = 0;
-    duplicate_firings = 0;
-  }
+  let full = Database.copy snap.snap_db in
+  let engine =
+    {
+      program;
+      plans =
+        List.map
+          (fun r -> Joiner.compile ~pushdown ~reorder r)
+          (Program.rules program);
+      rule_firings = Array.make (List.length (Program.rules program)) 0;
+      arena = (if intern then Some (Arena.create ()) else None);
+      full;
+      marks = Hashtbl.create 16;
+      bootstrapped = snap.snap_bootstrapped;
+      iterations = 0;
+      firings = 0;
+      new_tuples = 0;
+      duplicate_firings = 0;
+    }
+  in
+  List.iter
+    (fun pred ->
+      let m = mark_of engine pred ~arity:0 in
+      match List.assoc_opt pred snap.snap_frontiers with
+      | Some frontier ->
+        m.m_old <- frontier;
+        m.m_cur <- frontier
+      | None -> ())
+    (Database.predicates full);
+  engine
 
-let database engine =
-  let snapshot = Database.copy engine.full in
-  ignore (Database.merge_into ~dst:snapshot ~src:engine.pending);
-  snapshot
+let database engine = Database.copy engine.full
 
 let stats engine =
   {
@@ -224,10 +314,15 @@ let stats engine =
 let join_probes engine =
   List.fold_left (fun acc plan -> acc + Joiner.probes plan) 0 engine.plans
 
-let evaluate ?pushdown ?reorder program edb =
-  let engine = create ?pushdown ?reorder program ~edb in
+let evaluate ?pushdown ?reorder ?intern program edb =
+  let engine = create ?pushdown ?reorder ?intern program ~edb in
   run_to_fixpoint engine;
   (database engine, stats engine)
+
+let arena_stats engine =
+  match engine.arena with
+  | Some a -> Some (Arena.size a, Arena.hits a, Arena.misses a)
+  | None -> None
 
 let per_rule_firings engine =
   List.mapi

@@ -28,11 +28,16 @@ val pp_stats : Format.formatter -> stats -> unit
 type t
 
 val create :
-  ?pushdown:bool -> ?reorder:bool -> Program.t -> edb:Database.t -> t
+  ?pushdown:bool -> ?reorder:bool -> ?intern:bool -> Program.t ->
+  edb:Database.t -> t
 (** Build an engine over a copy of [edb]. Base-predicate facts of the
     program are loaded into the database; derived-predicate facts are
     queued as if injected. [pushdown] and [reorder] are passed to
-    {!Joiner.compile}.
+    {!Joiner.compile}. [intern] (default [true]) routes every derived
+    or injected tuple through a per-engine {!Arena}, so equal tuples
+    share one physical value and dedup probes short-circuit on pointer
+    equality; [~intern:false] keeps the pre-arena behaviour (results
+    and statistics are identical — property-tested).
     @raise Invalid_argument if the program fails {!Program.check}. *)
 
 val inject : t -> string -> Tuple.t -> bool
@@ -72,7 +77,9 @@ val snapshot : t -> snapshot
 (** Copy the engine's state. The engine is unaffected and the snapshot
     does not alias it. *)
 
-val restore : ?pushdown:bool -> ?reorder:bool -> Program.t -> snapshot -> t
+val restore :
+  ?pushdown:bool -> ?reorder:bool -> ?intern:bool -> Program.t ->
+  snapshot -> t
 (** A fresh engine resuming from a {!snapshot} of an engine running
     the same program: processed relations, pending delta and the
     bootstrapped flag are restored; statistics restart from zero (the
@@ -91,7 +98,13 @@ val per_rule_firings : t -> (Rule.t * int) list
     to compare exit-rule and recursive-rule workloads. *)
 
 val evaluate :
-  ?pushdown:bool -> ?reorder:bool -> Program.t -> Database.t ->
-  Database.t * stats
+  ?pushdown:bool -> ?reorder:bool -> ?intern:bool -> Program.t ->
+  Database.t -> Database.t * stats
 (** One-shot sequential evaluation: the least model plus statistics.
     The input database is not modified. *)
+
+val arena_stats : t -> (int * int * int) option
+(** [(size, hits, misses)] of the engine's interning arena, [None]
+    when the engine runs with [~intern:false]. Test hook. *)
+
+

@@ -1,40 +1,89 @@
-type t = Const.t array
+(* A tuple caches its structural hash at construction, so the hot
+   paths — `seen` probes, index inserts, channel dedup — never rehash
+   the constant array. Equality takes the physical-equality fast path
+   first (interned tuples are shared), then compares cached hashes
+   (cheap rejection), and only then the constants. *)
+type t = {
+  data : Const.t array;
+  hcache : int;
+}
 
-let make a = a
-let of_list = Array.of_list
-let arity = Array.length
-let get t i = t.(i)
-
-let project t positions = Array.map (fun p -> t.(p)) positions
-
-let compare a b =
-  let la = Array.length a and lb = Array.length b in
-  if la <> lb then Int.compare la lb
-  else
-    let rec go i =
-      if i = la then 0
-      else
-        let c = Const.compare a.(i) b.(i) in
-        if c <> 0 then c else go (i + 1)
-    in
-    go 0
-
-let equal a b = compare a b = 0
-
-let hash t =
-  (* Polynomial combination of per-constant hashes; cheap and stable. *)
-  let h = ref (Array.length t) in
-  for i = 0 to Array.length t - 1 do
-    h := (!h * 0x01000193) lxor Const.hash t.(i)
+(* Polynomial combination of per-constant hashes; cheap and stable.
+   [hash_key] must agree with [hash] on the projected array so that
+   index lookups by a bare key array land in the right bucket. *)
+let hash_key key =
+  let h = ref (Array.length key) in
+  for i = 0 to Array.length key - 1 do
+    h := (!h * 0x01000193) lxor Const.hash (Array.unsafe_get key i)
   done;
   !h land max_int
+
+let make a = { data = a; hcache = hash_key a }
+let of_list l = make (Array.of_list l)
+let arity t = Array.length t.data
+let get t i = t.data.(i)
+let to_array t = Array.copy t.data
+let hash t = t.hcache
+
+let project t positions =
+  make (Array.map (fun p -> t.data.(p)) positions)
+
+let project_key t positions =
+  Array.map (fun p -> t.data.(p)) positions
+
+let hash_proj t positions =
+  let h = ref (Array.length positions) in
+  for i = 0 to Array.length positions - 1 do
+    h :=
+      (!h * 0x01000193)
+      lxor Const.hash t.data.(Array.unsafe_get positions i)
+  done;
+  !h land max_int
+
+let proj_equal t positions key =
+  let n = Array.length positions in
+  Array.length key = n
+  &&
+  let rec go i =
+    i >= n
+    || (Const.equal t.data.(Array.unsafe_get positions i)
+          (Array.unsafe_get key i)
+       && go (i + 1))
+  in
+  go 0
+
+let compare a b =
+  if a == b then 0
+  else
+    let la = Array.length a.data and lb = Array.length b.data in
+    if la <> lb then Int.compare la lb
+    else
+      let rec go i =
+        if i = la then 0
+        else
+          let c = Const.compare a.data.(i) b.data.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+let equal a b =
+  a == b
+  || (a.hcache = b.hcache
+     &&
+     let la = Array.length a.data in
+     la = Array.length b.data
+     &&
+     let rec go i =
+       i >= la || (Const.equal a.data.(i) b.data.(i) && go (i + 1))
+     in
+     go 0)
 
 let pp ppf t =
   Format.fprintf ppf "(@[%a@])"
     (Format.pp_print_array
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
        Const.pp)
-    t
+    t.data
 
 let to_string t = Format.asprintf "%a" pp t
 let of_ints is = of_list (List.map Const.int is)

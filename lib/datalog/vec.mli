@@ -1,0 +1,45 @@
+(** Growable flat arrays — the storage primitive under {!Relation}.
+
+    A [Vec.t] is an amortized-O(1) append buffer backed by one
+    contiguous array (doubled on overflow), replacing the cons-cell
+    lists the relation stores and index buckets were built on: element
+    [i] sits at offset [i], so scans touch sequential memory instead
+    of chasing pointers. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused capacity and is never returned by reads. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val capacity : 'a t -> int
+(** Current backing-array size (for tests of the growth policy). *)
+
+val push : 'a t -> 'a -> unit
+(** Append, doubling the backing array when full. *)
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when the index is out of bounds. *)
+
+val unsafe_get : 'a t -> int -> 'a
+(** No bounds check: caller guarantees [0 <= i < length]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** In insertion order. *)
+
+val fold : ('a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** In insertion order. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit
+(** Length becomes 0; capacity is retained. Cleared slots are
+    overwritten with [dummy] so no element is kept alive. *)
+
+val compact : 'a t -> unit
+(** Shrink the backing array to the current length (at least 1),
+    releasing slack after a load phase. *)

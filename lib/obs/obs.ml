@@ -3,6 +3,7 @@
 
 module Trace = Trace
 module Metrics = Metrics
+module Phase_timer = Phase_timer
 
 type sinks = { trace : Trace.t; metrics : Metrics.t }
 

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Documentation-consistency guard: the flag tables in README.md
+# (between the "begin/end par flags" and "begin/end check flags"
+# markers) must list exactly the flags the CLI accepts.  A flag added
+# to the CLI without a README row -- or a row for a flag that no
+# longer exists -- fails `dune runtest` (alias @docs) with a diff.
+#
+# Usage: docs_check.sh DATALOGP README
+#
+# The flag name is the first `--token` of a table row's first cell; on
+# the --help side it is every long option named on an option line
+# (--help and --version excluded as cmdliner boilerplate).
+set -eu
+
+datalogp=$1
+readme=$2
+
+readme_flags () {
+  sed -n "/begin $1 flags/,/end $1 flags/p" "$readme" \
+    | awk -F'|' 'NF > 2 { print $2 }' \
+    | grep -oE -- '--[a-z][a-z-]*' | sort
+}
+
+help_flags () {
+  "$datalogp" "$1" --help=plain \
+    | grep -E '^       -' \
+    | grep -oE -- '--[a-z][a-z-]*' \
+    | grep -vE '^--(help|version)$' | sort
+}
+
+status=0
+for cmd in par check; do
+  readme_flags "$cmd" > "readme-$cmd"
+  help_flags "$cmd" > "help-$cmd"
+  if ! diff -u "readme-$cmd" "help-$cmd" > "diff-$cmd"; then
+    echo "README $cmd flag table is out of sync with '$datalogp $cmd --help':"
+    cat "diff-$cmd"
+    echo "(lines with '-' are README rows for flags the CLI lacks;"
+    echo " lines with '+' are CLI flags missing a README row)"
+    status=1
+  fi
+done
+
+# A sanity check that the extraction is not vacuously empty: an empty
+# side would make the diff pass trivially if the markers went missing.
+for f in readme-par help-par readme-check help-check; do
+  if ! [ -s "$f" ]; then
+    echo "docs_check: extracted flag list '$f' is empty;"
+    echo "are the README table markers or --help format intact?"
+    status=1
+  fi
+done
+
+exit $status

@@ -86,7 +86,7 @@ let decompose_tests =
           Tuple.make
             (Array.map
                (function Const.Int i -> Const.int (i + 1000) | c -> c)
-               t)
+               (Tuple.to_array t))
         in
         Relation.iter
           (fun t -> ignore (Database.add_fact edb "par" (shift t)))

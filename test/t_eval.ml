@@ -4,10 +4,10 @@ open Datalog
 open Helpers
 
 let empty_rels : Joiner.relations =
-  { old_of = (fun _ -> None); delta_of = (fun _ -> None) }
+  { window_of = (fun _ -> None) }
 
 let rels_of db : Joiner.relations =
-  { old_of = (fun pred -> Database.find db pred); delta_of = (fun _ -> None) }
+  Joiner.current_of (fun pred -> Database.find db pred)
 
 let run_rule rule db =
   let plan = Joiner.compile rule in
@@ -115,12 +115,18 @@ let joiner_tests =
           (fun a b -> Alcotest.check tuple_t "same tuples" a b)
           with_push without_push);
     case "delta sources see only the delta" (fun () ->
-        let full = edb_of_edges [ (1, 2) ] in
-        let delta = edb_of_edges [ (2, 3) ] in
+        (* One store, watermarked: position 0 is old, position 1 is
+           the delta. *)
+        let rel = Relation.create ~arity:2 () in
+        ignore (Relation.add rel (Tuple.of_ints [ 1; 2 ]));
+        ignore (Relation.add rel (Tuple.of_ints [ 2; 3 ]));
         let rels : Joiner.relations =
           {
-            old_of = (fun p -> Database.find full p);
-            delta_of = (fun p -> Database.find delta p);
+            window_of =
+              (fun p ->
+                if String.equal p "par" then
+                  Some { Joiner.w_rel = rel; w_old = 1; w_cur = 2 }
+                else None);
           }
         in
         let plan = Joiner.compile (Parser.rule_exn "p(X,Y) :- par(X,Y).") in

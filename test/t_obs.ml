@@ -11,16 +11,6 @@ open Helpers
 
 let chain_edges n = List.init n (fun i -> (i, i + 1))
 
-(* The pre-Run_config entry points, kept as deprecated wrappers for
-   one PR — exercised here with the deprecation alert silenced. *)
-module Deprecated = struct
-  [@@@ocaml.warning "-3"]
-  [@@@ocaml.alert "-deprecated"]
-
-  let run_with_options rw ~edb = Sim_runtime.run_with_options rw ~edb
-  let run_with rw ~edb = Domain_runtime.run_with rw ~edb
-end
-
 let example3_rw () =
   match Strategy.example3 ~seed:0 ~nprocs:2 ancestor with
   | Ok rw -> rw
@@ -249,11 +239,12 @@ let config_cases =
               (H.agrees_with_sequential ~pred:"anc" ancestor (example3_rw ())
                  ~edb:(edb_of_edges edges)))
           Runtime.all);
-    case "the deprecated wrappers still run" (fun () ->
+    case "both runtimes run from one Run_config" (fun () ->
         let edb = edb_of_edges (chain_edges 6) in
-        let a = Deprecated.run_with_options (example3_rw ()) ~edb in
-        let b = Deprecated.run_with (example3_rw ()) ~edb in
-        Alcotest.check relation_t "same answers through both wrappers"
+        let config = Run_config.default in
+        let a = Sim_runtime.run ~config (example3_rw ()) ~edb in
+        let b = Domain_runtime.run ~config (example3_rw ()) ~edb in
+        Alcotest.check relation_t "same answers through one config"
           (anc_relation a.Sim_runtime.answers)
           (anc_relation b.Sim_runtime.answers));
   ]

@@ -73,14 +73,14 @@ let prop_relation_lookup_is_filter =
       List.iter (fun t -> ignore (Relation.add r t)) tuples;
       let probe = List.hd tuples in
       let positions = if arity >= 2 then [| 1 |] else [| 0 |] in
-      let key = Tuple.project probe positions in
+      let key = Tuple.project_key probe positions in
       let looked =
         List.sort Tuple.compare (Relation.lookup r ~positions ~key)
       in
       let scanned =
         List.sort Tuple.compare
           (List.filter
-             (fun t -> Tuple.equal (Tuple.project t positions) key)
+             (fun t -> Tuple.proj_equal t positions key)
              (Relation.to_list r))
       in
       List.length looked = List.length scanned

@@ -1,0 +1,192 @@
+(* The PR5 storage engine: Vec growth, the interning arena, cached
+   tuple hashes, index life cycle across compaction, and the
+   interned/non-interned equivalence properties. *)
+
+open Datalog
+open Helpers
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_growth () =
+  let v = Vec.create ~capacity:2 ~dummy:(-1) () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check bool) "capacity grew" true (Vec.capacity v >= 100);
+  Alcotest.(check (list int)) "insertion order" (List.init 100 Fun.id)
+    (Vec.to_list v);
+  Vec.compact v;
+  Alcotest.(check int) "compacted capacity" 100 (Vec.capacity v);
+  Alcotest.(check (list int)) "contents survive compaction"
+    (List.init 100 Fun.id) (Vec.to_list v);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v)
+
+(* ------------------------------------------------------------------ *)
+(* Arena                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_arena_canonical () =
+  let a = Arena.create () in
+  let t1 = Tuple.of_ints [ 1; 2 ] in
+  let t2 = Tuple.of_ints [ 1; 2 ] in
+  Alcotest.(check bool) "distinct values" false (t1 == t2);
+  let c1 = Arena.intern a t1 in
+  let c2 = Arena.intern a t2 in
+  Alcotest.(check bool) "same canonical value" true (c1 == c2);
+  Alcotest.(check bool) "first wins" true (c1 == t1);
+  Alcotest.(check int) "size" 1 (Arena.size a);
+  Alcotest.(check int) "misses" 1 (Arena.misses a);
+  Alcotest.(check int) "hits" 1 (Arena.hits a)
+
+let test_arena_growth () =
+  let a = Arena.create ~initial_size:2 () in
+  for i = 0 to 199 do
+    ignore (Arena.intern a (Tuple.of_ints [ i; i + 1 ]))
+  done;
+  Alcotest.(check int) "all distinct" 200 (Arena.size a);
+  Alcotest.(check int) "no hits" 0 (Arena.hits a);
+  (* Re-interning structural copies is all hits, no growth. *)
+  for i = 0 to 199 do
+    ignore (Arena.intern a (Tuple.of_ints [ i; i + 1 ]))
+  done;
+  Alcotest.(check int) "size unchanged" 200 (Arena.size a);
+  Alcotest.(check int) "all hits" 200 (Arena.hits a)
+
+(* ------------------------------------------------------------------ *)
+(* Cached hashes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_hash_stability () =
+  let consts = [ Const.int 42; Const.sym "x"; Const.int (-7) ] in
+  let a = Tuple.of_list consts in
+  let b = Tuple.make (Array.of_list consts) in
+  Alcotest.(check bool) "equal tuples" true (Tuple.equal a b);
+  Alcotest.(check int) "equal cached hashes" (Tuple.hash a) (Tuple.hash b);
+  Alcotest.(check int) "hash is idempotent" (Tuple.hash a) (Tuple.hash a);
+  (* to_array returns a copy: mutating it must not disturb the tuple
+     or its cached hash. *)
+  let arr = Tuple.to_array a in
+  arr.(0) <- Const.int 999;
+  Alcotest.(check bool) "tuple unchanged" true (Tuple.equal a b);
+  Alcotest.(check int) "hash unchanged" (Tuple.hash b) (Tuple.hash a)
+
+(* ------------------------------------------------------------------ *)
+(* Index life cycle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_index_rebuild_after_compact () =
+  let r = Relation.create ~arity:2 () in
+  for i = 0 to 49 do
+    ignore (Relation.add r (Tuple.of_ints [ i mod 5; i ]))
+  done;
+  let probe () =
+    List.sort Tuple.compare
+      (Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 3 |])
+  in
+  let before = probe () in
+  Alcotest.(check int) "one index materialized" 1 (Relation.index_count r);
+  Relation.compact r;
+  Alcotest.(check int) "compaction drops indexes" 0 (Relation.index_count r);
+  Alcotest.(check (list tuple_t)) "rebuilt index answers identically"
+    before (probe ());
+  Alcotest.(check int) "index rematerialized" 1 (Relation.index_count r);
+  (* And the rebuilt index keeps serving inserts made after the
+     compaction. *)
+  ignore (Relation.add r (Tuple.of_ints [ 3; 999 ]));
+  Alcotest.(check int) "post-compaction insert is indexed"
+    (List.length before + 1)
+    (List.length (probe ()))
+
+let test_windowed_matcher () =
+  let r = Relation.create ~arity:2 () in
+  List.iter
+    (fun (a, b) -> ignore (Relation.add r (Tuple.of_ints [ a; b ])))
+    [ (1, 10); (2, 20); (1, 30); (1, 40) ];
+  let m = Relation.matcher r ~positions:[| 0 |] in
+  let count ~lo ~hi =
+    let n = ref 0 in
+    m [| Const.int 1 |] ~lo ~hi (fun _ -> incr n);
+    !n
+  in
+  Alcotest.(check int) "full window" 3 (count ~lo:0 ~hi:4);
+  Alcotest.(check int) "prefix window" 1 (count ~lo:0 ~hi:2);
+  Alcotest.(check int) "suffix window" 2 (count ~lo:2 ~hi:4);
+  Alcotest.(check int) "empty window" 0 (count ~lo:2 ~hi:2)
+
+(* ------------------------------------------------------------------ *)
+(* The engine's arena                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_arena_stats () =
+  let edb = edb_of_edges (Workload.Graphgen.chain 30) in
+  let engine = Seminaive.create ancestor ~edb in
+  Seminaive.run_to_fixpoint engine;
+  (match Seminaive.arena_stats engine with
+   | None -> Alcotest.fail "interning engine reports no arena"
+   | Some (size, _hits, misses) ->
+     Alcotest.(check bool) "arena is populated" true (size > 0);
+     Alcotest.(check int) "every canonical tuple was a miss" size misses);
+  let plain = Seminaive.create ~intern:false ancestor ~edb in
+  Seminaive.run_to_fixpoint plain;
+  Alcotest.(check bool) "non-interning engine has no arena" true
+    (Seminaive.arena_stats plain = None)
+
+(* ------------------------------------------------------------------ *)
+(* Interned / non-interned equivalence                                 *)
+(* ------------------------------------------------------------------ *)
+
+let edge_list_gen =
+  QCheck.Gen.(
+    let* nodes = int_range 2 15 in
+    let* nedges = int_range 1 35 in
+    list_size (return nedges)
+      (pair (int_range 0 (nodes - 1)) (int_range 0 (nodes - 1))))
+
+let edge_list =
+  QCheck.make
+    ~print:(fun es ->
+      String.concat "; "
+        (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) es))
+    edge_list_gen
+
+let same_run program edges =
+  let edb = edb_of_edges edges in
+  let db_on, s_on = Seminaive.evaluate ~intern:true program edb in
+  let db_off, s_off = Seminaive.evaluate ~intern:false program edb in
+  Database.equal db_on db_off && s_on = s_off
+
+let prop_intern_equiv_linear =
+  QCheck.Test.make ~count:150
+    ~name:"interning changes neither answers nor counters (linear)"
+    edge_list
+    (fun edges -> same_run ancestor edges)
+
+let prop_intern_equiv_nonlinear =
+  QCheck.Test.make ~count:100
+    ~name:"interning changes neither answers nor counters (nonlinear)"
+    edge_list
+    (fun edges -> same_run Workload.Progs.ancestor_nonlinear edges)
+
+(* ------------------------------------------------------------------ *)
+
+let storage =
+  [
+    case "vec grows by doubling and preserves order" test_vec_growth;
+    case "arena interns to one physical tuple" test_arena_canonical;
+    case "arena grows past its initial size" test_arena_growth;
+    case "cached hashes are stable" test_hash_stability;
+    case "compaction drops and rebuilds indexes identically"
+      test_index_rebuild_after_compact;
+    case "windowed matcher sees exactly [lo, hi)" test_windowed_matcher;
+    case "engine arena stats" test_engine_arena_stats;
+    to_alcotest prop_intern_equiv_linear;
+    to_alcotest prop_intern_equiv_nonlinear;
+  ]
+
+let suites = [ ("storage", storage) ]
