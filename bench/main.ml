@@ -1177,6 +1177,65 @@ let run_regression baseline_file =
   end
 
 (* ------------------------------------------------------------------ *)
+(* PLAN: the static planner's pick vs the CLI default scheme.          *)
+(* ------------------------------------------------------------------ *)
+
+let plan_bench () =
+  Format.printf "  %-16s %-26s %9s %9s %10s %10s@." "workload" "auto scheme"
+    "auto msg" "dflt msg" "auto ns/r" "dflt ns/r";
+  let measure rw edb =
+    let r = Sim_runtime.run rw ~edb in
+    let stats = r.Sim_runtime.stats in
+    let messages = Stats.total_messages stats in
+    let ns =
+      List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Stats.phase_ns
+    in
+    (messages, float_of_int ns /. float_of_int (max 1 stats.Stats.rounds))
+  in
+  let rows =
+    List.map
+      (fun (name, _, edges) ->
+        let edb = edb_of edges in
+        let profile = Check.Costmodel.profile_of_db edb in
+        let outcome =
+          Check.Planner.suggest ~profile ~nprocs:4 ~seed:0 ancestor
+        in
+        let plan = Option.get outcome.Check.Planner.plan in
+        let auto_rw = Result.get_ok (Plan.to_rewrite plan ancestor) in
+        let default_rw =
+          Result.get_ok (Strategy.general ~seed:0 ~nprocs:4 ancestor)
+        in
+        let auto_msg, auto_ns = measure auto_rw edb in
+        let dflt_msg, dflt_ns = measure default_rw edb in
+        let scheme = Format.asprintf "%a" Plan.pp_scheme plan.Plan.scheme in
+        Format.printf "  %-16s %-26s %9d %9d %10.0f %10.0f@." name scheme
+          auto_msg dflt_msg auto_ns dflt_ns;
+        (name, Plan.scheme_name plan.Plan.scheme, auto_msg, dflt_msg, auto_ns,
+         dflt_ns))
+      (perf_workloads ())
+  in
+  claim "auto-picked scheme sends no more messages than the default"
+    (List.for_all (fun (_, _, a, d, _, _) -> a <= d) rows);
+  claim "planner certifies a communication-free scheme for ancestor"
+    (List.for_all (fun (_, _, a, _, _, _) -> a = 0) rows);
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "{\"schema\":1,\"bench\":\"PLAN\",\"seed\":2026,\"workloads\":[";
+  List.iteri
+    (fun i (name, scheme, a, d, ans, dns) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%S,\"auto_scheme\":%S,\"auto_messages\":%d,\"default_messages\":%d,\"auto_ns_per_round\":%.0f,\"default_ns_per_round\":%.0f}"
+           name scheme a d ans dns))
+    rows;
+  Buffer.add_string buf "]}\n";
+  let oc = open_out "BENCH_PLAN.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "  wrote BENCH_PLAN.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match regression_baseline with
@@ -1208,6 +1267,7 @@ let () =
   section "timing" "Bechamel microbenchmarks" timing;
   section "obs" "observability - metrics cross-check, PR4 baseline" obs;
   section "perf" "hot-path storage engine - wall-clock, PR5 baseline" perf;
+  section "plan" "static planner - auto-picked vs default scheme" plan_bench;
   Format.printf "@.%s@."
     (if !failures = 0 then "all claims PASS"
      else Printf.sprintf "%d claim(s) FAILED" !failures);

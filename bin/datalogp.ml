@@ -356,6 +356,25 @@ let par_cmd =
             "Print the run statistics as versioned JSON (schema 1) \
              instead of the table.")
   in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:
+            "Run under a plan certificate (from $(b,check --suggest \
+             --json)). The certificate is re-verified against the \
+             program: a stale or invalid one is rejected with exit \
+             code 5 (E201-E203). Overrides --scheme and -n.")
+  in
+  let auto_arg =
+    Arg.(
+      value & flag
+      & info [ "auto-scheme" ]
+          ~doc:
+            "Synthesize the scheme with the static planner (profiling \
+             the --edb facts) instead of taking --scheme.")
+  in
   let fault_term =
     let fault_seed_arg =
       Arg.(
@@ -524,9 +543,9 @@ let par_cmd =
       const build $ capacity_arg $ deadline_arg $ max_store_arg
       $ max_outbox_arg $ max_rounds_arg $ adaptive_arg $ high_water_arg)
   in
-  let action program edb_file scheme nprocs seed ve vr alpha runtime domains
-      detector verify fault overload trace_file metrics_file json quiet
-      verbose =
+  let action program edb_file scheme nprocs seed ve vr alpha plan_file auto
+      runtime domains detector verify fault overload trace_file metrics_file
+      json quiet verbose =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level Sim_runtime.log_src (Some Logs.Debug)
@@ -535,15 +554,59 @@ let par_cmd =
     let capacity, limits, max_rounds, adaptive, high_water = overload in
     let program = load_program program in
     let edb = load_edb edb_file in
+    let plan_reject (r : Plan.reject) =
+      Format.eprintf "%a@." Plan.pp_reject r;
+      exit 5
+    in
+    if (plan_file <> None || auto) && adaptive then begin
+      Format.eprintf
+        "--adaptive picks its own scheme; drop --plan/--auto-scheme@.";
+      exit 2
+    end;
+    let plan =
+      match (plan_file, auto) with
+      | Some _, true ->
+        Format.eprintf "--plan and --auto-scheme are mutually exclusive@.";
+        exit 2
+      | Some path, false -> (
+        match Plan.of_json (read_file path) with
+        | Error r -> plan_reject r
+        | Ok plan -> (
+          match Plan.verify plan program with
+          | Error r -> plan_reject r
+          | Ok () -> Some plan))
+      | None, true -> (
+        let profile = Check.Costmodel.profile_of_db edb in
+        let outcome =
+          Check.Planner.suggest ~profile ~nprocs ~seed program
+        in
+        match outcome.Check.Planner.plan with
+        | None ->
+          Format.eprintf
+            "no scheme verifies for this program; run check for details@.";
+          exit 2
+        | Some plan -> Some plan)
+      | None, false -> None
+    in
+    (* A certificate fixes the processor count it was issued for. *)
+    let nprocs =
+      match plan with Some p -> p.Plan.nprocs | None -> nprocs
+    in
     let dial =
       if adaptive then
         Some (Overload.dial ~alpha ~high_water ~nprocs ())
       else None
     in
     let scheme_result =
-      match dial with
-      | Some dial -> Strategy.adaptive_tradeoff ~seed ~nprocs ~dial program
-      | None -> build_scheme scheme ~nprocs ~seed ~ve ~vr ~alpha program edb
+      match (plan, dial) with
+      | Some p, _ -> (
+        match Plan.to_rewrite p program with
+        | Ok rw -> Ok rw
+        | Error r -> plan_reject r)
+      | None, Some dial ->
+        Strategy.adaptive_tradeoff ~seed ~nprocs ~dial program
+      | None, None ->
+        build_scheme scheme ~nprocs ~seed ~ve ~vr ~alpha program edb
     in
     match scheme_result with
     | Error msg ->
@@ -564,7 +627,8 @@ let par_cmd =
           |> with_domains domains |> with_trace trace
           |> with_metrics metrics
           |> with_max_rounds
-               (Option.value max_rounds ~default:default.max_rounds))
+               (Option.value max_rounds ~default:default.max_rounds)
+          |> with_plan plan)
       in
       (* The sinks are flushed on every outcome — an aborted run's trace
          is exactly the one worth looking at. *)
@@ -603,14 +667,18 @@ let par_cmd =
           Format.printf "overload: %a@." Overload.pp_reason reason;
           print_stats stats;
           exit 4
+        | exception Plan.Rejected r ->
+          write_sinks ();
+          plan_reject r
       end
   in
   Cmd.v (Cmd.info "par" ~doc)
     Term.(
       const action $ program_arg $ edb_arg $ scheme_arg $ nprocs_arg
-      $ seed_arg $ ve_arg $ vr_arg $ alpha_arg $ runtime_arg $ domains_arg
-      $ detector_arg $ verify_arg $ fault_term $ overload_term $ trace_arg
-      $ metrics_arg $ json_arg $ quiet_arg $ verbose_arg)
+      $ seed_arg $ ve_arg $ vr_arg $ alpha_arg $ plan_arg $ auto_arg
+      $ runtime_arg $ domains_arg $ detector_arg $ verify_arg $ fault_term
+      $ overload_term $ trace_arg $ metrics_arg $ json_arg $ quiet_arg
+      $ verbose_arg)
 
 (* ---------------------------------------------------------------- *)
 (* rewrite                                                           *)
@@ -731,7 +799,9 @@ let check_cmd =
   let doc =
     "Statically check a program: safety, arities, stratification, \
      reachability, sirup shape, and (with --ve/--vr) the Theorem 2/3 \
-     scheme conditions and the Section 5 network prediction."
+     scheme conditions and the Section 5 network prediction. With \
+     --suggest, synthesize the cheapest verified scheme and (with \
+     --json) emit it as a plan certificate for $(b,par --plan)."
   in
   let program_arg =
     Arg.(
@@ -778,7 +848,27 @@ let check_cmd =
             "The output predicate; reachability (W004) is checked \
              backwards from it.")
   in
-  let action program goal ve vr linear bitvec json strict codes =
+  let suggest_arg =
+    Arg.(
+      value & flag
+      & info [ "suggest" ]
+          ~doc:
+            "Synthesize a scheme: enumerate the candidate schemes, \
+             reject the ones failing Theorem 2/3 re-verification, rank \
+             the survivors by predicted cost (I110-I112, W110), and \
+             with --json print the winning plan certificate.")
+  in
+  let check_edb_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "edb" ] ~docv:"FILE"
+          ~doc:
+            "Ground facts to profile (cardinalities, per-column skew); \
+             sharpens the --suggest cost model.")
+  in
+  let action program goal ve vr linear bitvec json strict codes suggest
+      edb_file nprocs seed =
     if codes then begin
       List.iter
         (fun (c, d) -> Printf.printf "%s  %s\n" c d)
@@ -809,17 +899,37 @@ let check_cmd =
         diags @ report.Check.Scheme.diagnostics
       end
     in
-    if json then print_string (Check.Diagnostic.list_to_json diags ^ "\n")
-    else begin
+    let diags, plan =
+      if not suggest then (diags, None)
+      else begin
+        let profile =
+          Option.map
+            (fun _ -> Check.Costmodel.profile_of_db (load_edb edb_file))
+            edb_file
+        in
+        let outcome =
+          Check.Planner.suggest ~file:path ?profile ~nprocs ~seed p
+        in
+        (diags @ outcome.Check.Planner.diagnostics, outcome.Check.Planner.plan)
+      end
+    in
+    (* With --suggest --json, stdout carries the certificate itself, so
+       `check --suggest --json > plan.json` feeds `par --plan` directly;
+       the diagnostics JSON is printed only when no plan was found. *)
+    (match (json, plan) with
+    | true, Some plan when suggest -> print_string (Plan.to_json plan)
+    | true, _ -> print_string (Check.Diagnostic.list_to_json diags ^ "\n")
+    | false, _ ->
       if diags <> [] then Format.printf "%a" Check.Diagnostic.pp_list diags;
-      Format.printf "%a@." Check.Diagnostic.pp_summary diags
-    end;
-    exit (Check.Diagnostic.exit_code ~strict diags)
+      Format.printf "%a@." Check.Diagnostic.pp_summary diags);
+    if suggest && plan = None then exit 1
+    else exit (Check.Diagnostic.exit_code ~strict diags)
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const action $ program_arg $ goal_arg $ ve_arg $ vr_arg $ linear_arg
-      $ bitvec_arg $ json_arg $ strict_arg $ codes_arg)
+      $ bitvec_arg $ json_arg $ strict_arg $ codes_arg $ suggest_arg
+      $ check_edb_arg $ nprocs_arg $ seed_arg)
 
 (* ---------------------------------------------------------------- *)
 (* dong                                                              *)

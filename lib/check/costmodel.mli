@@ -1,0 +1,53 @@
+(** A flat cost model for candidate parallelization schemes.
+
+    The planner ({!Planner}) scores every candidate scheme with
+    {!estimate} and ranks by the [total] field of the resulting
+    {!Pardatalog.Plan.cost}. The model is deliberately coarse — its job
+    is to order candidates, not to predict wall-clock time — and rests
+    on three per-round quantities for [N] processors and a per-round
+    tuple-volume proxy [T]:
+
+    - {b messages}: [0] for the communication-free schemes (Theorem 3's
+      cycle choice; Section 6's redundant scheme), [T·(1 − 1/N)] for a
+      covered hash route (each tuple lands elsewhere with probability
+      [1 − 1/N]), [T·(N − 1)] when the sequence is not covered by the
+      recursive atom and sending must broadcast (W101), scaled by
+      [1 − α] for the Section 6 tradeoff;
+    - {b redundancy}: the duplicated-work fraction α — [1] for the
+      Wolfson scheme, α for the tradeoff, [0] for the non-redundant
+      schemes;
+    - {b balance}: the predicted max/mean processor load ratio under
+      the scheme's routing hash, read off an optional EDB {!profile}
+      (without one every scheme balances perfectly and the model is
+      purely structural).
+
+    [T] is the sum of the recursive rules' base-predicate cardinalities
+    when a profile is given, else a nominal 100. The scalarization is
+    [total = messages + 0.8·redundancy·T + 0.5·(balance − 1)·T]. *)
+
+open Datalog
+open Pardatalog
+
+type pstat = {
+  cardinality : int;
+  max_freq : int array;
+      (** Per column: the frequency of the most frequent value — the
+          skew witness a routing hash cannot spread. *)
+}
+
+type profile = (string * pstat) list
+(** Per-predicate statistics, sorted by predicate. *)
+
+val profile_of_db : Database.t -> profile
+(** Scan an EDB once, collecting cardinalities and per-column top value
+    frequencies. *)
+
+val tuple_volume : ?profile:profile -> Program.t -> float
+(** The volume proxy [T] above. *)
+
+val estimate :
+  ?profile:profile -> nprocs:int -> scheme:Plan.scheme -> Program.t ->
+  Plan.cost
+(** Score one candidate. The scheme is assumed to have passed
+    verification ({!Scheme.check_scheme} / {!Pardatalog.Plan.verify});
+    the estimate of an inapplicable scheme is meaningless. *)

@@ -56,6 +56,16 @@ let registry =
     ("I104", "predicted network has no cross-processor edge");
     ("I105", "network prediction unavailable for this discriminating \
               function");
+    ("E201", "stale plan certificate: program hash mismatch");
+    ("E202", "plan certificate's scheme no longer verifies against the \
+              program");
+    ("E203", "malformed plan certificate (bad JSON, schema or fields)");
+    ("W110", "stratum needs a cross-processor exchange each round \
+              (barrier) under the chosen scheme");
+    ("I005", "reachability check (W004) skipped: no --goal given");
+    ("I110", "synthesized plan: the chosen scheme and its predicted cost");
+    ("I111", "plan candidate ranking (runners-up and their costs)");
+    ("I112", "stratum is coordination-free under the chosen scheme");
   ]
 
 let describe code = List.assoc_opt code registry

@@ -291,7 +291,23 @@ let reachability ?file ?goal (p : Program.t) =
                     predicates"))
       sccs
   in
-  w004 @ w003 @ w005
+  (* Without a goal, every component no outside rule reads counts as an
+     output, whose backward closure covers every derived predicate —
+     [W004] can then never fire. Say so instead of silently skipping. *)
+  let i005 =
+    match goal with
+    | Some _ -> []
+    | None ->
+      if derived = [] then []
+      else
+        [
+          diag ?file "I005"
+            "reachability not checked: without --goal every derived \
+             predicate counts as an output"
+            ~suggestion:"pass --goal PRED to check reachability towards it";
+        ]
+  in
+  i005 @ w004 @ w003 @ w005
 
 (* ------------------------------------------------------------------ *)
 (* Stratification                                                      *)

@@ -21,4 +21,5 @@ val check_program :
     compute one): reachability is then the backward closure from it,
     which is what lets [W004] flag derived predicates the goal never
     uses. Without it, every predicate no rule reads counts as an
-    output. *)
+    output, [W004] can never fire, and an [I005] note records that the
+    reachability check was skipped. *)

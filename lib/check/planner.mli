@@ -1,0 +1,48 @@
+(** Scheme synthesis: enumerate, verify, rank.
+
+    The planner closes the loop the checker opened: instead of
+    verifying a user-supplied discriminating scheme, it {e enumerates}
+    the candidate schemes the {!Pardatalog.Strategy} family offers —
+    the Theorem 3 communication-free choice, every position-subset
+    instantiation of the Section 3 scheme [Q], the Section 6 redundant
+    scheme and tradeoff spectrum, and the Section 7 general scheme —
+    rejects the ones that fail re-verification ({!Scheme.check_scheme}
+    errors, notably Theorem 2's [E102]), scores the survivors with
+    {!Costmodel.estimate}, and emits the winner as a
+    {!Pardatalog.Plan.t} certificate plus I/W-series diagnostics:
+
+    - [I110] — the chosen scheme and its predicted cost;
+    - [I111] — the runner-up ranking (deterministic order);
+    - [I112] — a stratum is coordination-free under the chosen scheme;
+    - [W110] — a recursive stratum forces a cross-processor exchange
+      every round (a barrier) under every surviving scheme. *)
+
+open Datalog
+open Pardatalog
+
+type candidate = {
+  scheme : Plan.scheme;
+  cost : Plan.cost;
+  communication_free : bool;
+}
+
+type outcome = {
+  plan : Plan.t option;
+      (** [None] when no candidate verifies (e.g. the program fails
+          {!Program.check}). *)
+  ranked : candidate list;  (** Every survivor, best first. *)
+  diagnostics : Diagnostic.t list;
+}
+
+val suggest :
+  ?file:string ->
+  ?profile:Costmodel.profile ->
+  ?nprocs:int ->
+  ?seed:int ->
+  Program.t ->
+  outcome
+(** [nprocs] defaults to 4, [seed] to 0 — both are stamped into the
+    certificate. The ranking is deterministic: ties in predicted total
+    cost break towards the non-redundant schemes
+    ([nocomm < q < general < tradeoff < wolfson]) and then towards the
+    lexicographically first discriminating sequence. *)

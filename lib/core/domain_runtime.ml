@@ -659,6 +659,11 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
     } )
 
 let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
+  (* Same certificate gate as the simulator: a plan that no longer
+     verifies against the program must not run. *)
+  Option.iter
+    (fun plan -> Plan.validate_exn ~nprocs:rw.nprocs plan rw.original)
+    config.Run_config.plan;
   let detector = config.Run_config.detector in
   let domains = config.Run_config.domains in
   let fault = config.Run_config.fault in

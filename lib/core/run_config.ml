@@ -13,6 +13,7 @@ type t = {
   detector : detector;
   domains : int option;
   obs : Obs.sinks;
+  plan : Plan.t option;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     detector = Safra;
     domains = None;
     obs = Obs.disabled;
+    plan = None;
   }
 
 let with_resend_all resend_all t = { t with resend_all }
@@ -45,3 +47,5 @@ let with_domains domains t = { t with domains }
 let with_obs obs t = { t with obs }
 let with_trace trace t = { t with obs = { t.obs with Obs.trace } }
 let with_metrics metrics t = { t with obs = { t.obs with Obs.metrics } }
+let with_plan plan t = { t with plan }
+let of_plan (p : Plan.t) = { default with plan = Some p }

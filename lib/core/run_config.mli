@@ -29,6 +29,11 @@ type t = {
   detector : detector;  (** Multicore runtime only. *)
   domains : int option;  (** Domain count (multicore runtime only). *)
   obs : Obs.sinks;  (** Tracing / metrics sinks, disabled by default. *)
+  plan : Plan.t option;
+      (** Certificate to validate at startup: both runtimes call
+          {!Plan.validate_exn} against the rewrite's original program
+          and processor count, and refuse to run under a stale or
+          unverifiable plan ({!Plan.Rejected}). *)
 }
 
 val default : t
@@ -50,3 +55,8 @@ val with_domains : int option -> t -> t
 val with_obs : Obs.sinks -> t -> t
 val with_trace : Obs.Trace.t -> t -> t
 val with_metrics : Obs.Metrics.t -> t -> t
+val with_plan : Plan.t option -> t -> t
+
+val of_plan : Plan.t -> t
+(** {!default} carrying the given certificate; compose further with the
+    [with_*] builders. *)

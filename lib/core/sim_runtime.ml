@@ -85,6 +85,13 @@ let build_edb ~replicate (rw : Rewrite.t) edb pid =
 
 let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
   let options : Run_config.t = config in
+  (* A configuration carrying a plan certificate is only honoured after
+     re-verification against the program actually being run — a stale
+     certificate fails fast (Plan.Rejected) instead of silently
+     executing under assumptions that no longer hold. *)
+  Option.iter
+    (fun plan -> Plan.validate_exn ~nprocs:rw.nprocs plan rw.original)
+    config.Run_config.plan;
   let tr = config.Run_config.obs.Obs.trace in
   let mx = config.Run_config.obs.Obs.metrics in
   (* Wall-clock accumulator behind [Stats.phase_ns]: unlike the trace

@@ -218,20 +218,24 @@ Ill-formed programs are rejected.
 The static checker classifies a clean sirup and exits zero.
 
   $ datalogp check anc.dl
+  anc.dl: info[I005]: reachability not checked: without --goal every derived predicate counts as an output
+    hint: pass --goal PRED to check reachability towards it
   anc.dl:2: info[I001]: linear sirup: predicate anc/2 (exit rule at line 1, recursive rule at line 2); the Section 3-6 schemes (q, nocomm, wolfson, tradeoff) apply
-  0 error(s), 0 warning(s), 1 note(s)
+  0 error(s), 0 warning(s), 2 note(s)
 
 With a scheme it verifies Theorem 2, spots the forgone Theorem 3
 choice, and predicts the Section 5 network; --strict turns the
 warning into a failing exit code.
 
   $ datalogp check anc.dl --ve X,Y --vr Z,Y --bitvec --strict
+  anc.dl: info[I005]: reachability not checked: without --goal every derived predicate counts as an output
+    hint: pass --goal PRED to check reachability towards it
   anc.dl:2: info[I001]: linear sirup: predicate anc/2 (exit rule at line 1, recursive rule at line 2); the Section 3-6 schemes (q, nocomm, wolfson, tradeoff) apply
   anc.dl: info[I100]: Theorem 2 holds for ve=(X, Y), vr=(Z, Y): every sequence variable is bound in its rule's body, so scheme q is non-redundant (each instantiation runs on exactly one processor)
   anc.dl: warning[W102]: this choice communicates although a communication-free one exists: discriminating on cycle positions 2 -> 2 with ve=(Y), vr=(Y) needs no inter-processor messages (Theorem 3)
     hint: run with --scheme nocomm, or pass --ve Y --vr Y
   anc.dl: info[I103]: Section 5 prediction: over 4 processors the minimal network has 8 edge(s), 4 cross-processor: (00) -> (00) (00) -> (10) (01) -> (01) (01) -> (11) (10) -> (00) (10) -> (10) (11) -> (01) (11) -> (11)
-  0 error(s), 1 warning(s), 3 note(s)
+  0 error(s), 1 warning(s), 4 note(s)
   [1]
 
 Seeded defects are reported with their codes and source lines.
@@ -250,17 +254,89 @@ Seeded defects are reported with their codes and source lines.
     hint: add a positive body atom binding Y, or replace it with a constant
   defects.dl:4: warning[W002]: rule `s(A) :- q(A, B).` duplicates an earlier rule up to variable renaming (first occurrence at line 3)
     hint: delete the duplicate rule
+  defects.dl: info[I005]: reachability not checked: without --goal every derived predicate counts as an output
+    hint: pass --goal PRED to check reachability towards it
   defects.dl:5: warning[W005]: recursive component {t} has no exit rule: every rule depends on the component, so its predicates are provably empty
     hint: add a non-recursive rule (or facts) deriving one of its predicates
   defects.dl: info[I002]: not a linear sirup: a sirup must define exactly one predicate, found 3 (p, s, t); the sirup-only schemes (q, nocomm, wolfson, tradeoff) are unavailable
     hint: the Section 7 general scheme (--scheme general) applies to any safe positive program
-  2 error(s), 2 warning(s), 1 note(s)
+  2 error(s), 2 warning(s), 2 note(s)
   [1]
 
 Findings are machine-readable with --json.
 
   $ datalogp check defects.dl --json | head -1
   [{"code":"E004","severity":"error","file":"defects.dl","line":3,"message":"predicate q is used with arity 1 (rule body at line 1) and arity 2 (rule body at line 3)","suggestion":"rename one of the predicates or fix the argument list"},
+
+The static planner enumerates Theorem-2-verified schemes, ranks them
+by predicted communication cost, and classifies each stratum. The
+ordering is deterministic: fixed tie-breaks, no clocks, no randomness
+beyond the explicit --seed.
+
+  $ datalogp check anc.dl --suggest
+  anc.dl: info[I005]: reachability not checked: without --goal every derived predicate counts as an output
+    hint: pass --goal PRED to check reachability towards it
+  anc.dl:2: info[I001]: linear sirup: predicate anc/2 (exit rule at line 1, recursive rule at line 2); the Section 3-6 schemes (q, nocomm, wolfson, tradeoff) apply
+  anc.dl: info[I110]: plan: nocomm(ve=⟨Y⟩, vr=⟨Y⟩) for 4 processors: 0.0 messages/round, redundancy 0.00, balance 1.00
+  anc.dl: info[I111]: plan: 9 candidate scheme(s) verified; runners-up: q(ve=⟨X,Y⟩, vr=⟨Z,Y⟩) (total 75.0), q(ve=⟨X⟩, vr=⟨Z⟩) (total 75.0), q(ve=⟨Y⟩, vr=⟨Y⟩) (total 75.0)
+  anc.dl: info[I112]: stratum {anc}: coordination-free under the chosen scheme
+  0 error(s), 0 warning(s), 5 note(s)
+
+With --json the suggestion is emitted as a versioned plan certificate
+with a stable field order, ready to be handed to `datalogp par`.
+
+  $ datalogp check anc.dl --suggest --json > plan.json
+  $ cat plan.json
+  {
+    "schema": 1,
+    "kind": "datalogp-plan",
+    "program_hash": "06d46a0387196e3c7e545f52e9eee11c",
+    "nprocs": 4,
+    "seed": 0,
+    "scheme": { "name": "nocomm", "ve": ["Y"], "vr": ["Y"] },
+    "predicted": { "messages_per_round": 0.000, "redundancy": 0.000, "balance": 1.000, "total": 0.000 },
+    "strata": [
+      { "predicates": ["anc"], "recursive": true, "coordination_free": true }
+    ]
+  }
+
+The runtime loads the certificate, re-verifies it at startup, and runs
+the certified scheme — communication-free here, so zero messages.
+
+  $ datalogp par anc.dl --edb chain.dl --plan plan.json -q
+  4 processors, 5 rounds, 0 messages (+10 self), pooled 10 tuples
+    proc    firings       new   dupfire  iters    sent    recv  accept   baseres  active   store  outbox
+    0             3         3         0      2       3       3       3         4       2      10       1
+    1             4         4         0      4       4       4       4         4       4      12       1
+    2             0         0         0      0       0       0       0         4       0       4       0
+    3             3         3         0      3       3       3       3         4       3      10       1
+  
+
+
+A stale certificate — the program changed since `check --suggest`
+issued it — is rejected fail-fast with a stable code and exit 5.
+
+  $ cat > anc2.dl <<'PROG'
+  > anc(X,Y) :- par(X,Y).
+  > anc(X,Y) :- par(X,Z), anc(Z,Y).
+  > anc(X,X) :- par(X,Y).
+  > PROG
+  $ datalogp par anc2.dl --edb chain.dl --plan plan.json -q
+  error[E201]: program hash mismatch: certificate was issued for 06d46a0387196e3c7e545f52e9eee11c but the program hashes to 24611d2641ebef22bcd16d4238e42748 (re-run check --suggest)
+  [5]
+
+So is a file that is not a certificate at all.
+
+  $ echo 'not a plan' > bad.json
+  $ datalogp par anc.dl --edb chain.dl --plan bad.json -q
+  error[E203]: not valid JSON: expected null at offset 0
+  [5]
+
+--auto-scheme runs the planner inline over the actual EDB and picks
+the same scheme without the certificate round-trip.
+
+  $ datalogp par anc.dl --edb chain.dl --auto-scheme -q | head -1
+  4 processors, 5 rounds, 0 messages (+10 self), pooled 10 tuples
 
 Negation is analysed statically (stratification, Theorem-style cycle
 witness) but rejected by the evaluation engines.

@@ -23,6 +23,7 @@ readme_flags () {
 
 help_flags () {
   "$datalogp" "$1" --help=plain \
+    | sed -n '/^OPTIONS/,/^EXIT STATUS/p' \
     | grep -E '^       -' \
     | grep -oE -- '--[a-z][a-z-]*' \
     | grep -vE '^--(help|version)$' | sort
@@ -50,5 +51,21 @@ for f in readme-par help-par readme-check help-check; do
     status=1
   fi
 done
+
+# Every diagnostic code the checker can emit (`check --codes`) must be
+# mentioned in the README, so the planner codes (E201-E203, W110,
+# I005, I110-I112) cannot be added to the registry without a row in
+# the Diagnostics tables.
+"$datalogp" check --codes | awk '{ print $1 }' | sort -u > codes-cli
+if ! [ -s codes-cli ]; then
+  echo "docs_check: 'check --codes' produced no codes"
+  status=1
+fi
+while read -r code; do
+  if ! grep -q "$code" "$readme"; then
+    echo "docs_check: diagnostic $code is not documented in the README"
+    status=1
+  fi
+done < codes-cli
 
 exit $status
