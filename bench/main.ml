@@ -13,7 +13,7 @@
                                                (perf-regression gate)
 
    Sections: f1 f2 f3 f4  e1 e2 e3  t2 s6 e8 d8  p1 p2 p3
-              a1 a2 a3 a4 a5  r1 r2  timing obs perf
+              a1 a2 a3 a4 a5  r1 r2  timing obs perf plan serve
 
    Flags: --check-regression FILE   re-measure the perf workloads and
                                     exit nonzero if any slowed beyond
@@ -1268,6 +1268,8 @@ let () =
   section "obs" "observability - metrics cross-check, PR4 baseline" obs;
   section "perf" "hot-path storage engine - wall-clock, PR5 baseline" perf;
   section "plan" "static planner - auto-picked vs default scheme" plan_bench;
+  section "serve" "datalogd load sweep - qps, tail latency, BUSY/PARTIAL"
+    (fun () -> Loadgen.run ~claim ());
   Format.printf "@.%s@."
     (if !failures = 0 then "all claims PASS"
      else Printf.sprintf "%d claim(s) FAILED" !failures);

@@ -1,0 +1,524 @@
+(* datalogd — a resident query daemon for the parallel Datalog
+   framework, plus its command-line client.
+
+   Server mode (default): bind a Unix or loopback TCP socket, keep
+   programs and EDBs resident, and serve concurrent LOAD / FACTS /
+   QUERY / STATS sessions under admission control, per-request budgets
+   and graceful degradation (see lib/serve). SIGTERM / SIGINT drain:
+   in-flight queries finish, new work is rejected with BUSY, metrics
+   are flushed, and the process exits 0.
+
+   Client mode (--connect): a thin protocol pipe — request lines are
+   read from stdin (LOAD/FACTS payloads passed through up to their "."
+   terminator), every reply line is printed to stdout. With --retry,
+   QUERY lines are resent on BUSY/RETRY with jittered exponential
+   backoff, which is safe because a QUERY is idempotent under its id.
+
+   Exit codes (client mode), matching datalogp par conventions:
+     0  all requests answered OK / RESULT
+     1  protocol or connection error (including ERR replies)
+     2  usage error
+     3  BUSY outcome (admission rejected, retries exhausted)
+     4  PARTIAL outcome (budget breached, partial statistics returned) *)
+
+open Cmdliner
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e ->
+    Format.eprintf "datalogd: %s@." e;
+    exit 2
+  | ic ->
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 65536 in
+    let rec go () =
+      let n = input ic chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      end
+    in
+    go ();
+    close_in ic;
+    Buffer.contents buf
+
+(* An address argument: all-digits means loopback TCP, anything else a
+   Unix socket path. *)
+let addr_of_string s =
+  if s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s then
+    Serve.Server.Tcp (int_of_string s)
+  else Serve.Server.Unix_sock s
+
+(* ---------------------------------------------------------------- *)
+(* Client mode                                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* Deterministic decorrelated jitter: a seeded LCG over [0, base). *)
+let make_jitter ~seed ~base_ms =
+  if seed = 0 then fun _ -> 0
+  else begin
+    let state = ref (seed land 0x3FFFFFFF) in
+    fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      !state mod max 1 base_ms
+  end
+
+type outcome = { mutable err : bool; mutable busy : bool; mutable partial : bool }
+
+let note_reply outcome (head : Serve.Protocol.head) =
+  match head with
+  | Serve.Protocol.Err _ -> outcome.err <- true
+  | Serve.Protocol.Busy _ -> outcome.busy <- true
+  | Serve.Protocol.Retry _ -> outcome.busy <- true
+  | Serve.Protocol.Result_head { partial = true; _ } ->
+    outcome.partial <- true
+  | _ -> ()
+
+let print_reply (reply : Serve.Client.reply) =
+  List.iter print_endline reply.Serve.Client.raw
+
+(* Read payload lines up to the "." terminator (not included: the
+   client library re-appends it). *)
+let read_payload_stdin () =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match input_line stdin with
+    | "." -> Buffer.contents buf
+    | line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n';
+      go ()
+    | exception End_of_file -> Buffer.contents buf
+  in
+  go ()
+
+let is_verb line verb =
+  let n = String.length verb in
+  String.length line >= n
+  && String.sub line 0 n = verb
+  && (String.length line = n || line.[n] = ' ')
+
+let client_mode ~target ~tenant ~retry ~retry_max ~retry_base_ms ~jitter_seed =
+  let addr = addr_of_string target in
+  match Serve.Client.connect addr with
+  | Serve.Client.Conn_error e ->
+    Format.eprintf "datalogd: %s@." e;
+    exit 1
+  | Serve.Client.Conn_busy { reason; retry_after_ms } ->
+    print_endline
+      (Serve.Protocol.busy ~reason ~retry_after_ms ());
+    exit 3
+  | Serve.Client.Conn c ->
+    print_endline Serve.Protocol.greeting;
+    let outcome = { err = false; busy = false; partial = false } in
+    let jitter = make_jitter ~seed:jitter_seed ~base_ms:retry_base_ms in
+    let fail e =
+      Format.eprintf "datalogd: %s@." e;
+      exit 1
+    in
+    let handle_reply (reply : Serve.Client.reply) =
+      note_reply outcome reply.Serve.Client.head;
+      print_reply reply;
+      match reply.Serve.Client.head with
+      | Serve.Protocol.Bye _ -> raise Exit
+      | _ -> ()
+    in
+    (match tenant with
+     | None -> ()
+     | Some t -> (
+       match
+         Serve.Client.request c (Printf.sprintf "HELLO tenant=%s" t)
+       with
+       | Ok reply -> handle_reply reply
+       | Error e -> fail e));
+    (try
+       let continue = ref true in
+       while !continue do
+         match input_line stdin with
+         | exception End_of_file -> continue := false
+         | line when String.trim line = "" -> ()
+         | line ->
+           let payload =
+             if is_verb line "LOAD" || is_verb line "FACTS" then
+               Some (read_payload_stdin ())
+             else None
+           in
+           if retry && is_verb line "QUERY" then begin
+             match
+               Serve.Client.request_retry ~max_attempts:retry_max
+                 ~base_ms:retry_base_ms ~jitter c ?payload line
+             with
+             | Error e -> fail e
+             | Ok out ->
+               (* Intermediate BUSY/RETRY replies were absorbed by the
+                  backoff loop; only the final reply decides. *)
+               handle_reply out.Serve.Client.reply
+           end
+           else begin
+             match Serve.Client.request c ?payload line with
+             | Error e -> fail e
+             | Ok reply -> handle_reply reply
+           end
+       done
+     with Exit -> ());
+    Serve.Client.close c;
+    if outcome.err then exit 1
+    else if outcome.busy then exit 3
+    else if outcome.partial then exit 4
+    else exit 0
+
+(* ---------------------------------------------------------------- *)
+(* Server mode                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let parse_name_file ~flag spec =
+  match String.index_opt spec '=' with
+  | Some i when i > 0 && i < String.length spec - 1 ->
+    (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+  | _ ->
+    Format.eprintf "datalogd: %s expects NAME=FILE, got %s@." flag spec;
+    exit 2
+
+let server_mode ~socket ~port ~nprocs ~runtime ~seed ~max_sessions
+    ~max_inflight ~queue_depth ~tenant_inflight ~default_deadline_ms
+    ~deadline_cap_ms ~max_store_cap ~cache_size ~retry_after_ms ~drain_grace
+    ~hold_eval_ms ~drop ~fault_seed ~loads ~facts ~metrics_out =
+  let addr =
+    match (socket, port) with
+    | Some path, None -> Serve.Server.Unix_sock path
+    | None, Some p -> Serve.Server.Tcp p
+    | Some _, Some _ ->
+      Format.eprintf "datalogd: --socket and --port are exclusive@.";
+      exit 2
+    | None, None ->
+      Format.eprintf
+        "datalogd: server mode needs --socket PATH or --port N (or use \
+         --connect)@.";
+      exit 2
+  in
+  let fault =
+    if drop = 0.0 then Pardatalog.Fault.none
+    else
+      try Pardatalog.Fault.make ~seed:fault_seed ~drop ()
+      with Invalid_argument e ->
+        Format.eprintf "datalogd: %s@." e;
+        exit 2
+  in
+  let cfg =
+    {
+      (Serve.Server.default_config addr) with
+      nprocs;
+      runtime;
+      seed;
+      max_sessions;
+      max_inflight;
+      queue_depth;
+      tenant_inflight;
+      default_deadline_ms;
+      deadline_cap_ms;
+      max_store_cap;
+      cache_size;
+      retry_after_ms;
+      drain_grace;
+      hold_eval_ms;
+      fault;
+    }
+  in
+  (match Serve.Server.validate_config cfg with
+   | Ok () -> ()
+   | Error e ->
+     Format.eprintf "datalogd: %s@." e;
+     exit 2);
+  let metrics = Obs.Metrics.create () in
+  (* Block the shutdown signals before any thread exists, so every
+     thread inherits the mask and delivery goes through the dedicated
+     [Thread.wait_signal] thread below. A [Sys.Signal_handle] would
+     deadlock here: with the main thread parked in [Thread.join] and
+     the others in blocking syscalls, no thread ever reaches an OCaml
+     safepoint to run the handler. *)
+  ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match Serve.Server.start ~metrics cfg with
+  | Error e ->
+    Format.eprintf "datalogd: %s@." e;
+    exit 2
+  | Ok t ->
+    List.iter
+      (fun spec ->
+        let name, file = parse_name_file ~flag:"--load" spec in
+        match Serve.Server.load_program t name (read_file file) with
+        | Ok rules ->
+          Format.eprintf "datalogd: loaded %s (%d rules)@." name rules
+        | Error e ->
+          Format.eprintf "datalogd: --load %s: %s@." name e;
+          exit 2)
+      loads;
+    List.iter
+      (fun spec ->
+        let name, file = parse_name_file ~flag:"--facts" spec in
+        match Serve.Server.add_facts t name (read_file file) with
+        | Ok (added, total) ->
+          Format.eprintf "datalogd: %s += %d facts (%d total)@." name added
+            total
+        | Error e ->
+          Format.eprintf "datalogd: --facts %s: %s@." name e;
+          exit 2)
+      facts;
+    let (_ : Thread.t) =
+      Thread.create
+        (fun () ->
+          let (_ : int) = Thread.wait_signal [ Sys.sigterm; Sys.sigint ] in
+          Serve.Server.request_stop t)
+        ()
+    in
+    Format.eprintf "datalogd: listening on %a@." Serve.Server.pp_addr addr;
+    let r = Serve.Server.await t in
+    (match metrics_out with
+     | Some path -> Obs.Metrics.write metrics path
+     | None -> ());
+    Format.eprintf
+      "datalogd: drained ok=%d partial=%d busy=%d sessions=%d forced=%d@."
+      r.Serve.Server.queries_ok r.Serve.Server.queries_partial
+      r.Serve.Server.replies_busy r.Serve.Server.drained_sessions
+      r.Serve.Server.forced_sessions;
+    exit 0
+
+(* ---------------------------------------------------------------- *)
+(* Command line                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let cmd =
+  let doc = "resident parallel Datalog query daemon and client" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Server mode (default) binds $(b,--socket) PATH or loopback \
+         $(b,--port) N and serves the versioned line protocol \
+         documented in lib/serve/protocol.mli: HELLO, LOAD, FACTS, \
+         QUERY, STATS, PING, QUIT. Programs and their extensional \
+         databases stay resident between requests. SIGTERM drains: \
+         in-flight queries finish, new work gets BUSY, metrics flush, \
+         exit 0.";
+      `P
+        "Client mode ($(b,--connect) ADDR) reads request lines from \
+         stdin and prints every reply line; LOAD/FACTS payloads are \
+         passed through up to their terminating '.' line. ADDR is a \
+         socket path, or a port number for TCP.";
+      `S Manpage.s_exit_status;
+      `P "Client mode: 0 success; 1 protocol/connection error or ERR \
+          reply; 2 usage; 3 BUSY outcome; 4 PARTIAL outcome.";
+    ]
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Run as a client of the daemon at $(docv) (socket path, or \
+             port number for TCP); read requests from stdin.")
+  in
+  let tenant =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:"Client mode: send HELLO tenant=$(docv) first.")
+  in
+  let retry =
+    Arg.(
+      value & flag
+      & info [ "retry" ]
+          ~doc:
+            "Client mode: resend QUERY lines on BUSY/RETRY with \
+             jittered exponential backoff (safe: a QUERY is idempotent \
+             under its id).")
+  in
+  let retry_max =
+    Arg.(
+      value & opt int 8
+      & info [ "retry-max" ] ~docv:"N"
+          ~doc:"Client mode: backoff attempts per QUERY.")
+  in
+  let retry_base_ms =
+    Arg.(
+      value & opt int 5
+      & info [ "retry-base-ms" ] ~docv:"MS"
+          ~doc:"Client mode: base backoff delay; attempt k waits about \
+                $(docv)*2^k ms, capped at 500.")
+  in
+  let jitter_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "jitter-seed" ] ~docv:"SEED"
+          ~doc:"Client mode: seed of the deterministic backoff jitter \
+                (0 = no jitter).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix socket.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"N" ~doc:"Listen on loopback TCP port $(docv).")
+  in
+  let nprocs =
+    Arg.(
+      value & opt int 4
+      & info [ "j"; "nprocs" ] ~docv:"N"
+          ~doc:"Default processor count per query.")
+  in
+  let runtime =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("domain", `Domain) ]) `Domain
+      & info [ "runtime" ] ~docv:"RT"
+          ~doc:"Default runtime: $(b,domain) (default) or $(b,sim).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Seed of the hash-function family.")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int 64
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Concurrent connection cap; excess connects get BUSY.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 4
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Queries evaluating at once across all sessions.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 8
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission wait-queue bound; a query arriving with the \
+             queue full gets BUSY immediately (0 = never wait).")
+  in
+  let tenant_inflight =
+    Arg.(
+      value & opt int 2
+      & info [ "tenant-inflight" ] ~docv:"N"
+          ~doc:"Per-tenant in-flight query cap.")
+  in
+  let default_deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "default-deadline-ms" ] ~docv:"MS"
+          ~doc:"Deadline applied when a QUERY sets none.")
+  in
+  let deadline_cap_ms =
+    Arg.(
+      value
+      & opt (some int) (Some 60_000)
+      & info [ "deadline-cap-ms" ] ~docv:"MS"
+          ~doc:"Upper clamp on requested deadlines (default 60000).")
+  in
+  let max_store_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-store-cap" ] ~docv:"ROWS"
+          ~doc:"Upper clamp on requested per-processor store budgets.")
+  in
+  let cache_size =
+    Arg.(
+      value & opt int 256
+      & info [ "idempotency-cache" ] ~docv:"N"
+          ~doc:
+            "Completed replies cached per (tenant, id) for \
+             byte-identical replay; 0 disables.")
+  in
+  let retry_after_ms =
+    Arg.(
+      value & opt int 25
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:"Hint attached to BUSY and RETRY replies.")
+  in
+  let drain_grace =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain-grace" ] ~docv:"SECS"
+          ~doc:
+            "Seconds to wait for in-flight work on SIGTERM before \
+             force-closing sessions.")
+  in
+  let hold_eval_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "hold-eval-ms" ] ~docv:"MS"
+          ~doc:
+            "Testing: add $(docv) of artificial service time to every \
+             evaluation, to make saturation reproducible.")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"P"
+          ~doc:
+            "Inject a fault plan into every query: per-transmission \
+             message drop probability, in [0,1).")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the deterministic fault plan.")
+  in
+  let loads =
+    Arg.(
+      value & opt_all string []
+      & info [ "load" ] ~docv:"NAME=FILE"
+          ~doc:"Preload a program (repeatable).")
+  in
+  let facts =
+    Arg.(
+      value & opt_all string []
+      & info [ "facts" ] ~docv:"NAME=FILE"
+          ~doc:"Preload facts into a loaded program (repeatable).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Flush the metrics registry to $(docv) as JSON on drain.")
+  in
+  let action connect tenant retry retry_max retry_base_ms jitter_seed socket
+      port nprocs runtime seed max_sessions max_inflight queue_depth
+      tenant_inflight default_deadline_ms deadline_cap_ms max_store_cap
+      cache_size retry_after_ms drain_grace hold_eval_ms drop fault_seed
+      loads facts metrics_out =
+    match connect with
+    | Some target ->
+      client_mode ~target ~tenant ~retry ~retry_max ~retry_base_ms
+        ~jitter_seed
+    | None ->
+      server_mode ~socket ~port ~nprocs ~runtime ~seed ~max_sessions
+        ~max_inflight ~queue_depth ~tenant_inflight ~default_deadline_ms
+        ~deadline_cap_ms ~max_store_cap ~cache_size ~retry_after_ms
+        ~drain_grace ~hold_eval_ms ~drop ~fault_seed ~loads ~facts
+        ~metrics_out
+  in
+  Cmd.v
+    (Cmd.info "datalogd" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const action $ connect $ tenant $ retry $ retry_max $ retry_base_ms
+      $ jitter_seed $ socket $ port $ nprocs $ runtime $ seed $ max_sessions
+      $ max_inflight $ queue_depth $ tenant_inflight $ default_deadline_ms
+      $ deadline_cap_ms $ max_store_cap $ cache_size $ retry_after_ms
+      $ drain_grace $ hold_eval_ms $ drop $ fault_seed $ loads $ facts
+      $ metrics_out)
+
+let () = exit (Cmd.eval cmd)

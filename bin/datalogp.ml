@@ -636,8 +636,25 @@ let par_cmd =
         Option.iter (Obs.Trace.write trace) trace_file;
         Option.iter (Obs.Metrics.write metrics) metrics_file
       in
-      let print_stats stats =
-        if json then print_endline (Stats.to_json stats)
+      (* Schema-2 attribution: which scheme actually ran, and how the
+         run ended — so a partial-result JSON explains itself. *)
+      let scheme_name =
+        match (plan, dial) with
+        | Some p, _ -> Plan.scheme_name p.Plan.scheme
+        | None, Some _ -> "adaptive"
+        | None, None -> (
+          match scheme with
+          | `Q -> "q"
+          | `Nocomm -> "nocomm"
+          | `Example2 -> "example2"
+          | `Example3 -> "example3"
+          | `Wolfson -> "wolfson"
+          | `Tradeoff -> "tradeoff"
+          | `General -> "general")
+      in
+      let print_stats ?(outcome = "ok") stats =
+        if json then
+          print_endline (Stats.to_json ~scheme:scheme_name ~outcome stats)
         else Format.printf "%a@." Stats.pp stats
       in
       if verify then begin
@@ -660,12 +677,12 @@ let par_cmd =
         | exception Sim_runtime.Round_budget_exceeded { round; stats } ->
           write_sinks ();
           Format.printf "round budget exceeded after %d rounds@." round;
-          print_stats stats;
+          print_stats ~outcome:"round_budget" stats;
           exit 3
         | exception Overload.Overload { reason; stats } ->
           write_sinks ();
           Format.printf "overload: %a@." Overload.pp_reason reason;
-          print_stats stats;
+          print_stats ~outcome:(Overload.reason_kind reason) stats;
           exit 4
         | exception Plan.Rejected r ->
           write_sinks ();

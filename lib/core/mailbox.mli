@@ -36,7 +36,15 @@ val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
 val push_blocking : 'a t -> 'a -> bool
 (** Enqueue, waiting while the mailbox is at capacity. Returns [false]
     (counting a drop) if the mailbox is or becomes closed — a producer
-    blocked on a full mailbox is woken by {!close}. *)
+    blocked on a full mailbox is woken by {!close}.
+
+    Why the close race cannot hang a producer: the closed flag is only
+    read and written under the mailbox mutex, the wait loop re-tests
+    [closed || not full] around every [Condition.wait], and {!close}
+    broadcasts {e both} condition variables while still holding the
+    mutex — so a producer either sees the flag before sleeping or is
+    woken by the broadcast; there is no window to sleep through. Pinned
+    by the "close during blocked pushes never hangs" stress test. *)
 
 val close : 'a t -> unit
 (** Close the mailbox: wakes every blocked consumer and producer and

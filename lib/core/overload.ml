@@ -32,6 +32,11 @@ let validate l =
 
 exception Overload of { reason : reason; stats : Stats.t }
 
+let reason_kind = function
+  | Deadline _ -> "deadline"
+  | Store_budget _ -> "store_budget"
+  | Outbox_budget _ -> "outbox_budget"
+
 let pp_reason ppf = function
   | Deadline { seconds; elapsed; round } ->
     Format.fprintf ppf
@@ -77,8 +82,8 @@ let dial ?(alpha = 0.0) ?(step = 0.25) ?low_water ~high_water ~nprocs () =
   let low =
     match low_water with
     | Some l ->
-      if l < 0 || l >= high_water then
-        invalid_arg "Overload.dial: low_water must be in [0, high_water)";
+      if l < 0 || l > high_water then
+        invalid_arg "Overload.dial: low_water must be in [0, high_water]";
       l
     | None -> high_water / 4
   in
@@ -96,15 +101,22 @@ let alpha d pid = d.d_alphas.(pid)
 let raises d = d.d_raises
 let decays d = d.d_decays
 
+(* With [low = high] a single backlog value would satisfy both the
+   raise and the decay condition, so the controller would chatter
+   between them on a steady input. That degenerate configuration is
+   accepted (it is the natural "off" point of a swept parameter) and
+   defined as a no-op: alpha stays at its resting value. *)
 let observe d ~pid ~backlog =
-  let a = d.d_alphas.(pid) in
-  if backlog >= d.d_high then begin
-    if a < 1.0 then begin
-      d.d_alphas.(pid) <- min 1.0 (a +. d.d_step);
-      d.d_raises <- d.d_raises + 1
+  if d.d_high <> d.d_low then begin
+    let a = d.d_alphas.(pid) in
+    if backlog >= d.d_high then begin
+      if a < 1.0 then begin
+        d.d_alphas.(pid) <- min 1.0 (a +. d.d_step);
+        d.d_raises <- d.d_raises + 1
+      end
     end
-  end
-  else if backlog <= d.d_low && a > d.d_floor then begin
-    d.d_alphas.(pid) <- max d.d_floor (a -. d.d_step);
-    d.d_decays <- d.d_decays + 1
+    else if backlog <= d.d_low && a > d.d_floor then begin
+      d.d_alphas.(pid) <- max d.d_floor (a -. d.d_step);
+      d.d_decays <- d.d_decays + 1
+    end
   end

@@ -46,6 +46,12 @@ exception Overload of { reason : reason; stats : Stats.t }
 
 val pp_reason : Format.formatter -> reason -> unit
 
+val reason_kind : reason -> string
+(** Stable lowercase identifier of the abort kind — ["deadline"],
+    ["store_budget"] or ["outbox_budget"] — used by the schema-2
+    [Stats.to_json] attribution fields and the [datalogd] protocol's
+    [PARTIAL] replies. *)
+
 val db_rows : Database.t -> int
 (** Exact row count of a processor's store. *)
 
@@ -75,6 +81,10 @@ val dial :
 (** [dial ~high_water ~nprocs ()] starts every processor at [alpha]
     (default 0, the non-redundant scheme; also the floor it decays back
     to). [step] defaults to 0.25; [low_water] to [high_water / 4].
+    [low_water = high_water] is accepted and makes the controller a
+    no-op (a single backlog value would otherwise satisfy both the
+    raise and the decay condition) — the natural "off" point when
+    sweeping the water marks.
     @raise Invalid_argument on out-of-range parameters. *)
 
 val alpha : dial -> Pid.t -> float

@@ -41,6 +41,10 @@ let with_network network t = { t with network }
 let with_fault fault t = { t with fault }
 let with_capacity capacity t = { t with capacity }
 let with_limits limits t = { t with limits }
+let with_deadline deadline t = { t with limits = { t.limits with Overload.deadline } }
+
+let with_max_store_rows max_store_rows t =
+  { t with limits = { t.limits with Overload.max_store_rows } }
 let with_dial dial t = { t with dial }
 let with_detector detector t = { t with detector }
 let with_domains domains t = { t with domains }

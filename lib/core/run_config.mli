@@ -49,6 +49,15 @@ val with_network : Netgraph.t option -> t -> t
 val with_fault : Fault.plan -> t -> t
 val with_capacity : int option -> t -> t
 val with_limits : Overload.limits -> t -> t
+
+val with_deadline : float option -> t -> t
+(** Set only the wall-clock budget of [limits], in seconds — the
+    per-request plumbing used by [datalogd] to map a client deadline
+    onto the watchdog without disturbing the other budgets. *)
+
+val with_max_store_rows : int option -> t -> t
+(** Set only the per-processor store budget of [limits]. *)
+
 val with_dial : Overload.dial option -> t -> t
 val with_detector : detector -> t -> t
 val with_domains : int option -> t -> t

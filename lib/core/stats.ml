@@ -173,14 +173,20 @@ let pp ppf t =
       f.mailbox_drops f.credit_stalls f.alpha_raises f.alpha_decays;
   Format.fprintf ppf "@]"
 
-(* Versioned machine-readable snapshot ("schema": 1), shared by
-   `datalogp par --json`, the Obs metrics snapshot and the bench
-   baseline files. Hand-rolled: the values are ints only. *)
-let to_json t =
+(* Versioned machine-readable snapshot ("schema": 2), shared by
+   `datalogp par --json`, the Obs metrics snapshot, the bench baseline
+   files and datalogd's per-query attribution. Hand-rolled: the values
+   are ints and two enum-like strings. Schema 2 is additive over
+   schema 1: it adds "scheme" (the plan/scheme identifier the run
+   executed under) and "outcome" (how the run ended — "ok", or an
+   overload/budget kind), so a consumer of a PARTIAL server reply can
+   attribute the degradation without re-parsing CLI output. *)
+let to_json ?(scheme = "unspecified") ?(outcome = "ok") t =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "{\"schema\":1,\"nprocs\":%d,\"rounds\":%d,\"pooled\":%d,\"peak_in_flight\":%d,"
-    t.nprocs t.rounds t.pooled_tuples t.peak_in_flight;
+  add
+    "{\"schema\":2,\"scheme\":%S,\"outcome\":%S,\"nprocs\":%d,\"rounds\":%d,\"pooled\":%d,\"peak_in_flight\":%d,"
+    scheme outcome t.nprocs t.rounds t.pooled_tuples t.peak_in_flight;
   add "\"phase_ns\":{%s},"
     (String.concat ","
        (List.map

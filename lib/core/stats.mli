@@ -119,12 +119,20 @@ val redundancy_vs : sequential_firings:int -> t -> float
 val pp : Format.formatter -> t -> unit
 (** A compact multi-line report. *)
 
-val to_json : t -> string
+val to_json : ?scheme:string -> ?outcome:string -> t -> string
 (** A stable, versioned machine-readable snapshot. The top-level
-    object carries ["schema": 1]; future field additions keep existing
+    object carries ["schema": 2]; future field additions keep existing
     keys and bump the schema only on incompatible changes. Shared by
-    [datalogp par --json], the {!Obs.Metrics} snapshot and the bench
-    baselines ([BENCH_PR4.json]). *)
+    [datalogp par --json], the {!Obs.Metrics} snapshot, the bench
+    baselines ([BENCH_PR4.json]) and the [datalogd] query protocol.
+
+    Schema 2 added two additive attribution fields so that partial
+    results can be explained without re-parsing CLI output:
+    [scheme] (default ["unspecified"]) names the plan or scheme the
+    run executed under (e.g. ["nocomm"], ["general"], ["adaptive"]);
+    [outcome] (default ["ok"]) is how the run ended — ["ok"], or the
+    structured abort kind ({!Overload.reason_kind}: ["deadline"],
+    ["store_budget"], ["outbox_budget"], or ["round_budget"]). *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** A one-line summary. *)

@@ -5,8 +5,9 @@
     paths of both runtimes without perturbing their behaviour.
     Thread-safe.
 
-    The snapshot is versioned JSON ([{"schema": 1, ...}]) shared with
-    [Stats.to_json] and the bench baseline [BENCH_PR4.json]. *)
+    The snapshot is versioned JSON ([{"schema": 1, ...}]), following
+    the same versioning convention as [Stats.to_json] (itself at
+    schema 2) and embedded in the bench baseline [BENCH_PR4.json]. *)
 
 type t
 

@@ -1,0 +1,160 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+}
+
+type reply = {
+  head : Protocol.head;
+  rows : string list;
+  raw : string list;
+}
+
+type connect_result =
+  | Conn of t
+  | Conn_busy of { reason : string; retry_after_ms : int }
+  | Conn_error of string
+
+let sockaddr = function
+  | Server.Unix_sock path -> Unix.ADDR_UNIX path
+  | Server.Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let domain = function
+  | Server.Unix_sock _ -> Unix.PF_UNIX
+  | Server.Tcp _ -> Unix.PF_INET
+
+(* Retryable connect errors: the daemon may still be binding (startup
+   race) or its accept backlog may be momentarily full. *)
+let transient = function
+  | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET | Unix.EAGAIN
+  | Unix.EINTR ->
+    true
+  | _ -> false
+
+let connect ?(attempts = 40) ?(delay_ms = 25) addr =
+  let rec go k =
+    let fd = Unix.socket (domain addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (sockaddr addr) with
+    | () -> (
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      match input_line ic with
+      | exception End_of_file ->
+        Unix.close fd;
+        Conn_error "connection closed before greeting"
+      | line -> (
+        match Protocol.classify line with
+        | Ok (Protocol.Ready { proto }) when proto = Protocol.version ->
+          Conn { fd; ic; oc }
+        | Ok (Protocol.Ready { proto }) ->
+          Unix.close fd;
+          Conn_error
+            (Printf.sprintf "protocol mismatch: server speaks %d, client %d"
+               proto Protocol.version)
+        | Ok (Protocol.Busy { reason; retry_after_ms; _ }) ->
+          Unix.close fd;
+          Conn_busy { reason; retry_after_ms }
+        | Ok _ | Error _ ->
+          Unix.close fd;
+          Conn_error ("unexpected greeting: " ^ line)))
+    | exception Unix.Unix_error (e, _, _) ->
+      Unix.close fd;
+      if transient e && k < attempts then begin
+        Unix.sleepf (float_of_int delay_ms /. 1000.);
+        go (k + 1)
+      end
+      else
+        Conn_error
+          (Printf.sprintf "cannot connect after %d attempts: %s" k
+             (Unix.error_message e))
+  in
+  go 1
+
+let close t =
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t ?payload line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  (match payload with
+   | None -> ()
+   | Some text ->
+     output_string t.oc text;
+     if text <> "" && text.[String.length text - 1] <> '\n' then
+       output_char t.oc '\n';
+     output_string t.oc ".\n");
+  flush t.oc
+
+(* Read one complete reply: a single line, or RESULT/PARTIAL followed
+   by ROW lines and closed by END. *)
+let read_reply t =
+  match input_line t.ic with
+  | exception End_of_file -> Error "connection closed"
+  | exception Sys_error e -> Error e
+  | line -> (
+    match Protocol.classify line with
+    | Error e -> Error e
+    | Ok (Protocol.Result_head _ as head) ->
+      let rec body rows raw =
+        match input_line t.ic with
+        | exception End_of_file -> Error "connection closed mid-reply"
+        | exception Sys_error e -> Error e
+        | l -> (
+          match Protocol.classify l with
+          | Ok (Protocol.Row r) -> body (r :: rows) (l :: raw)
+          | Ok (Protocol.End_of_result _) ->
+            Ok { head; rows = List.rev rows; raw = List.rev (l :: raw) }
+          | Ok _ -> Error ("unexpected line inside result: " ^ l)
+          | Error e -> Error e)
+      in
+      body [] [ line ]
+    | Ok head -> Ok { head; rows = []; raw = [ line ] })
+
+let request t ?payload line =
+  send t ?payload line;
+  read_reply t
+
+(* ---------------------------------------------------------------- *)
+(* Retry with jittered exponential backoff                           *)
+(* ---------------------------------------------------------------- *)
+
+type attempt_outcome = {
+  reply : reply;
+  attempts : int;
+  busy_replies : int;
+  retry_replies : int;
+}
+
+let backoff_delay_ms ~base_ms ~cap_ms ~jitter ~hint_ms k =
+  let exp = base_ms * (1 lsl min k 16) in
+  let d = min cap_ms exp + jitter k in
+  max hint_ms (max 1 d)
+
+let request_retry ?(max_attempts = 8) ?(base_ms = 5) ?(cap_ms = 500)
+    ?(jitter = fun _ -> 0) t ?payload line =
+  let rec go k busy retries =
+    match request t ?payload line with
+    | Error e -> Error e
+    | Ok reply -> (
+      let again hint_ms busy retries =
+        if k + 1 >= max_attempts then
+          Ok { reply; attempts = k + 1; busy_replies = busy;
+               retry_replies = retries }
+        else begin
+          Unix.sleepf
+            (float_of_int (backoff_delay_ms ~base_ms ~cap_ms ~jitter ~hint_ms k)
+             /. 1000.);
+          go (k + 1) busy retries
+        end
+      in
+      match reply.head with
+      | Protocol.Busy { retry_after_ms; _ } ->
+        again retry_after_ms (busy + 1) retries
+      | Protocol.Retry { retry_after_ms; _ } ->
+        again retry_after_ms busy (retries + 1)
+      | _ ->
+        Ok { reply; attempts = k + 1; busy_replies = busy;
+             retry_replies = retries })
+  in
+  go 0 0 0

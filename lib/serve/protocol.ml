@@ -1,0 +1,280 @@
+let version = 1
+
+let max_payload_lines = 100_000
+
+(* ---------------------------------------------------------------- *)
+(* Names and key=value tokens                                        *)
+(* ---------------------------------------------------------------- *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.'
+
+let valid_name s =
+  s <> "" && String.length s <= 128 && String.for_all is_name_char s
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+(* A token [k=v]; tokens without '=' are returned as [(tok, "")]. *)
+let kv_of_token tok =
+  match String.index_opt tok '=' with
+  | None -> (tok, "")
+  | Some i ->
+    (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+
+let kv_list toks = List.map kv_of_token toks
+let find_kv kvs k = List.assoc_opt k kvs
+
+let int_kv kvs k =
+  match find_kv kvs k with
+  | None -> Ok None
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n -> Ok (Some n)
+    | None -> Error (Printf.sprintf "%s must be an integer, got %s" k v))
+
+(* ---------------------------------------------------------------- *)
+(* Requests                                                          *)
+(* ---------------------------------------------------------------- *)
+
+type query = {
+  q_id : string;
+  q_prog : string;
+  q_goal : string option;
+  q_rows : bool;
+  q_stats : bool;
+  q_deadline_ms : int option;
+  q_max_store : int option;
+  q_nprocs : int option;
+  q_scheme : [ `General | `Auto ];
+  q_runtime : [ `Default | `Sim | `Domain ];
+}
+
+type request =
+  | Hello of string option
+  | Load of string
+  | Facts of string
+  | Query of query
+  | Stats
+  | Ping
+  | Quit
+
+let ( let* ) = Result.bind
+
+let parse_query kvs =
+  let* q_id =
+    match find_kv kvs "id" with
+    | Some id when valid_name id -> Ok id
+    | Some id -> Error (Printf.sprintf "bad id %S" id)
+    | None -> Error "QUERY requires id=ID"
+  in
+  let* q_prog =
+    match find_kv kvs "prog" with
+    | Some p when valid_name p -> Ok p
+    | Some p -> Error (Printf.sprintf "bad prog %S" p)
+    | None -> Error "QUERY requires prog=NAME"
+  in
+  let* q_goal =
+    match find_kv kvs "goal" with
+    | None -> Ok None
+    | Some g when valid_name g -> Ok (Some g)
+    | Some g -> Error (Printf.sprintf "bad goal %S" g)
+  in
+  let flag k =
+    match find_kv kvs k with
+    | Some "true" -> Ok true
+    | Some "false" | None -> Ok false
+    | Some v -> Error (Printf.sprintf "%s must be true or false, got %s" k v)
+  in
+  let* q_rows = flag "rows" in
+  let* q_stats = flag "stats" in
+  let pos k = function
+    | Some n when n < 1 -> Error (Printf.sprintf "%s must be >= 1" k)
+    | v -> Ok v
+  in
+  let* q_deadline_ms = Result.bind (int_kv kvs "deadline-ms") (pos "deadline-ms") in
+  let* q_max_store = Result.bind (int_kv kvs "max-store") (pos "max-store") in
+  let* q_nprocs = Result.bind (int_kv kvs "nprocs") (pos "nprocs") in
+  let* q_scheme =
+    match find_kv kvs "scheme" with
+    | None | Some "general" -> Ok `General
+    | Some "auto" -> Ok `Auto
+    | Some s -> Error (Printf.sprintf "unknown scheme %s (general or auto)" s)
+  in
+  let* q_runtime =
+    match find_kv kvs "runtime" with
+    | None -> Ok `Default
+    | Some "sim" -> Ok `Sim
+    | Some "domain" -> Ok `Domain
+    | Some r -> Error (Printf.sprintf "unknown runtime %s (sim or domain)" r)
+  in
+  Ok
+    (Query
+       {
+         q_id; q_prog; q_goal; q_rows; q_stats; q_deadline_ms; q_max_store;
+         q_nprocs; q_scheme; q_runtime;
+       })
+
+let parse_request line =
+  match tokens line with
+  | [] -> Error "empty request"
+  | verb :: rest -> (
+    let kvs = kv_list rest in
+    match verb with
+    | "HELLO" -> (
+      match rest with
+      | [] -> Ok (Hello None)
+      | [ _ ] -> (
+        match find_kv kvs "tenant" with
+        | Some t when valid_name t -> Ok (Hello (Some t))
+        | Some t -> Error (Printf.sprintf "bad tenant %S" t)
+        | None -> Error "usage: HELLO [tenant=NAME]")
+      | _ -> Error "usage: HELLO [tenant=NAME]")
+    | "LOAD" -> (
+      match rest with
+      | [ name ] when valid_name name -> Ok (Load name)
+      | _ -> Error "usage: LOAD NAME (then program lines, then a '.' line)")
+    | "FACTS" -> (
+      match rest with
+      | [ name ] when valid_name name -> Ok (Facts name)
+      | _ -> Error "usage: FACTS NAME (then fact lines, then a '.' line)")
+    | "QUERY" -> parse_query kvs
+    | "STATS" -> Ok Stats
+    | "PING" -> Ok Ping
+    | "QUIT" -> Ok Quit
+    | v -> Error (Printf.sprintf "unknown verb %s" v))
+
+(* ---------------------------------------------------------------- *)
+(* Replies                                                           *)
+(* ---------------------------------------------------------------- *)
+
+type head =
+  | Ready of { proto : int }
+  | Okay of { op : string; kv : (string * string) list }
+  | Result_head of {
+      id : string;
+      partial : bool;
+      reason : string option;  (** set iff [partial] *)
+      rows : int;
+      scheme : string;
+      stats : string option;
+    }
+  | Row of string
+  | End_of_result of { id : string }
+  | Busy of { id : string option; reason : string; retry_after_ms : int }
+  | Retry of { id : string; retry_after_ms : int }
+  | Stats_reply of string
+  | Pong
+  | Bye of { reason : string }
+  | Err of { code : string; msg : string }
+
+let greeting = Printf.sprintf "DATALOGD/%d READY" version
+
+let busy ?id ~reason ~retry_after_ms () =
+  match id with
+  | None -> Printf.sprintf "BUSY reason=%s retry-after-ms=%d" reason retry_after_ms
+  | Some id ->
+    Printf.sprintf "BUSY id=%s reason=%s retry-after-ms=%d" id reason
+      retry_after_ms
+
+let retry ~id ~retry_after_ms =
+  Printf.sprintf "RETRY id=%s retry-after-ms=%d" id retry_after_ms
+
+let result_head ?stats ~id ~rows ~scheme () =
+  Printf.sprintf "RESULT id=%s status=ok rows=%d scheme=%s%s" id rows scheme
+    (match stats with None -> "" | Some j -> " stats=" ^ j)
+
+let partial_head ?stats ~id ~reason ~scheme () =
+  Printf.sprintf "PARTIAL id=%s reason=%s rows=0 scheme=%s%s" id reason scheme
+    (match stats with None -> "" | Some j -> " stats=" ^ j)
+
+let end_of_result ~id = Printf.sprintf "END id=%s" id
+let row r = "ROW " ^ r
+let err ~code msg = Printf.sprintf "ERR %s %s" code msg
+let bye ~reason = Printf.sprintf "BYE reason=%s" reason
+
+let classify line =
+  match tokens line with
+  | [] -> Error "empty reply line"
+  | verb :: rest -> (
+    let kvs = kv_list rest in
+    let req k =
+      match find_kv kvs k with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "reply %s lacks %s=" verb k)
+    in
+    let req_int k = Result.bind (int_kv kvs k) (function
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "reply %s lacks %s=" verb k))
+    in
+    match verb with
+    | _ when String.length verb >= 9 && String.sub verb 0 9 = "DATALOGD/" -> (
+      match
+        int_of_string_opt (String.sub verb 9 (String.length verb - 9))
+      with
+      | Some proto -> Ok (Ready { proto })
+      | None -> Error ("bad greeting: " ^ line))
+    | "OK" -> (
+      match rest with
+      | op :: kv_toks -> Ok (Okay { op; kv = kv_list kv_toks })
+      | [] -> Error "bare OK reply")
+    | "RESULT" ->
+      let* id = req "id" in
+      let* rows = req_int "rows" in
+      let* scheme = req "scheme" in
+      Ok
+        (Result_head
+           { id; partial = false; reason = None; rows; scheme;
+             stats = find_kv kvs "stats" })
+    | "PARTIAL" ->
+      let* id = req "id" in
+      let* reason = req "reason" in
+      let* rows = req_int "rows" in
+      let* scheme = req "scheme" in
+      Ok
+        (Result_head
+           { id; partial = true; reason = Some reason; rows; scheme;
+             stats = find_kv kvs "stats" })
+    | "ROW" ->
+      let body =
+        if String.length line > 4 then String.sub line 4 (String.length line - 4)
+        else ""
+      in
+      Ok (Row body)
+    | "END" ->
+      let* id = req "id" in
+      Ok (End_of_result { id })
+    | "BUSY" ->
+      let* reason = req "reason" in
+      let* retry_after_ms = req_int "retry-after-ms" in
+      Ok (Busy { id = find_kv kvs "id"; reason; retry_after_ms })
+    | "RETRY" ->
+      let* id = req "id" in
+      let* retry_after_ms = req_int "retry-after-ms" in
+      Ok (Retry { id; retry_after_ms })
+    | "STATS" ->
+      let body =
+        if String.length line > 6 then
+          String.sub line 6 (String.length line - 6)
+        else ""
+      in
+      Ok (Stats_reply body)
+    | "PONG" -> Ok Pong
+    | "BYE" ->
+      let* reason = req "reason" in
+      Ok (Bye { reason })
+    | "ERR" -> (
+      match rest with
+      | code :: _ ->
+        let prefix = String.length "ERR " + String.length code + 1 in
+        let msg =
+          if String.length line > prefix then
+            String.sub line prefix (String.length line - prefix)
+          else ""
+        in
+        Ok (Err { code; msg })
+      | [] -> Error "bare ERR reply")
+    | v -> Error (Printf.sprintf "unknown reply verb %s" v))

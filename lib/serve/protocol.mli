@@ -1,0 +1,117 @@
+(** The [datalogd] wire protocol, version 1.
+
+    A line protocol over a stream socket: LF-terminated UTF-8 lines of
+    space-separated tokens, options as [key=value] tokens (values never
+    contain spaces — the attached statistics JSON is space-free by
+    construction). [LOAD] and [FACTS] are followed by a payload — raw
+    program / fact lines — terminated by a line holding a single [.].
+
+    {v
+    request  = HELLO [tenant=NAME]
+             | LOAD NAME          ; + program lines, then "."
+             | FACTS NAME         ; + fact lines, then "."
+             | QUERY id=ID prog=NAME [goal=PRED] [rows=true]
+                     [stats=true] [deadline-ms=N] [max-store=N]
+                     [nprocs=N] [scheme=general|auto]
+                     [runtime=sim|domain]
+             | STATS | PING | QUIT
+    reply    = DATALOGD/1 READY                        ; greeting
+             | OK op k=v...                            ; hello/load/facts
+             | RESULT id=I status=ok rows=N scheme=S [stats=J]
+             | PARTIAL id=I reason=K rows=0 scheme=S [stats=J]
+             | ROW tuple                               ; with rows=true
+             | END id=I                                ; closes RESULT/PARTIAL
+             | BUSY [id=I] reason=K retry-after-ms=M   ; admission reject
+             | RETRY id=I retry-after-ms=M             ; id still in flight
+             | STATS {json} | PONG | BYE reason=K | ERR code message...
+    v}
+
+    A [QUERY] is idempotent under its [id]: a completed request's reply
+    is cached and replayed byte-identically, so a client may retry a
+    lost or rejected request with the same id and never double-executes
+    it. [RESULT]/[PARTIAL] open a multi-line reply closed by [END];
+    every other reply is a single line. *)
+
+val version : int
+
+val max_payload_lines : int
+(** Upper bound on LOAD/FACTS payload lines accepted by the server. *)
+
+val valid_name : string -> bool
+(** Names (tenants, programs, request ids, goals) are nonempty
+    [[A-Za-z0-9_.-]] strings of at most 128 bytes, so they are always
+    single reply tokens. *)
+
+(** {1 Requests} *)
+
+type query = {
+  q_id : string;  (** Idempotency key, unique per tenant per request. *)
+  q_prog : string;  (** Resident dataset to query. *)
+  q_goal : string option;  (** Restrict counted/returned rows to one predicate. *)
+  q_rows : bool;  (** Send [ROW] lines (default: counts only). *)
+  q_stats : bool;  (** Attach schema-2 [Stats.to_json] to the head line. *)
+  q_deadline_ms : int option;  (** Wall-clock budget, clamped to the server cap. *)
+  q_max_store : int option;  (** Per-processor store budget, clamped likewise. *)
+  q_nprocs : int option;  (** Processor count (default: server setting). *)
+  q_scheme : [ `General | `Auto ];
+  q_runtime : [ `Default | `Sim | `Domain ];
+}
+
+type request =
+  | Hello of string option  (** Optional tenant name. *)
+  | Load of string
+  | Facts of string
+  | Query of query
+  | Stats
+  | Ping
+  | Quit
+
+val parse_request : string -> (request, string) result
+
+(** {1 Replies} *)
+
+type head =
+  | Ready of { proto : int }
+  | Okay of { op : string; kv : (string * string) list }
+  | Result_head of {
+      id : string;
+      partial : bool;
+      reason : string option;  (** Set iff [partial]. *)
+      rows : int;
+      scheme : string;
+      stats : string option;
+    }
+  | Row of string
+  | End_of_result of { id : string }
+  | Busy of { id : string option; reason : string; retry_after_ms : int }
+  | Retry of { id : string; retry_after_ms : int }
+  | Stats_reply of string
+  | Pong
+  | Bye of { reason : string }
+  | Err of { code : string; msg : string }
+
+val classify : string -> (head, string) result
+(** Parse one reply line (client side). *)
+
+(** {1 Reply formatting (server side)} *)
+
+val greeting : string
+val busy : ?id:string -> reason:string -> retry_after_ms:int -> unit -> string
+val retry : id:string -> retry_after_ms:int -> string
+
+val result_head :
+  ?stats:string -> id:string -> rows:int -> scheme:string -> unit -> string
+
+val partial_head :
+  ?stats:string -> id:string -> reason:string -> scheme:string -> unit -> string
+
+val end_of_result : id:string -> string
+val row : string -> string
+val err : code:string -> string -> string
+val bye : reason:string -> string
+
+(** {1 Token helpers} *)
+
+val tokens : string -> string list
+val kv_list : string list -> (string * string) list
+val find_kv : (string * string) list -> string -> string option

@@ -1,0 +1,103 @@
+(** The [datalogd] daemon engine.
+
+    A persistent multi-tenant query server speaking {!Protocol} over a
+    Unix-domain or loopback TCP socket. Programs and their extensional
+    databases stay resident between requests; queries are scheduled
+    onto the PR 2 runtimes under the PR 3 overload watchdog.
+
+    {2 Robustness model}
+
+    - {b Admission control.} At most [max_sessions] connections; at
+      most [max_inflight] queries evaluating at once, with a bounded
+      wait queue of [queue_depth] and a per-tenant cap of
+      [tenant_inflight]. Overflow is answered immediately with [BUSY]
+      and a retry hint — never a silent hang.
+    - {b Budgets and deadlines.} Each query runs under
+      {!Pardatalog.Run_config.t} limits: its own [deadline-ms] /
+      [max-store] clamped to the server caps, or the server defaults.
+    - {b Graceful degradation.} A budget breach is not an error: the
+      watchdog's partial statistics come back as a [PARTIAL] reply
+      tagged with {!Pardatalog.Overload.reason_kind}.
+    - {b Idempotency.} Completed query replies are cached per
+      [(tenant, id)] and replayed byte-identically, so clients retry
+      safely; a duplicate of an in-flight id gets [RETRY].
+    - {b Drain.} {!request_stop} (wired to SIGTERM by [datalogd])
+      stops accepting, lets in-flight queries finish, wakes idle
+      sessions with [BYE reason=draining], and force-closes stragglers
+      after [drain_grace] seconds. {!await} joins every session thread
+      before returning — no leaked sessions.
+
+    Loads swap a fresh {!Datalog.Database.copy} into the dataset
+    registry, so a running query keeps its immutable snapshot. *)
+
+type addr = Unix_sock of string | Tcp of int
+(** [Tcp p] binds loopback only — the daemon has no authentication. *)
+
+val pp_addr : Format.formatter -> addr -> unit
+
+type config = {
+  addr : addr;
+  nprocs : int;  (** Default processor count per query. *)
+  runtime : [ `Sim | `Domain ];  (** Default runtime. *)
+  seed : int;  (** Hash seed for scheme constructors. *)
+  max_sessions : int;  (** Concurrent connections cap. *)
+  max_inflight : int;  (** Queries evaluating at once. *)
+  queue_depth : int;  (** Admission wait-queue bound; 0 = reject when full. *)
+  tenant_inflight : int;  (** Per-tenant in-flight cap. *)
+  default_deadline_ms : int option;  (** Applied when the query sets none. *)
+  deadline_cap_ms : int option;  (** Upper clamp on requested deadlines. *)
+  max_store_cap : int option;  (** Upper clamp on requested store budgets. *)
+  cache_size : int;  (** Idempotency cache entries; 0 disables replay. *)
+  retry_after_ms : int;  (** Hint attached to BUSY / RETRY replies. *)
+  drain_grace : float;  (** Seconds to wait for in-flight work on drain. *)
+  hold_eval_ms : int;
+      (** Artificial service time added to every evaluation — a test
+          knob making saturation (BUSY) and duplicate-in-flight (RETRY)
+          reproducible. 0 in production. *)
+  fault : Pardatalog.Fault.plan;  (** Injected into every query's run. *)
+}
+
+val default_config : addr -> config
+
+val validate_config : config -> (unit, string) result
+
+type t
+
+type drain_result = {
+  drained_sessions : int;  (** Session threads joined over the lifetime. *)
+  forced_sessions : int;  (** Sessions still open when the grace expired. *)
+  replies_busy : int;
+  queries_ok : int;
+  queries_partial : int;
+}
+
+val start : ?metrics:Obs.Metrics.t -> config -> (t, string) result
+(** Bind, listen, and spawn the accept thread. A stale Unix socket
+    file left by a crashed daemon is reclaimed if nothing answers on
+    it. *)
+
+val request_stop : t -> unit
+(** Signal-handler safe: a single pipe write. *)
+
+val await : t -> drain_result
+(** Block until {!request_stop}, then drain and join every session
+    thread. Idempotent — a second call returns the same result. *)
+
+val stop : t -> drain_result
+(** {!request_stop} followed by {!await}. *)
+
+val metrics : t -> Obs.Metrics.t
+val active_sessions : t -> int
+
+val load_program : t -> string -> string -> (int, string) result
+(** [load_program t name text] parses and registers a program under
+    [name] (used by [datalogd --load] preloading and by the LOAD
+    verb). Returns the rule count. *)
+
+val add_facts : t -> string -> string -> (int * int, string) result
+(** [add_facts t name text] parses fact lines and swaps an extended
+    EDB copy into dataset [name]. Returns [(added, total)] tuples. *)
+
+val stats_json : t -> string
+(** The STATS reply body: one-line JSON
+    [{"schema":1,"kind":"datalogd-stats",...}]. *)

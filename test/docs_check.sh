@@ -1,11 +1,12 @@
 #!/bin/sh
 # Documentation-consistency guard: the flag tables in README.md
-# (between the "begin/end par flags" and "begin/end check flags"
-# markers) must list exactly the flags the CLI accepts.  A flag added
-# to the CLI without a README row -- or a row for a flag that no
-# longer exists -- fails `dune runtest` (alias @docs) with a diff.
+# (between the "begin/end par flags", "begin/end check flags" and
+# "begin/end datalogd flags" markers) must list exactly the flags the
+# CLIs accept.  A flag added to a CLI without a README row -- or a row
+# for a flag that no longer exists -- fails `dune runtest` (alias
+# @docs) with a diff.
 #
-# Usage: docs_check.sh DATALOGP README
+# Usage: docs_check.sh DATALOGP DATALOGD README
 #
 # The flag name is the first `--token` of a table row's first cell; on
 # the --help side it is every long option named on an option line
@@ -13,7 +14,8 @@
 set -eu
 
 datalogp=$1
-readme=$2
+datalogd=$2
+readme=$3
 
 readme_flags () {
   sed -n "/begin $1 flags/,/end $1 flags/p" "$readme" \
@@ -22,29 +24,36 @@ readme_flags () {
 }
 
 help_flags () {
-  "$datalogp" "$1" --help=plain \
+  "$@" --help=plain \
     | sed -n '/^OPTIONS/,/^EXIT STATUS/p' \
     | grep -E '^       -' \
     | grep -oE -- '--[a-z][a-z-]*' \
     | grep -vE '^--(help|version)$' | sort
 }
 
-status=0
-for cmd in par check; do
-  readme_flags "$cmd" > "readme-$cmd"
-  help_flags "$cmd" > "help-$cmd"
-  if ! diff -u "readme-$cmd" "help-$cmd" > "diff-$cmd"; then
-    echo "README $cmd flag table is out of sync with '$datalogp $cmd --help':"
-    cat "diff-$cmd"
+check_table () {
+  table=$1
+  shift
+  readme_flags "$table" > "readme-$table"
+  help_flags "$@" > "help-$table"
+  if ! diff -u "readme-$table" "help-$table" > "diff-$table"; then
+    echo "README $table flag table is out of sync with '$* --help':"
+    cat "diff-$table"
     echo "(lines with '-' are README rows for flags the CLI lacks;"
     echo " lines with '+' are CLI flags missing a README row)"
     status=1
   fi
-done
+}
+
+status=0
+check_table par "$datalogp" par
+check_table check "$datalogp" check
+check_table datalogd "$datalogd"
 
 # A sanity check that the extraction is not vacuously empty: an empty
 # side would make the diff pass trivially if the markers went missing.
-for f in readme-par help-par readme-check help-check; do
+for f in readme-par help-par readme-check help-check \
+         readme-datalogd help-datalogd; do
   if ! [ -s "$f" ]; then
     echo "docs_check: extracted flag list '$f' is empty;"
     echo "are the README table markers or --help format intact?"

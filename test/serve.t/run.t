@@ -1,0 +1,142 @@
+Exit-code conventions and wire replies of the datalogd daemon. The
+conventions mirror `datalogp par`: 0 success, 1 error, 2 usage,
+3 BUSY (overload), 4 PARTIAL (degraded answer). Saturation cases get
+a wide deterministic window via --hold-eval-ms.
+
+Usage errors exit 2, like every other tool in the suite.
+
+  $ datalogd
+  datalogd: server mode needs --socket PATH or --port N (or use --connect)
+  [2]
+
+  $ datalogd --socket d.sock --port 99
+  datalogd: --socket and --port are exclusive
+  [2]
+
+A server with a resident program, loaded at startup. Clients speak
+the line protocol on stdin; replies appear on stdout.
+
+  $ cat > anc.dl <<'EOF'
+  > anc(X,Y) :- par(X,Y).
+  > anc(X,Y) :- par(X,Z), anc(Z,Y).
+  > EOF
+  $ for i in 0 1 2 3 4 5 6 7 8; do echo "par($i,$((i+1)))."; done > chain.dl
+  $ datalogd --socket d.sock --runtime sim -j 2 --load anc=anc.dl \
+  >   --facts anc=chain.dl --metrics-out metrics.json \
+  >   > server.log 2>&1 &
+  $ SRV=$!
+
+PING, a query, and a clean QUIT: exit 0. (The client retries the
+connect while the server is still binding, so no sleep is needed.)
+
+  $ printf 'PING\nQUERY id=q1 prog=anc\nQUIT\n' | datalogd --connect d.sock
+  DATALOGD/1 READY
+  PONG
+  RESULT id=q1 status=ok rows=45 scheme=general
+  END id=q1
+  BYE reason=client
+
+Requests are idempotent by id: a new connection re-sending id=q1 gets
+the cached reply byte for byte, with no second evaluation.
+
+  $ printf 'QUERY id=q1 prog=anc\n' | datalogd --connect d.sock
+  DATALOGD/1 READY
+  RESULT id=q1 status=ok rows=45 scheme=general
+  END id=q1
+
+Programs and facts can also arrive over the wire; rows=true streams
+the answer relation.
+
+  $ printf 'LOAD tc\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n.\nFACTS tc\nedge(1,2).\nedge(2,3).\n.\nQUERY id=a prog=tc rows=true\n' \
+  >   | datalogd --connect d.sock
+  DATALOGD/1 READY
+  OK load prog=tc rules=2
+  OK facts prog=tc tuples=2 total=2
+  RESULT id=a status=ok rows=3 scheme=general
+  ROW path(1, 2)
+  ROW path(1, 3)
+  ROW path(2, 3)
+  END id=a
+
+Graceful degradation: a query that trips its per-request store budget
+comes back PARTIAL with the overload reason, and the client exits 4.
+
+  $ printf 'QUERY id=p1 prog=anc max-store=1\n' | datalogd --connect d.sock
+  DATALOGD/1 READY
+  PARTIAL id=p1 reason=store_budget rows=0 scheme=general
+  END id=p1
+  [4]
+
+Protocol and evaluation errors are clean ERR replies, exit 1.
+
+  $ printf 'QUERY id=x prog=nosuch\n' | datalogd --connect d.sock
+  DATALOGD/1 READY
+  ERR unknown-prog no program named nosuch; LOAD it first
+  [1]
+
+  $ printf 'GARBAGE\n' | datalogd --connect d.sock
+  DATALOGD/1 READY
+  ERR proto unknown verb GARBAGE
+  [1]
+
+STATS reports the admission gauges, outcome counters, and resident
+programs as one JSON line. (The session gauge depends on how quickly
+closed peers are reaped, so only the deterministic counter and
+program objects are pinned here.)
+
+  $ printf 'STATS\n' | datalogd --connect d.sock | grep -o '"counters":{[^}]*}'
+  "counters":{"accepted":7,"rejected_busy":0,"queries_ok":2,"queries_partial":1,"replays":1,"retry_inflight":0,"protocol_errors":2}
+  $ printf 'STATS\n' | datalogd --connect d.sock | grep -o '"programs":.*'
+  "programs":{"anc":{"rules":2,"facts":9},"tc":{"rules":2,"facts":2}}}
+
+SIGTERM drains: in-flight work finishes, the socket is unlinked,
+metrics are flushed, and the server exits 0.
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ grep 'drained' server.log
+  datalogd: drained ok=2 partial=1 busy=0 sessions=8 forced=0
+  $ test ! -e d.sock && echo unlinked
+  unlinked
+  $ grep -o '"serve.active_sessions":0' metrics.json
+  "serve.active_sessions":0
+
+Overload: a saturated server (one evaluation slot, no queue) answers
+BUSY immediately instead of hanging, with a retry hint.
+
+  $ datalogd --socket d2.sock --runtime sim --max-inflight 1 \
+  >   --queue-depth 0 --tenant-inflight 2 --hold-eval-ms 1000 \
+  >   --retry-after-ms 10 --load anc=anc.dl --facts anc=chain.dl \
+  >   > server2.log 2>&1 &
+  $ SRV2=$!
+  $ printf 'QUERY id=slow prog=anc\n' | datalogd --connect d2.sock \
+  >   > slow.out 2>&1 &
+  $ SLOW=$!
+  $ sleep 0.4
+
+  $ printf 'QUERY id=q9 prog=anc\n' | datalogd --connect d2.sock
+  DATALOGD/1 READY
+  BUSY id=q9 reason=queue retry-after-ms=10
+  [3]
+
+A duplicate of an in-flight id is RETRY, not a second execution.
+
+  $ printf 'QUERY id=slow prog=anc\n' | datalogd --connect d2.sock
+  DATALOGD/1 READY
+  RETRY id=slow retry-after-ms=10
+  [3]
+
+A client with --retry (jittered exponential backoff) recovers once
+the slot frees, and the parked query still completes.
+
+  $ printf 'QUERY id=q9 prog=anc\n' | datalogd --connect d2.sock \
+  >   --retry --retry-max 30 --jitter-seed 1
+  DATALOGD/1 READY
+  RESULT id=q9 status=ok rows=45 scheme=general
+  END id=q9
+  $ wait $SLOW
+  $ grep -c 'RESULT id=slow status=ok rows=45' slow.out
+  1
+
+  $ kill -TERM $SRV2
+  $ wait $SRV2

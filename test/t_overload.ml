@@ -401,6 +401,43 @@ let mailbox_cases =
         Alcotest.(check bool) "occupancy never exceeded the bound" true
           (!max_len <= cap);
         Alcotest.(check int) "nothing dropped" 0 (Mailbox.dropped mb));
+    case "close during blocked pushes never hangs (stress)" (fun () ->
+        (* The push_blocking/close race: producers parked on a full
+           mailbox while another thread closes it. Every producer must
+           wake promptly with [false] — the audited invariant is that
+           both condition variables are broadcast under the same mutex
+           that guards the closed flag, so no sleeper can miss the
+           wake-up. A regression here makes this test hang, which is
+           the point: it pins "never hangs", not a timing. *)
+        for _ = 1 to 10 do
+          let cap = 2 and producers = 6 and per_producer = 25 in
+          let mb = Mailbox.create ~capacity:cap () in
+          let doms =
+            List.init producers (fun p ->
+                Domain.spawn (fun () ->
+                    let accepted = ref 0 in
+                    (try
+                       for i = 0 to per_producer - 1 do
+                         if Mailbox.push_blocking mb ((p * per_producer) + i)
+                         then incr accepted
+                         else raise Exit
+                       done
+                     with Exit -> ());
+                    !accepted))
+          in
+          (* Let some producers fill the mailbox and block, then slam
+             the door while they are parked. *)
+          let drained = List.length (Mailbox.drain_timeout mb ~seconds:0.002) in
+          Mailbox.close mb;
+          let accepted =
+            List.fold_left (fun acc d -> acc + Domain.join d) 0 doms
+          in
+          let leftovers = List.length (Mailbox.drain_blocking mb) in
+          Alcotest.(check int) "accepted = delivered + queued at close"
+            accepted (drained + leftovers);
+          Alcotest.(check bool) "at most one refusal per producer" true
+            (Mailbox.dropped mb <= producers)
+        done);
     case "close wakes a producer blocked on a full mailbox" (fun () ->
         let mb = Mailbox.create ~capacity:1 () in
         Alcotest.(check bool) "first push fits" true
@@ -433,6 +470,77 @@ let mailbox_cases =
            with Invalid_argument _ -> true));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Dial boundary properties                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Random controller parameters and observation trajectories. The
+   boundary of interest is low_water = high_water (now legal): a single
+   backlog value would satisfy both the raise and the decay condition,
+   so the controller must be a declared no-op there instead of
+   oscillating. *)
+type dial_cfg = {
+  dc_alpha : float;  (* resting alpha — also the decay floor *)
+  dc_step : float;
+  dc_low : int;
+  dc_high : int;
+  dc_nprocs : int;
+  dc_obs : (int * int) list;  (* (pid, backlog) feed *)
+}
+
+let dial_cfg_gen =
+  QCheck.Gen.(
+    let* dc_alpha = oneofl [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+    let* dc_step = oneofl [ 0.1; 0.25; 0.5; 1.0 ] in
+    let* dc_high = int_range 1 8 in
+    let* dc_low = int_range 0 dc_high in
+    let* dc_nprocs = int_range 1 4 in
+    let* dc_obs =
+      list_size (int_range 0 80)
+        (pair (int_range 0 (dc_nprocs - 1)) (int_range 0 (2 * dc_high)))
+    in
+    return { dc_alpha; dc_step; dc_low; dc_high; dc_nprocs; dc_obs })
+
+let dial_cfg_arb =
+  QCheck.make dial_cfg_gen ~print:(fun c ->
+      Printf.sprintf "alpha=%.2f step=%.2f low=%d high=%d nprocs=%d obs=[%s]"
+        c.dc_alpha c.dc_step c.dc_low c.dc_high c.dc_nprocs
+        (String.concat ";"
+           (List.map (fun (p, b) -> Printf.sprintf "%d:%d" p b) c.dc_obs)))
+
+let run_dial c =
+  let d =
+    Overload.dial ~alpha:c.dc_alpha ~step:c.dc_step ~low_water:c.dc_low
+      ~high_water:c.dc_high ~nprocs:c.dc_nprocs ()
+  in
+  List.iter (fun (pid, backlog) -> Overload.observe d ~pid ~backlog) c.dc_obs;
+  d
+
+let prop_dial_bounds =
+  QCheck.Test.make ~count:300
+    ~name:"dial alpha never leaves [resting, 1] on any trajectory"
+    dial_cfg_arb
+    (fun c ->
+      let d = run_dial c in
+      List.for_all
+        (fun pid ->
+          let a = Overload.alpha d pid in
+          a >= c.dc_alpha -. 1e-9 && a <= 1.0 +. 1e-9)
+        (List.init c.dc_nprocs Fun.id))
+
+let prop_dial_noop =
+  QCheck.Test.make ~count:150
+    ~name:"dial with low_water = high_water is a no-op"
+    dial_cfg_arb
+    (fun c ->
+      let c = { c with dc_low = c.dc_high } in
+      let d = run_dial c in
+      List.for_all
+        (fun pid -> Overload.alpha d pid = c.dc_alpha)
+        (List.init c.dc_nprocs Fun.id)
+      && Overload.raises d = 0
+      && Overload.decays d = 0)
+
 let suites =
   [
     ("overload-backpressure", backpressure_cases);
@@ -441,5 +549,8 @@ let suites =
     ("overload-mailbox", mailbox_cases);
     ( "overload-props",
       List.map QCheck_alcotest.to_alcotest
-        [ prop_adaptive_sim; prop_adaptive_domain ] );
+        [
+          prop_adaptive_sim; prop_adaptive_domain; prop_dial_bounds;
+          prop_dial_noop;
+        ] );
   ]

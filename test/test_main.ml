@@ -2,7 +2,7 @@
 
 let () =
   Alcotest.run "pardatalog"
-    (T_basics.suites @ T_relation.suites @ T_syntax.suites
+    (T_basics.suites @ T_relation.suites @ T_syntax.suites @ T_serve.suites
    @ T_analysis.suites @ T_eval.suites @ T_hash.suites @ T_rewrite.suites
    @ T_network.suites @ T_parallel.suites @ T_strategy.suites
    @ T_stratified.suites @ T_decompose.suites @ T_dscholten.suites @ T_props.suites @ T_random_sirups.suites @ T_edge_cases.suites @ T_coverage.suites
