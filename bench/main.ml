@@ -1236,6 +1236,134 @@ let plan_bench () =
   Format.printf "  wrote BENCH_PLAN.json@."
 
 (* ------------------------------------------------------------------ *)
+(* NET: domains vs processes, and the price of crash recovery.         *)
+(* ------------------------------------------------------------------ *)
+
+(* The same rewrite drives both executors, so the comparison isolates
+   the runtime: shared-memory mailboxes between domains against
+   length-prefixed frames over Unix-domain sockets between forked
+   processes, with the coordinator relaying every batch. Workers
+   rebuild the rewrite from program text, hence the inline source. *)
+let net_text = "anc(X,Y) :- par(X,Y).\nanc(X,Y) :- anc(X,Z), par(Z,Y).\n"
+(* Discriminating on Y (not the preserved X) keeps tuples migrating,
+   so the wire actually carries the recursion's traffic. *)
+let net_spec = Net.Wire.Spec_q { ve = [ "Y" ]; vr = [ "Y" ] }
+
+(* Wide failure-detector window: on an oversubscribed box (the bench
+   often shares one core with its own workers) a busy worker can miss
+   the default 1s heartbeat deadline and trigger a spurious restart,
+   which inflates the message counts the bench asserts exact. Real
+   worker death is caught by socket EOF regardless, so recovery
+   latency in the crash study is unaffected. *)
+let net_run ?(config = Run_config.default) ~procs rw ~edb =
+  Net.Net_runtime.run ~config ~program:net_text ~spec:net_spec ~seed:0 ~procs
+    ~hb_ms:100 ~hb_miss_limit:100 ~spawn:Net.Net_runtime.Fork rw ~edb
+
+let net_bench () =
+  let program = Parser.program_exn net_text in
+  let rw =
+    Result.get_ok
+      (Strategy.hash_q ~seed:0 ~nprocs:4 ~ve:[ "Y" ] ~vr:[ "Y" ] program)
+  in
+  let edges = Workload.Graphgen.chain 400 in
+  let edb = edb_of edges in
+  let seq_db, _ = Seminaive.evaluate program edb in
+  let seq_t =
+    median_time (fun () -> ignore (Seminaive.evaluate program edb))
+  in
+  Format.printf "  chain-400; sequential semi-naive: %.3fs@." seq_t;
+  Format.printf "  %-22s %9s %9s %9s %12s@." "executor (N=4)" "time(s)"
+    "speedup" "msgs" "wire-bytes";
+  let runs = ref [] in
+  let record name t (r : Sim_runtime.result) =
+    let tr = r.Sim_runtime.stats.Stats.transport in
+    Format.printf "  %-22s %9.3f %9.2f %9d %12d@." name t (seq_t /. t)
+      (Stats.total_messages r.Sim_runtime.stats)
+      (tr.Stats.bytes_sent + tr.Stats.bytes_received);
+    runs := (name, t, r) :: !runs;
+    r
+  in
+  (* Forked rows first: creating a domain poisons Unix.fork for the
+     rest of the process, so the domain comparison row must come after
+     every process-based run (including the recovery study below). *)
+  let nets =
+    List.map
+      (fun procs ->
+        let t, r = time_once (fun () -> net_run ~procs rw ~edb) in
+        record (Printf.sprintf "processes x%d" procs) t r)
+      [ 1; 2; 4 ]
+  in
+  (* Recovery: SIGKILL one worker a few rounds in (the scheduled-crash
+     path is a genuine self-SIGKILL) and measure the wall-clock price
+     of supervision, restart, checkpoint restore and history replay. *)
+  let plan =
+    Fault.make
+      ~crashes:[ { Fault.cr_pid = 1; cr_round = 5; cr_down = 1 } ]
+      ~checkpoint_every:4 ()
+  in
+  let base_t, _ = time_once (fun () -> net_run ~procs:4 rw ~edb) in
+  let crash_t, crash_r =
+    time_once (fun () ->
+        net_run ~config:Run_config.(default |> with_fault plan) ~procs:4 rw
+          ~edb)
+  in
+  let cf = crash_r.Sim_runtime.stats.Stats.faults in
+  let ct = crash_r.Sim_runtime.stats.Stats.transport in
+  (* Only now is it safe to create domains. *)
+  let dom =
+    let t, r = time_once (fun () -> Domain_runtime.run rw ~edb) in
+    record "domains" t r
+  in
+  claim "net runtime pools the sequential answer"
+    (List.for_all
+       (fun (r : Sim_runtime.result) ->
+         Relation.equal (Database.get seq_db "anc")
+           (Database.get r.Sim_runtime.answers "anc"))
+       nets);
+  claim "message volume matches the domain runtime (same rewrite)"
+    (List.for_all
+       (fun (r : Sim_runtime.result) ->
+         Stats.total_messages r.Sim_runtime.stats
+         = Stats.total_messages dom.Sim_runtime.stats)
+       nets);
+  Format.printf
+    "  recovery: fault-free %.3fs, mid-run SIGKILL %.3fs (+%.0f%%); %d \
+     restart(s), %d restore(s), %d tuple(s) replayed@."
+    base_t crash_t
+    ((crash_t -. base_t) /. base_t *. 100.)
+    ct.Stats.worker_restarts cf.Stats.restores cf.Stats.replayed;
+  claim "mid-run SIGKILL recovers to the exact answer"
+    (Relation.equal (Database.get seq_db "anc")
+       (Database.get crash_r.Sim_runtime.answers "anc"));
+  claim "the supervisor restarted and restored the killed worker"
+    (ct.Stats.worker_restarts >= 1 && cf.Stats.restores >= 1);
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema\":1,\"bench\":\"NET\",\"workload\":\"chain-400\",\"nprocs\":4,\"sequential_s\":%.4f,\"runs\":["
+       seq_t);
+  List.iteri
+    (fun i (name, t, (r : Sim_runtime.result)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let tr = r.Sim_runtime.stats.Stats.transport in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%S,\"time_s\":%.4f,\"messages\":%d,\"bytes_sent\":%d,\"bytes_received\":%d}"
+           name t
+           (Stats.total_messages r.Sim_runtime.stats)
+           tr.Stats.bytes_sent tr.Stats.bytes_received))
+    (List.rev !runs);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"recovery\":{\"fault_free_s\":%.4f,\"mid_run_kill_s\":%.4f,\"worker_restarts\":%d,\"restores\":%d,\"replayed\":%d,\"wire_retransmits\":%d}}\n"
+       base_t crash_t ct.Stats.worker_restarts cf.Stats.restores
+       cf.Stats.replayed ct.Stats.wire_retransmits);
+  let oc = open_out "BENCH_NET.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "  wrote BENCH_NET.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match regression_baseline with
@@ -1243,6 +1371,14 @@ let () =
   | None -> ()
 
 let () =
+  (* `net` forks worker processes, and OCaml forbids Unix.fork for the
+     rest of the process once any domain (or thread) has been created
+     — so the fork-based section must run before every section that
+     touches the domain runtime or the daemon. Its own domain
+     comparison row therefore runs after the forked rows inside the
+     section. *)
+  section "net" "multi-process runtime - domains vs processes, recovery"
+    net_bench;
   section "f1" "Figure 1 - dataflow graph of Example 4" f1;
   section "f2" "Figure 2 - dataflow graph of ancestor; Theorem 3" f2;
   section "f3" "Figure 3 - minimal network of Example 6" f3;

@@ -294,11 +294,43 @@ let par_cmd =
   let runtime_arg =
     Arg.(
       value
-      & opt (enum [ ("sim", `Sim); ("domain", `Domain) ]) `Sim
+      & opt (enum [ ("sim", `Sim); ("domain", `Domain); ("net", `Net) ]) `Sim
       & info [ "runtime" ] ~docv:"RT"
           ~doc:
             "$(b,sim) = deterministic simulated rounds (default); \
-             $(b,domain) = OCaml domains.")
+             $(b,domain) = OCaml domains; $(b,net) = one worker OS \
+             process per --procs slot, coordinated over sockets.")
+  in
+  let procs_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "procs" ] ~docv:"P"
+          ~doc:
+            "With --runtime net: number of worker processes (clamped \
+             to the processor count; default 4).")
+  in
+  let net_transport_arg =
+    Arg.(
+      value
+      & opt (enum [ ("unix", `Unix); ("tcp", `Tcp) ]) `Unix
+      & info [ "net-transport" ] ~docv:"T"
+          ~doc:
+            "With --runtime net: $(b,unix) sockets (default) or \
+             loopback $(b,tcp).")
+  in
+  let net_partition_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "net-partition" ] ~docv:"PR"
+          ~doc:
+            "With --runtime net: probability in [0,1) that a channel's \
+             current frame window is cut by the fault shim.")
+  in
+  let net_hb_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "net-hb-ms" ] ~docv:"MS"
+          ~doc:"With --runtime net: heartbeat period in milliseconds.")
   in
   let domains_arg =
     Arg.(
@@ -544,15 +576,31 @@ let par_cmd =
       $ max_outbox_arg $ max_rounds_arg $ adaptive_arg $ high_water_arg)
   in
   let action program edb_file scheme nprocs seed ve vr alpha plan_file auto
-      runtime domains detector verify fault overload trace_file metrics_file
-      json quiet verbose =
+      runtime procs net_transport net_partition net_hb domains detector
+      verify fault overload trace_file metrics_file json quiet verbose =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level Sim_runtime.log_src (Some Logs.Debug)
     end;
     check_alpha alpha;
     let capacity, limits, max_rounds, adaptive, high_water = overload in
-    let program = load_program program in
+    if runtime = `Net && adaptive then begin
+      Format.eprintf
+        "--adaptive is coordinator-stateful; not supported with --runtime \
+         net@.";
+      exit 2
+    end;
+    (* The net runtime re-parses the program in every worker, so it
+       needs the source text, not just the parsed value. *)
+    let program_path = program in
+    let program_text = read_file program_path in
+    let program =
+      match Parser.program program_text with
+      | Ok p -> p
+      | Error e ->
+        Format.eprintf "%s: %a@." program_path Parser.pp_error e;
+        exit 2
+    in
     let edb = load_edb edb_file in
     let plan_reject (r : Plan.reject) =
       Format.eprintf "%a@." Plan.pp_reject r;
@@ -592,6 +640,12 @@ let par_cmd =
     let nprocs =
       match plan with Some p -> p.Plan.nprocs | None -> nprocs
     in
+    if runtime = `Net && plan = None && scheme = `Example2 then begin
+      Format.eprintf
+        "scheme example2 partitions the EDB with coordinator-local state; \
+         not supported with --runtime net@.";
+      exit 2
+    end;
     let dial =
       if adaptive then
         Some (Overload.dial ~alpha ~high_water ~nprocs ())
@@ -667,7 +721,26 @@ let par_cmd =
         match
           (match runtime with
           | `Sim -> Sim_runtime.run ~config rw ~edb
-          | `Domain -> Domain_runtime.run ~config rw ~edb)
+          | `Domain -> Domain_runtime.run ~config rw ~edb
+          | `Net ->
+            let spec =
+              match (plan, dial) with
+              | Some p, _ -> Net.Wire.Spec_plan (Plan.to_json p)
+              | None, Some _ -> assert false (* rejected above *)
+              | None, None -> (
+                match scheme with
+                | `Q -> Net.Wire.Spec_q { ve; vr }
+                | `Nocomm -> Net.Wire.Spec_nocomm
+                | `Example2 -> assert false (* rejected above *)
+                | `Example3 -> Net.Wire.Spec_example3
+                | `Wolfson -> Net.Wire.Spec_wolfson
+                | `Tradeoff -> Net.Wire.Spec_tradeoff alpha
+                | `General -> Net.Wire.Spec_general)
+            in
+            Net.Net_runtime.run ~config ~program:program_text ~spec ~seed
+              ~procs ~transport:net_transport ~partition:net_partition
+              ~hb_ms:net_hb
+              ~spawn:(Net.Net_runtime.Exec Sys.executable_name) rw ~edb)
         with
         | result ->
           write_sinks ();
@@ -693,9 +766,43 @@ let par_cmd =
     Term.(
       const action $ program_arg $ edb_arg $ scheme_arg $ nprocs_arg
       $ seed_arg $ ve_arg $ vr_arg $ alpha_arg $ plan_arg $ auto_arg
-      $ runtime_arg $ domains_arg $ detector_arg $ verify_arg $ fault_term
+      $ runtime_arg $ procs_arg $ net_transport_arg $ net_partition_arg
+      $ net_hb_arg $ domains_arg $ detector_arg $ verify_arg $ fault_term
       $ overload_term $ trace_arg $ metrics_arg $ json_arg $ quiet_arg
       $ verbose_arg)
+
+(* ---------------------------------------------------------------- *)
+(* worker (internal, spawned by the net runtime's coordinator)        *)
+(* ---------------------------------------------------------------- *)
+
+let worker_cmd =
+  let doc =
+    "Internal: a net-runtime worker process (spawned by $(b,par \
+     --runtime net); not for interactive use)."
+  in
+  let addr_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "addr" ] ~docv:"ADDR"
+          ~doc:"Coordinator address: $(b,unix:PATH) or $(b,tcp:PORT).")
+  in
+  let worker_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "worker" ] ~docv:"W" ~doc:"Worker slot index.")
+  in
+  let inc_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "inc" ] ~docv:"I" ~doc:"Incarnation number.")
+  in
+  let action addr worker inc =
+    exit (Net.Net_runtime.worker_main ~addr ~worker ~inc)
+  in
+  Cmd.v (Cmd.info "worker" ~doc)
+    Term.(const action $ addr_arg $ worker_arg $ inc_arg)
 
 (* ---------------------------------------------------------------- *)
 (* rewrite                                                           *)
@@ -1032,5 +1139,6 @@ let () =
   let doc = "parallel bottom-up Datalog evaluation (Ganguly-Silberschatz-Tsur)" in
   let info = Cmd.info "datalogp" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-                    [ run_cmd; query_cmd; par_cmd; dong_cmd; rewrite_cmd; dataflow_cmd;
-                      network_cmd; check_cmd; gen_cmd ]))
+                    [ run_cmd; query_cmd; par_cmd; worker_cmd; dong_cmd;
+                      rewrite_cmd; dataflow_cmd; network_cmd; check_cmd;
+                      gen_cmd ]))

@@ -1,0 +1,39 @@
+type t = {
+  base_ms : int;
+  cap_ms : int;
+  jitter : int -> int;
+}
+
+let make ?(base_ms = 5) ?(cap_ms = 500) ?(jitter = fun _ -> 0) () =
+  { base_ms = max 1 base_ms; cap_ms = max 1 cap_ms; jitter }
+
+let base_ms t = t.base_ms
+let cap_ms t = t.cap_ms
+
+(* The shift is clamped so the exponent cannot overflow the int range
+   even after hundreds of attempts; the cap bites long before 2^16
+   anyway for realistic configurations. *)
+let delay_ms ?(hint_ms = 0) t k =
+  let exp = t.base_ms * (1 lsl min (max k 0) 16) in
+  let d = min t.cap_ms exp + t.jitter k in
+  max hint_ms (max 1 d)
+
+(* splitmix64-style finalizer: cheap, stateless, and good enough to
+   decorrelate retry schedules across seeds. *)
+let mix64 x =
+  let x = Int64.add x 0x9E3779B97F4A7C15L in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 30))
+      0xBF58476D1CE4E5B9L in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27))
+      0x94D049BB133111EBL in
+  Int64.logxor x (Int64.shift_right_logical x 31)
+
+let seeded_jitter ~seed ~span_ms k =
+  if span_ms <= 0 then 0
+  else
+    let h = mix64 (Int64.of_int ((seed * 1_000_003) lxor k)) in
+    Int64.to_int (Int64.rem (Int64.logand h Int64.max_int)
+                    (Int64.of_int span_ms))
+
+let sleep ?hint_ms t k =
+  Unix.sleepf (float_of_int (delay_ms ?hint_ms t k) /. 1000.)

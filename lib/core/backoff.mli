@@ -1,0 +1,39 @@
+(** Jittered exponential backoff.
+
+    One policy shared by every retry loop in the system: the serve
+    client waiting out a BUSY daemon, the net runtime re-dialling a
+    coordinator, and the supervisor pacing worker restarts. The delay
+    for attempt [k] (0-based) is
+
+    {v max hint (max 1 (min cap (base * 2^min(k,16)) + jitter k)) v}
+
+    i.e. exponential growth from [base_ms] capped at [cap_ms], plus an
+    attempt-indexed jitter, never below 1 ms, and never below a
+    server-supplied retry hint. *)
+
+type t
+
+val make : ?base_ms:int -> ?cap_ms:int -> ?jitter:(int -> int) -> unit -> t
+(** [make ()] is the policy used by {!Serve.Client.request_retry}:
+    [base_ms = 5], [cap_ms = 500], no jitter. The jitter function
+    receives the attempt index and returns extra milliseconds; it is
+    added {e after} the cap so a positive jitter always desynchronizes
+    retriers even at the ceiling. *)
+
+val base_ms : t -> int
+val cap_ms : t -> int
+
+val delay_ms : ?hint_ms:int -> t -> int -> int
+(** [delay_ms ?hint_ms t k] is the delay before retry [k] (the first
+    retry is [k = 0]). [hint_ms] is a lower bound — a server's
+    "retry after" — honored even when it exceeds the cap. Always
+    [>= 1]. *)
+
+val seeded_jitter : seed:int -> span_ms:int -> int -> int
+(** A deterministic jitter function: attempt [k] under [seed] yields a
+    stable pseudo-random value in [\[0, span_ms)]. Distinct seeds
+    (e.g. per worker id) decorrelate the retry storms of processes
+    that crashed together. [span_ms <= 0] yields 0. *)
+
+val sleep : ?hint_ms:int -> t -> int -> unit
+(** [sleep ?hint_ms t k] blocks for [delay_ms ?hint_ms t k]. *)

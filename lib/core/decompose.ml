@@ -243,6 +243,7 @@ let run program ~nprocs edb =
       pooled_tuples = !pooled;
       trace = [];
       faults = Stats.no_faults;
+      transport = Stats.no_transport;
       peak_in_flight = 0;
       phase_ns = [];
     }

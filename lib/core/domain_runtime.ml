@@ -819,6 +819,7 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
             (match dial with Some d -> Overload.raises d | None -> 0)
           ~alpha_decays:
             (match dial with Some d -> Overload.decays d | None -> 0);
+      transport = Stats.no_transport;
       peak_in_flight;
       phase_ns;
     }

@@ -54,6 +54,25 @@ let no_faults =
     alpha_decays = 0;
   }
 
+type transport = {
+  reconnects : int;
+  wire_retransmits : int;
+  heartbeat_misses : int;
+  worker_restarts : int;
+  bytes_sent : int;
+  bytes_received : int;
+}
+
+let no_transport =
+  {
+    reconnects = 0;
+    wire_retransmits = 0;
+    heartbeat_misses = 0;
+    worker_restarts = 0;
+    bytes_sent = 0;
+    bytes_received = 0;
+  }
+
 type t = {
   nprocs : int;
   rounds : int;
@@ -62,6 +81,7 @@ type t = {
   pooled_tuples : int;
   trace : int array list;
   faults : faults;
+  transport : transport;
   peak_in_flight : int;
   phase_ns : (string * int) list;
 }
@@ -171,21 +191,30 @@ let pp ppf t =
       "overload: mailbox-drops=%d credit-stalls=%d alpha-raises=%d \
        alpha-decays=%d@,"
       f.mailbox_drops f.credit_stalls f.alpha_raises f.alpha_decays;
+  let w = t.transport in
+  if w <> no_transport then
+    Format.fprintf ppf
+      "transport: reconnects=%d wire-retransmits=%d hb-misses=%d \
+       restarts=%d sent=%dB recv=%dB@,"
+      w.reconnects w.wire_retransmits w.heartbeat_misses w.worker_restarts
+      w.bytes_sent w.bytes_received;
   Format.fprintf ppf "@]"
 
-(* Versioned machine-readable snapshot ("schema": 2), shared by
+(* Versioned machine-readable snapshot ("schema": 3), shared by
    `datalogp par --json`, the Obs metrics snapshot, the bench baseline
    files and datalogd's per-query attribution. Hand-rolled: the values
-   are ints and two enum-like strings. Schema 2 is additive over
-   schema 1: it adds "scheme" (the plan/scheme identifier the run
+   are ints and two enum-like strings. Schema 2 was additive over
+   schema 1: it added "scheme" (the plan/scheme identifier the run
    executed under) and "outcome" (how the run ended — "ok", or an
    overload/budget kind), so a consumer of a PARTIAL server reply can
-   attribute the degradation without re-parsing CLI output. *)
+   attribute the degradation without re-parsing CLI output. Schema 3
+   is additive over schema 2: it adds "transport" (wire-level counters
+   of the multi-process runtime — all zero in-process). *)
 let to_json ?(scheme = "unspecified") ?(outcome = "ok") t =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add
-    "{\"schema\":2,\"scheme\":%S,\"outcome\":%S,\"nprocs\":%d,\"rounds\":%d,\"pooled\":%d,\"peak_in_flight\":%d,"
+    "{\"schema\":3,\"scheme\":%S,\"outcome\":%S,\"nprocs\":%d,\"rounds\":%d,\"pooled\":%d,\"peak_in_flight\":%d,"
     scheme outcome t.nprocs t.rounds t.pooled_tuples t.peak_in_flight;
   add "\"phase_ns\":{%s},"
     (String.concat ","
@@ -220,10 +249,15 @@ let to_json ?(scheme = "unspecified") ?(outcome = "ok") t =
     (String.concat "," (List.map string_of_int (frontier_profile t)));
   let f = t.faults in
   add
-    "\"faults\":{\"drops\":%d,\"dups_injected\":%d,\"dups_suppressed\":%d,\"delays\":%d,\"reorders\":%d,\"retransmits\":%d,\"acks\":%d,\"crashes\":%d,\"recoveries\":%d,\"replayed\":%d,\"checkpoints\":%d,\"restores\":%d,\"mailbox_drops\":%d,\"credit_stalls\":%d,\"alpha_raises\":%d,\"alpha_decays\":%d}}"
+    "\"faults\":{\"drops\":%d,\"dups_injected\":%d,\"dups_suppressed\":%d,\"delays\":%d,\"reorders\":%d,\"retransmits\":%d,\"acks\":%d,\"crashes\":%d,\"recoveries\":%d,\"replayed\":%d,\"checkpoints\":%d,\"restores\":%d,\"mailbox_drops\":%d,\"credit_stalls\":%d,\"alpha_raises\":%d,\"alpha_decays\":%d}"
     f.drops f.dups_injected f.dups_suppressed f.delays f.reorders
     f.retransmits f.acks f.crashes f.recoveries f.replayed f.checkpoints
     f.restores f.mailbox_drops f.credit_stalls f.alpha_raises f.alpha_decays;
+  let w = t.transport in
+  add
+    ",\"transport\":{\"reconnects\":%d,\"wire_retransmits\":%d,\"heartbeat_misses\":%d,\"worker_restarts\":%d,\"bytes_sent\":%d,\"bytes_received\":%d}}"
+    w.reconnects w.wire_retransmits w.heartbeat_misses w.worker_restarts
+    w.bytes_sent w.bytes_received;
   Buffer.contents buf
 
 let pp_summary ppf t =

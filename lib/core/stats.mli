@@ -55,6 +55,28 @@ type faults = {
 val no_faults : faults
 (** All-zero counters — the value reported by fault-free runs. *)
 
+type transport = {
+  reconnects : int;
+      (** Socket connections (re-)established beyond each worker's
+          first successful dial: extra connect attempts plus
+          post-crash re-dials. *)
+  wire_retransmits : int;
+      (** Payload frames retransmitted over a real socket after an ack
+          timeout (a subset of {!faults.retransmits} for the net
+          runtime; 0 for in-process runtimes). *)
+  heartbeat_misses : int;
+      (** Heartbeat intervals that elapsed without news from a live
+          worker, as seen by the failure detector. *)
+  worker_restarts : int;  (** Worker processes respawned by the supervisor. *)
+  bytes_sent : int;  (** Bytes written to worker sockets by the coordinator. *)
+  bytes_received : int;  (** Bytes read from worker sockets. *)
+}
+(** Wire-level counters of the multi-process runtime. All zero
+    ({!no_transport}) for the in-process runtimes. *)
+
+val no_transport : transport
+(** All-zero transport counters. *)
+
 type t = {
   nprocs : int;
   rounds : int;
@@ -70,6 +92,9 @@ type t = {
   faults : faults;
       (** Reliable-delivery and recovery counters; {!no_faults} when
           the run executed on the idealized architecture. *)
+  transport : transport;
+      (** Wire-level counters; {!no_transport} unless the run crossed
+          process boundaries (the net runtime). *)
   peak_in_flight : int;
       (** Largest per-channel in-flight occupancy observed. Tracked
           only when a channel capacity is set (0 otherwise), and then
@@ -121,7 +146,7 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : ?scheme:string -> ?outcome:string -> t -> string
 (** A stable, versioned machine-readable snapshot. The top-level
-    object carries ["schema": 2]; future field additions keep existing
+    object carries ["schema": 3]; future field additions keep existing
     keys and bump the schema only on incompatible changes. Shared by
     [datalogp par --json], the {!Obs.Metrics} snapshot, the bench
     baselines ([BENCH_PR4.json]) and the [datalogd] query protocol.
@@ -132,7 +157,13 @@ val to_json : ?scheme:string -> ?outcome:string -> t -> string
     run executed under (e.g. ["nocomm"], ["general"], ["adaptive"]);
     [outcome] (default ["ok"]) is how the run ended — ["ok"], or the
     structured abort kind ({!Overload.reason_kind}: ["deadline"],
-    ["store_budget"], ["outbox_budget"], or ["round_budget"]). *)
+    ["store_budget"], ["outbox_budget"], or ["round_budget"]).
+
+    Schema 3 adds the additive ["transport"] object ({!transport}:
+    reconnects, wire retransmits, heartbeat misses, worker restarts,
+    bytes sent/received) so a recovery by the multi-process runtime's
+    supervisor is attributable from [par --json] and the bench
+    baselines. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** A one-line summary. *)

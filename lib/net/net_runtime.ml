@@ -1,0 +1,1709 @@
+open Datalog
+module Fault = Pardatalog.Fault
+module Stats = Pardatalog.Stats
+module Overload = Pardatalog.Overload
+module Rewrite = Pardatalog.Rewrite
+module Run_config = Pardatalog.Run_config
+module Strategy = Pardatalog.Strategy
+module Plan = Pardatalog.Plan
+module Backoff = Pardatalog.Backoff
+module Sim_runtime = Pardatalog.Sim_runtime
+
+let log_src = Logs.Src.create "pardatalog.net" ~doc:"Multi-process runtime"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let debug = (try Sys.getenv "DATALOGP_NET_DEBUG" <> "" with Not_found -> false)
+
+let dbg fmt =
+  if debug then Printf.eprintf (fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+(* ------------------------------------------------------------------ *)
+(* Addresses                                                          *)
+
+type addr = Aunix of string | Atcp of int
+
+let parse_addr s =
+  match String.index_opt s ':' with
+  | Some i ->
+    let kind = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    (match kind with
+     | "unix" -> Aunix rest
+     | "tcp" -> Atcp (int_of_string rest)
+     | _ -> invalid_arg ("Net_runtime: bad address " ^ s))
+  | None -> invalid_arg ("Net_runtime: bad address " ^ s)
+
+let addr_to_string = function
+  | Aunix p -> "unix:" ^ p
+  | Atcp port -> "tcp:" ^ string_of_int port
+
+let sockaddr_of = function
+  | Aunix p -> Unix.ADDR_UNIX p
+  | Atcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let socket_of = function
+  | Aunix _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+  | Atcp _ ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+    fd
+
+(* ------------------------------------------------------------------ *)
+(* Shared pieces                                                      *)
+
+module Key = struct
+  type t = string * Tuple.t
+
+  let equal (p1, t1) (p2, t2) = String.equal p1 p2 && Tuple.equal t1 t2
+  let hash (p, t) = (Hashtbl.hash p * 0x01000193) lxor Tuple.hash t
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+(* Every worker rebuilds the rewrite from the program text and the
+   scheme spec. Determinism note: symbol routing hashes depend on
+   interning order, so workers intern identically — the program text
+   first, then the EDB in wire order — and derived tuples cannot
+   introduce new symbols. *)
+let build_rewrite spec ~seed ~nprocs program =
+  let r =
+    match (spec : Wire.scheme_spec) with
+    | Spec_q { ve; vr } -> Strategy.hash_q ~seed ~nprocs ~ve ~vr program
+    | Spec_nocomm -> Strategy.no_communication ~seed ~nprocs program
+    | Spec_example3 -> Strategy.example3 ~seed ~nprocs program
+    | Spec_wolfson -> Strategy.wolfson_redundant ~seed ~nprocs program
+    | Spec_tradeoff alpha -> Strategy.tradeoff ~seed ~nprocs ~alpha program
+    | Spec_general -> Strategy.general ~seed ~nprocs program
+    | Spec_plan json ->
+      (match Plan.of_json json with
+       | Error r -> Error (Format.asprintf "%a" Plan.pp_reject r)
+       | Ok plan ->
+         (match Plan.to_rewrite plan program with
+          | Error r -> Error (Format.asprintf "%a" Plan.pp_reject r)
+          | Ok rw -> Ok rw))
+  in
+  match r with
+  | Ok rw -> rw
+  | Error e -> invalid_arg ("Net_runtime: scheme rebuild failed: " ^ e)
+
+let build_edb (rw : Rewrite.t) edb pid =
+  let local = Database.create () in
+  List.iter
+    (fun pred ->
+      match Database.find edb pred with
+      | None -> ()
+      | Some rel ->
+        let target = Database.declare local pred (Relation.arity rel) in
+        Relation.iter
+          (fun t ->
+            if rw.resident pid pred t then ignore (Relation.add target t))
+          rel)
+    (Database.predicates edb);
+  local
+
+let is_out_pred pred = Rewrite.out_pred (Rewrite.original_pred pred) = pred
+let is_derived_pred pred = Rewrite.original_pred pred <> pred
+
+let rec waitpid_retry flags pid =
+  try Unix.waitpid flags pid
+  with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry flags pid
+
+let now () = Unix.gettimeofday ()
+
+(* ================================================================== *)
+(* Worker                                                             *)
+(* ================================================================== *)
+
+exception Worker_exit of int
+
+type pending = {
+  pd_batch : (string * Tuple.t) list;
+  pd_replay : bool;
+  mutable pd_attempt : int;
+  mutable pd_retry_at : float;
+}
+
+type wproc = {
+  pid : int;
+  mutable engine : Seminaive.t;
+  mutable local_rounds : int;
+  mutable last_ckpt : int;
+  base_resident : int;
+  channel_seen : unit Ktbl.t array;
+  next_seq : int array;
+  unacked : (int, pending) Hashtbl.t array;
+  (* (src pid, src incarnation, seq) — the incarnation in the key makes
+     sequence reuse by a restarted peer harmless. *)
+  seen : (int * int * int, unit) Hashtbl.t;
+  (* Receipts not yet shipped in a checkpoint: checkpoints carry only
+     this delta and the coordinator accumulates. *)
+  mutable seen_new : (int * int * int) list;
+  pending : (string * Tuple.t * bool) Queue.t array;
+  credit_used : int array;
+  inflight_size : (int, int) Hashtbl.t array;
+  mutable received : int;
+  mutable accepted : int;
+  sent_row : int array;
+  mutable outbox_peak_rows : int;
+  mutable outbox_peak_bytes : int;
+  mutable crashes_fired : int list;
+  (* Derived-store growth since the last checkpoint (bootstrap and
+     step products, accepted wire injections): the next checkpoint
+     ships this instead of scanning the whole store. *)
+  mutable ckpt_acc : (string * Tuple.t) list;
+  (* Derived tuples already shipped in a checkpoint (or restored from
+     one): checkpoints carry only the delta, the coordinator
+     accumulates. *)
+  dumped : unit Ktbl.t;
+}
+
+let snap_of ~store p : Wire.psnap =
+  let es = Seminaive.stats p.engine in
+  let rows, bytes =
+    if store then
+      let db = Seminaive.database p.engine in
+      (Overload.db_rows db, Overload.db_bytes db)
+    else (0, 0)
+  in
+  {
+    ps_pid = p.pid;
+    ps_iterations = es.Seminaive.iterations;
+    ps_firings = es.Seminaive.firings;
+    ps_new = es.Seminaive.new_tuples;
+    ps_dup = es.Seminaive.duplicate_firings;
+    ps_sent_row = Array.copy p.sent_row;
+    ps_received = p.received;
+    ps_accepted = p.accepted;
+    ps_base_resident = p.base_resident;
+    ps_store_rows = rows;
+    ps_store_bytes = bytes;
+    ps_outbox_rows = p.outbox_peak_rows;
+    ps_outbox_bytes = p.outbox_peak_bytes;
+    ps_rounds = p.local_rounds;
+  }
+
+(* All derived (@in/@out) tuples of the engine: the checkpoint
+   payload. *)
+let worker_body ~addr ~worker ~inc =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let a = parse_addr addr in
+  (* Dial with jittered exponential backoff; the attempt count rides
+     the Hello so the coordinator can report reconnects. *)
+  let dial = Backoff.make ~base_ms:2 ~cap_ms:200 () in
+  let attempts = ref 0 in
+  let sock =
+    let fd = ref None in
+    while !fd = None do
+      let s = socket_of a in
+      (match Unix.connect s (sockaddr_of a) with
+       | () -> fd := Some s
+       | exception
+           Unix.Unix_error
+             ( ( Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET
+               | Unix.EAGAIN | Unix.EINTR ),
+               _,
+               _ ) ->
+         Unix.close s;
+         incr attempts;
+         if !attempts > 500 then raise (Worker_exit 3);
+         Backoff.sleep dial !attempts);
+    done;
+    Option.get !fd
+  in
+  (* Worker output is queued and flushed nonblocking: a full socket
+     buffer must never block the worker away from reading frames or
+     heartbeating, or the failure detector mistakes a busy worker
+     under backpressure for a dead one and the supervisor's SIGKILL
+     turns congestion into a restart storm. *)
+  let outq : string Queue.t = Queue.create () in
+  let out_off = ref 0 in
+  let write frame = Queue.push (Wire.encode frame) outq in
+  let flush_out () =
+    try
+      while not (Queue.is_empty outq) do
+        let s = Queue.peek outq in
+        let n =
+          Unix.write_substring sock s !out_off (String.length s - !out_off)
+        in
+        out_off := !out_off + n;
+        if !out_off = String.length s then begin
+          ignore (Queue.pop outq);
+          out_off := 0
+        end
+      done
+    with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+    | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      raise (Worker_exit 3)
+  in
+  (* Drain everything before an exit or a self-SIGKILL, so Done, Bye
+     and Crashing frames reach the coordinator. *)
+  let flush_blocking () =
+    while not (Queue.is_empty outq) do
+      (match Unix.select [] [ sock ] [] 1.0 with
+       | _, _ :: _, _ -> flush_out ()
+       | _ -> ()
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    done
+  in
+  (try ignore (Wire.write_frame sock (Wire.Hello { worker; inc; attempts = !attempts }))
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+     -> raise (Worker_exit 3));
+  dbg "w%d: hello sent (inc %d)" worker inc;
+  let reader = Wire.reader () in
+  (* The coordinator speaks Config first; frames decoded in the same
+     read are queued for the main loop. *)
+  let rec await_config () =
+    match Wire.feed reader sock with
+    | `Eof -> raise (Worker_exit 3)
+    | `Again -> await_config ()
+    | `Frames ([], _) -> await_config ()
+    | `Frames (Wire.Config cf :: rest, _) -> (cf, rest)
+    | `Frames (_, _) -> raise (Worker_exit 2)
+  in
+  let cf, early = await_config () in
+  dbg "w%d: config received (%d early frames)" worker (List.length early);
+  Unix.set_nonblock sock;
+  let plan = cf.cf_fault in
+  let faulty = (not (Fault.is_none plan)) || cf.cf_partition > 0.0 in
+  (* Retransmission is only useful when the shim can actually LOSE a
+     payload frame (drops or partitions). Sockets themselves are
+     lossless, duplication and delay resolve by themselves, frames
+     lost to a worker death are re-driven by the coordinator's history
+     replay, and acks originate at the coordinator — which cannot die
+     — so a peer's death cannot strand an [unacked] entry either.
+     Retransmitting on a crash-only plan just amplifies congestion. *)
+  let lossy = plan.Fault.drop > 0.0 || cf.cf_partition > 0.0 in
+  let ckpt_on = plan.Fault.checkpoint_every <> None in
+  let capacity = cf.cf_capacity in
+  let credited = capacity <> None in
+  let limits = cf.cf_limits in
+  let nprocs = cf.cf_nprocs in
+  let program =
+    match Parser.program cf.cf_program with
+    | Ok p -> p
+    | Error e ->
+      Log.err (fun m -> m "worker %d: bad program: %a" worker Parser.pp_error e);
+      raise (Worker_exit 2)
+  in
+  let edb = Database.create () in
+  List.iter (fun wr -> ignore (Wire.add_wrel edb wr)) cf.cf_edb;
+  let rw = build_rewrite cf.cf_spec ~seed:cf.cf_seed ~nprocs program in
+  let send_specs_for =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (s : Rewrite.send_spec) ->
+        Hashtbl.replace tbl s.ss_pred
+          (s :: Option.value ~default:[] (Hashtbl.find_opt tbl s.ss_pred)))
+      rw.sends;
+    fun pred -> Option.value ~default:[] (Hashtbl.find_opt tbl pred)
+  in
+  let own_pids =
+    List.filter (fun pid -> pid mod cf.cf_procs = worker)
+      (List.init nprocs Fun.id)
+  in
+  let procs =
+    List.map
+      (fun pid ->
+        let local_edb = build_edb rw edb pid in
+        {
+          pid;
+          engine =
+            Seminaive.create ~pushdown:cf.cf_pushdown rw.programs.(pid)
+              ~edb:local_edb;
+          local_rounds = 0;
+          last_ckpt = 0;
+          base_resident = Database.total_tuples local_edb;
+          channel_seen = Array.init nprocs (fun _ -> Ktbl.create 64);
+          next_seq = Array.make nprocs 0;
+          unacked = Array.init nprocs (fun _ -> Hashtbl.create 8);
+          seen = Hashtbl.create 64;
+          seen_new = [];
+          pending = Array.init nprocs (fun _ -> Queue.create ());
+          credit_used = Array.make nprocs 0;
+          inflight_size = Array.init nprocs (fun _ -> Hashtbl.create 8);
+          received = 0;
+          accepted = 0;
+          sent_row = Array.make nprocs 0;
+          outbox_peak_rows = 0;
+          outbox_peak_bytes = 0;
+          crashes_fired =
+            Option.value ~default:[] (List.assoc_opt pid cf.cf_crashes_done);
+          ckpt_acc = [];
+          dumped = Ktbl.create 256;
+        })
+      own_pids
+  in
+  let proc_of =
+    let tbl = Hashtbl.create 8 in
+    List.iter (fun p -> Hashtbl.add tbl p.pid p) procs;
+    fun pid -> Hashtbl.find tbl pid
+  in
+  let fc = Fault.counters () in
+  let credit_stalls = ref 0 in
+  let peak_in_flight = ref 0 in
+  let breached = ref false in
+  let frames_received = ref 0 in
+  (* The first retransmission waits well past a loaded coordinator's
+     ack round-trip, so a fault-free run never retransmits; later
+     attempts back off exponentially. *)
+  let retx = Backoff.make ~base_ms:20 ~cap_ms:160 () in
+  let transmit_batch p dst seq pd =
+    let attempt = pd.pd_attempt in
+    pd.pd_attempt <- attempt + 1;
+    pd.pd_retry_at <-
+      now () +. (float_of_int (Backoff.delay_ms retx attempt) /. 1000.);
+    write
+      (Wire.Data
+         {
+           src = p.pid;
+           dst;
+           inc;
+           seq;
+           attempt;
+           replay = pd.pd_replay;
+           batch = Wire.of_batch pd.pd_batch;
+         })
+  in
+  let send_entries p dst entries =
+    if entries <> [] then begin
+      let seq = p.next_seq.(dst) in
+      p.next_seq.(dst) <- seq + 1;
+      List.iter
+        (fun (_, _, replay) ->
+          if replay then fc.Fault.n_replayed <- fc.Fault.n_replayed + 1
+          else p.sent_row.(dst) <- p.sent_row.(dst) + 1)
+        entries;
+      let batch = List.map (fun (pred, tuple, _) -> (pred, tuple)) entries in
+      let replay = List.for_all (fun (_, _, r) -> r) entries in
+      if credited then begin
+        let size = List.length entries in
+        p.credit_used.(dst) <- p.credit_used.(dst) + size;
+        if p.credit_used.(dst) > !peak_in_flight then
+          peak_in_flight := p.credit_used.(dst);
+        Hashtbl.replace p.inflight_size.(dst) seq size
+      end;
+      let pd = { pd_batch = batch; pd_replay = replay;
+                 pd_attempt = 0; pd_retry_at = 0.0 } in
+      if faulty then Hashtbl.replace p.unacked.(dst) seq pd;
+      transmit_batch p dst seq pd
+    end
+  in
+  let flush_pending p =
+    match capacity with
+    | None -> ()
+    | Some k ->
+      for dst = 0 to nprocs - 1 do
+        let q = p.pending.(dst) in
+        if not (Queue.is_empty q) then begin
+          let stalled = ref false in
+          while
+            (not (Queue.is_empty q))
+            && (p.credit_used.(dst) < k || (stalled := true; false))
+          do
+            let room = k - p.credit_used.(dst) in
+            let entries = ref [] in
+            let count = ref 0 in
+            while !count < room && not (Queue.is_empty q) do
+              entries := Queue.pop q :: !entries;
+              incr count
+            done;
+            send_entries p dst (List.rev !entries)
+          done;
+          if !stalled then incr credit_stalls
+        end
+      done
+  in
+  let dispatch_out ~replay p dst batch =
+    if not credited then
+      send_entries p dst (List.map (fun (pred, t) -> (pred, t, replay)) batch)
+    else begin
+      List.iter
+        (fun (pred, t) -> Queue.add (pred, t, replay) p.pending.(dst))
+        batch;
+      flush_pending p
+    end
+  in
+  let track_outbox_peak p =
+    if credited then begin
+      let rows = ref 0 in
+      Array.iter (fun q -> rows := !rows + Queue.length q) p.pending;
+      if !rows > p.outbox_peak_rows then begin
+        p.outbox_peak_rows <- !rows;
+        let bytes = ref 0 in
+        Array.iter
+          (fun q ->
+            Queue.iter
+              (fun (_, t, _) -> bytes := !bytes + (Tuple.arity t * 8))
+              q)
+          p.pending;
+        p.outbox_peak_bytes <- !bytes
+      end
+    end
+  in
+  let route ~replay p produced =
+    let batches = Array.make nprocs [] in
+    List.iter
+      (fun (out_name, tuple) ->
+        let pred = Rewrite.original_pred out_name in
+        if List.mem pred rw.derived then
+          List.iter
+            (fun (s : Rewrite.send_spec) ->
+              List.iter
+                (fun dst ->
+                  let seen = p.channel_seen.(dst) in
+                  if not (Ktbl.mem seen (pred, tuple)) then begin
+                    Ktbl.add seen (pred, tuple) ();
+                    batches.(dst) <- (pred, tuple) :: batches.(dst)
+                  end)
+                (s.ss_route p.pid tuple))
+            (send_specs_for pred))
+      produced;
+    Array.iteri
+      (fun dst batch ->
+        if batch <> [] then dispatch_out ~replay p dst (List.rev batch))
+      batches;
+    track_outbox_peak p
+  in
+  let pump_retransmits () =
+    let t = now () in
+    List.iter
+      (fun p ->
+        Array.iteri
+          (fun dst tbl ->
+            Hashtbl.iter
+              (fun seq pd ->
+                if pd.pd_retry_at <= t then begin
+                  fc.Fault.n_retransmits <- fc.Fault.n_retransmits + 1;
+                  transmit_batch p dst seq pd
+                end)
+              tbl)
+          p.unacked)
+      procs
+  in
+  (* A scheduled crash is a genuine SIGKILL: flush a courtesy notice
+     carrying the counters that die with the process, then kill
+     ourselves. The coordinator records the fired round so the
+     restarted worker does not re-fire it. *)
+  let maybe_crash p =
+    match Fault.crash_at plan ~pid:p.pid ~round:p.local_rounds with
+    | Some c when not (List.mem c.Fault.cr_round p.crashes_fired) ->
+      p.crashes_fired <- c.Fault.cr_round :: p.crashes_fired;
+      write
+        (Wire.Crashing
+           {
+             pid = p.pid;
+             round = c.Fault.cr_round;
+             snaps = List.map (snap_of ~store:false) procs;
+           });
+      flush_blocking ();
+      Unix.kill (Unix.getpid ()) Sys.sigkill
+    | _ -> ()
+  in
+  let maybe_checkpoint p =
+    match plan.Fault.checkpoint_every with
+    | Some k when p.local_rounds > p.last_ckpt && p.local_rounds mod k = 0 ->
+      p.last_ckpt <- p.local_rounds;
+      fc.Fault.n_checkpoints <- fc.Fault.n_checkpoints + 1;
+      (* Ship only the derived tuples the coordinator has not seen in
+         an earlier checkpoint of this state: a full dump every few
+         rounds is O(rounds x store) on the wire and congests the
+         coordinator into false failure detections. [ckpt_acc] is the
+         store growth since the last checkpoint, so neither the dump
+         nor this filter ever rescans the store. *)
+      let delta =
+        let acc = p.ckpt_acc in
+        p.ckpt_acc <- [];
+        List.filter
+          (fun (pred, t) ->
+            if Ktbl.mem p.dumped (pred, t) then false
+            else begin
+              Ktbl.replace p.dumped (pred, t) ();
+              true
+            end)
+          acc
+      in
+      (* Receipts are deltas for the same reason as the tuples: the
+         full table is O(frames) and would be re-marshalled on every
+         checkpoint. *)
+      let seen_delta = p.seen_new in
+      p.seen_new <- [];
+      write
+        (Wire.Checkpoint
+           {
+             pid = p.pid;
+             inc;
+             round = p.local_rounds;
+             tuples = Wire.of_batch delta;
+             seen = seen_delta;
+           })
+    | _ -> ()
+  in
+  let check_limits p =
+    if not !breached then begin
+      (match limits.Overload.max_store_rows with
+       | Some lim ->
+         let rows = Overload.db_rows (Seminaive.database p.engine) in
+         if rows > lim then begin
+           breached := true;
+           write
+             (Wire.Breach
+                { reason = Overload.Store_budget { pid = p.pid; rows; limit = lim } })
+         end
+       | None -> ());
+      match limits.Overload.max_outbox_rows with
+      | Some lim when not !breached ->
+        let rows = ref 0 in
+        Array.iter (fun q -> rows := !rows + Queue.length q) p.pending;
+        Array.iter
+          (fun tbl -> Hashtbl.iter (fun _ s -> rows := !rows + s) tbl)
+          p.inflight_size;
+        if !rows > lim then begin
+          breached := true;
+          write
+            (Wire.Breach
+               { reason = Overload.Outbox_budget { pid = p.pid; rows = !rows; limit = lim } })
+        end
+      | _ -> ()
+    end
+  in
+  (* Record derived-store growth for the next checkpoint delta —
+     every insertion flows through here or [accept_batch], so a scan
+     of the whole store at checkpoint time is never needed. *)
+  let ckpt_note p produced =
+    if ckpt_on then
+      List.iter
+        (fun ((name, _) as nt) ->
+          if is_derived_pred name then p.ckpt_acc <- nt :: p.ckpt_acc)
+        produced
+  in
+  let accept_batch p batch =
+    List.iter
+      (fun (pred, tuple) ->
+        p.received <- p.received + 1;
+        let ip = Rewrite.in_pred pred in
+        if Seminaive.inject p.engine ip tuple then begin
+          p.accepted <- p.accepted + 1;
+          if ckpt_on then p.ckpt_acc <- (ip, tuple) :: p.ckpt_acc
+        end)
+      (Wire.to_batch batch)
+  in
+  (* Restore from checkpoint dumps: a fresh engine over the base
+     fragment, every dumped derived tuple injected (so its
+     consequences re-derive), and — because [step] never returns
+     injected tuples — the dumped @out tuples re-routed explicitly
+     with [replay] marking (receivers dedup by content). *)
+  let restores =
+    List.filter (fun (r : Wire.restore) -> List.mem_assoc r.rs_pid
+                    (List.map (fun p -> (p.pid, ())) procs))
+      cf.cf_restores
+  in
+  let injected = ref 0 in
+  List.iter
+    (fun (r : Wire.restore) ->
+      let p = proc_of r.rs_pid in
+      p.local_rounds <- r.rs_round;
+      p.last_ckpt <- r.rs_round;
+      List.iter
+        (fun (pred, t) ->
+          ignore (Seminaive.inject p.engine pred t);
+          (* These tuples are already at the coordinator; future
+             checkpoints ship only what this incarnation adds. *)
+          Ktbl.replace p.dumped (pred, t) ();
+          incr injected;
+          (* A large restore must not look like death to the failure
+             detector: keep heartbeats flowing while injecting. *)
+          if !injected land 2047 = 0 then begin
+            write
+              (Wire.Heartbeat
+                 { worker; inc; snaps = List.map (snap_of ~store:false) procs });
+            flush_out ()
+          end)
+        (Wire.to_batch r.rs_tuples))
+    restores;
+  List.iter
+    (fun p ->
+      let produced = Seminaive.bootstrap p.engine in
+      ckpt_note p produced;
+      route ~replay:false p produced)
+    procs;
+  List.iter
+    (fun (r : Wire.restore) ->
+      let p = proc_of r.rs_pid in
+      let outs =
+        List.filter (fun (pred, _) -> is_out_pred pred)
+          (Wire.to_batch r.rs_tuples)
+      in
+      route ~replay:true p outs)
+    restores;
+  let all_idle () =
+    List.for_all
+      (fun p ->
+        (not (Seminaive.has_pending p.engine))
+        && Array.for_all (fun tbl -> Hashtbl.length tbl = 0) p.unacked
+        && Array.for_all Queue.is_empty p.pending)
+      procs
+  in
+  let answers_of p =
+    let db = Seminaive.database p.engine in
+    List.filter_map
+      (fun pred ->
+        match Database.find db (Rewrite.out_pred pred) with
+        | None -> None
+        | Some rel ->
+          Some
+            {
+              Wire.wr_pred = pred;
+              wr_arity = Relation.arity rel;
+              wr_tuples =
+                List.rev
+                  (Relation.fold (fun t acc -> Wire.of_tuple t :: acc) rel []);
+            })
+      rw.derived
+  in
+  let handle frame =
+    incr frames_received;
+    match (frame : Wire.frame) with
+    | Data { src; dst; inc = sinc; seq; attempt = _; replay = _; batch } ->
+      (* No ack here: the coordinator acks on receipt (its replay
+         history guarantees delivery), so an ack can never die with a
+         destination worker. *)
+      let p = proc_of dst in
+      if faulty && Hashtbl.mem p.seen (src, sinc, seq) then
+        fc.Fault.n_dups_suppressed <- fc.Fault.n_dups_suppressed + 1
+      else begin
+        if faulty then begin
+          Hashtbl.replace p.seen (src, sinc, seq) ();
+          p.seen_new <- (src, sinc, seq) :: p.seen_new
+        end;
+        accept_batch p batch
+      end
+    | Tack { src; dst; inc = tinc; seq } ->
+      (* [src] is our processor: the ack of [Data src->dst seq]. Acks
+         addressed to a previous incarnation are stale. *)
+      if tinc = inc then begin
+        let p = proc_of src in
+        if Hashtbl.mem p.unacked.(dst) seq then begin
+          Hashtbl.remove p.unacked.(dst) seq;
+          fc.Fault.n_acks <- fc.Fault.n_acks + 1
+        end;
+        if credited then
+          match Hashtbl.find_opt p.inflight_size.(dst) seq with
+          | Some size ->
+            Hashtbl.remove p.inflight_size.(dst) seq;
+            p.credit_used.(dst) <- p.credit_used.(dst) - size;
+            flush_pending p
+          | None -> ()
+      end
+    | Inject { dst; batch } -> accept_batch (proc_of dst) batch
+    | Probe { epoch } ->
+      dbg "w%d: probe %d -> idle=%b fr=%d" worker epoch (all_idle ())
+        !frames_received;
+      write
+        (Wire.Status
+           {
+             worker;
+             inc;
+             epoch;
+             idle = all_idle ();
+             frames_received = !frames_received;
+           })
+    | Stop { finish } ->
+      dbg "w%d: stop finish=%b" worker finish;
+      (* At a normal stop global quiescence is already established, so
+         running each engine to its local fixpoint without routing only
+         re-derives tuples whose routed copies were delivered long
+         ago. An overload stop reports the partial state as-is. *)
+      if finish then
+        List.iter (fun p -> Seminaive.run_to_fixpoint p.engine) procs;
+      List.iter
+        (fun p ->
+          write
+            (Wire.Done
+               {
+                 pid = p.pid;
+                 inc;
+                 snap = snap_of ~store:true p;
+                 answers = answers_of p;
+               }))
+        procs;
+      write
+        (Wire.Bye
+           {
+             worker;
+             inc;
+             faults = Fault.freeze ?mailbox_drops:None fc;
+             credit_stalls = !credit_stalls;
+             peak_in_flight = !peak_in_flight;
+           });
+      flush_blocking ();
+      raise (Worker_exit 0)
+    | Hello _ | Config _ | Status _ | Heartbeat _ | Checkpoint _
+    | Crashing _ | Breach _ | Done _ | Bye _ ->
+      ()
+  in
+  let hb_s = float_of_int (max 1 cf.cf_hb_ms) /. 1000. in
+  let last_hb = ref 0.0 in
+  let maybe_heartbeat () =
+    let t = now () in
+    if t -. !last_hb >= hb_s then begin
+      last_hb := t;
+      write
+        (Wire.Heartbeat
+           { worker; inc; snaps = List.map (snap_of ~store:false) procs })
+    end
+  in
+  let step_engines () =
+    if not !breached then
+      List.iter
+        (fun p ->
+          maybe_crash p;
+          if Seminaive.has_pending p.engine then begin
+            let produced = Seminaive.step p.engine in
+            p.local_rounds <- p.local_rounds + 1;
+            ckpt_note p produced;
+            route ~replay:false p produced;
+            maybe_checkpoint p;
+            check_limits p
+          end)
+        procs
+  in
+  List.iter handle early;
+  dbg "w%d: setup done, %d own pids" worker (List.length procs);
+  maybe_heartbeat ();
+  while true do
+    let busy =
+      (not !breached)
+      && List.exists (fun p -> Seminaive.has_pending p.engine) procs
+    in
+    let timeout = if busy then 0.0 else 0.005 in
+    let wds = if Queue.is_empty outq then [] else [ sock ] in
+    (match Unix.select [ sock ] wds [] timeout with
+     | rds, wrs, _ ->
+       if wrs <> [] then flush_out ();
+       if rds <> [] then (
+         match Wire.feed reader sock with
+         | `Eof -> raise (Worker_exit 3)
+         | `Again -> ()
+         | `Frames (fs, _) -> List.iter handle fs)
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    if lossy then pump_retransmits ();
+    step_engines ();
+    maybe_heartbeat ();
+    flush_out ()
+  done;
+  assert false
+
+let worker_main ~addr ~worker ~inc =
+  match worker_body ~addr ~worker ~inc with
+  | _ -> 0
+  | exception Worker_exit c -> c
+  | exception e ->
+    Printf.eprintf "datalogp worker %d: %s\n%!" worker (Printexc.to_string e);
+    2
+
+(* ================================================================== *)
+(* Coordinator                                                        *)
+(* ================================================================== *)
+
+type spawn = Fork | Exec of string
+
+type outq = { oq : string Queue.t; mutable oq_off : int }
+
+type slot = {
+  s_id : int;
+  mutable s_os_pid : int;  (* 0 = no live process *)
+  mutable s_inc : int;  (* incarnation expected on the next Hello *)
+  mutable s_fd : Unix.file_descr option;
+  mutable s_reader : Wire.reader;
+  s_out : outq;
+  mutable s_hold : Wire.frame list;  (* reversed; redelivered on reconfig *)
+  mutable s_configured : bool;
+  mutable s_delivered : int;  (* frames enqueued since Config *)
+  mutable s_last_heard : float;
+  mutable s_miss_reported : int;
+  mutable s_restart_at : float option;
+  mutable s_restarts : int;
+  mutable s_status : (int * bool * int) option;  (* epoch, idle, received *)
+  mutable s_stop_sent : bool;
+  mutable s_last_snaps : Wire.psnap list;
+}
+
+(* Work that died with a worker incarnation, folded into the pooled
+   statistics (engine/channel counters only: the store itself is
+   rebuilt, not lost). *)
+type lost_acc = {
+  mutable a_iter : int;
+  mutable a_fir : int;
+  mutable a_new : int;
+  mutable a_dup : int;
+  mutable a_recv : int;
+  mutable a_acc : int;
+  a_sent_row : int array;
+  mutable a_outbox_rows : int;
+  mutable a_outbox_bytes : int;
+}
+
+let tmp_counter = ref 0
+
+let listen_setup transport =
+  match transport with
+  | `Unix ->
+    incr tmp_counter;
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "datalogp-net-%d-%d.sock" (Unix.getpid ())
+           !tmp_counter)
+    in
+    (try Unix.unlink path with _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, Aunix path)
+  | `Tcp ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    Unix.listen fd 64;
+    let port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    (fd, Atcp port)
+
+let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
+    ?(partition = 0.0) ?(hb_ms = 25) ?(hb_miss_limit = 40)
+    ?(max_restarts = 8) ?(spawn = Fork) (rw : Rewrite.t) ~edb =
+  if config.Run_config.dial <> None then
+    invalid_arg "Net_runtime: the adaptive dial is not supported";
+  (match config.Run_config.plan with
+   | Some p -> Plan.validate_exn ~nprocs:rw.nprocs p rw.original
+   | None -> ());
+  Overload.validate config.Run_config.limits;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let n = rw.nprocs in
+  let nworkers = max 1 (min procs n) in
+  let plan = config.Run_config.fault in
+  let limits = config.Run_config.limits in
+  (* Mirrors the workers' [faulty || credited]: when the reliable
+     layer is on, the coordinator acks each accepted payload. *)
+  let acked =
+    (not (Fault.is_none plan))
+    || partition > 0.0
+    || config.Run_config.capacity <> None
+  in
+  let shim = Shim.create ~plan ~partition in
+  let t0 = now () in
+  (* The combined EDB every worker receives: input EDB plus the
+     program's base facts, serialized once so all workers intern its
+     symbols in the same order. *)
+  let combined_edb = Database.copy edb in
+  List.iter
+    (fun (pred, tuple) ->
+      let rel = Database.declare combined_edb pred (Tuple.arity tuple) in
+      ignore (Relation.add rel tuple))
+    rw.original.Program.facts;
+  let wedb = Wire.of_db combined_edb in
+  let listen_fd, laddr = listen_setup transport in
+  let addr_str = addr_to_string laddr in
+  let slots =
+    Array.init nworkers (fun i ->
+        {
+          s_id = i;
+          s_os_pid = 0;
+          s_inc = 0;
+          s_fd = None;
+          s_reader = Wire.reader ();
+          s_out = { oq = Queue.create (); oq_off = 0 };
+          s_hold = [];
+          s_configured = false;
+          s_delivered = 0;
+          s_last_heard = t0;
+          s_miss_reported = 0;
+          s_restart_at = None;
+          s_restarts = 0;
+          s_status = None;
+          s_stop_sent = false;
+          s_last_snaps = [];
+        })
+  in
+  let worker_of pid = pid mod nworkers in
+  let own_pids w = List.filter (fun pid -> pid mod nworkers = w) (List.init n Fun.id) in
+  let anon : (Unix.file_descr * Wire.reader) list ref = ref [] in
+  let fc = Fault.counters () in
+  let bytes_sent = ref 0 in
+  let bytes_received = ref 0 in
+  let reconnects = ref 0 in
+  let hb_misses = ref 0 in
+  let worker_restarts = ref 0 in
+  let history : (int, (int * int * int * Wire.wbatch) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let hist pid =
+    match Hashtbl.find_opt history pid with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace history pid r;
+      r
+  in
+  let payload_seen : (int * int * int * int, unit) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let dumps : (int, Wire.restore) Hashtbl.t = Hashtbl.create 8 in
+  (* Per pid: every (src, inc, seq) receipt covered by any checkpoint
+     received so far — accumulated from per-checkpoint deltas, and a
+     hashtable because restore filters the whole inbound history
+     against it. *)
+  let dump_seen : (int, (int * int * int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let dump_seen_of pid =
+    match Hashtbl.find_opt dump_seen pid with
+    | Some t -> t
+    | None ->
+      let t = Hashtbl.create 256 in
+      Hashtbl.replace dump_seen pid t;
+      t
+  in
+  let crashes_done : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  let lost : (int, lost_acc) Hashtbl.t = Hashtbl.create 8 in
+  let lost_of pid =
+    match Hashtbl.find_opt lost pid with
+    | Some a -> a
+    | None ->
+      let a =
+        { a_iter = 0; a_fir = 0; a_new = 0; a_dup = 0; a_recv = 0; a_acc = 0;
+          a_sent_row = Array.make n 0; a_outbox_rows = 0; a_outbox_bytes = 0 }
+      in
+      Hashtbl.replace lost pid a;
+      a
+  in
+  let dones : (int, Wire.psnap * Wire.wrel list) Hashtbl.t = Hashtbl.create 8 in
+  let byes : (int, Stats.faults * int * int) Hashtbl.t = Hashtbl.create 8 in
+  let delayq : (float * int * Wire.frame) list ref = ref [] in
+  let stopping = ref false in
+  let stop_finish = ref true in
+  let overload : Overload.reason option ref = ref None in
+  let probe_epoch = ref 0 in
+  let probe_open = ref false in
+  let probe_armed = ref false in
+  let probe_next_at = ref 0.0 in
+  let restart_backoff = Backoff.make ~base_ms:5 ~cap_ms:400 () in
+  let hb_s = float_of_int (max 1 hb_ms) /. 1000. in
+  let disarm () =
+    probe_armed := false;
+    probe_open := false
+  in
+  let enqueue_raw s frame =
+    Queue.add (Wire.encode frame) s.s_out.oq
+  in
+  let enqueue s frame =
+    enqueue_raw s frame;
+    s.s_delivered <- s.s_delivered + 1
+  in
+  let enqueue_to_pid pid frame =
+    let s = slots.(worker_of pid) in
+    if s.s_configured && s.s_fd <> None then enqueue s frame
+    else s.s_hold <- frame :: s.s_hold
+  in
+  let push_delay due dst frame =
+    let rec insert = function
+      | [] -> [ (due, dst, frame) ]
+      | (d, _, _) :: _ as l when due < d -> (due, dst, frame) :: l
+      | x :: rest -> x :: insert rest
+    in
+    delayq := insert !delayq
+  in
+  let close_conn s =
+    (match s.s_fd with
+     | Some fd -> (try Unix.close fd with _ -> ())
+     | None -> ());
+    s.s_fd <- None;
+    s.s_configured <- false;
+    s.s_status <- None
+  in
+  let spawn_worker s =
+    (match spawn with
+     | Fork ->
+       (match Unix.fork () with
+        | 0 ->
+          (try Unix.close listen_fd with _ -> ());
+          List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) !anon;
+          Array.iter
+            (fun s' ->
+              match s'.s_fd with
+              | Some fd -> (try Unix.close fd with _ -> ())
+              | None -> ())
+            slots;
+          let code =
+            try worker_main ~addr:addr_str ~worker:s.s_id ~inc:s.s_inc
+            with _ -> 2
+          in
+          Unix._exit code
+        | pid -> s.s_os_pid <- pid)
+     | Exec exe ->
+       let pid =
+         Unix.create_process exe
+           [|
+             exe; "worker"; "--addr"; addr_str; "--worker";
+             string_of_int s.s_id; "--inc"; string_of_int s.s_inc;
+           |]
+           Unix.stdin Unix.stdout Unix.stderr
+       in
+       s.s_os_pid <- pid);
+    s.s_last_heard <- now ();
+    s.s_miss_reported <- 0;
+    if s.s_inc > 0 then incr worker_restarts
+  in
+  let begin_stop ~finish =
+    if not !stopping then begin
+      stopping := true;
+      stop_finish := finish;
+      Array.iter
+        (fun s ->
+          if s.s_configured && s.s_fd <> None && not s.s_stop_sent then begin
+            enqueue s (Wire.Stop { finish });
+            s.s_stop_sent <- true
+          end)
+        slots
+    end
+  in
+  let configure s fd reader =
+    s.s_fd <- Some fd;
+    s.s_reader <- reader;
+    Queue.clear s.s_out.oq;
+    s.s_out.oq_off <- 0;
+    s.s_delivered <- 0;
+    s.s_status <- None;
+    s.s_stop_sent <- false;
+    let pids = own_pids s.s_id in
+    let restores =
+      List.filter_map (fun pid -> Hashtbl.find_opt dumps pid) pids
+    in
+    enqueue_raw s
+      (Wire.Config
+         {
+           cf_program = program;
+           cf_spec = spec;
+           cf_nprocs = n;
+           cf_procs = nworkers;
+           cf_seed = seed;
+           cf_pushdown = config.Run_config.pushdown;
+           cf_fault = plan;
+           cf_partition = partition;
+           cf_capacity = config.Run_config.capacity;
+           cf_limits = limits;
+           cf_edb = wedb;
+           cf_crashes_done =
+             Hashtbl.fold (fun pid rs acc -> (pid, rs) :: acc) crashes_done [];
+           cf_restores = restores;
+           cf_hb_ms = hb_ms;
+         });
+    s.s_configured <- true;
+    if s.s_inc > 0 then begin
+      fc.Fault.n_recoveries <- fc.Fault.n_recoveries + List.length pids;
+      fc.Fault.n_restores <-
+        fc.Fault.n_restores + List.length restores;
+      (* Replay each restored processor's inbound history, minus what
+         its checkpoint already covers. *)
+      List.iter
+        (fun pid ->
+          let covered = dump_seen_of pid in
+          List.iter
+            (fun (src, sinc, seq, batch) ->
+              if not (Hashtbl.mem covered (src, sinc, seq)) then begin
+                fc.Fault.n_replayed <-
+                  fc.Fault.n_replayed + List.length batch;
+                enqueue s (Wire.Inject { dst = pid; batch })
+              end)
+            (List.rev !(hist pid)))
+        pids
+    end;
+    List.iter (fun f -> enqueue s f) (List.rev s.s_hold);
+    s.s_hold <- [];
+    if !stopping then begin
+      enqueue s (Wire.Stop { finish = !stop_finish });
+      s.s_stop_sent <- true
+    end;
+    disarm ()
+  in
+  let all_done () =
+    let ok = ref true in
+    for pid = 0 to n - 1 do
+      if not (Hashtbl.mem dones pid) then ok := false
+    done;
+    !ok
+  in
+  let handle_death s =
+    (* Called when both the socket and the process are gone. *)
+    if not (List.for_all (fun pid -> Hashtbl.mem dones pid) (own_pids s.s_id))
+    then begin
+      let pids = own_pids s.s_id in
+      fc.Fault.n_crashes <- fc.Fault.n_crashes + List.length pids;
+      List.iter
+        (fun (snap : Wire.psnap) ->
+          let a = lost_of snap.ps_pid in
+          a.a_iter <- a.a_iter + snap.ps_iterations;
+          a.a_fir <- a.a_fir + snap.ps_firings;
+          a.a_new <- a.a_new + snap.ps_new;
+          a.a_dup <- a.a_dup + snap.ps_dup;
+          a.a_recv <- a.a_recv + snap.ps_received;
+          a.a_acc <- a.a_acc + snap.ps_accepted;
+          Array.iteri
+            (fun i v -> a.a_sent_row.(i) <- a.a_sent_row.(i) + v)
+            snap.ps_sent_row;
+          a.a_outbox_rows <- max a.a_outbox_rows snap.ps_outbox_rows;
+          a.a_outbox_bytes <- max a.a_outbox_bytes snap.ps_outbox_bytes)
+        s.s_last_snaps;
+      s.s_last_snaps <- [];
+      s.s_restarts <- s.s_restarts + 1;
+      if s.s_restarts > max_restarts then
+        failwith
+          (Printf.sprintf "Net_runtime: worker %d exceeded %d restarts"
+             s.s_id max_restarts);
+      s.s_inc <- s.s_inc + 1;
+      s.s_restart_at <-
+        Some
+          (now ()
+          +. (float_of_int
+                (Backoff.delay_ms
+                   ~hint_ms:
+                     (Backoff.seeded_jitter ~seed:(plan.Fault.seed + s.s_id)
+                        ~span_ms:5 s.s_restarts)
+                   restart_backoff (s.s_restarts - 1))
+             /. 1000.));
+      disarm ();
+      Log.info (fun m ->
+          m "worker %d died; restart %d as incarnation %d" s.s_id
+            s.s_restarts s.s_inc)
+    end
+  in
+  let handle_eof s =
+    close_conn s;
+    if s.s_os_pid <> 0 then (try Unix.kill s.s_os_pid Sys.sigkill with _ -> ())
+    else handle_death s
+  in
+  let reap () =
+    Array.iter
+      (fun s ->
+        if s.s_os_pid <> 0 then
+          match waitpid_retry [ Unix.WNOHANG ] s.s_os_pid with
+          | 0, _ -> ()
+          | _, _ ->
+            s.s_os_pid <- 0;
+            if s.s_fd = None && s.s_restart_at = None then handle_death s
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+            s.s_os_pid <- 0;
+            if s.s_fd = None && s.s_restart_at = None then handle_death s)
+      slots
+  in
+  let handle_worker_frame s frame =
+    s.s_last_heard <- now ();
+    s.s_miss_reported <- 0;
+    match (frame : Wire.frame) with
+    | Data { src; dst; inc = sinc; seq; attempt; replay = _; batch } ->
+      disarm ();
+      let v = Shim.verdict shim ~src ~dst ~seq ~attempt in
+      if not v.Shim.v_drop then begin
+        let key = (src, dst, sinc, seq) in
+        if not (Hashtbl.mem payload_seen key) then begin
+          Hashtbl.replace payload_seen key ();
+          let h = hist dst in
+          h := (src, sinc, seq, batch) :: !h
+        end;
+        (* Ack the SENDER here, not at the destination: the payload is
+           now in the replay history, so it reaches [dst] even across
+           a restart — and the coordinator cannot die, so the ack
+           cannot be lost to a crash, and the sender's [unacked] entry
+           can never be stranded. Shim-dropped frames get no ack and
+           are retransmitted by the sender. *)
+        if acked then
+          enqueue_to_pid src (Wire.Tack { src; dst; inc = sinc; seq });
+        if v.Shim.v_delay_ms > 0 then
+          push_delay (now () +. (float_of_int v.Shim.v_delay_ms /. 1000.))
+            dst frame
+        else enqueue_to_pid dst frame;
+        if v.Shim.v_dup then enqueue_to_pid dst frame
+      end
+    | Tack _ -> ()
+      (* Acks originate at the coordinator; workers no longer send
+         any, so there is nothing to relay. *)
+    | Status { worker = w; inc; epoch; idle; frames_received } ->
+      dbg "c: status w%d epoch=%d idle=%b fr=%d delivered=%d" w epoch idle
+        frames_received s.s_delivered;
+      if w = s.s_id && inc = s.s_inc && epoch = !probe_epoch then
+        s.s_status <- Some (epoch, idle, frames_received)
+    | Heartbeat { worker = _; inc; snaps } ->
+      if inc = s.s_inc then s.s_last_snaps <- snaps
+    | Checkpoint { pid; inc; round; tuples; seen } ->
+      if inc = s.s_inc then begin
+        (* Checkpoints are deltas: accumulate onto what this pid has
+           already dumped (a restored incarnation resumes the delta
+           chain from the dump it was handed). *)
+        let prev =
+          match Hashtbl.find_opt dumps pid with
+          | Some r -> r.Wire.rs_tuples
+          | None -> []
+        in
+        Hashtbl.replace dumps pid
+          { Wire.rs_pid = pid; rs_round = round;
+            rs_tuples = List.rev_append tuples prev };
+        let tbl = dump_seen_of pid in
+        List.iter (fun r -> Hashtbl.replace tbl r ()) seen
+      end
+    | Crashing { pid; round; snaps } ->
+      disarm ();
+      Hashtbl.replace crashes_done pid
+        (round
+        :: Option.value ~default:[] (Hashtbl.find_opt crashes_done pid));
+      s.s_last_snaps <- snaps
+    | Breach { reason } ->
+      disarm ();
+      if !overload = None then overload := Some reason;
+      begin_stop ~finish:false
+    | Done { pid; inc = _; snap; answers } ->
+      dbg "c: done pid=%d" pid;
+      Hashtbl.replace dones pid (snap, answers)
+    | Bye { worker = w; inc = _; faults; credit_stalls; peak_in_flight } ->
+      Hashtbl.replace byes w (faults, credit_stalls, peak_in_flight)
+    | Hello _ | Config _ | Inject _ | Probe _ | Stop _ -> ()
+  in
+  let attach_hello fd reader ~worker:w ~inc ~attempts =
+    if w < 0 || w >= nworkers then (try Unix.close fd with _ -> ())
+    else
+      let s = slots.(w) in
+      if inc <> s.s_inc then (try Unix.close fd with _ -> ())
+      else begin
+        (match s.s_fd with
+         | Some old -> (try Unix.close old with _ -> ())
+         | None -> ());
+        reconnects := !reconnects + attempts + (if inc > 0 then 1 else 0);
+        s.s_last_heard <- now ();
+        s.s_miss_reported <- 0;
+        configure s fd reader;
+        dbg "c: worker %d attached inc=%d" w inc
+      end
+  in
+  let flush_slot s =
+    match s.s_fd with
+    | None -> ()
+    | Some fd ->
+      let continue = ref true in
+      while !continue && not (Queue.is_empty s.s_out.oq) do
+        let str = Queue.peek s.s_out.oq in
+        let len = String.length str in
+        match
+          Unix.write_substring fd str s.s_out.oq_off (len - s.s_out.oq_off)
+        with
+        | n ->
+          bytes_sent := !bytes_sent + n;
+          s.s_out.oq_off <- s.s_out.oq_off + n;
+          if s.s_out.oq_off = len then begin
+            ignore (Queue.pop s.s_out.oq);
+            s.s_out.oq_off <- 0
+          end
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          -> continue := false
+        | exception
+            Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+          ->
+          continue := false;
+          handle_eof s
+      done
+  in
+  let new_probe () =
+    incr probe_epoch;
+    probe_open := true;
+    dbg "c: probe %d" !probe_epoch;
+    Array.iter (fun s -> enqueue s (Wire.Probe { epoch = !probe_epoch })) slots
+  in
+  let coordinator_quiet () =
+    !delayq = []
+    && Array.for_all
+         (fun s ->
+           s.s_fd <> None && s.s_configured && s.s_restart_at = None
+           && s.s_hold = []
+           && Queue.is_empty s.s_out.oq)
+         slots
+  in
+  let check_termination () =
+    if (not !stopping) && coordinator_quiet () then begin
+      if !probe_open then begin
+        let complete =
+          Array.for_all
+            (fun s ->
+              match s.s_status with
+              | Some (e, _, _) -> e = !probe_epoch
+              | None -> false)
+            slots
+        in
+        if complete then begin
+          let pass =
+            Array.for_all
+              (fun s ->
+                match s.s_status with
+                | Some (e, idle, fr) ->
+                  e = !probe_epoch && idle && fr = s.s_delivered
+                | None -> false)
+              slots
+          in
+          probe_open := false;
+          dbg "c: probe %d complete pass=%b" !probe_epoch pass;
+          if pass then begin
+            if !probe_armed then begin_stop ~finish:true
+            else begin
+              probe_armed := true;
+              new_probe ()
+            end
+          end
+          else begin
+            probe_armed := false;
+            probe_next_at := now () +. 0.005
+          end
+        end
+      end
+      else if now () >= !probe_next_at then new_probe ()
+    end
+  in
+  let release_delayed () =
+    let t = now () in
+    let rec go = function
+      | (due, dst, frame) :: rest when due <= t ->
+        disarm ();
+        enqueue_to_pid dst frame;
+        go rest
+      | l -> l
+    in
+    delayq := go !delayq
+  in
+  let do_restarts () =
+    let t = now () in
+    Array.iter
+      (fun s ->
+        match s.s_restart_at with
+        | Some at when at <= t && s.s_os_pid = 0 ->
+          s.s_restart_at <- None;
+          spawn_worker s
+        | _ -> ())
+      slots
+  in
+  let check_heartbeats () =
+    let t = now () in
+    Array.iter
+      (fun s ->
+        if s.s_fd <> None && s.s_configured then begin
+          let misses = int_of_float ((t -. s.s_last_heard) /. hb_s) in
+          if misses > s.s_miss_reported then begin
+            hb_misses := !hb_misses + misses - s.s_miss_reported;
+            s.s_miss_reported <- misses
+          end;
+          if misses >= hb_miss_limit && s.s_os_pid <> 0 then begin
+            Log.info (fun m ->
+                m "worker %d missed %d heartbeats; killing" s.s_id misses);
+            try Unix.kill s.s_os_pid Sys.sigkill with _ -> ()
+          end
+        end)
+      slots
+  in
+  let check_deadline () =
+    match limits.Overload.deadline with
+    | Some sec when not !stopping ->
+      let elapsed = now () -. t0 in
+      if elapsed > sec then begin
+        if !overload = None then
+          overload :=
+            Some (Overload.Deadline { seconds = sec; elapsed; round = 0 });
+        begin_stop ~finish:false
+      end
+    | _ -> ()
+  in
+  let cleanup () =
+    Array.iter
+      (fun s ->
+        if s.s_os_pid <> 0 then begin
+          (try Unix.kill s.s_os_pid Sys.sigkill with _ -> ());
+          (try ignore (waitpid_retry [] s.s_os_pid) with _ -> ());
+          s.s_os_pid <- 0
+        end;
+        match s.s_fd with
+        | Some fd ->
+          (try Unix.close fd with _ -> ());
+          s.s_fd <- None
+        | None -> ())
+      slots;
+    List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) !anon;
+    anon := [];
+    (try Unix.close listen_fd with _ -> ());
+    match laddr with
+    | Aunix path -> (try Unix.unlink path with _ -> ())
+    | Atcp _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  Array.iter spawn_worker slots;
+  let finished = ref false in
+  while not !finished do
+    check_deadline ();
+    do_restarts ();
+    reap ();
+    check_heartbeats ();
+    release_delayed ();
+    let t = now () in
+    let next =
+      let m = ref (t +. 0.02) in
+      (match !delayq with (due, _, _) :: _ -> if due < !m then m := due | [] -> ());
+      Array.iter
+        (fun s ->
+          match s.s_restart_at with
+          | Some at when at < !m -> m := at
+          | _ -> ())
+        slots;
+      if (not !stopping) && !probe_next_at > t && !probe_next_at < !m then
+        m := !probe_next_at;
+      !m
+    in
+    let timeout = max 0.0 (min 0.05 (next -. t)) in
+    let rds =
+      listen_fd
+      :: (List.map fst !anon
+         @ Array.to_list
+             (Array.of_seq
+                (Seq.filter_map
+                   (fun s -> s.s_fd)
+                   (Array.to_seq slots))))
+    in
+    let wds =
+      List.filter_map
+        (fun s ->
+          match s.s_fd with
+          | Some fd when not (Queue.is_empty s.s_out.oq) -> Some fd
+          | _ -> None)
+        (Array.to_list slots)
+    in
+    let r, w, _ =
+      match Unix.select rds wds [] timeout with
+      | v -> v
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem listen_fd r then begin
+      match Unix.accept listen_fd with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        (match laddr with
+         | Atcp _ -> (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ())
+         | Aunix _ -> ());
+        anon := (fd, Wire.reader ()) :: !anon
+      | exception Unix.Unix_error (_, _, _) -> ()
+    end;
+    (* Anonymous connections: waiting for their Hello. *)
+    let still_anon = ref [] in
+    List.iter
+      (fun (fd, reader) ->
+        if List.mem fd r then
+          match Wire.feed reader fd with
+          | `Eof -> (try Unix.close fd with _ -> ())
+          | `Again -> still_anon := (fd, reader) :: !still_anon
+          | `Frames (fs, nbytes) -> (
+            bytes_received := !bytes_received + nbytes;
+            match fs with
+            | Wire.Hello { worker; inc; attempts } :: rest ->
+              attach_hello fd reader ~worker ~inc ~attempts;
+              let s = slots.(worker mod nworkers) in
+              if s.s_fd = Some fd then
+                List.iter (handle_worker_frame s) rest
+            | [] -> still_anon := (fd, reader) :: !still_anon
+            | _ :: _ -> (try Unix.close fd with _ -> ()))
+        else still_anon := (fd, reader) :: !still_anon)
+      !anon;
+    anon := !still_anon;
+    Array.iter
+      (fun s ->
+        match s.s_fd with
+        | Some fd when List.mem fd r -> (
+          match Wire.feed s.s_reader fd with
+          | `Eof -> handle_eof s
+          | `Again -> ()
+          | `Frames (fs, nbytes) ->
+            bytes_received := !bytes_received + nbytes;
+            List.iter (handle_worker_frame s) fs
+          | exception Failure _ -> handle_eof s)
+        | _ -> ())
+      slots;
+    Array.iter
+      (fun s ->
+        match s.s_fd with
+        | Some fd when List.mem fd w -> flush_slot s
+        | _ -> ())
+      slots;
+    (* Also try to flush fresh output eagerly (sockets are usually
+       writable; EAGAIN just defers to the next select round). *)
+    Array.iter
+      (fun s -> if not (Queue.is_empty s.s_out.oq) then flush_slot s)
+      slots;
+    check_termination ();
+    if !stopping then begin
+      (* Workers that (re)connect during the stop still get their Stop
+         in [configure]; here we only watch for completion. *)
+      if all_done () then finished := true
+    end
+  done;
+  (* Give live workers a short grace period to deliver their Bye
+     (fault counters); they exit right after. *)
+  let grace_end = now () +. 0.5 in
+  let live () =
+    Array.exists
+      (fun s -> s.s_fd <> None && not (Hashtbl.mem byes s.s_id))
+      slots
+  in
+  while live () && now () < grace_end do
+    let rds =
+      List.filter_map (fun s -> s.s_fd) (Array.to_list slots)
+    in
+    match Unix.select rds [] [] 0.05 with
+    | [], _, _ -> ()
+    | r, _, _ ->
+      Array.iter
+        (fun s ->
+          match s.s_fd with
+          | Some fd when List.mem fd r -> (
+            match Wire.feed s.s_reader fd with
+            | `Eof -> close_conn s
+            | `Again -> ()
+            | `Frames (fs, nbytes) ->
+              bytes_received := !bytes_received + nbytes;
+              List.iter (handle_worker_frame s) fs
+            | exception Failure _ -> close_conn s)
+          | _ -> ())
+        slots
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (* ---------------- assembly ---------------- *)
+  fc.Fault.n_drops <- fc.Fault.n_drops + Shim.drops shim;
+  fc.Fault.n_dups_injected <- fc.Fault.n_dups_injected + Shim.dups shim;
+  fc.Fault.n_delays <- fc.Fault.n_delays + Shim.delays shim;
+  fc.Fault.n_reorders <- fc.Fault.n_reorders + Shim.reorders shim;
+  let bye_list = Hashtbl.fold (fun _ v acc -> v :: acc) byes [] in
+  let total_stalls =
+    List.fold_left (fun acc (_, st, _) -> acc + st) 0 bye_list
+  in
+  let peak_in_flight =
+    List.fold_left (fun acc (_, _, pk) -> max acc pk) 0 bye_list
+  in
+  let base_faults = Fault.freeze fc ~credit_stalls:total_stalls in
+  let faults =
+    List.fold_left
+      (fun (acc : Stats.faults) ((f : Stats.faults), _, _) ->
+        {
+          Stats.drops = acc.drops + f.drops;
+          dups_injected = acc.dups_injected + f.dups_injected;
+          dups_suppressed = acc.dups_suppressed + f.dups_suppressed;
+          delays = acc.delays + f.delays;
+          reorders = acc.reorders + f.reorders;
+          retransmits = acc.retransmits + f.retransmits;
+          acks = acc.acks + f.acks;
+          crashes = acc.crashes + f.crashes;
+          recoveries = acc.recoveries + f.recoveries;
+          replayed = acc.replayed + f.replayed;
+          checkpoints = acc.checkpoints + f.checkpoints;
+          restores = acc.restores + f.restores;
+          mailbox_drops = acc.mailbox_drops + f.mailbox_drops;
+          credit_stalls = acc.credit_stalls + f.credit_stalls;
+          alpha_raises = acc.alpha_raises + f.alpha_raises;
+          alpha_decays = acc.alpha_decays + f.alpha_decays;
+        })
+      base_faults bye_list
+  in
+  let wire_retransmits =
+    List.fold_left
+      (fun acc ((f : Stats.faults), _, _) -> acc + f.retransmits)
+      0 bye_list
+  in
+  let transport_stats =
+    {
+      Stats.reconnects = !reconnects;
+      wire_retransmits;
+      heartbeat_misses = !hb_misses;
+      worker_restarts = !worker_restarts;
+      bytes_sent = !bytes_sent;
+      bytes_received = !bytes_received;
+    }
+  in
+  let answers = Database.copy edb in
+  let pooled = ref 0 in
+  for pid = 0 to n - 1 do
+    match Hashtbl.find_opt dones pid with
+    | None -> ()
+    | Some (_, wrels) ->
+      List.iter
+        (fun (wr : Wire.wrel) ->
+          pooled := !pooled + List.length wr.wr_tuples;
+          ignore (Wire.add_wrel answers wr))
+        wrels
+  done;
+  let per_proc =
+    Array.init n (fun pid ->
+        let snap, _ =
+          match Hashtbl.find_opt dones pid with
+          | Some v -> v
+          | None -> assert false
+        in
+        let l = lost_of pid in
+        let sent_row =
+          Array.init n (fun j ->
+              (if j < Array.length snap.Wire.ps_sent_row then
+                 snap.Wire.ps_sent_row.(j)
+               else 0)
+              + l.a_sent_row.(j))
+        in
+        ( {
+            Stats.pid;
+            firings = snap.Wire.ps_firings + l.a_fir;
+            new_tuples = snap.Wire.ps_new + l.a_new;
+            duplicate_firings = snap.Wire.ps_dup + l.a_dup;
+            iterations = snap.Wire.ps_iterations + l.a_iter;
+            tuples_sent = Array.fold_left ( + ) 0 sent_row;
+            tuples_received = snap.Wire.ps_received + l.a_recv;
+            tuples_accepted = snap.Wire.ps_accepted + l.a_acc;
+            base_resident = snap.Wire.ps_base_resident;
+            active_rounds = snap.Wire.ps_iterations + l.a_iter;
+            store_rows = snap.Wire.ps_store_rows;
+            store_bytes = snap.Wire.ps_store_bytes;
+            outbox_peak_rows = max snap.Wire.ps_outbox_rows l.a_outbox_rows;
+            outbox_peak_bytes = max snap.Wire.ps_outbox_bytes l.a_outbox_bytes;
+          },
+          sent_row ))
+  in
+  let stats : Stats.t =
+    {
+      nprocs = n;
+      rounds =
+        Array.fold_left
+          (fun acc (pp, _) -> max acc pp.Stats.iterations)
+          0 per_proc;
+      per_proc = Array.map fst per_proc;
+      channel_tuples = Array.map snd per_proc;
+      pooled_tuples = !pooled;
+      trace = [];
+      faults;
+      transport = transport_stats;
+      peak_in_flight;
+      phase_ns = [];
+    }
+  in
+  match !overload with
+  | Some reason -> raise (Overload.Overload { reason; stats })
+  | None -> { Sim_runtime.answers; stats }
+
+let runtime ~program ~spec ?seed ?procs ?transport ?partition ?hb_ms ?spawn
+    () : (module Pardatalog.Runtime.S) =
+  (module struct
+    let name = "net"
+
+    let run ~config rw ~edb =
+      run ~config ~program ~spec ?seed ?procs ?transport ?partition ?hb_ms
+        ?spawn rw ~edb
+  end)

@@ -1,0 +1,92 @@
+module Fault = Pardatalog.Fault
+
+type t = {
+  plan : Fault.plan;
+  partition : float;
+  index : (int * int, int) Hashtbl.t;  (* channel -> frames routed *)
+  mutable drops : int;
+  mutable dups : int;
+  mutable delays : int;
+  mutable reorders : int;
+}
+
+let create ~plan ~partition =
+  if not (partition >= 0.0 && partition < 1.0) then
+    invalid_arg "Shim.create: partition must be in [0, 1)";
+  {
+    plan;
+    partition;
+    index = Hashtbl.create 64;
+    drops = 0;
+    dups = 0;
+    delays = 0;
+    reorders = 0;
+  }
+
+type verdict = {
+  v_drop : bool;
+  v_dup : bool;
+  v_delay_ms : int;
+}
+
+let mix64 z =
+  let z = z * 0x1E3779B97F4A7C15 in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+let window = 16
+
+(* A partitioned window is a deterministic function of the channel and
+   the window index; the fair-lossy ceiling still applies, so a
+   retransmitted frame eventually crosses even a cut link (the cut
+   heals from the retrier's point of view). *)
+let partitioned t ~src ~dst ~attempt idx =
+  t.partition > 0.0
+  && attempt < Fault.drop_ceiling
+  &&
+  let epoch = idx / window in
+  let h =
+    mix64
+      (mix64 ((t.plan.Fault.seed * 0x9E3779B1) lxor (src * 8191) lxor dst)
+       lxor epoch)
+    land max_int
+  in
+  float_of_int (h mod 1_000_000) /. 1_000_000. < t.partition
+
+let verdict t ~src ~dst ~seq ~attempt =
+  let idx =
+    let k = (src, dst) in
+    let i = Option.value ~default:0 (Hashtbl.find_opt t.index k) in
+    Hashtbl.replace t.index k (i + 1);
+    i
+  in
+  let fate = t.plan == Fault.none || Fault.is_none t.plan in
+  let f =
+    if fate then
+      { Fault.f_drop = false; f_dup = false; f_delay = 0; f_jitter = 0 }
+    else Fault.fate t.plan ~src ~dst ~seq ~attempt
+  in
+  let drop = f.Fault.f_drop || partitioned t ~src ~dst ~attempt idx in
+  if drop then begin
+    t.drops <- t.drops + 1;
+    { v_drop = true; v_dup = false; v_delay_ms = 0 }
+  end
+  else begin
+    if f.Fault.f_dup then t.dups <- t.dups + 1;
+    if f.Fault.f_delay > 0 then t.delays <- t.delays + 1;
+    if f.Fault.f_jitter > 0 then t.reorders <- t.reorders + 1;
+    (* A simulated-round delay becomes 2 ms of wire latency, a reorder
+       jitter 1 ms: enough to change arrival order, small enough to
+       keep test wall-clock low. *)
+    {
+      v_drop = false;
+      v_dup = f.Fault.f_dup;
+      v_delay_ms = (2 * f.Fault.f_delay) + f.Fault.f_jitter;
+    }
+  end
+
+let drops t = t.drops
+let dups t = t.dups
+let delays t = t.delays
+let reorders t = t.reorders

@@ -126,13 +126,9 @@ type attempt_outcome = {
   retry_replies : int;
 }
 
-let backoff_delay_ms ~base_ms ~cap_ms ~jitter ~hint_ms k =
-  let exp = base_ms * (1 lsl min k 16) in
-  let d = min cap_ms exp + jitter k in
-  max hint_ms (max 1 d)
-
 let request_retry ?(max_attempts = 8) ?(base_ms = 5) ?(cap_ms = 500)
     ?(jitter = fun _ -> 0) t ?payload line =
+  let policy = Pardatalog.Backoff.make ~base_ms ~cap_ms ~jitter () in
   let rec go k busy retries =
     match request t ?payload line with
     | Error e -> Error e
@@ -142,9 +138,7 @@ let request_retry ?(max_attempts = 8) ?(base_ms = 5) ?(cap_ms = 500)
           Ok { reply; attempts = k + 1; busy_replies = busy;
                retry_replies = retries }
         else begin
-          Unix.sleepf
-            (float_of_int (backoff_delay_ms ~base_ms ~cap_ms ~jitter ~hint_ms k)
-             /. 1000.);
+          Pardatalog.Backoff.sleep ~hint_ms policy k;
           go (k + 1) busy retries
         end
       in

@@ -49,7 +49,7 @@ type query = {
   q_prog : string;  (** Resident dataset to query. *)
   q_goal : string option;  (** Restrict counted/returned rows to one predicate. *)
   q_rows : bool;  (** Send [ROW] lines (default: counts only). *)
-  q_stats : bool;  (** Attach schema-2 [Stats.to_json] to the head line. *)
+  q_stats : bool;  (** Attach versioned [Stats.to_json] to the head line. *)
   q_deadline_ms : int option;  (** Wall-clock budget, clamped to the server cap. *)
   q_max_store : int option;  (** Per-processor store budget, clamped likewise. *)
   q_nprocs : int option;  (** Processor count (default: server setting). *)

@@ -172,13 +172,13 @@ The metric totals equal the Stats counters of the same run.
   $ grep -o '"runtime.tuples_sent":[0-9]*' metrics.json
   "runtime.tuples_sent":10
   $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 -q --json \
-  >   | grep -o '"schema":2\|"scheme":"[a-z0-9_]*"\|"outcome":"[a-z_]*"\|"pooled":[0-9]*'
-  "schema":2
+  >   | grep -o '"schema":3\|"scheme":"[a-z0-9_]*"\|"outcome":"[a-z_]*"\|"pooled":[0-9]*'
+  "schema":3
   "scheme":"example3"
   "outcome":"ok"
   "pooled":10
 
-Schema 2's attribution fields explain an aborted run: the outcome
+The attribution fields (schema 2) explain an aborted run: the outcome
 names the watchdog that fired.
 
   $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 -q --json \

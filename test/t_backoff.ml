@@ -1,0 +1,94 @@
+(* Properties of the shared jittered-exponential-backoff policy.
+
+   Every retry loop in the system (serve client, net runtime dialling,
+   worker restart pacing) leans on the same three guarantees: the
+   delay never exceeds cap + jitter, the uncapped prefix grows
+   monotonically with the attempt index, and a server-supplied retry
+   hint is honored even past the cap. *)
+
+open Pardatalog
+
+let params_gen =
+  QCheck.Gen.(
+    let* base = int_range 1 64 in
+    let* cap = int_range 1 2000 in
+    let* span = int_range 0 50 in
+    let* seed = int_range 0 9999 in
+    let* k = int_range 0 40 in
+    return (base, cap, span, seed, k))
+
+let params_arb =
+  QCheck.make
+    ~print:(fun (base, cap, span, seed, k) ->
+      Printf.sprintf "base=%d cap=%d span=%d seed=%d k=%d" base cap span
+        seed k)
+    params_gen
+
+let policy ?jitter base cap = Backoff.make ~base_ms:base ~cap_ms:cap ?jitter ()
+
+let prop_bounded =
+  QCheck.Test.make ~count:500 ~name:"delay <= cap + jitter (and >= 1)"
+    params_arb
+    (fun (base, cap, span, seed, k) ->
+      let jitter = Backoff.seeded_jitter ~seed ~span_ms:span in
+      let t = policy ~jitter base cap in
+      let d = Backoff.delay_ms t k in
+      d >= 1 && d <= max 1 (cap + span))
+
+let prop_monotone =
+  QCheck.Test.make ~count:500
+    ~name:"zero-jitter delays grow monotonically with the attempt"
+    params_arb
+    (fun (base, cap, _, _, k) ->
+      let t = policy base cap in
+      Backoff.delay_ms t k <= Backoff.delay_ms t (k + 1))
+
+let prop_hint =
+  QCheck.Test.make ~count:500
+    ~name:"a retry hint is a lower bound, even past the cap" params_arb
+    (fun (base, cap, span, seed, k) ->
+      let jitter = Backoff.seeded_jitter ~seed ~span_ms:span in
+      let t = policy ~jitter base cap in
+      let hint = cap + span + 17 in
+      Backoff.delay_ms ~hint_ms:hint t k >= hint)
+
+let prop_jitter_deterministic =
+  QCheck.Test.make ~count:500
+    ~name:"seeded jitter is a stable function of (seed, attempt)"
+    params_arb
+    (fun (_, _, span, seed, k) ->
+      let j = Backoff.seeded_jitter ~seed ~span_ms:span in
+      let a = j k and b = j k in
+      a = b && a >= 0 && a <= max 0 (span - if span > 0 then 1 else 0))
+
+let unit_exponential_prefix () =
+  let t = policy 2 200 in
+  Alcotest.(check (list int))
+    "2ms base doubles to the 200ms cap"
+    [ 2; 4; 8; 16; 32; 64; 128; 200; 200 ]
+    (List.init 9 (Backoff.delay_ms t))
+
+let unit_defaults () =
+  let t = Backoff.make () in
+  Alcotest.(check int) "default base" 5 (Backoff.base_ms t);
+  Alcotest.(check int) "default cap" 500 (Backoff.cap_ms t);
+  Alcotest.(check int) "attempt 0" 5 (Backoff.delay_ms t 0)
+
+let unit_huge_attempt_no_overflow () =
+  let t = policy 7 900 in
+  Alcotest.(check int) "attempt 1000 is capped" 900
+    (Backoff.delay_ms t 1000)
+
+let suites =
+  [
+    ( "backoff",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_bounded; prop_monotone; prop_hint; prop_jitter_deterministic ]
+      @ [
+          Alcotest.test_case "exponential prefix" `Quick
+            unit_exponential_prefix;
+          Alcotest.test_case "serve-client defaults" `Quick unit_defaults;
+          Alcotest.test_case "huge attempt index" `Quick
+            unit_huge_attempt_no_overflow;
+        ] );
+  ]
