@@ -13,7 +13,7 @@
                                                (perf-regression gate)
 
    Sections: f1 f2 f3 f4  e1 e2 e3  t2 s6 e8 d8  p1 p2 p3
-              a1 a2 a3 a4 a5  r1 r2  timing obs perf plan serve
+              a1 a2 a3 a4 a5  r1 r2  timing obs perf plan incr serve
 
    Flags: --check-regression FILE   re-measure the perf workloads and
                                     exit nonzero if any slowed beyond
@@ -1177,6 +1177,90 @@ let run_regression baseline_file =
   end
 
 (* ------------------------------------------------------------------ *)
+(* INCR: incremental maintenance vs from-scratch recomputation.        *)
+(* ------------------------------------------------------------------ *)
+
+(* One session per workload stays resident; the measured operation is a
+   two-batch toggle — insert a fresh source edge into the graph, then
+   retract it (so insertion propagation and DRed deletion are both in
+   the measured path, and the model returns to its start state between
+   samples). The baseline is what a batch-oriented caller would do
+   instead: a full from-scratch run of the same rewrite on the same
+   runtime. *)
+let incr_bench () =
+  let rw = Result.get_ok (Strategy.general ~seed:0 ~nprocs:4 ancestor) in
+  Format.printf "  %-16s %12s %12s %8s %11s %10s@." "workload" "apply(ns)"
+    "scratch(ns)" "speedup" "batch-fire" "full-fire";
+  let rows =
+    List.map
+      (fun (name, _pre, edges) ->
+        let edb = edb_of edges in
+        let max_node =
+          List.fold_left (fun m (a, b) -> max m (max a b)) 0 edges
+        in
+        let entry, _ = List.hd edges in
+        let fresh = Tuple.of_ints [ max_node + 1; entry ] in
+        let ins =
+          Update_batch.of_list [ Delta.Batch.insert "par" fresh ]
+        in
+        let del =
+          Update_batch.of_list [ Delta.Batch.delete "par" fresh ]
+        in
+        let s = Sim_runtime.open_session rw ~edb in
+        (* One unmeasured toggle warms the session's resident state. *)
+        ignore (Session.apply s ins);
+        ignore (Session.apply s del);
+        let batch_firings = ref 0 in
+        let samples =
+          List.init 5 (fun _ ->
+              let t0 = Unix.gettimeofday () in
+              let oi = Session.apply s ins in
+              let od = Session.apply s del in
+              let t = Unix.gettimeofday () -. t0 in
+              batch_firings :=
+                max !batch_firings
+                  (oi.Session.oc_summary.Datalog.Delta.s_firings
+                  + od.Session.oc_summary.Datalog.Delta.s_firings);
+              t /. 2.)
+        in
+        let apply_t = List.nth (List.sort compare samples) 2 in
+        ignore (Session.close s);
+        let scratch_samples =
+          List.init 5 (fun _ ->
+              fst (time_once (fun () -> Sim_runtime.run rw ~edb)))
+        in
+        let scratch_t = List.nth (List.sort compare scratch_samples) 2 in
+        let full = Sim_runtime.run rw ~edb in
+        let full_firings = Stats.total_firings full.Sim_runtime.stats in
+        let speedup = scratch_t /. max 1e-9 apply_t in
+        Format.printf "  %-16s %12.0f %12.0f %7.1fx %11d %10d@." name
+          (apply_t *. 1e9) (scratch_t *. 1e9) speedup !batch_firings
+          full_firings;
+        (name, apply_t, scratch_t, speedup, !batch_firings, full_firings))
+      (perf_workloads ())
+  in
+  claim "small-batch apply is >= 5x faster than from-scratch everywhere"
+    (List.for_all (fun (_, _, _, sp, _, _) -> sp >= 5.0) rows);
+  claim "maintenance fires a fraction of the full recomputation"
+    (List.for_all (fun (_, _, _, _, bf, ff) -> bf * 2 < ff) rows);
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "{\"schema\":1,\"bench\":\"INCR\",\"seed\":2026,\"runtime\":\"sim\",\"nprocs\":4,\"batch\":\"toggle one source edge\",\"workloads\":[";
+  List.iteri
+    (fun i (name, apply_t, scratch_t, speedup, bf, ff) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%S,\"apply_ns\":%.0f,\"scratch_ns\":%.0f,\"speedup\":%.1f,\"batch_firings\":%d,\"full_firings\":%d}"
+           name (apply_t *. 1e9) (scratch_t *. 1e9) speedup bf ff))
+    rows;
+  Buffer.add_string buf "]}\n";
+  let oc = open_out "BENCH_INCR.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "  wrote BENCH_INCR.json@."
+
+(* ------------------------------------------------------------------ *)
 (* PLAN: the static planner's pick vs the CLI default scheme.          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1404,6 +1488,8 @@ let () =
   section "obs" "observability - metrics cross-check, PR4 baseline" obs;
   section "perf" "hot-path storage engine - wall-clock, PR5 baseline" perf;
   section "plan" "static planner - auto-picked vs default scheme" plan_bench;
+  section "incr" "incremental maintenance vs from-scratch, INCR baseline"
+    incr_bench;
   section "serve" "datalogd load sweep - qps, tail latency, BUSY/PARTIAL"
     (fun () -> Loadgen.run ~claim ());
   Format.printf "@.%s@."

@@ -3,16 +3,19 @@
 
    Server mode (default): bind a Unix or loopback TCP socket, keep
    programs and EDBs resident, and serve concurrent LOAD / FACTS /
-   QUERY / STATS sessions under admission control, per-request budgets
-   and graceful degradation (see lib/serve). SIGTERM / SIGINT drain:
-   in-flight queries finish, new work is rejected with BUSY, metrics
-   are flushed, and the process exits 0.
+   UPDATE / RETRACT / QUERY / STATS sessions under admission control,
+   per-request budgets and graceful degradation (see lib/serve).
+   UPDATE/RETRACT batches feed a resident incremental-maintenance
+   session per dataset; QUERY live=true reads the maintained model.
+   SIGTERM / SIGINT drain: in-flight queries finish, new work is
+   rejected with BUSY, metrics are flushed, and the process exits 0.
 
    Client mode (--connect): a thin protocol pipe — request lines are
-   read from stdin (LOAD/FACTS payloads passed through up to their "."
-   terminator), every reply line is printed to stdout. With --retry,
-   QUERY lines are resent on BUSY/RETRY with jittered exponential
-   backoff, which is safe because a QUERY is idempotent under its id.
+   read from stdin (LOAD/FACTS/UPDATE/RETRACT payloads passed through
+   up to their "." terminator), every reply line is printed to stdout.
+   With --retry, QUERY lines are resent on BUSY/RETRY with jittered
+   exponential backoff, which is safe because a QUERY is idempotent
+   under its id.
 
    Exit codes (client mode), matching datalogp par conventions:
      0  all requests answered OK / RESULT
@@ -139,8 +142,10 @@ let client_mode ~target ~tenant ~retry ~retry_max ~retry_base_ms ~jitter_seed =
          | line when String.trim line = "" -> ()
          | line ->
            let payload =
-             if is_verb line "LOAD" || is_verb line "FACTS" then
-               Some (read_payload_stdin ())
+             if
+               is_verb line "LOAD" || is_verb line "FACTS"
+               || is_verb line "UPDATE" || is_verb line "RETRACT"
+             then Some (read_payload_stdin ())
              else None
            in
            if retry && is_verb line "QUERY" then begin
@@ -296,15 +301,17 @@ let cmd =
         "Server mode (default) binds $(b,--socket) PATH or loopback \
          $(b,--port) N and serves the versioned line protocol \
          documented in lib/serve/protocol.mli: HELLO, LOAD, FACTS, \
-         QUERY, STATS, PING, QUIT. Programs and their extensional \
-         databases stay resident between requests. SIGTERM drains: \
-         in-flight queries finish, new work gets BUSY, metrics flush, \
-         exit 0.";
+         UPDATE, RETRACT, QUERY, STATS, PING, QUIT. Programs and their \
+         extensional databases stay resident between requests; UPDATE \
+         and RETRACT stream signed fact batches into a resident \
+         incremental-maintenance session, and QUERY live=true reads \
+         the maintained model. SIGTERM drains: in-flight queries \
+         finish, new work gets BUSY, metrics flush, exit 0.";
       `P
         "Client mode ($(b,--connect) ADDR) reads request lines from \
-         stdin and prints every reply line; LOAD/FACTS payloads are \
-         passed through up to their terminating '.' line. ADDR is a \
-         socket path, or a port number for TCP.";
+         stdin and prints every reply line; LOAD/FACTS/UPDATE/RETRACT \
+         payloads are passed through up to their terminating '.' \
+         line. ADDR is a socket path, or a port number for TCP.";
       `S Manpage.s_exit_status;
       `P "Client mode: 0 success; 1 protocol/connection error or ERR \
           reply; 2 usage; 3 BUSY outcome; 4 PARTIAL outcome.";

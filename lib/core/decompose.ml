@@ -216,6 +216,7 @@ let run program ~nprocs edb =
   in
   let stats : Stats.t =
     {
+      incr = Stats.no_incr;
       nprocs;
       rounds;
       per_proc =

@@ -110,8 +110,16 @@ let build_edb (rw : Rewrite.t) edb pid =
    runtime's round-based one. *)
 let retry_delay attempt = 0.001 *. float_of_int (1 lsl min attempt 6)
 
+(* [engines] and [channel_seen] are the session-resident state, indexed
+   by pid and owned by exactly one domain at a time: a worker reads and
+   writes only its own pids' slots while running, and the parent only
+   touches them between [Domain.spawn] and [Domain.join] cycles (the
+   join provides the happens-before edge). A [None] engine slot is
+   created and bootstrapped here; a [Some] slot is adopted as-is — its
+   pending injections are drained by the ordinary step loop. *)
 let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
-    (rw : Rewrite.t) mailboxes ~domain_of ~own_pids local_edbs my_domain =
+    (rw : Rewrite.t) mailboxes ~domain_of ~own_pids ~engines ~channel_seen
+    local_edbs my_domain =
   let n = rw.nprocs in
   let faulty = not (Fault.is_none plan) in
   let credited = capacity <> None in
@@ -141,12 +149,19 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
       rw.sends;
     fun pred -> Option.value ~default:[] (Hashtbl.find_opt tbl pred)
   in
+  let fresh_pids =
+    List.filter (fun pid -> engines.(pid) = None) own_pids
+  in
   let procs =
     List.map
       (fun pid ->
         {
           pid;
-          engine = Seminaive.create rw.programs.(pid) ~edb:local_edbs.(pid);
+          engine =
+            (match engines.(pid) with
+             | Some e -> e
+             | None ->
+               Seminaive.create rw.programs.(pid) ~edb:local_edbs.(pid));
           safra = Safra.create ();
           ds = Dscholten.create ~pid ~nprocs:n;
           held_token = None;
@@ -154,7 +169,7 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
           sent_row = Array.make n 0;
           received = 0;
           accepted = 0;
-          channel_seen = Array.init n (fun _ -> Ktbl.create 64);
+          channel_seen = channel_seen.(pid);
           base_resident = Database.total_tuples local_edbs.(pid);
           next_seq = Array.make n 0;
           unacked = Array.init n (fun _ -> Hashtbl.create 8);
@@ -575,8 +590,10 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
   in
   List.iter
     (fun p ->
-      route p (observe_engine p (fun () -> Seminaive.bootstrap p.engine));
-      Obs.Trace.instant tr ~pid:p.pid ~round:0 "bootstrap")
+      if List.mem p.pid fresh_pids then begin
+        route p (observe_engine p (fun () -> Seminaive.bootstrap p.engine));
+        Obs.Trace.instant tr ~pid:p.pid ~round:0 "bootstrap"
+      end)
     procs;
   while not !stopped do
     if faulty then pump_retransmits ();
@@ -628,6 +645,7 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
       end
     end
   done;
+  List.iter (fun p -> engines.(p.pid) <- Some p.engine) procs;
   ( List.map
       (fun p ->
         let es = Seminaive.stats p.engine in
@@ -658,7 +676,7 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
       we_phase_ns = Obs.Phase_timer.totals ptimer;
     } )
 
-let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
+let open_session ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
   (* Same certificate gate as the simulator: a plan that no longer
      verifies against the program must not run. *)
   Option.iter
@@ -696,134 +714,346 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
       rw.original.Program.facts;
     combined
   in
-  let mailboxes = Array.init ndomains (fun _ -> Mailbox.create ()) in
   let domain_of pid = pid mod ndomains in
   let local_edbs = Array.init n (fun pid -> build_edb rw edb pid) in
   let own_pids d =
     List.filter (fun pid -> domain_of pid = d) (List.init n Fun.id)
   in
-  let spawned =
-    Array.init ndomains (fun d ->
-        Domain.spawn (fun () ->
-            try
-              worker detector fault ~capacity ~limits ~dial ~obs ~t0 rw
-                mailboxes ~domain_of ~own_pids:(own_pids d) local_edbs d
-            with e ->
-              (* Poison-pill shutdown: wake every peer blocked in its
-                 mailbox before propagating, so one crashing domain
-                 cannot leave the others stuck in [Condition.wait]. *)
-              Array.iter Mailbox.close mailboxes;
-              raise e))
+  (* Session-resident state, alive across epochs (one epoch = one
+     spawn/join cycle of the domains — the initial evaluation or one
+     applied batch). *)
+  let engines : Seminaive.t option array = Array.make n None in
+  let channel_seen =
+    Array.init n (fun _ -> Array.init n (fun _ -> Ktbl.create 64))
   in
-  let joined = Array.to_list spawned |> List.map Domain.join in
-  let results =
-    List.concat_map (fun (rs, _, _) -> rs) joined
-    |> List.sort (fun a b -> Int.compare a.wr_pid b.wr_pid)
-    |> Array.of_list
-  in
+  (* Accumulators merged after every epoch; the per-epoch crash losses
+     are recovered as each worker result's excess over the surviving
+     engine's cumulative counters. *)
   let fc = Fault.counters () in
-  List.iter
-    (fun (_, c, _) ->
-      fc.Fault.n_drops <- fc.Fault.n_drops + c.Fault.n_drops;
-      fc.n_dups_injected <- fc.n_dups_injected + c.Fault.n_dups_injected;
-      fc.n_dups_suppressed <- fc.n_dups_suppressed + c.Fault.n_dups_suppressed;
-      fc.n_delays <- fc.n_delays + c.Fault.n_delays;
-      fc.n_reorders <- fc.n_reorders + c.Fault.n_reorders;
-      fc.n_retransmits <- fc.n_retransmits + c.Fault.n_retransmits;
-      fc.n_acks <- fc.n_acks + c.Fault.n_acks;
-      fc.n_crashes <- fc.n_crashes + c.Fault.n_crashes;
-      fc.n_recoveries <- fc.n_recoveries + c.Fault.n_recoveries;
-      fc.n_replayed <- fc.n_replayed + c.Fault.n_replayed;
-      fc.n_checkpoints <- fc.n_checkpoints + c.Fault.n_checkpoints;
-      fc.n_restores <- fc.n_restores + c.Fault.n_restores)
-    joined;
-  let extras = List.map (fun (_, _, e) -> e) joined in
-  let credit_stalls =
-    List.fold_left (fun acc e -> acc + e.we_credit_stalls) 0 extras
+  let acc_sent = Array.make_matrix n n 0 in
+  let acc_received = Array.make n 0 in
+  let acc_accepted = Array.make n 0 in
+  let acc_lost_iterations = Array.make n 0 in
+  let acc_lost_firings = Array.make n 0 in
+  let acc_lost_new = Array.make n 0 in
+  let acc_lost_dup = Array.make n 0 in
+  let acc_outbox_rows = Array.make n 0 in
+  let acc_outbox_bytes = Array.make n 0 in
+  let acc_credit_stalls = ref 0 in
+  let acc_peak_in_flight = ref 0 in
+  let acc_phase_ns = ref [] in
+  let acc_mailbox_drops = ref 0 in
+  (* Lazily created maintenance oracle, as in the simulator: a plain
+     [run] never pays for it. *)
+  let live = ref None in
+  let oracle () =
+    match !live with
+    | Some l -> l
+    | None ->
+      let l =
+        Stratified.Live.create ~track:config.Run_config.track_changes
+          rw.original ~edb
+      in
+      live := Some l;
+      l
   in
-  let peak_in_flight =
-    List.fold_left (fun acc e -> max acc e.we_peak_in_flight) 0 extras
+  let incr_stats () =
+    match !live with
+    | None -> Stats.no_incr
+    | Some l ->
+      let s = Stratified.Live.totals l in
+      {
+        Stats.batches_applied = Stratified.Live.batches l;
+        tuples_inserted = s.Delta.s_inserted;
+        tuples_deleted = s.Delta.s_deleted;
+        tuples_rederived = s.Delta.s_rederived;
+        tuples_overdeleted = s.Delta.s_overdeleted;
+        incr_firings = s.Delta.s_firings;
+      }
   in
-  let phase_ns =
-    List.fold_left
-      (fun acc e -> Obs.Phase_timer.merge_totals acc e.we_phase_ns)
-      [] extras
-  in
-  let mailbox_drops =
-    Array.fold_left (fun acc mb -> acc + Mailbox.dropped mb) 0 mailboxes
-  in
-  (* The first domain's breach wins when several workers tripped at
-     once. *)
-  let overload_reason =
-    List.fold_left
-      (fun acc e ->
-        match acc, e.we_overload with
-        | Some _, _ -> acc
-        | None, r -> r)
-      None extras
-  in
-  let answers = Database.copy edb in
-  let pooled = ref 0 in
-  Array.iter
-    (fun r ->
-      List.iter
-        (fun pred ->
-          match Database.find r.wr_db (Rewrite.out_pred pred) with
-          | None -> ()
-          | Some rel ->
-            pooled := !pooled + Relation.cardinal rel;
-            let target =
-              Database.declare answers pred (Relation.arity rel)
-            in
-            ignore (Relation.add_all target rel))
-        rw.derived)
-    results;
-  let channel_tuples =
-    Array.init n (fun pid -> results.(pid).wr_sent_row)
-  in
-  let rounds =
-    Array.fold_left
-      (fun acc r -> max acc r.wr_stats.Seminaive.iterations)
-      0 results
-  in
-  let stats : Stats.t =
+  let build_stats ~pooled () : Stats.t =
+    let rounds = ref 0 in
+    let per_proc =
+      Array.init n (fun pid ->
+          let e = Option.get engines.(pid) in
+          let es = Seminaive.stats e in
+          let db = Seminaive.database e in
+          let iterations =
+            es.Seminaive.iterations + acc_lost_iterations.(pid)
+          in
+          if iterations > !rounds then rounds := iterations;
+          {
+            Stats.pid;
+            firings = es.Seminaive.firings + acc_lost_firings.(pid);
+            new_tuples = es.Seminaive.new_tuples + acc_lost_new.(pid);
+            duplicate_firings =
+              es.Seminaive.duplicate_firings + acc_lost_dup.(pid);
+            iterations;
+            tuples_sent = Array.fold_left ( + ) 0 acc_sent.(pid);
+            tuples_received = acc_received.(pid);
+            tuples_accepted = acc_accepted.(pid);
+            base_resident = Database.total_tuples local_edbs.(pid);
+            active_rounds = iterations;
+            store_rows = Overload.db_rows db;
+            store_bytes = Overload.db_bytes db;
+            outbox_peak_rows = acc_outbox_rows.(pid);
+            outbox_peak_bytes = acc_outbox_bytes.(pid);
+          })
+    in
     {
+      incr = incr_stats ();
       nprocs = n;
-      rounds;
-      per_proc =
-        Array.mapi
-          (fun pid r ->
-            {
-              Stats.pid;
-              firings = r.wr_stats.Seminaive.firings;
-              new_tuples = r.wr_stats.Seminaive.new_tuples;
-              duplicate_firings = r.wr_stats.Seminaive.duplicate_firings;
-              iterations = r.wr_stats.Seminaive.iterations;
-              tuples_sent = Array.fold_left ( + ) 0 r.wr_sent_row;
-              tuples_received = r.wr_received;
-              tuples_accepted = r.wr_accepted;
-              base_resident = r.wr_base_resident;
-              active_rounds = r.wr_stats.Seminaive.iterations;
-              store_rows = Overload.db_rows r.wr_db;
-              store_bytes = Overload.db_bytes r.wr_db;
-              outbox_peak_rows = r.wr_outbox_peak_rows;
-              outbox_peak_bytes = r.wr_outbox_peak_bytes;
-            })
-          results;
-      channel_tuples;
-      pooled_tuples = !pooled;
+      rounds = !rounds;
+      per_proc;
+      channel_tuples = Array.init n (fun pid -> Array.copy acc_sent.(pid));
+      pooled_tuples = pooled;
       trace = [];
       faults =
-        Fault.freeze fc ~mailbox_drops ~credit_stalls
+        Fault.freeze fc ~mailbox_drops:!acc_mailbox_drops
+          ~credit_stalls:!acc_credit_stalls
           ~alpha_raises:
             (match dial with Some d -> Overload.raises d | None -> 0)
           ~alpha_decays:
             (match dial with Some d -> Overload.decays d | None -> 0);
       transport = Stats.no_transport;
-      peak_in_flight;
-      phase_ns;
+      peak_in_flight = !acc_peak_in_flight;
+      phase_ns = !acc_phase_ns;
     }
   in
-  match overload_reason with
-  | Some reason -> raise (Overload.Overload { reason; stats })
-  | None -> { Sim_runtime.answers; stats }
+  let assemble () =
+    let answers = Database.copy edb in
+    let pooled = ref 0 in
+    Array.iter
+      (function
+        | None -> ()
+        | Some e ->
+          let db = Seminaive.database e in
+          List.iter
+            (fun pred ->
+              match Database.find db (Rewrite.out_pred pred) with
+              | None -> ()
+              | Some rel ->
+                pooled := !pooled + Relation.cardinal rel;
+                let target =
+                  Database.declare answers pred (Relation.arity rel)
+                in
+                ignore (Relation.add_all target rel))
+            rw.derived)
+      engines;
+    (answers, !pooled)
+  in
+  let epoch () =
+    let mailboxes = Array.init ndomains (fun _ -> Mailbox.create ()) in
+    let spawned =
+      Array.init ndomains (fun d ->
+          Domain.spawn (fun () ->
+              try
+                worker detector fault ~capacity ~limits ~dial ~obs ~t0 rw
+                  mailboxes ~domain_of ~own_pids:(own_pids d) ~engines
+                  ~channel_seen local_edbs d
+              with e ->
+                (* Poison-pill shutdown: wake every peer blocked in its
+                   mailbox before propagating, so one crashing domain
+                   cannot leave the others stuck in [Condition.wait]. *)
+                Array.iter Mailbox.close mailboxes;
+                raise e))
+    in
+    let joined = Array.to_list spawned |> List.map Domain.join in
+    List.iter
+      (fun r ->
+        let pid = r.wr_pid in
+        let es = Seminaive.stats (Option.get engines.(pid)) in
+        acc_lost_iterations.(pid) <-
+          acc_lost_iterations.(pid)
+          + r.wr_stats.Seminaive.iterations - es.Seminaive.iterations;
+        acc_lost_firings.(pid) <-
+          acc_lost_firings.(pid)
+          + r.wr_stats.Seminaive.firings - es.Seminaive.firings;
+        acc_lost_new.(pid) <-
+          acc_lost_new.(pid)
+          + r.wr_stats.Seminaive.new_tuples - es.Seminaive.new_tuples;
+        acc_lost_dup.(pid) <-
+          acc_lost_dup.(pid)
+          + r.wr_stats.Seminaive.duplicate_firings
+          - es.Seminaive.duplicate_firings;
+        Array.iteri
+          (fun dst v -> acc_sent.(pid).(dst) <- acc_sent.(pid).(dst) + v)
+          r.wr_sent_row;
+        acc_received.(pid) <- acc_received.(pid) + r.wr_received;
+        acc_accepted.(pid) <- acc_accepted.(pid) + r.wr_accepted;
+        if r.wr_outbox_peak_rows > acc_outbox_rows.(pid) then begin
+          acc_outbox_rows.(pid) <- r.wr_outbox_peak_rows;
+          acc_outbox_bytes.(pid) <- r.wr_outbox_peak_bytes
+        end)
+      (List.concat_map (fun (rs, _, _) -> rs) joined);
+    List.iter
+      (fun (_, c, _) ->
+        fc.Fault.n_drops <- fc.Fault.n_drops + c.Fault.n_drops;
+        fc.n_dups_injected <- fc.n_dups_injected + c.Fault.n_dups_injected;
+        fc.n_dups_suppressed <-
+          fc.n_dups_suppressed + c.Fault.n_dups_suppressed;
+        fc.n_delays <- fc.n_delays + c.Fault.n_delays;
+        fc.n_reorders <- fc.n_reorders + c.Fault.n_reorders;
+        fc.n_retransmits <- fc.n_retransmits + c.Fault.n_retransmits;
+        fc.n_acks <- fc.n_acks + c.Fault.n_acks;
+        fc.n_crashes <- fc.n_crashes + c.Fault.n_crashes;
+        fc.n_recoveries <- fc.n_recoveries + c.Fault.n_recoveries;
+        fc.n_replayed <- fc.n_replayed + c.Fault.n_replayed;
+        fc.n_checkpoints <- fc.n_checkpoints + c.Fault.n_checkpoints;
+        fc.n_restores <- fc.n_restores + c.Fault.n_restores)
+      joined;
+    let extras = List.map (fun (_, _, e) -> e) joined in
+    acc_credit_stalls :=
+      List.fold_left
+        (fun acc e -> acc + e.we_credit_stalls)
+        !acc_credit_stalls extras;
+    acc_peak_in_flight :=
+      List.fold_left
+        (fun acc e -> max acc e.we_peak_in_flight)
+        !acc_peak_in_flight extras;
+    acc_phase_ns :=
+      List.fold_left
+        (fun acc e -> Obs.Phase_timer.merge_totals acc e.we_phase_ns)
+        !acc_phase_ns extras;
+    acc_mailbox_drops :=
+      Array.fold_left
+        (fun acc mb -> acc + Mailbox.dropped mb)
+        !acc_mailbox_drops mailboxes;
+    (* The first domain's breach wins when several workers tripped at
+       once. *)
+    let overload_reason =
+      List.fold_left
+        (fun acc e ->
+          match acc, e.we_overload with
+          | Some _, _ -> acc
+          | None, r -> r)
+        None extras
+    in
+    match overload_reason with
+    | Some reason ->
+      let _, pooled = assemble () in
+      raise (Overload.Overload { reason; stats = build_stats ~pooled () })
+    | None -> ()
+  in
+  epoch ();
+  let is_derived pred = List.mem pred rw.derived in
+  let apply batch =
+    let change = Stratified.Live.apply (oracle ()) batch in
+    let removed = change.Stratified.Live.c_removed in
+    let added = change.Stratified.Live.c_added in
+    if removed = [] && added = [] then
+      {
+        Session.oc_added = [];
+        oc_removed = [];
+        oc_summary = change.Stratified.Live.c_summary;
+      }
+    else begin
+      (* Patch the resident state in the parent: no domain is running
+         between epochs, so the engine and channel-history slots are
+         exclusively ours here. *)
+      if removed <> [] then begin
+        let retractions =
+          List.concat_map
+            (fun (pred, t) ->
+              if is_derived pred then
+                [ (Rewrite.out_pred pred, t); (Rewrite.in_pred pred, t) ]
+              else [ (pred, t) ])
+            removed
+        in
+        Array.iter
+          (function
+            | None -> ()
+            | Some e -> ignore (Seminaive.retract_facts e retractions))
+          engines;
+        List.iter
+          (fun (pred, t) ->
+            let key = (pred, t) in
+            Array.iter
+              (fun row -> Array.iter (fun tbl -> Ktbl.remove tbl key) row)
+              channel_seen)
+          removed
+      end;
+      (* Base deletions leave the combined EDB and every base fragment
+         (crash recovery rebuilds from the fragments). *)
+      List.iter
+        (fun (pred, t) ->
+          if not (is_derived pred) then begin
+            (match Database.find edb pred with
+             | Some rel -> ignore (Relation.remove_all rel (Tuple.equal t))
+             | None -> ());
+            Array.iter
+              (fun ldb ->
+                match Database.find ldb pred with
+                | Some rel ->
+                  ignore (Relation.remove_all rel (Tuple.equal t))
+                | None -> ())
+              local_edbs
+          end)
+        removed;
+      (* Base insertions land in the fragments of the processors that
+         host them and are injected as pending work; the next epoch's
+         step loop derives and routes the consequences. *)
+      List.iter
+        (fun (pred, t) ->
+          if not (is_derived pred) then begin
+            ignore (Database.add_fact edb pred t);
+            for pid = 0 to n - 1 do
+              if rw.resident pid pred t then begin
+                ignore (Database.add_fact local_edbs.(pid) pred t);
+                match engines.(pid) with
+                | Some e -> ignore (Seminaive.inject e pred t)
+                | None -> ()
+              end
+            done
+          end)
+        added;
+      epoch ();
+      {
+        Session.oc_added = added;
+        oc_removed = removed;
+        oc_summary = change.Stratified.Live.c_summary;
+      }
+    end
+  in
+  let query pred =
+    if is_derived pred then begin
+      let acc = ref None in
+      Array.iter
+        (function
+          | None -> ()
+          | Some e ->
+            (match
+               Database.find (Seminaive.database e) (Rewrite.out_pred pred)
+             with
+             | None -> ()
+             | Some rel ->
+               let target =
+                 match !acc with
+                 | Some r -> r
+                 | None ->
+                   let r =
+                     Relation.create ~arity:(Relation.arity rel) ()
+                   in
+                   acc := Some r;
+                   r
+               in
+               ignore (Relation.add_all target rel)))
+        engines;
+      match !acc with
+      | Some r -> Relation.sorted_elements r
+      | None -> []
+    end
+    else
+      match Database.find edb pred with
+      | Some rel -> Relation.sorted_elements rel
+      | None -> []
+  in
+  let model () = fst (assemble ()) in
+  let close () =
+    let answers, pooled = assemble () in
+    { Session.answers; stats = build_stats ~pooled () }
+  in
+  Session.v ~runtime:"domains" ~apply ~query ~model ~close
+
+let run ?config (rw : Rewrite.t) ~edb =
+  Session.close (open_session ?config rw ~edb)

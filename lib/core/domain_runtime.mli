@@ -85,6 +85,28 @@ val run :
     [limits] arms the overload watchdog; [dial] activates adaptive
     degradation. With the default (disabled) {!Obs.sinks} the
     instrumented workers take the exact historical code path.
+    Equivalent to {!open_session} followed immediately by
+    {!Session.close}.
     @raise Invalid_argument if [domains < 1] or [capacity < 1] or a
     limit is nonpositive.
     @raise Overload.Overload when a watchdog limit is breached. *)
+
+val open_session :
+  ?config:Run_config.t ->
+  Rewrite.t ->
+  edb:Datalog.Database.t ->
+  Session.t
+(** Evaluate to quiescence and keep the per-processor engines and
+    channel histories resident, returning a live {!Session.t}. Each
+    {!Session.apply} computes the net patch with
+    {!Datalog.Stratified.Live}, installs it into the resident engines
+    and base fragments between domain lifetimes (net deletions are
+    retracted everywhere, net base insertions become pending work at
+    the processors hosting them), and re-spawns the domains for one
+    more drive to quiescence — termination detection, faults, credit
+    and the watchdog all behave as on the initial drive. An empty net
+    batch spawns nothing. Counters accumulate across batches; crash
+    plans are evaluated against each drive's local iteration counts,
+    so a plan may fire on several batches.
+    @raise Overload.Overload as {!run}, from [open_session] or any
+    later [apply]. *)

@@ -14,6 +14,8 @@ type t = {
   domains : int option;
   obs : Obs.sinks;
   plan : Plan.t option;
+  batch_rounds : int option;
+  track_changes : bool;
 }
 
 let default =
@@ -31,6 +33,8 @@ let default =
     domains = None;
     obs = Obs.disabled;
     plan = None;
+    batch_rounds = None;
+    track_changes = true;
   }
 
 let with_resend_all resend_all t = { t with resend_all }
@@ -52,4 +56,6 @@ let with_obs obs t = { t with obs }
 let with_trace trace t = { t with obs = { t.obs with Obs.trace } }
 let with_metrics metrics t = { t with obs = { t.obs with Obs.metrics } }
 let with_plan plan t = { t with plan }
+let with_batch_rounds batch_rounds t = { t with batch_rounds }
+let with_track_changes track_changes t = { t with track_changes }
 let of_plan (p : Plan.t) = { default with plan = Some p }

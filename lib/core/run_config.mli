@@ -34,6 +34,17 @@ type t = {
           {!Plan.validate_exn} against the rewrite's original program
           and processor count, and refuse to run under a stale or
           unverifiable plan ({!Plan.Rejected}). *)
+  batch_rounds : int option;
+      (** Session option: per-{!Runtime.apply} round budget for the
+          simulator's incremental drive. [max_rounds] stays the
+          cumulative budget over the whole session; this bounds each
+          batch on its own. [None] (default) applies no per-batch
+          bound. *)
+  track_changes : bool;
+      (** Session option: record the per-predicate net change log
+          ({!Datalog.Delta.Log}) as batches are applied. On by
+          default; switch off for long-lived sessions that only
+          query the current model and never drain the log. *)
 }
 
 val default : t
@@ -65,6 +76,12 @@ val with_obs : Obs.sinks -> t -> t
 val with_trace : Obs.Trace.t -> t -> t
 val with_metrics : Obs.Metrics.t -> t -> t
 val with_plan : Plan.t option -> t -> t
+
+val with_batch_rounds : int option -> t -> t
+(** Per-batch round budget for session [apply] (simulator only). *)
+
+val with_track_changes : bool -> t -> t
+(** Whether sessions keep the net change log (default [true]). *)
 
 val of_plan : Plan.t -> t
 (** {!default} carrying the given certificate; compose further with the

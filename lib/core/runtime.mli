@@ -2,9 +2,12 @@
 
     Both executors — the deterministic simulator and the multicore
     domain runtime — satisfy {!S}: one [run] function over a
-    {!Run_config.t}. Code that must work on either (the CLI, the test
+    {!Run_config.t} for one-shot evaluation, and one [open_session]
+    returning a live {!Session.t} for incremental evaluation under
+    update streams. Code that must work on either (the CLI, the test
     harness, bench) is written against the module type and picks an
-    implementation from {!all}. *)
+    implementation from {!all}. The multi-process runtime
+    ([Net.Net_runtime]) satisfies the same shape from its own library. *)
 
 module type S = sig
   val name : string
@@ -15,16 +18,37 @@ module type S = sig
     Rewrite.t ->
     edb:Datalog.Database.t ->
     Sim_runtime.result
+  (** One-shot evaluation: [open_session] immediately followed by
+      {!Session.close}. *)
+
+  val open_session :
+    config:Run_config.t ->
+    Rewrite.t ->
+    edb:Datalog.Database.t ->
+    Session.t
+  (** Evaluate to quiescence and keep the runtime resident; the
+      returned handle accepts {!Session.apply} update batches that are
+      maintained incrementally instead of recomputed. *)
 end
 
 module Sim : S
-(** {!Sim_runtime.run}. *)
+(** {!Sim_runtime.run} / {!Sim_runtime.open_session}. *)
 
 module Domains : S
-(** {!Domain_runtime.run}. *)
+(** {!Domain_runtime.run} / {!Domain_runtime.open_session}. *)
 
 val all : (module S) list
 (** Both runtimes, simulator first. *)
 
 val find : string -> (module S) option
 (** Look an implementation up by {!S.name}. *)
+
+val apply : Session.t -> Update_batch.t -> Session.outcome
+(** {!Session.apply}, re-exported so runtime clients need only this
+    module. *)
+
+val query : Session.t -> string -> Datalog.Tuple.t list
+(** {!Session.query}. *)
+
+val close : Session.t -> Session.result
+(** {!Session.close}. *)

@@ -4,7 +4,7 @@ let log_src = Logs.Src.create "pardatalog.sim" ~doc:"simulated parallel runtime"
 
 module Log = (val Logs.src_log log_src)
 
-type result = {
+type result = Session.result = {
   answers : Database.t;
   stats : Stats.t;
 }
@@ -83,7 +83,7 @@ let build_edb ~replicate (rw : Rewrite.t) edb pid =
     (Database.predicates edb);
   local
 
-let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
+let open_session ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
   let options : Run_config.t = config in
   (* A configuration carrying a plan certificate is only honoured after
      re-verification against the program actually being run — a stale
@@ -387,8 +387,9 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
       collect_new p produced)
     procs;
   let trace = ref [ boot_row ] in
-  let build_stats ~pooled () : Stats.t =
+  let build_stats ?(incr = Stats.no_incr) ~pooled () : Stats.t =
     {
+      incr;
       nprocs;
       rounds = !rounds;
       per_proc =
@@ -619,12 +620,24 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
     done;
     !n
   in
+  (* The drive loop: repeat rounds until global quiescence. A session
+     re-enters it on every applied batch; [budget] bounds one drive
+     ([Run_config.batch_rounds]) while [max_rounds] stays the
+     cumulative budget across the whole session. *)
+  let drive ~budget () =
+  let start_round = !rounds in
   let continue = ref true in
   while !continue do
     if !rounds >= options.max_rounds then
       raise
         (Round_budget_exceeded
            { round = !rounds; stats = build_stats ~pooled:0 () });
+    (match budget with
+     | Some b when !rounds - start_round >= b ->
+       raise
+         (Round_budget_exceeded
+            { round = !rounds; stats = build_stats ~pooled:0 () })
+     | _ -> ());
     (match options.limits.Overload.deadline with
      | Some seconds ->
        let elapsed = Unix.gettimeofday () -. t0 in
@@ -827,23 +840,189 @@ let run ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
                    unacked))
     in
     continue := work_left
-  done;
-  (* Final pooling: union the @out relations under the original names. *)
-  let answers = Database.copy edb in
-  let pooled = ref 0 in
-  Array.iter
-    (fun p ->
-      let db = Seminaive.database p.engine in
+  done
+  in
+  drive ~budget:None ();
+  (* Pooling: union the @out relations under the original names over
+     the current combined EDB — used by [close] and [model] alike. *)
+  let assemble () =
+    let answers = Database.copy edb in
+    let pooled = ref 0 in
+    Array.iter
+      (fun p ->
+        let db = Seminaive.database p.engine in
+        List.iter
+          (fun pred ->
+            match Database.find db (Rewrite.out_pred pred) with
+            | None -> ()
+            | Some rel ->
+              pooled := !pooled + Relation.cardinal rel;
+              let target =
+                Database.declare answers pred (Relation.arity rel)
+              in
+              ignore (Relation.add_all target rel))
+          rw.derived)
+      procs;
+    (answers, !pooled)
+  in
+  (* The maintenance oracle is created on first [apply], so a plain
+     [run] (open + close, no batches) never pays for it and takes the
+     exact historical code path. At creation time the combined EDB is
+     still the initial one, so the oracle's model matches the engines'
+     pooled state. *)
+  let live = ref None in
+  let oracle () =
+    match !live with
+    | Some l -> l
+    | None ->
+      let l =
+        Stratified.Live.create ~pushdown:options.pushdown
+          ~track:options.track_changes rw.original ~edb
+      in
+      live := Some l;
+      l
+  in
+  let incr_stats () =
+    match !live with
+    | None -> Stats.no_incr
+    | Some l ->
+      let s = Stratified.Live.totals l in
+      {
+        Stats.batches_applied = Stratified.Live.batches l;
+        tuples_inserted = s.Delta.s_inserted;
+        tuples_deleted = s.Delta.s_deleted;
+        tuples_rederived = s.Delta.s_rederived;
+        tuples_overdeleted = s.Delta.s_overdeleted;
+        incr_firings = s.Delta.s_firings;
+      }
+  in
+  let is_derived pred = List.mem pred rw.derived in
+  let apply batch =
+    let change = Stratified.Live.apply (oracle ()) batch in
+    let removed = change.Stratified.Live.c_removed in
+    let added = change.Stratified.Live.c_added in
+    if removed <> [] then begin
+      (* Install the net-deletion patch. Every net-removed tuple has no
+         remaining derivation in the new model, so after retraction the
+         engines' stores contain only true model tuples and any later
+         local firing is a sound derivation step. *)
+      let retractions =
+        List.concat_map
+          (fun (pred, t) ->
+            if is_derived pred then
+              [ (Rewrite.out_pred pred, t); (Rewrite.in_pred pred, t) ]
+            else [ (pred, t) ])
+          removed
+      in
+      Array.iter
+        (fun p ->
+          ignore (Seminaive.retract_facts p.engine retractions);
+          (* A checkpoint predating the patch would resurrect the
+             retracted tuples on restore. *)
+          p.checkpoint <- None)
+        procs;
+      (* Purge the channel layer of the removed tuples — but only of
+         them: a tuple re-derived later must travel its channels again
+         (the histories no longer claim the receiver has it), while
+         recovery replays keep covering everything still true. *)
       List.iter
-        (fun pred ->
-          match Database.find db (Rewrite.out_pred pred) with
+        (fun (pred, t) ->
+          let key = (pred, t) in
+          Array.iter
+            (fun row -> Array.iter (fun tbl -> Ktbl.remove tbl key) row)
+            channel_seen;
+          Array.iter
+            (fun row -> Array.iter (fun tbl -> Ktbl.remove tbl key) row)
+            recv_seen)
+        removed;
+      if options.resend_all then
+        Array.iter
+          (fun p ->
+            let keep =
+              Queue.fold
+                (fun acc (pred, t) ->
+                  if
+                    List.exists
+                      (fun (rp, rt) ->
+                        String.equal rp pred && Tuple.equal rt t)
+                      removed
+                  then acc
+                  else (pred, t) :: acc)
+                [] p.all_out
+            in
+            Queue.clear p.all_out;
+            List.iter (fun kt -> Queue.add kt p.all_out) (List.rev keep))
+          procs
+    end;
+    (* Keep the combined EDB current: crash recovery rebuilds base
+       fragments from it and the assembly copies it. *)
+    List.iter
+      (fun (pred, t) ->
+        if not (is_derived pred) then
+          match Database.find edb pred with
+          | Some rel -> ignore (Relation.remove_all rel (Tuple.equal t))
+          | None -> ())
+      removed;
+    List.iter
+      (fun (pred, t) ->
+        if not (is_derived pred) then
+          ignore (Database.add_fact edb pred t))
+      added;
+    (* Base insertions enter at the processors that host them; their
+       derived consequences are re-derived — and re-sent — by the
+       drive. *)
+    List.iter
+      (fun (pred, t) ->
+        if not (is_derived pred) then
+          Array.iter
+            (fun p ->
+              if options.replicate_base || rw.resident p.pid pred t then
+                ignore (Seminaive.inject p.engine pred t))
+            procs)
+      added;
+    drive ~budget:options.batch_rounds ();
+    {
+      Session.oc_added = added;
+      oc_removed = removed;
+      oc_summary = change.Stratified.Live.c_summary;
+    }
+  in
+  let query pred =
+    if is_derived pred then begin
+      let acc = ref None in
+      Array.iter
+        (fun p ->
+          match
+            Database.find (Seminaive.database p.engine)
+              (Rewrite.out_pred pred)
+          with
           | None -> ()
           | Some rel ->
-            pooled := !pooled + Relation.cardinal rel;
             let target =
-              Database.declare answers pred (Relation.arity rel)
+              match !acc with
+              | Some r -> r
+              | None ->
+                let r = Relation.create ~arity:(Relation.arity rel) () in
+                acc := Some r;
+                r
             in
             ignore (Relation.add_all target rel))
-        rw.derived)
-    procs;
-  { answers; stats = build_stats ~pooled:!pooled () }
+        procs;
+      match !acc with
+      | Some r -> Relation.sorted_elements r
+      | None -> []
+    end
+    else
+      match Database.find edb pred with
+      | Some rel -> Relation.sorted_elements rel
+      | None -> []
+  in
+  let model () = fst (assemble ()) in
+  let close () =
+    let answers, pooled = assemble () in
+    { answers; stats = build_stats ~incr:(incr_stats ()) ~pooled () }
+  in
+  Session.v ~runtime:"sim" ~apply ~query ~model ~close
+
+let run ?config (rw : Rewrite.t) ~edb =
+  Session.close (open_session ?config rw ~edb)

@@ -27,7 +27,7 @@ val log_src : Logs.src
 (** Per-round debug logging ([Logs.Debug]): new-tuple and channel
     counters. Crash and recovery events log at [Logs.Info]. *)
 
-type result = {
+type result = Session.result = {
   answers : Datalog.Database.t;
       (** The pooled output: every original derived predicate, under its
           original name, unioned over processors — plus the base
@@ -50,9 +50,27 @@ val run :
     configuration defaults to {!Run_config.default}; with the default
     (disabled) {!Obs.sinks} the instrumented executor takes the exact
     historical code path and reproduces its message and firing counts.
+    Equivalent to {!open_session} followed immediately by
+    {!Session.close}.
     @raise Round_budget_exceeded when [config.max_rounds] is exceeded.
     @raise Overload.Overload when a limit of [config.limits] is
     breached; the exception carries the partial statistics and the
     offending processor.
     @raise Failure when a tuple is routed along a missing channel of
     [config.network]. *)
+
+val open_session :
+  ?config:Run_config.t -> Rewrite.t -> edb:Datalog.Database.t -> Session.t
+(** Run the evaluation to quiescence as {!run} does, but keep the
+    processors, channel state and fault machinery resident and return
+    a live {!Session.t}. {!Session.apply} folds a base-fact update
+    batch into the model: the net patch is computed by
+    {!Datalog.Stratified.Live}, net deletions are retracted from every
+    resident engine (and the channel histories and checkpoints they
+    would resurrect from), net base insertions are injected at the
+    processors hosting them, and the round loop re-runs to quiescence —
+    under the same fault plan, credit bounds and watchdog as the
+    initial drive. [config.batch_rounds] bounds each drive separately;
+    [config.max_rounds] remains the cumulative budget.
+    @raise Round_budget_exceeded / Overload.Overload / Failure as
+    {!run}, from [open_session] or any later [apply]. *)

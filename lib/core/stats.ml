@@ -73,6 +73,25 @@ let no_transport =
     bytes_received = 0;
   }
 
+type incr = {
+  batches_applied : int;
+  tuples_inserted : int;
+  tuples_deleted : int;
+  tuples_rederived : int;
+  tuples_overdeleted : int;
+  incr_firings : int;
+}
+
+let no_incr =
+  {
+    batches_applied = 0;
+    tuples_inserted = 0;
+    tuples_deleted = 0;
+    tuples_rederived = 0;
+    tuples_overdeleted = 0;
+    incr_firings = 0;
+  }
+
 type t = {
   nprocs : int;
   rounds : int;
@@ -84,6 +103,7 @@ type t = {
   transport : transport;
   peak_in_flight : int;
   phase_ns : (string * int) list;
+  incr : incr;
 }
 
 let frontier_profile t =
@@ -198,9 +218,16 @@ let pp ppf t =
        restarts=%d sent=%dB recv=%dB@,"
       w.reconnects w.wire_retransmits w.heartbeat_misses w.worker_restarts
       w.bytes_sent w.bytes_received;
+  let c = t.incr in
+  if c <> no_incr then
+    Format.fprintf ppf
+      "incr: batches=%d inserted=%d deleted=%d rederived=%d \
+       overdeleted=%d firings=%d@,"
+      c.batches_applied c.tuples_inserted c.tuples_deleted
+      c.tuples_rederived c.tuples_overdeleted c.incr_firings;
   Format.fprintf ppf "@]"
 
-(* Versioned machine-readable snapshot ("schema": 3), shared by
+(* Versioned machine-readable snapshot ("schema": 4), shared by
    `datalogp par --json`, the Obs metrics snapshot, the bench baseline
    files and datalogd's per-query attribution. Hand-rolled: the values
    are ints and two enum-like strings. Schema 2 was additive over
@@ -209,12 +236,14 @@ let pp ppf t =
    overload/budget kind), so a consumer of a PARTIAL server reply can
    attribute the degradation without re-parsing CLI output. Schema 3
    is additive over schema 2: it adds "transport" (wire-level counters
-   of the multi-process runtime — all zero in-process). *)
+   of the multi-process runtime — all zero in-process). Schema 4 is
+   additive over schema 3: it adds "incr" (per-session incremental
+   maintenance counters — all zero for one-shot runs). *)
 let to_json ?(scheme = "unspecified") ?(outcome = "ok") t =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add
-    "{\"schema\":3,\"scheme\":%S,\"outcome\":%S,\"nprocs\":%d,\"rounds\":%d,\"pooled\":%d,\"peak_in_flight\":%d,"
+    "{\"schema\":4,\"scheme\":%S,\"outcome\":%S,\"nprocs\":%d,\"rounds\":%d,\"pooled\":%d,\"peak_in_flight\":%d,"
     scheme outcome t.nprocs t.rounds t.pooled_tuples t.peak_in_flight;
   add "\"phase_ns\":{%s},"
     (String.concat ","
@@ -255,9 +284,14 @@ let to_json ?(scheme = "unspecified") ?(outcome = "ok") t =
     f.restores f.mailbox_drops f.credit_stalls f.alpha_raises f.alpha_decays;
   let w = t.transport in
   add
-    ",\"transport\":{\"reconnects\":%d,\"wire_retransmits\":%d,\"heartbeat_misses\":%d,\"worker_restarts\":%d,\"bytes_sent\":%d,\"bytes_received\":%d}}"
+    ",\"transport\":{\"reconnects\":%d,\"wire_retransmits\":%d,\"heartbeat_misses\":%d,\"worker_restarts\":%d,\"bytes_sent\":%d,\"bytes_received\":%d}"
     w.reconnects w.wire_retransmits w.heartbeat_misses w.worker_restarts
     w.bytes_sent w.bytes_received;
+  let c = t.incr in
+  add
+    ",\"incr\":{\"batches_applied\":%d,\"tuples_inserted\":%d,\"tuples_deleted\":%d,\"tuples_rederived\":%d,\"tuples_overdeleted\":%d,\"incr_firings\":%d}}"
+    c.batches_applied c.tuples_inserted c.tuples_deleted c.tuples_rederived
+    c.tuples_overdeleted c.incr_firings;
   Buffer.contents buf
 
 let pp_summary ppf t =

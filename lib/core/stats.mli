@@ -77,6 +77,26 @@ type transport = {
 val no_transport : transport
 (** All-zero transport counters. *)
 
+type incr = {
+  batches_applied : int;
+      (** Update batches folded into the session (empty ones
+          included). *)
+  tuples_inserted : int;  (** Net model tuples added across batches. *)
+  tuples_deleted : int;  (** Net model tuples removed across batches. *)
+  tuples_rederived : int;
+      (** Overdeleted tuples DRed proved still derivable and kept. *)
+  tuples_overdeleted : int;
+      (** Tuples provisionally deleted by DRed's overdeletion pass. *)
+  incr_firings : int;
+      (** Rule firings spent on maintenance (counting enumeration +
+          DRed propagation + the insertion passes). *)
+}
+(** Incremental-maintenance counters of a session
+    ({!Runtime.open_session}); {!no_incr} for one-shot runs. *)
+
+val no_incr : incr
+(** All-zero incremental counters. *)
+
 type t = {
   nprocs : int;
   rounds : int;
@@ -105,6 +125,9 @@ type t = {
           [Obs.Phase_timer]. The phase names are
           {!Obs.Trace.phase_name} values. Empty for runtimes that do
           not time their phases. *)
+  incr : incr;
+      (** Incremental-maintenance counters; {!no_incr} unless the
+          stats describe a live session. *)
 }
 
 val frontier_profile : t -> int list
@@ -163,7 +186,12 @@ val to_json : ?scheme:string -> ?outcome:string -> t -> string
     reconnects, wire retransmits, heartbeat misses, worker restarts,
     bytes sent/received) so a recovery by the multi-process runtime's
     supervisor is attributable from [par --json] and the bench
-    baselines. *)
+    baselines.
+
+    Schema 4 adds the additive ["incr"] object ({!incr}: batches
+    applied, net tuples inserted/deleted, DRed overdeletions and
+    rederivations, maintenance firings) reported by session runs
+    ({!Runtime.open_session}); all zero for one-shot runs. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** A one-line summary. *)

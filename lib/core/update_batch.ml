@@ -1,0 +1,12 @@
+(* Re-export so runtime clients can speak about update batches without
+   reaching into the datalog library namespace. *)
+
+include Datalog.Delta.Batch
+
+type op = Datalog.Delta.op = Insert | Delete
+
+type update = Datalog.Delta.update = {
+  u_op : op;
+  u_pred : string;
+  u_tuple : Datalog.Tuple.t;
+}

@@ -1,0 +1,16 @@
+(** Update batches for session runtimes — a thin alias of
+    {!Datalog.Delta.Batch} so [Runtime] clients (server, CLI, bench)
+    can build batches without depending on the datalog library
+    directly. The constructors and accessors are those of
+    {!Datalog.Delta.Batch}: [empty], [insert], [delete], [of_list],
+    [size], [normalize], ... *)
+
+include module type of Datalog.Delta.Batch
+
+type op = Datalog.Delta.op = Insert | Delete
+
+type update = Datalog.Delta.update = {
+  u_op : op;
+  u_pred : string;
+  u_tuple : Datalog.Tuple.t;
+}

@@ -184,6 +184,30 @@ let clear r =
   Vec.clear r.elements;
   Hashtbl.reset r.indexes
 
+(* Deletion support for the incremental-maintenance layer. The store is
+   append-only by design, so removal is an in-place rebuild: surviving
+   tuples are re-pushed in their original insertion order (window
+   positions of the survivors shift but stay ascending) and every
+   materialized index is dropped — bucket positions would all be stale —
+   to be rebuilt lazily by the next probe. Staged matchers taken before
+   a removal are invalidated, exactly as by [compact]/[clear]. *)
+let remove_all r keep_out =
+  let victims = ref 0 in
+  Vec.iter (fun t -> if keep_out t then incr victims) r.elements;
+  if !victims = 0 then 0
+  else begin
+    let survivors = List.filter (fun t -> not (keep_out t)) (to_list r) in
+    Tbl.reset r.seen;
+    Vec.clear r.elements;
+    Hashtbl.reset r.indexes;
+    List.iter
+      (fun t ->
+        Tbl.add r.seen t ();
+        Vec.push r.elements t)
+      survivors;
+    !victims
+  end
+
 let compact r =
   Vec.compact r.elements;
   Hashtbl.reset r.indexes

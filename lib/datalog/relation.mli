@@ -80,6 +80,15 @@ val iter_range : t -> lo:int -> hi:int -> (Tuple.t -> unit) -> unit
 val copy : t -> t
 val clear : t -> unit
 
+val remove_all : t -> (Tuple.t -> bool) -> int
+(** [remove_all r victim] deletes every tuple for which [victim] holds
+    and returns how many were removed. Survivors keep their relative
+    insertion order but their positions shift, and all materialized
+    indexes are dropped (rebuilt lazily) — so, like {!compact}, this
+    invalidates staged {!matcher}s and any window watermarks the caller
+    holds over [r]. The incremental-maintenance layer is the intended
+    caller; the semi-naive hot path never removes. *)
+
 val compact : t -> unit
 (** Release slack: shrink the element store to its current size and
     drop all materialized indexes (they are rebuilt on the next

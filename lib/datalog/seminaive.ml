@@ -239,11 +239,64 @@ let has_pending engine =
     (fun _ m acc -> acc || Relation.cardinal m.m_rel > m.m_cur)
     engine.marks false
 
+(* Drive the pending delta to a local fixpoint. Work is proportional
+   to the consequences of the queued tuples, not the store: an engine
+   with nothing pending returns immediately, which is what makes
+   live-session updates cheap — injecting a small batch and resuming
+   re-fires only the rules the batch can reach. *)
+let resume engine =
+  if not engine.bootstrapped then
+    invalid_arg "Seminaive.resume: bootstrap first";
+  let fresh = ref [] in
+  while has_pending engine do
+    List.iter (fun nt -> fresh := nt :: !fresh) (step engine)
+  done;
+  List.rev !fresh
+
 let run_to_fixpoint engine =
   if not engine.bootstrapped then ignore (bootstrap engine);
-  while has_pending engine do
-    ignore (step engine)
-  done
+  ignore (resume engine)
+
+(* Remove concrete facts from the store. Only legal on a quiescent
+   engine: the windows are positional, and a removal rebuilds the
+   backing store, so every mark is re-pinned to the new cardinal
+   (everything present becomes processed state with no firings owed).
+   The caller owns the consequences — this is the primitive the
+   incremental sessions use to install a net-deletion patch computed
+   by [Stratified.Live], not a maintenance algorithm by itself. *)
+let retract_facts engine pairs =
+  if has_pending engine then
+    invalid_arg "Seminaive.retract_facts: engine has pending work";
+  let module Tset = Hashtbl.Make (Tuple) in
+  let by_pred : (string, unit Tset.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (pred, tuple) ->
+      let set =
+        match Hashtbl.find_opt by_pred pred with
+        | Some s -> s
+        | None ->
+          let s = Tset.create 16 in
+          Hashtbl.add by_pred pred s;
+          s
+      in
+      Tset.replace set tuple ())
+    pairs;
+  let removed = ref 0 in
+  Hashtbl.iter
+    (fun pred set ->
+      match Database.find engine.full pred with
+      | None -> ()
+      | Some rel ->
+        removed := !removed + Relation.remove_all rel (Tset.mem set))
+    by_pred;
+  if !removed > 0 then
+    Hashtbl.iter
+      (fun _ m ->
+        let n = Relation.cardinal m.m_rel in
+        m.m_old <- n;
+        m.m_cur <- n)
+      engine.marks;
+  !removed
 
 (* A checkpoint needs the store plus, per predicate, the frontier
    between processed state and the still-pending suffix: restoring

@@ -63,6 +63,25 @@ val has_pending : t -> bool
 val run_to_fixpoint : t -> unit
 (** {!bootstrap} (if not yet done) then {!step} until quiescent. *)
 
+val resume : t -> (string * Tuple.t) list
+(** Drive the pending delta to a local fixpoint and return every tuple
+    newly derived along the way, in derivation order. Work is
+    proportional to the consequences of the queued tuples, not the
+    store: a quiescent engine returns [[]] immediately. This is the
+    live-session primitive — {!inject} a small update batch, [resume],
+    and only the rules the batch can reach re-fire.
+    @raise Invalid_argument before {!bootstrap}. *)
+
+val retract_facts : t -> (string * Tuple.t) list -> int
+(** Remove concrete facts from the engine's store (pairs naming absent
+    tuples or unknown predicates are ignored); returns how many tuples
+    were actually removed. Every predicate's window is re-pinned to
+    the post-removal store, so nothing is left pending. Only legal on
+    a quiescent engine — this installs a net-deletion patch computed
+    by the incremental maintenance layer ({!Stratified.Live}); it does
+    not itself propagate consequences.
+    @raise Invalid_argument if the engine has pending work. *)
+
 val database : t -> Database.t
 (** A fresh snapshot of the engine's database: base relations plus
     every derived tuple known so far, including still-queued ones. *)

@@ -15,3 +15,68 @@ val evaluate :
     ([iterations] sums the per-component iteration counts). The input
     database is not modified.
     @raise Invalid_argument if the program fails {!Program.check}. *)
+
+(** Incremental maintenance of the computed model under base-fact
+    insertions and deletions.
+
+    A {!Live.t} holds the full model (base + derived) and per-stratum
+    support bookkeeping. {!Live.apply} folds an update batch into the
+    model stratum-by-stratum: non-recursive strata are maintained by
+    exact derivation counting (the telescoped lost/gained-firing
+    enumeration), recursive strata by DRed — overdelete everything a
+    removed tuple might have supported, rederive what survives from the
+    remainder, install the difference — followed by a semi-naive
+    insertion pass resumed from the added windows only. Work is
+    proportional to the consequences of the batch, not the store; the
+    returned {!Live.change} is the exact net model difference, which is
+    what the session runtimes propagate to resident workers. *)
+module Live : sig
+  type t
+
+  type change = {
+    c_summary : Delta.summary;
+    c_added : (string * Tuple.t) list;
+        (** Net tuples added to the model (base and derived), sorted by
+            predicate then {!Tuple.compare}. *)
+    c_removed : (string * Tuple.t) list;
+        (** Net tuples removed from the model; disjoint from
+            [c_added]. *)
+  }
+
+  val create :
+    ?pushdown:bool -> ?reorder:bool -> ?track:bool -> Program.t ->
+    edb:Database.t -> t
+  (** Evaluate the program over [edb] and set up maintenance state.
+      Tuples the [edb] seeds under derived predicates are treated like
+      program facts: externally supported, never deleted by
+      maintenance. [track] (default [true]) records every net change
+      into {!log}; pass [false] for long-lived sessions that never
+      drain it.
+      @raise Invalid_argument if the program fails {!Program.check}. *)
+
+  val apply : t -> Delta.Batch.t -> change
+  (** Fold one update batch into the model. The batch is first
+      normalized against the store ({!Delta.Batch.normalize}), so
+      re-applying a batch is a no-op and an empty net effect does
+      near-zero work. All deletions are processed bottom-up first, then
+      all insertions.
+      @raise Invalid_argument if the batch updates a derived
+      predicate. *)
+
+  val query : t -> string -> Tuple.t list
+  (** Current tuples of a predicate, in {!Tuple.compare} order; [[]]
+      when unbound. *)
+
+  val database : t -> Database.t
+  (** A fresh snapshot of the full model. *)
+
+  val batches : t -> int
+  (** Batches applied so far (including empty ones). *)
+
+  val totals : t -> Delta.summary
+  (** Cumulative maintenance accounting across all batches. *)
+
+  val log : t -> Delta.Log.t
+  (** The net change log: one {!Delta.Log} entry per model tuple added
+      or removed by {!apply}, in batch order. *)
+end

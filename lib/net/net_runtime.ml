@@ -8,6 +8,7 @@ module Strategy = Pardatalog.Strategy
 module Plan = Pardatalog.Plan
 module Backoff = Pardatalog.Backoff
 module Sim_runtime = Pardatalog.Sim_runtime
+module Session = Pardatalog.Session
 
 let log_src = Logs.Src.create "pardatalog.net" ~doc:"Multi-process runtime"
 
@@ -130,7 +131,8 @@ type wproc = {
   mutable engine : Seminaive.t;
   mutable local_rounds : int;
   mutable last_ckpt : int;
-  base_resident : int;
+  (* Resident base tuples; session updates adjust it. *)
+  mutable base_resident : int;
   channel_seen : unit Ktbl.t array;
   next_seq : int array;
   unacked : (int, pending) Hashtbl.t array;
@@ -699,6 +701,78 @@ let worker_body ~addr ~worker ~inc =
           | None -> ()
       end
     | Inject { dst; batch } -> accept_batch (proc_of dst) batch
+    | Patch { dels } ->
+      (* Net deletions of a session batch. The coordinator sends this
+         only between drives (after a passed probe), so every engine
+         is quiescent and [retract_facts] is legal. A net-removed
+         tuple has no remaining derivation in the new model, so
+         removing it from every store is sound — re-derivation after a
+         later re-insertion flows through the ordinary step loop. *)
+      let dels = Wire.to_batch dels in
+      let derived_dels, base_dels =
+        List.partition (fun (pred, _) -> List.mem pred rw.derived) dels
+      in
+      let derived_keys =
+        List.concat_map
+          (fun (pred, t) ->
+            [ (Rewrite.out_pred pred, t); (Rewrite.in_pred pred, t) ])
+          derived_dels
+      in
+      List.iter
+        (fun p ->
+          ignore (Seminaive.retract_facts p.engine derived_keys);
+          let nbase = Seminaive.retract_facts p.engine base_dels in
+          p.base_resident <- p.base_resident - nbase;
+          (* Purge the channel-dedup and checkpoint-cover tables of
+             exactly the removed tuples: a re-derived tuple must
+             travel its channels (and enter a checkpoint) again, while
+             everything still true stays covered. *)
+          List.iter
+            (fun (pred, t) ->
+              Array.iter (fun tbl -> Ktbl.remove tbl (pred, t)) p.channel_seen;
+              Ktbl.remove p.dumped (Rewrite.out_pred pred, t);
+              Ktbl.remove p.dumped (Rewrite.in_pred pred, t))
+            derived_dels;
+          if p.ckpt_acc <> [] then
+            p.ckpt_acc <-
+              List.filter
+                (fun (name, t) ->
+                  not
+                    (List.exists
+                       (fun (rp, rt) ->
+                         String.equal rp name && Tuple.equal rt t)
+                       derived_keys))
+                p.ckpt_acc)
+        procs
+    | Update { dst; batch } ->
+      (* Net base insertions of a session batch: pending work for the
+         engines hosting them; consequences derive — and route — in
+         the ordinary step loop. [inject] discards known tuples, so a
+         redelivery (e.g. held frames replayed to a restarted worker
+         already rebuilt from the updated EDB) changes nothing. *)
+      let p = proc_of dst in
+      List.iter
+        (fun (pred, t) ->
+          if Seminaive.inject p.engine pred t then
+            p.base_resident <- p.base_resident + 1)
+        (Wire.to_batch batch)
+    | Collect { gen } ->
+      (* Session-mode end of drive: report every processor's answers
+         and keep running. Global quiescence is already established
+         (the coordinator collects only after a passed probe), so the
+         engines are at the global fixpoint as-is. *)
+      dbg "w%d: collect gen=%d" worker gen;
+      List.iter
+        (fun p ->
+          write
+            (Wire.Model
+               {
+                 gen;
+                 pid = p.pid;
+                 snap = snap_of ~store:true p;
+                 answers = answers_of p;
+               }))
+        procs
     | Probe { epoch } ->
       dbg "w%d: probe %d -> idle=%b fr=%d" worker epoch (all_idle ())
         !frames_received;
@@ -742,7 +816,7 @@ let worker_body ~addr ~worker ~inc =
       flush_blocking ();
       raise (Worker_exit 0)
     | Hello _ | Config _ | Status _ | Heartbeat _ | Checkpoint _
-    | Crashing _ | Breach _ | Done _ | Bye _ ->
+    | Crashing _ | Breach _ | Done _ | Bye _ | Model _ ->
       ()
   in
   let hb_s = float_of_int (max 1 cf.cf_hb_ms) /. 1000. in
@@ -875,9 +949,10 @@ let listen_setup transport =
     in
     (fd, Atcp port)
 
-let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
-    ?(partition = 0.0) ?(hb_ms = 25) ?(hb_miss_limit = 40)
-    ?(max_restarts = 8) ?(spawn = Fork) (rw : Rewrite.t) ~edb =
+let open_session ~config ~program ~spec ?(seed = 0) ?(procs = 4)
+    ?(transport = `Unix) ?(partition = 0.0) ?(hb_ms = 25)
+    ?(hb_miss_limit = 40) ?(max_restarts = 8) ?(spawn = Fork)
+    (rw : Rewrite.t) ~edb =
   if config.Run_config.dial <> None then
     invalid_arg "Net_runtime: the adaptive dial is not supported";
   (match config.Run_config.plan with
@@ -907,7 +982,13 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
       let rel = Database.declare combined_edb pred (Tuple.arity tuple) in
       ignore (Relation.add rel tuple))
     rw.original.Program.facts;
-  let wedb = Wire.of_db combined_edb in
+  (* [wedb] is re-serialized whenever a session batch changes the base
+     facts: a worker restarted afterwards must rebuild from the
+     patched EDB. [base_db] shadows the caller's input EDB (patched in
+     step with the batches) — answer assembly copies it, exactly as a
+     from-scratch run over the updated input would. *)
+  let wedb = ref (Wire.of_db combined_edb) in
+  let base_db = Database.copy edb in
   let listen_fd, laddr = listen_setup transport in
   let addr_str = addr_to_string laddr in
   let slots =
@@ -993,6 +1074,20 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
   let probe_open = ref false in
   let probe_armed = ref false in
   let probe_next_at = ref 0.0 in
+  (* Session state. A drive is one run to global quiescence: the
+     initial evaluation and each non-empty update batch. In session
+     mode a passed termination probe triggers a [Collect] instead of
+     the Stop poison pill: workers report per-processor models and
+     stay resident for the next batch. [Stop] is reserved for [close]
+     and overload. *)
+  let models : (int, Wire.psnap * Wire.wrel list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let collect_gen = ref 0 in
+  let collecting = ref false in
+  let closing = ref false in
+  let dead = ref false in
+  let drive_start = ref t0 in
   let restart_backoff = Backoff.make ~base_ms:5 ~cap_ms:400 () in
   let hb_s = float_of_int (max 1 hb_ms) /. 1000. in
   let disarm () =
@@ -1073,6 +1168,23 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
         slots
     end
   in
+  let begin_collect () =
+    incr collect_gen;
+    collecting := true;
+    Hashtbl.clear models;
+    Array.iter
+      (fun s ->
+        if s.s_configured && s.s_fd <> None then
+          enqueue s (Wire.Collect { gen = !collect_gen }))
+      slots
+  in
+  let all_collected () =
+    let ok = ref true in
+    for pid = 0 to n - 1 do
+      if not (Hashtbl.mem models pid) then ok := false
+    done;
+    !ok
+  in
   let configure s fd reader =
     s.s_fd <- Some fd;
     s.s_reader <- reader;
@@ -1098,7 +1210,7 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
            cf_partition = partition;
            cf_capacity = config.Run_config.capacity;
            cf_limits = limits;
-           cf_edb = wedb;
+           cf_edb = !wedb;
            cf_crashes_done =
              Hashtbl.fold (fun pid rs acc -> (pid, rs) :: acc) crashes_done [];
            cf_restores = restores;
@@ -1130,6 +1242,11 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
       enqueue s (Wire.Stop { finish = !stop_finish });
       s.s_stop_sent <- true
     end;
+    (* A worker rebuilt mid-collection re-derives its state from the
+       (already patched) history: cancel the collection and let the
+       probe cycle re-establish quiescence before collecting again.
+       Stale [Model] frames are discarded by their generation. *)
+    if !collecting then collecting := false;
     disarm ()
   in
   let all_done () =
@@ -1271,7 +1388,13 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
       Hashtbl.replace dones pid (snap, answers)
     | Bye { worker = w; inc = _; faults; credit_stalls; peak_in_flight } ->
       Hashtbl.replace byes w (faults, credit_stalls, peak_in_flight)
-    | Hello _ | Config _ | Inject _ | Probe _ | Stop _ -> ()
+    | Model { gen; pid; snap; answers } ->
+      dbg "c: model pid=%d gen=%d" pid gen;
+      if !collecting && gen = !collect_gen then
+        Hashtbl.replace models pid (snap, answers)
+    | Hello _ | Config _ | Inject _ | Probe _ | Stop _ | Patch _ | Update _
+    | Collect _ ->
+      ()
   in
   let attach_hello fd reader ~worker:w ~inc ~attempts =
     if w < 0 || w >= nworkers then (try Unix.close fd with _ -> ())
@@ -1332,7 +1455,7 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
          slots
   in
   let check_termination () =
-    if (not !stopping) && coordinator_quiet () then begin
+    if (not !stopping) && (not !collecting) && coordinator_quiet () then begin
       if !probe_open then begin
         let complete =
           Array.for_all
@@ -1355,7 +1478,9 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
           probe_open := false;
           dbg "c: probe %d complete pass=%b" !probe_epoch pass;
           if pass then begin
-            if !probe_armed then begin_stop ~finish:true
+            if !probe_armed then begin
+              if !closing then begin_stop ~finish:true else begin_collect ()
+            end
             else begin
               probe_armed := true;
               new_probe ()
@@ -1413,7 +1538,9 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
   let check_deadline () =
     match limits.Overload.deadline with
     | Some sec when not !stopping ->
-      let elapsed = now () -. t0 in
+      (* Per drive, not per session: an idle session must not blow the
+         watchdog while the client thinks. *)
+      let elapsed = now () -. !drive_start in
       if elapsed > sec then begin
         if !overload = None then
           overload :=
@@ -1423,28 +1550,43 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
     | _ -> ()
   in
   let cleanup () =
-    Array.iter
-      (fun s ->
-        if s.s_os_pid <> 0 then begin
-          (try Unix.kill s.s_os_pid Sys.sigkill with _ -> ());
-          (try ignore (waitpid_retry [] s.s_os_pid) with _ -> ());
-          s.s_os_pid <- 0
-        end;
-        match s.s_fd with
-        | Some fd ->
-          (try Unix.close fd with _ -> ());
-          s.s_fd <- None
-        | None -> ())
-      slots;
-    List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) !anon;
-    anon := [];
-    (try Unix.close listen_fd with _ -> ());
-    match laddr with
-    | Aunix path -> (try Unix.unlink path with _ -> ())
-    | Atcp _ -> ()
+    if not !dead then begin
+      dead := true;
+      Array.iter
+        (fun s ->
+          if s.s_os_pid <> 0 then begin
+            (try Unix.kill s.s_os_pid Sys.sigkill with _ -> ());
+            (try ignore (waitpid_retry [] s.s_os_pid) with _ -> ());
+            s.s_os_pid <- 0
+          end;
+          match s.s_fd with
+          | Some fd ->
+            (try Unix.close fd with _ -> ());
+            s.s_fd <- None
+          | None -> ())
+        slots;
+      List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) !anon;
+      anon := [];
+      (try Unix.close listen_fd with _ -> ());
+      match laddr with
+      | Aunix path -> (try Unix.unlink path with _ -> ())
+      | Atcp _ -> ()
+    end
   in
-  Fun.protect ~finally:cleanup @@ fun () ->
-  Array.iter spawn_worker slots;
+  (* One run to global quiescence. In session mode ([closing] false)
+     the drive ends when a [Collect] has gathered every processor's
+     model; on [close] or overload it ends when every processor's
+     [Done] has arrived (the historical exit). *)
+  let drive_loop () =
+    let t = now () in
+    drive_start := t;
+    (* The client may have been idle between drives: worker heartbeats
+       accumulated unread in the socket buffers, so the failure
+       detector must not count the gap as misses. *)
+    Array.iter (fun s -> s.s_last_heard <- t) slots;
+    probe_armed := false;
+    probe_open := false;
+    probe_next_at := 0.0;
   let finished = ref false in
   while not !finished do
     check_deadline ();
@@ -1550,9 +1692,46 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
          in [configure]; here we only watch for completion. *)
       if all_done () then finished := true
     end
-  done;
+    else if !collecting && all_collected () then begin
+      collecting := false;
+      finished := true
+    end
+  done
+  in
+  (* The maintenance oracle is created on first [apply]: a plain [run]
+     (open + close, no batches) never pays for it, and at creation
+     time the combined EDB is still the initial one, so the oracle's
+     model matches the workers' pooled state. *)
+  let live_oracle = ref None in
+  let oracle () =
+    match !live_oracle with
+    | Some l -> l
+    | None ->
+      let l =
+        Stratified.Live.create ~pushdown:config.Run_config.pushdown
+          ~track:config.Run_config.track_changes rw.original
+          ~edb:combined_edb
+      in
+      live_oracle := Some l;
+      l
+  in
+  let incr_stats () =
+    match !live_oracle with
+    | None -> Stats.no_incr
+    | Some l ->
+      let s = Stratified.Live.totals l in
+      {
+        Stats.batches_applied = Stratified.Live.batches l;
+        tuples_inserted = s.Delta.s_inserted;
+        tuples_deleted = s.Delta.s_deleted;
+        tuples_rederived = s.Delta.s_rederived;
+        tuples_overdeleted = s.Delta.s_overdeleted;
+        incr_firings = s.Delta.s_firings;
+      }
+  in
   (* Give live workers a short grace period to deliver their Bye
      (fault counters); they exit right after. *)
+  let grace_byes () =
   let grace_end = now () +. 0.5 in
   let live () =
     Array.exists
@@ -1580,8 +1759,10 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
           | _ -> ())
         slots
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done;
+  done
+  in
   (* ---------------- assembly ---------------- *)
+  let assemble_final () =
   fc.Fault.n_drops <- fc.Fault.n_drops + Shim.drops shim;
   fc.Fault.n_dups_injected <- fc.Fault.n_dups_injected + Shim.dups shim;
   fc.Fault.n_delays <- fc.Fault.n_delays + Shim.delays shim;
@@ -1632,7 +1813,7 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
       bytes_received = !bytes_received;
     }
   in
-  let answers = Database.copy edb in
+  let answers = Database.copy base_db in
   let pooled = ref 0 in
   for pid = 0 to n - 1 do
     match Hashtbl.find_opt dones pid with
@@ -1679,6 +1860,7 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
   in
   let stats : Stats.t =
     {
+      incr = incr_stats ();
       nprocs = n;
       rounds =
         Array.fold_left
@@ -1694,9 +1876,201 @@ let run ~config ~program ~spec ?(seed = 0) ?(procs = 4) ?(transport = `Unix)
       phase_ns = [];
     }
   in
-  match !overload with
-  | Some reason -> raise (Overload.Overload { reason; stats })
-  | None -> { Sim_runtime.answers; stats }
+  (answers, stats)
+  in
+  (* Stop path: drain the Byes, assemble, tear the fleet down. Raises
+     when the stop was an overload. *)
+  let finish () =
+    grace_byes ();
+    let answers, stats = assemble_final () in
+    cleanup ();
+    match !overload with
+    | Some reason -> raise (Overload.Overload { reason; stats })
+    | None -> { Session.answers; stats }
+  in
+  (* ---------------- initial drive ---------------- *)
+  (try
+     Array.iter spawn_worker slots;
+     drive_loop ()
+   with e ->
+     cleanup ();
+     raise e);
+  if !stopping then ignore (finish ());
+  (* ---------------- session handle ---------------- *)
+  let check_alive () =
+    if !dead then raise (Session.Closed "net")
+  in
+  let is_derived pred = List.mem pred rw.derived in
+  (* Pool the per-processor models of the last completed [Collect]
+     over the patched input EDB — the between-drives answer. *)
+  let assemble_model () =
+    let answers = Database.copy base_db in
+    for pid = 0 to n - 1 do
+      match Hashtbl.find_opt models pid with
+      | None -> ()
+      | Some (_, wrels) ->
+        List.iter (fun wr -> ignore (Wire.add_wrel answers wr)) wrels
+    done;
+    answers
+  in
+  let apply batch =
+    check_alive ();
+    let change = Stratified.Live.apply (oracle ()) batch in
+    let removed = change.Stratified.Live.c_removed in
+    let added = change.Stratified.Live.c_added in
+    if removed <> [] || added <> [] then begin
+      if removed <> [] then begin
+        let removed_tbl = Ktbl.create 64 in
+        List.iter (fun kt -> Ktbl.replace removed_tbl kt ()) removed;
+        let gone name wt =
+          Ktbl.mem removed_tbl
+            (Rewrite.original_pred name, Wire.to_tuple wt)
+        in
+        (* Purge the replay histories and checkpoint dumps of exactly
+           the net-removed tuples: a worker rebuilt later must not
+           resurrect them, while everything still true stays covered.
+           A tuple re-derived after re-insertion takes fresh sequence
+           numbers, so it re-enters the history on its own. *)
+        Hashtbl.iter
+          (fun _pid r ->
+            r :=
+              List.map
+                (fun (src, sinc, seq, batch) ->
+                  ( src, sinc, seq,
+                    List.filter
+                      (fun (name, wt) -> not (gone name wt))
+                      batch ))
+                !r)
+          history;
+        let patched =
+          Hashtbl.fold
+            (fun pid (r : Wire.restore) acc ->
+              ( pid,
+                {
+                  r with
+                  Wire.rs_tuples =
+                    List.filter
+                      (fun (name, wt) -> not (gone name wt))
+                      r.Wire.rs_tuples;
+                } )
+              :: acc)
+            dumps []
+        in
+        List.iter (fun (pid, r) -> Hashtbl.replace dumps pid r) patched
+      end;
+      (* Keep both EDB views current: restarted workers rebuild base
+         fragments from [wedb], the assemblies copy [base_db]. *)
+      List.iter
+        (fun (pred, t) ->
+          if not (is_derived pred) then
+            List.iter
+              (fun db ->
+                match Database.find db pred with
+                | Some rel -> ignore (Relation.remove_all rel (Tuple.equal t))
+                | None -> ())
+              [ combined_edb; base_db ])
+        removed;
+      List.iter
+        (fun (pred, t) ->
+          if not (is_derived pred) then begin
+            ignore (Database.add_fact combined_edb pred t);
+            ignore (Database.add_fact base_db pred t)
+          end)
+        added;
+      wedb := Wire.of_db combined_edb;
+      (* The deletion patch goes only to live configured workers: a
+         worker rebuilt afterwards starts from the patched state and
+         must never replay the frame (its history injections would
+         still be pending when the retraction arrived). *)
+      if removed <> [] then begin
+        let dels = Wire.of_batch removed in
+        Array.iter
+          (fun s ->
+            if s.s_configured && s.s_fd <> None then
+              enqueue s (Wire.Patch { dels }))
+          slots
+      end;
+      (* Base insertions enter at the processors hosting them; their
+         consequences re-derive — and re-route — during the drive. *)
+      let by_pid = Array.make n [] in
+      List.iter
+        (fun (pred, t) ->
+          if not (is_derived pred) then
+            for pid = 0 to n - 1 do
+              if rw.resident pid pred t then
+                by_pid.(pid) <- (pred, t) :: by_pid.(pid)
+            done)
+        added;
+      Array.iteri
+        (fun pid batch ->
+          if batch <> [] then
+            enqueue_to_pid pid
+              (Wire.Update { dst = pid; batch = Wire.of_batch (List.rev batch) }))
+        by_pid;
+      (try drive_loop ()
+       with e ->
+         cleanup ();
+         raise e);
+      if !stopping then ignore (finish ())
+    end;
+    {
+      Session.oc_added = added;
+      oc_removed = removed;
+      oc_summary = change.Stratified.Live.c_summary;
+    }
+  in
+  let query pred =
+    check_alive ();
+    if is_derived pred then begin
+      let acc = ref None in
+      Hashtbl.iter
+        (fun _pid (_, wrels) ->
+          List.iter
+            (fun (wr : Wire.wrel) ->
+              if String.equal wr.Wire.wr_pred pred then begin
+                let target =
+                  match !acc with
+                  | Some r -> r
+                  | None ->
+                    let r = Relation.create ~arity:wr.Wire.wr_arity () in
+                    acc := Some r;
+                    r
+                in
+                List.iter
+                  (fun wt -> ignore (Relation.add target (Wire.to_tuple wt)))
+                  wr.Wire.wr_tuples
+              end)
+            wrels)
+        models;
+      match !acc with
+      | Some r -> Relation.sorted_elements r
+      | None -> []
+    end
+    else
+      match Database.find base_db pred with
+      | Some rel -> Relation.sorted_elements rel
+      | None -> []
+  in
+  let model () =
+    check_alive ();
+    assemble_model ()
+  in
+  let close () =
+    check_alive ();
+    closing := true;
+    (try drive_loop ()
+     with e ->
+       cleanup ();
+       raise e);
+    finish ()
+  in
+  Session.v ~runtime:"net" ~apply ~query ~model ~close
+
+let run ~config ~program ~spec ?seed ?procs ?transport ?partition ?hb_ms
+    ?hb_miss_limit ?max_restarts ?spawn (rw : Rewrite.t) ~edb =
+  Session.close
+    (open_session ~config ~program ~spec ?seed ?procs ?transport ?partition
+       ?hb_ms ?hb_miss_limit ?max_restarts ?spawn rw ~edb)
 
 let runtime ~program ~spec ?seed ?procs ?transport ?partition ?hb_ms ?spawn
     () : (module Pardatalog.Runtime.S) =
@@ -1706,4 +2080,8 @@ let runtime ~program ~spec ?seed ?procs ?transport ?partition ?hb_ms ?spawn
     let run ~config rw ~edb =
       run ~config ~program ~spec ?seed ?procs ?transport ?partition ?hb_ms
         ?spawn rw ~edb
+
+    let open_session ~config rw ~edb =
+      open_session ~config ~program ~spec ?seed ?procs ?transport ?partition
+        ?hb_ms ?spawn rw ~edb
   end)

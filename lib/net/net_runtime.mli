@@ -75,7 +75,45 @@ val run :
     blown coordinator deadline, with partial statistics.
     @raise Invalid_argument on an adaptive dial or an inconsistent
     program/spec.
-    @raise Failure when a worker exceeds its restart budget. *)
+    @raise Failure when a worker exceeds its restart budget.
+
+    Equivalent to {!open_session} followed immediately by
+    {!Pardatalog.Session.close}. *)
+
+val open_session :
+  config:Pardatalog.Run_config.t ->
+  program:string ->
+  spec:Wire.scheme_spec ->
+  ?seed:int ->
+  ?procs:int ->
+  ?transport:[ `Unix | `Tcp ] ->
+  ?partition:float ->
+  ?hb_ms:int ->
+  ?hb_miss_limit:int ->
+  ?max_restarts:int ->
+  ?spawn:spawn ->
+  Pardatalog.Rewrite.t ->
+  edb:Datalog.Database.t ->
+  Pardatalog.Session.t
+(** Evaluate to global quiescence as {!run} does, but keep the worker
+    processes — engines, channel histories, checkpoint dumps — resident
+    and return a live {!Pardatalog.Session.t}. Each
+    {!Pardatalog.Session.apply} computes the net patch with
+    {!Datalog.Stratified.Live}, purges the coordinator's replay
+    histories and checkpoint dumps of the net deletions, sends a
+    [Patch] (retractions) and per-processor [Update]s (base
+    insertions) to the resident workers, and drives to quiescence
+    again — supervision, restarts, the fault shim, credit and the
+    watchdog all behave as on the initial drive (the wall-clock
+    deadline is per drive). An empty net batch does no work and wakes
+    no worker. A worker that dies at any point is rebuilt from the
+    patched EDB and the patched histories, so crash recovery remains
+    exact across batches. {!Pardatalog.Session.close} performs the
+    normal Stop round and returns the final answers and cumulative
+    statistics. After an overload the handle is dead: every later call
+    raises {!Pardatalog.Session.Closed}.
+    @raise Pardatalog.Overload.Overload / Invalid_argument / Failure
+    as {!run}, from [open_session] or any later [apply]. *)
 
 val runtime :
   program:string ->
@@ -88,5 +126,6 @@ val runtime :
   ?spawn:spawn ->
   unit ->
   (module Pardatalog.Runtime.S)
-(** Package a parameterized [run] as a named runtime (["net"]) for
-    code written against {!Pardatalog.Runtime.S}. *)
+(** Package a parameterized [run]/[open_session] pair as a named
+    runtime (["net"]) for code written against
+    {!Pardatalog.Runtime.S}. *)

@@ -108,6 +108,10 @@ type frame =
     }
   | Tack of { src : int; dst : int; inc : int; seq : int }
   | Inject of { dst : int; batch : wbatch }
+  | Patch of { dels : wbatch }
+  | Update of { dst : int; batch : wbatch }
+  | Collect of { gen : int }
+  | Model of { gen : int; pid : int; snap : psnap; answers : wrel list }
   | Probe of { epoch : int }
   | Status of {
       worker : int;

@@ -133,6 +133,30 @@ type frame =
       (** Coordinator-side history replay into a restored processor;
           not acked, not sequence-numbered (receiver dedup is by
           content). *)
+  | Patch of { dels : wbatch }
+      (** Session update (coordinator to worker, between drives): net
+          deletions under their original predicate names. The worker
+          retracts each from every owned engine (derived tuples under
+          both [@out] and [@in]) and purges its channel-dedup and
+          checkpoint-cover tables so a later re-derivation travels the
+          channels again. Only sent to live configured workers: a
+          worker rebuilt afterwards starts from the patched
+          [cf_edb]/history and must never see the frame. *)
+  | Update of { dst : int; batch : wbatch }
+      (** Session update: net base-fact insertions for processor
+          [dst], injected under their original (base) names — pending
+          work for the next drive. Idempotent (the engine discards
+          known tuples), so redelivery to a restarted worker whose
+          [cf_edb] already contains them is harmless. *)
+  | Collect of { gen : int }
+      (** End-of-drive answer collection: the worker replies with one
+          {!Model} per owned processor and keeps running — the
+          session-mode counterpart of [Stop]. Sent only after a passed
+          termination probe, so every engine is quiescent. *)
+  | Model of { gen : int; pid : int; snap : psnap; answers : wrel list }
+      (** Reply to {!Collect}; [gen] echoes the collect generation so
+          the coordinator can discard answers from a collection that a
+          worker restart cancelled. *)
   | Probe of { epoch : int }
   | Status of {
       worker : int;

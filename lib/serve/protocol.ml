@@ -1,4 +1,4 @@
-let version = 1
+let version = 2
 
 let max_payload_lines = 100_000
 
@@ -46,6 +46,7 @@ type query = {
   q_goal : string option;
   q_rows : bool;
   q_stats : bool;
+  q_live : bool;
   q_deadline_ms : int option;
   q_max_store : int option;
   q_nprocs : int option;
@@ -53,11 +54,18 @@ type query = {
   q_runtime : [ `Default | `Sim | `Domain ];
 }
 
+type update = {
+  u_id : string;
+  u_prog : string;
+}
+
 type request =
   | Hello of string option
   | Load of string
   | Facts of string
   | Query of query
+  | Update of update
+  | Retract of update
   | Stats
   | Ping
   | Quit
@@ -91,6 +99,7 @@ let parse_query kvs =
   in
   let* q_rows = flag "rows" in
   let* q_stats = flag "stats" in
+  let* q_live = flag "live" in
   let pos k = function
     | Some n when n < 1 -> Error (Printf.sprintf "%s must be >= 1" k)
     | v -> Ok v
@@ -114,9 +123,26 @@ let parse_query kvs =
   Ok
     (Query
        {
-         q_id; q_prog; q_goal; q_rows; q_stats; q_deadline_ms; q_max_store;
-         q_nprocs; q_scheme; q_runtime;
+         q_id; q_prog; q_goal; q_rows; q_stats; q_live; q_deadline_ms;
+         q_max_store; q_nprocs; q_scheme; q_runtime;
        })
+
+(* UPDATE and RETRACT share the id=/prog= shape; the payload that
+   follows carries the signed facts. *)
+let parse_update ~verb kvs k =
+  let* u_id =
+    match find_kv kvs "id" with
+    | Some id when valid_name id -> Ok id
+    | Some id -> Error (Printf.sprintf "bad id %S" id)
+    | None -> Error (Printf.sprintf "%s requires id=ID" verb)
+  in
+  let* u_prog =
+    match find_kv kvs "prog" with
+    | Some p when valid_name p -> Ok p
+    | Some p -> Error (Printf.sprintf "bad prog %S" p)
+    | None -> Error (Printf.sprintf "%s requires prog=NAME" verb)
+  in
+  Ok (k { u_id; u_prog })
 
 let parse_request line =
   match tokens line with
@@ -142,10 +168,46 @@ let parse_request line =
       | [ name ] when valid_name name -> Ok (Facts name)
       | _ -> Error "usage: FACTS NAME (then fact lines, then a '.' line)")
     | "QUERY" -> parse_query kvs
+    | "UPDATE" -> parse_update ~verb:"UPDATE" kvs (fun u -> Update u)
+    | "RETRACT" -> parse_update ~verb:"RETRACT" kvs (fun u -> Retract u)
     | "STATS" -> Ok Stats
     | "PING" -> Ok Ping
     | "QUIT" -> Ok Quit
     | v -> Error (Printf.sprintf "unknown verb %s" v))
+
+(* One signed fact line: an optional leading '+' (insert) or '-'
+   (delete) followed by ordinary fact syntax. A line may carry several
+   facts; all take the line's sign. Unsigned lines take [default] —
+   Insert under UPDATE, Delete under RETRACT. *)
+let parse_updates ~default text =
+  let parse_line line =
+    let line = String.trim line in
+    if line = "" then Ok []
+    else begin
+      let op, body =
+        match line.[0] with
+        | '+' -> (Datalog.Delta.Insert, String.sub line 1 (String.length line - 1))
+        | '-' -> (Datalog.Delta.Delete, String.sub line 1 (String.length line - 1))
+        | _ -> (default, line)
+      in
+      match Datalog.Parser.tuples body with
+      | Error e -> Error (Format.asprintf "%a" Datalog.Parser.pp_error e)
+      | Ok facts ->
+        Ok
+          (List.map
+             (fun (pred, tuple) ->
+               { Datalog.Delta.u_op = op; u_pred = pred; u_tuple = tuple })
+             facts)
+    end
+  in
+  let rec go acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | line :: rest -> (
+      match parse_line line with
+      | Error _ as e -> e
+      | Ok ups -> go (ups :: acc) rest)
+  in
+  go [] (String.split_on_char '\n' text)
 
 (* ---------------------------------------------------------------- *)
 (* Replies                                                           *)

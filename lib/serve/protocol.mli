@@ -1,22 +1,26 @@
-(** The [datalogd] wire protocol, version 1.
+(** The [datalogd] wire protocol, version 2.
 
     A line protocol over a stream socket: LF-terminated UTF-8 lines of
     space-separated tokens, options as [key=value] tokens (values never
     contain spaces — the attached statistics JSON is space-free by
-    construction). [LOAD] and [FACTS] are followed by a payload — raw
-    program / fact lines — terminated by a line holding a single [.].
+    construction). [LOAD], [FACTS], [UPDATE] and [RETRACT] are followed
+    by a payload — raw program / fact lines — terminated by a line
+    holding a single [.].
 
     {v
     request  = HELLO [tenant=NAME]
              | LOAD NAME          ; + program lines, then "."
              | FACTS NAME         ; + fact lines, then "."
+             | UPDATE id=ID prog=NAME   ; + signed fact lines, then "."
+             | RETRACT id=ID prog=NAME  ; + signed fact lines, then "."
              | QUERY id=ID prog=NAME [goal=PRED] [rows=true]
-                     [stats=true] [deadline-ms=N] [max-store=N]
-                     [nprocs=N] [scheme=general|auto]
+                     [live=true] [stats=true] [deadline-ms=N]
+                     [max-store=N] [nprocs=N] [scheme=general|auto]
                      [runtime=sim|domain]
              | STATS | PING | QUIT
-    reply    = DATALOGD/1 READY                        ; greeting
-             | OK op k=v...                            ; hello/load/facts
+    reply    = DATALOGD/2 READY                        ; greeting
+             | OK op k=v...                            ; hello/load/facts/
+                                                       ; update/retract
              | RESULT id=I status=ok rows=N scheme=S [stats=J]
              | PARTIAL id=I reason=K rows=0 scheme=S [stats=J]
              | ROW tuple                               ; with rows=true
@@ -26,9 +30,20 @@
              | STATS {json} | PONG | BYE reason=K | ERR code message...
     v}
 
-    A [QUERY] is idempotent under its [id]: a completed request's reply
-    is cached and replayed byte-identically, so a client may retry a
-    lost or rejected request with the same id and never double-executes
+    Version 2 (PR 9) adds the live-update verbs; every version-1 verb
+    and reply is unchanged. An [UPDATE] payload line is a fact with an
+    optional sign — [+edge(1,2).] inserts, [-edge(1,2).] deletes,
+    unsigned lines insert; [RETRACT] is the same verb with the default
+    sign flipped to delete. The batch is folded into the dataset's
+    resident maintenance session and answered
+    [OK update prog=P id=I added=N removed=N] with the {e net} model
+    change. [QUERY ... live=true] reads that maintained model instead
+    of evaluating from scratch (scheme reported as [live]).
+
+    A [QUERY], [UPDATE] or [RETRACT] is idempotent under its [id]: a
+    completed request's reply is cached per (tenant, id) and replayed
+    byte-identically, so a client may retry a lost or rejected request
+    with the same id and never double-executes (or double-applies)
     it. [RESULT]/[PARTIAL] open a multi-line reply closed by [END];
     every other reply is a single line. *)
 
@@ -50,6 +65,11 @@ type query = {
   q_goal : string option;  (** Restrict counted/returned rows to one predicate. *)
   q_rows : bool;  (** Send [ROW] lines (default: counts only). *)
   q_stats : bool;  (** Attach versioned [Stats.to_json] to the head line. *)
+  q_live : bool;
+      (** Serve from the dataset's resident maintenance session instead
+          of evaluating from scratch. The per-request knobs
+          ([deadline-ms], [nprocs], [scheme], [runtime], [stats]) do not
+          apply: a live model is a property of the dataset. *)
   q_deadline_ms : int option;  (** Wall-clock budget, clamped to the server cap. *)
   q_max_store : int option;  (** Per-processor store budget, clamped likewise. *)
   q_nprocs : int option;  (** Processor count (default: server setting). *)
@@ -57,16 +77,34 @@ type query = {
   q_runtime : [ `Default | `Sim | `Domain ];
 }
 
+type update = {
+  u_id : string;  (** Idempotency key, unique per tenant per request. *)
+  u_prog : string;  (** Resident dataset to update. *)
+}
+(** Head line of [UPDATE] and [RETRACT]; the signed facts follow as the
+    payload. *)
+
 type request =
   | Hello of string option  (** Optional tenant name. *)
   | Load of string
   | Facts of string
   | Query of query
+  | Update of update  (** Unsigned payload lines insert. *)
+  | Retract of update  (** Unsigned payload lines delete. *)
   | Stats
   | Ping
   | Quit
 
 val parse_request : string -> (request, string) result
+
+val parse_updates :
+  default:Datalog.Delta.op ->
+  string ->
+  (Datalog.Delta.update list, string) result
+(** Parse an UPDATE/RETRACT payload: one or more facts per line, each
+    line optionally signed with a leading [+] (insert) or [-] (delete);
+    unsigned lines take [default]. Order is preserved — the net effect
+    of the batch is last-operation-wins per tuple. *)
 
 (** {1 Replies} *)
 

@@ -88,13 +88,27 @@ let validate_config c =
 (* ---------------------------------------------------------------- *)
 
 (* A resident dataset. [ds_edb] is swapped, never mutated in place:
-   FACTS builds a copy with the new tuples and replaces the pointer, so
-   a query that grabbed the previous value keeps reading an immutable
-   snapshot while loads proceed. *)
+   FACTS and UPDATE build a copy with the changes and replace the
+   pointer, so a query that grabbed the previous value keeps reading an
+   immutable snapshot while loads proceed.
+
+   [ds_live] is the dataset's resident maintenance session (protocol
+   v2): opened lazily by the first UPDATE/RETRACT or live QUERY, kept
+   across requests so each batch pays only the incremental cost.
+   Session handles are single-threaded, so every access happens under
+   [ds_lock]; [ds_lock] is always taken outside the server lock, never
+   inside it. *)
+type live = {
+  lv_session : Session.t;
+  lv_derived : string list;  (* original derived predicate names *)
+}
+
 type dataset = {
   ds_program : Program.t;
   ds_rules : int;
   mutable ds_edb : Database.t;
+  ds_lock : Mutex.t;
+  mutable ds_live : live option;
 }
 
 type cache_entry = In_flight | Done of string list
@@ -144,6 +158,7 @@ let c_accepted = "serve.accepted"
 let c_rejected = "serve.rejected_busy"
 let c_ok = "serve.queries_ok"
 let c_partial = "serve.queries_partial"
+let c_updates = "serve.updates_ok"
 let c_replays = "serve.replays"
 let c_retry_inflight = "serve.retry_inflight"
 let c_errors = "serve.protocol_errors"
@@ -269,6 +284,29 @@ let build_rewrite cfg (q : Protocol.query) ~nprocs program edb =
       | Ok rw -> Ok (Plan.scheme_name plan.Plan.scheme, rw)
       | Error r -> Error (string_of_reject r)))
 
+(* RESULT head, optional ROW lines, END — shared by the from-scratch
+   and live query paths. *)
+let result_lines (q : Protocol.query) ?stats ~scheme ~preds answers =
+  let count =
+    List.fold_left (fun acc p -> acc + Database.cardinal answers p) 0 preds
+  in
+  let rows =
+    if not q.q_rows then []
+    else
+      List.concat_map
+        (fun pred ->
+          match Database.find answers pred with
+          | None -> []
+          | Some rel ->
+            List.map
+              (fun tuple ->
+                Protocol.row (Format.asprintf "%s%a" pred Tuple.pp tuple))
+              (Relation.sorted_elements rel))
+        preds
+  in
+  (Protocol.result_head ?stats ~id:q.q_id ~rows:count ~scheme () :: rows)
+  @ [ Protocol.end_of_result ~id:q.q_id ]
+
 (* Build the reply lines of one query against an immutable dataset
    snapshot. Runs outside the server lock; everything it touches is
    either request-local or an immutable snapshot. *)
@@ -309,33 +347,12 @@ let evaluate cfg (q : Protocol.query) program edb =
         | None -> rw.Rewrite.derived
       in
       let answers = result.Sim_runtime.answers in
-      let count =
-        List.fold_left
-          (fun acc p -> acc + Database.cardinal answers p)
-          0 preds
-      in
       let stats =
         if q.q_stats then
           Some (Stats.to_json ~scheme ~outcome:"ok" result.Sim_runtime.stats)
         else None
       in
-      let rows =
-        if not q.q_rows then []
-        else
-          List.concat_map
-            (fun pred ->
-              match Database.find answers pred with
-              | None -> []
-              | Some rel ->
-                List.map
-                  (fun tuple ->
-                    Protocol.row
-                      (Format.asprintf "%s%a" pred Tuple.pp tuple))
-                  (Relation.sorted_elements rel))
-            preds
-      in
-      (Protocol.result_head ?stats ~id:q.q_id ~rows:count ~scheme () :: rows)
-      @ [ Protocol.end_of_result ~id:q.q_id ]
+      result_lines q ?stats ~scheme ~preds answers
     | exception Overload.Overload { reason; stats } ->
       let kind = Overload.reason_kind reason in
       let stats =
@@ -359,6 +376,105 @@ let evaluate cfg (q : Protocol.query) program edb =
       ]
     | exception Plan.Rejected r ->
       [ Protocol.err ~code:"plan" (string_of_reject r) ])
+
+(* ---------------------------------------------------------------- *)
+(* Live sessions (UPDATE / RETRACT / QUERY live=true)                *)
+(* ---------------------------------------------------------------- *)
+
+let with_ds_lock ds f =
+  Mutex.lock ds.ds_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ds.ds_lock) f
+
+(* Open (or reuse) the dataset's resident maintenance session. Called
+   with [ds_lock] held. The session always runs the server's default
+   runtime and processor count under the general scheme: a live model
+   is a property of the dataset, not of any one request. *)
+let live_session cfg ds =
+  match ds.ds_live with
+  | Some lv -> Ok lv
+  | None -> (
+    match Strategy.general ~seed:cfg.seed ~nprocs:cfg.nprocs ds.ds_program with
+    | Error e -> Error e
+    | Ok rw ->
+      let config = Run_config.(default |> with_fault cfg.fault) in
+      let session =
+        match cfg.runtime with
+        | `Sim -> Sim_runtime.open_session ~config rw ~edb:ds.ds_edb
+        | `Domain -> Domain_runtime.open_session ~config rw ~edb:ds.ds_edb
+      in
+      let lv = { lv_session = session; lv_derived = rw.Rewrite.derived } in
+      ds.ds_live <- Some lv;
+      Ok lv)
+
+(* A live query reads the session's maintained model instead of
+   evaluating from scratch. [stats=true] is ignored here: per-run
+   statistics belong to one-shot evaluations, and the session's
+   cumulative counters surface only when it closes. Runs outside the
+   server lock, under the dataset lock. *)
+let evaluate_live cfg (q : Protocol.query) ds =
+  with_ds_lock ds (fun () ->
+      match live_session cfg ds with
+      | Error msg -> [ Protocol.err ~code:"scheme" msg ]
+      | Ok lv -> (
+        match Session.model lv.lv_session with
+        | answers ->
+          let preds =
+            match q.q_goal with Some g -> [ g ] | None -> lv.lv_derived
+          in
+          result_lines q ~scheme:"live" ~preds answers
+        | exception Session.Closed _ ->
+          ds.ds_live <- None;
+          [ Protocol.err ~code:"session" "live session lost; retry" ]))
+
+(* Fold one parsed update batch into the dataset: apply it to the
+   resident session (incremental maintenance) and mirror the base
+   change into the registry EDB by copy-and-swap, so from-scratch
+   queries and STATS see the same facts. Sequential application of the
+   raw updates equals the batch's net base effect (last operation per
+   tuple wins). Runs outside the server lock, under the dataset
+   lock. *)
+let evaluate_update cfg ~op (u : Protocol.update) updates ds =
+  with_ds_lock ds (fun () ->
+      match live_session cfg ds with
+      | Error msg -> [ Protocol.err ~code:"scheme" msg ]
+      | Ok lv -> (
+        match Session.apply lv.lv_session (Update_batch.of_list updates) with
+        | outcome ->
+          let db = Database.copy ds.ds_edb in
+          List.iter
+            (fun (up : Delta.update) ->
+              match up.Delta.u_op with
+              | Delta.Insert -> (
+                try ignore (Database.add_fact db up.Delta.u_pred up.Delta.u_tuple)
+                with Invalid_argument _ -> ())
+              | Delta.Delete -> (
+                match Database.find db up.Delta.u_pred with
+                | None -> ()
+                | Some rel ->
+                  ignore
+                    (Relation.remove_all rel (fun x ->
+                         Tuple.compare x up.Delta.u_tuple = 0))))
+            updates;
+          ds.ds_edb <- db;
+          [
+            Printf.sprintf "OK %s prog=%s id=%s added=%d removed=%d" op
+              u.Protocol.u_prog u.Protocol.u_id
+              (List.length outcome.Session.oc_added)
+              (List.length outcome.Session.oc_removed);
+          ]
+        | exception Session.Closed _ ->
+          ds.ds_live <- None;
+          [ Protocol.err ~code:"session" "live session lost; retry" ]
+        | exception Overload.Overload { reason; _ } ->
+          (* The session died mid-batch: drop it so the next request
+             rebuilds from the (unpatched) registry EDB. *)
+          ds.ds_live <- None;
+          [ Protocol.err ~code:"overload" (Overload.reason_kind reason) ]
+        | exception Invalid_argument msg ->
+          (* Derived-predicate targets are rejected before any engine
+             mutation, but stay conservative: rebuild on demand. *)
+          ds.ds_live <- None;
+          [ Protocol.err ~code:"update" msg ]))
 
 (* ---------------------------------------------------------------- *)
 (* Admission                                                         *)
@@ -431,9 +547,9 @@ let stats_json t =
         (Hashtbl.length t.sessions) t.inflight t.waiting;
       let c name = Obs.Metrics.counter t.metrics name in
       add
-        "\"counters\":{\"accepted\":%d,\"rejected_busy\":%d,\"queries_ok\":%d,\"queries_partial\":%d,\"replays\":%d,\"retry_inflight\":%d,\"protocol_errors\":%d},"
-        (c c_accepted) (c c_rejected) (c c_ok) (c c_partial) (c c_replays)
-        (c c_retry_inflight) (c c_errors);
+        "\"counters\":{\"accepted\":%d,\"rejected_busy\":%d,\"queries_ok\":%d,\"queries_partial\":%d,\"updates_ok\":%d,\"replays\":%d,\"retry_inflight\":%d,\"protocol_errors\":%d},"
+        (c c_accepted) (c c_rejected) (c c_ok) (c c_partial) (c c_updates)
+        (c c_replays) (c c_retry_inflight) (c c_errors);
       add "\"programs\":{";
       let names =
         List.sort compare
@@ -464,26 +580,32 @@ let load_program t name text =
       locked t (fun () ->
           (match Hashtbl.find_opt t.datasets name with
            | Some ds ->
+             (* Replacing the rules invalidates the maintained model;
+                the next update or live query rebuilds the session. *)
              Hashtbl.replace t.datasets name
-               { ds_program = program; ds_rules = rules; ds_edb = ds.ds_edb }
+               { ds with ds_program = program; ds_rules = rules;
+                 ds_live = None }
            | None ->
              Hashtbl.replace t.datasets name
                {
                  ds_program = program;
                  ds_rules = rules;
                  ds_edb = Database.create ();
+                 ds_lock = Mutex.create ();
+                 ds_live = None;
                });
           Ok rules))
 
 let add_facts t name text =
   match Parser.tuples text with
   | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
-  | Ok facts ->
-    locked t (fun () ->
-        match Hashtbl.find_opt t.datasets name with
-        | None ->
-          Error (Printf.sprintf "no program named %s; LOAD it first" name)
-        | Some ds ->
+  | Ok facts -> (
+    match locked t (fun () -> Hashtbl.find_opt t.datasets name) with
+    | None -> Error (Printf.sprintf "no program named %s; LOAD it first" name)
+    | Some ds ->
+      (* Per-dataset EDB writers (FACTS and UPDATE/RETRACT) serialize
+         on [ds_lock]; readers only ever follow the swapped pointer. *)
+      with_ds_lock ds (fun () ->
           let db = Database.copy ds.ds_edb in
           let added =
             List.fold_left
@@ -495,7 +617,11 @@ let add_facts t name text =
               0 facts
           in
           ds.ds_edb <- db;
-          Ok (added, Database.total_tuples db))
+          (* A bulk load invalidates the maintained model; the next
+             update or live query rebuilds the session from the new
+             EDB. *)
+          ds.ds_live <- None;
+          Ok (added, Database.total_tuples db)))
 
 (* ---------------------------------------------------------------- *)
 (* Sessions                                                          *)
@@ -516,26 +642,52 @@ let read_payload ic =
   in
   go 0
 
+(* The admission verdict shared by QUERY, UPDATE and RETRACT: replay a
+   completed id, RETRY a duplicate of an in-flight one, reject unknown
+   programs, then admission-control and mark the id in flight. [found]
+   maps the dataset to whatever the caller's evaluation needs. *)
+let admission_verdict t session ~key ~prog ~found =
+  let tenant = session.s_tenant in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.cache key with
+      | Some (Done lines) -> `Replay lines
+      | Some In_flight -> `In_flight
+      | None -> (
+        match Hashtbl.find_opt t.datasets prog with
+        | None -> `Unknown_prog
+        | Some ds -> (
+          match admit_locked t ~tenant with
+          | Rejected reason -> `Busy reason
+          | Admitted ->
+            session.s_busy <- true;
+            if t.cfg.cache_size > 0 then Hashtbl.replace t.cache key In_flight;
+            `Run (found ds))))
+
+(* Classify finished reply lines, settle the idempotency cache (ERR
+   replies are never cached — the client may retry the id) and write
+   them out. [ok_counter] is bumped for a successful head line. *)
+let settle_and_reply t oc ~ok_counter key lines =
+  (match lines with
+   | first :: _ when String.length first >= 3 && String.sub first 0 3 = "ERR"
+     ->
+     Obs.Metrics.incr t.metrics c_errors;
+     locked t (fun () -> Hashtbl.remove t.cache key)
+   | first :: _
+     when String.length first >= 7 && String.sub first 0 7 = "PARTIAL" ->
+     Obs.Metrics.incr t.metrics c_partial;
+     locked t (fun () -> cache_store_locked t key lines)
+   | _ ->
+     Obs.Metrics.incr t.metrics ok_counter;
+     locked t (fun () -> cache_store_locked t key lines));
+  write_lines oc lines
+
 let handle_query t session oc (q : Protocol.query) =
   let tenant = session.s_tenant in
   let key = cache_key ~tenant ~id:q.q_id in
-  let verdict =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.cache key with
-        | Some (Done lines) -> `Replay lines
-        | Some In_flight -> `In_flight
-        | None -> (
-          match Hashtbl.find_opt t.datasets q.q_prog with
-          | None -> `Unknown_prog
-          | Some ds -> (
-            match admit_locked t ~tenant with
-            | Rejected reason -> `Busy reason
-            | Admitted ->
-              session.s_busy <- true;
-              if t.cfg.cache_size > 0 then Hashtbl.replace t.cache key In_flight;
-              `Run (ds.ds_program, ds.ds_edb))))
+  let found ds =
+    if q.q_live then `Live ds else `Scratch (ds.ds_program, ds.ds_edb)
   in
-  match verdict with
+  match admission_verdict t session ~key ~prog:q.q_prog ~found with
   | `Replay lines ->
     Obs.Metrics.incr t.metrics c_replays;
     write_lines oc lines
@@ -553,28 +705,61 @@ let handle_query t session oc (q : Protocol.query) =
     write_line oc
       (Protocol.busy ~id:q.q_id ~reason ~retry_after_ms:t.cfg.retry_after_ms
          ())
-  | `Run (program, edb) ->
+  | `Run target ->
     let lines =
       Fun.protect
         ~finally:(fun () ->
           locked t (fun () ->
               session.s_busy <- false;
               release_locked t ~tenant))
-        (fun () -> evaluate t.cfg q program edb)
+        (fun () ->
+          match target with
+          | `Scratch (program, edb) -> evaluate t.cfg q program edb
+          | `Live ds -> evaluate_live t.cfg q ds)
     in
-    (match lines with
-     | first :: _ when String.length first >= 3 && String.sub first 0 3 = "ERR"
-       ->
-       Obs.Metrics.incr t.metrics c_errors;
-       locked t (fun () -> Hashtbl.remove t.cache key)
-     | first :: _
-       when String.length first >= 7 && String.sub first 0 7 = "PARTIAL" ->
-       Obs.Metrics.incr t.metrics c_partial;
-       locked t (fun () -> cache_store_locked t key lines)
-     | _ ->
-       Obs.Metrics.incr t.metrics c_ok;
-       locked t (fun () -> cache_store_locked t key lines));
-    write_lines oc lines
+    settle_and_reply t oc ~ok_counter:c_ok key lines
+
+let handle_update t session oc ~op ~default (u : Protocol.update) text =
+  match Protocol.parse_updates ~default text with
+  | Error msg ->
+    Obs.Metrics.incr t.metrics c_errors;
+    write_line oc (Protocol.err ~code:"parse" msg)
+  | Ok updates -> (
+    let tenant = session.s_tenant in
+    let key = cache_key ~tenant ~id:u.Protocol.u_id in
+    match
+      admission_verdict t session ~key ~prog:u.Protocol.u_prog
+        ~found:(fun ds -> ds)
+    with
+    | `Replay lines ->
+      Obs.Metrics.incr t.metrics c_replays;
+      write_lines oc lines
+    | `In_flight ->
+      Obs.Metrics.incr t.metrics c_retry_inflight;
+      write_line oc
+        (Protocol.retry ~id:u.Protocol.u_id
+           ~retry_after_ms:t.cfg.retry_after_ms)
+    | `Unknown_prog ->
+      Obs.Metrics.incr t.metrics c_errors;
+      write_line oc
+        (Protocol.err ~code:"unknown-prog"
+           (Printf.sprintf "no program named %s; LOAD it first"
+              u.Protocol.u_prog))
+    | `Busy reason ->
+      Obs.Metrics.incr t.metrics c_rejected;
+      write_line oc
+        (Protocol.busy ~id:u.Protocol.u_id ~reason
+           ~retry_after_ms:t.cfg.retry_after_ms ())
+    | `Run ds ->
+      let lines =
+        Fun.protect
+          ~finally:(fun () ->
+            locked t (fun () ->
+                session.s_busy <- false;
+                release_locked t ~tenant))
+          (fun () -> evaluate_update t.cfg ~op u updates ds)
+      in
+      settle_and_reply t oc ~ok_counter:c_updates key lines)
 
 let session_loop t session =
   let ic = Unix.in_channel_of_descr session.s_fd in
@@ -631,6 +816,24 @@ let session_loop t session =
               | Error msg ->
                 Obs.Metrics.incr t.metrics c_errors;
                 write_line oc (Protocol.err ~code:"parse" msg)))
+          | Ok (Update u) -> (
+            match read_payload ic with
+            | Error msg ->
+              Obs.Metrics.incr t.metrics c_errors;
+              write_line oc (Protocol.err ~code:"proto" msg);
+              bail := true
+            | Ok text ->
+              handle_update t session oc ~op:"update" ~default:Delta.Insert u
+                text)
+          | Ok (Retract u) -> (
+            match read_payload ic with
+            | Error msg ->
+              Obs.Metrics.incr t.metrics c_errors;
+              write_line oc (Protocol.err ~code:"proto" msg);
+              bail := true
+            | Ok text ->
+              handle_update t session oc ~op:"retract" ~default:Delta.Delete u
+                text)
           | Ok (Query q) -> handle_query t session oc q);
          (* Drain notice: in-flight work above has finished; tell the
             client why the connection is going away, then leave. *)

@@ -18,9 +18,16 @@
     - {b Graceful degradation.} A budget breach is not an error: the
       watchdog's partial statistics come back as a [PARTIAL] reply
       tagged with {!Pardatalog.Overload.reason_kind}.
-    - {b Idempotency.} Completed query replies are cached per
-      [(tenant, id)] and replayed byte-identically, so clients retry
-      safely; a duplicate of an in-flight id gets [RETRY].
+    - {b Idempotency.} Completed query {e and update} replies are
+      cached per [(tenant, id)] and replayed byte-identically, so
+      clients retry safely and an UPDATE is never applied twice; a
+      duplicate of an in-flight id gets [RETRY].
+    - {b Live maintenance.} Each dataset lazily opens one resident
+      {!Pardatalog.Session.t} (server-default runtime, general
+      scheme): [UPDATE]/[RETRACT] batches are folded in incrementally
+      via {!Datalog.Stratified.Live}, and [QUERY live=true] reads the
+      maintained model without re-evaluating. [LOAD] and [FACTS]
+      invalidate the session; it rebuilds on the next use.
     - {b Drain.} {!request_stop} (wired to SIGTERM by [datalogd])
       stops accepting, lets in-flight queries finish, wakes idle
       sessions with [BYE reason=draining], and force-closes stragglers

@@ -30,7 +30,7 @@ PING, a query, and a clean QUIT: exit 0. (The client retries the
 connect while the server is still binding, so no sleep is needed.)
 
   $ printf 'PING\nQUERY id=q1 prog=anc\nQUIT\n' | datalogd --connect d.sock
-  DATALOGD/1 READY
+  DATALOGD/2 READY
   PONG
   RESULT id=q1 status=ok rows=45 scheme=general
   END id=q1
@@ -40,7 +40,7 @@ Requests are idempotent by id: a new connection re-sending id=q1 gets
 the cached reply byte for byte, with no second evaluation.
 
   $ printf 'QUERY id=q1 prog=anc\n' | datalogd --connect d.sock
-  DATALOGD/1 READY
+  DATALOGD/2 READY
   RESULT id=q1 status=ok rows=45 scheme=general
   END id=q1
 
@@ -49,7 +49,7 @@ the answer relation.
 
   $ printf 'LOAD tc\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n.\nFACTS tc\nedge(1,2).\nedge(2,3).\n.\nQUERY id=a prog=tc rows=true\n' \
   >   | datalogd --connect d.sock
-  DATALOGD/1 READY
+  DATALOGD/2 READY
   OK load prog=tc rules=2
   OK facts prog=tc tuples=2 total=2
   RESULT id=a status=ok rows=3 scheme=general
@@ -58,11 +58,55 @@ the answer relation.
   ROW path(2, 3)
   END id=a
 
+Protocol v2 live maintenance: UPDATE streams signed fact lines into a
+resident incremental session (+ inserts, - deletes, unsigned lines
+take the verb's default), RETRACT flips the default to delete, and
+QUERY live=true serves the maintained model without re-evaluating.
+The OK replies carry the net model change; re-sending an UPDATE id
+replays the cached reply without applying the batch twice, and the
+final live rows match a from-scratch evaluation byte for byte.
+
+  $ printf 'UPDATE id=u1 prog=tc\nedge(3,4).\n.\nQUERY id=lq prog=tc live=true rows=true\nUPDATE id=u1 prog=tc\nedge(3,4).\n.\nRETRACT id=u2 prog=tc\nedge(3,4).\n.\nQUERY id=lq2 prog=tc live=true rows=true\nQUERY id=a2 prog=tc rows=true\n' \
+  >   | datalogd --connect d.sock
+  DATALOGD/2 READY
+  OK update prog=tc id=u1 added=4 removed=0
+  RESULT id=lq status=ok rows=6 scheme=live
+  ROW path(1, 2)
+  ROW path(1, 3)
+  ROW path(1, 4)
+  ROW path(2, 3)
+  ROW path(2, 4)
+  ROW path(3, 4)
+  END id=lq
+  OK update prog=tc id=u1 added=4 removed=0
+  OK retract prog=tc id=u2 added=0 removed=4
+  RESULT id=lq2 status=ok rows=3 scheme=live
+  ROW path(1, 2)
+  ROW path(1, 3)
+  ROW path(2, 3)
+  END id=lq2
+  RESULT id=a2 status=ok rows=3 scheme=general
+  ROW path(1, 2)
+  ROW path(1, 3)
+  ROW path(2, 3)
+  END id=a2
+
+Updating a derived predicate is refused cleanly -- only base facts
+may be streamed -- and the refused batch leaves the session intact.
+
+  $ printf 'UPDATE id=u3 prog=tc\npath(9,9).\n.\nQUERY id=lq3 prog=tc live=true\n' \
+  >   | datalogd --connect d.sock
+  DATALOGD/2 READY
+  ERR update Stratified.Live.apply: path is derived; updates must target base predicates
+  RESULT id=lq3 status=ok rows=3 scheme=live
+  END id=lq3
+  [1]
+
 Graceful degradation: a query that trips its per-request store budget
 comes back PARTIAL with the overload reason, and the client exits 4.
 
   $ printf 'QUERY id=p1 prog=anc max-store=1\n' | datalogd --connect d.sock
-  DATALOGD/1 READY
+  DATALOGD/2 READY
   PARTIAL id=p1 reason=store_budget rows=0 scheme=general
   END id=p1
   [4]
@@ -70,12 +114,12 @@ comes back PARTIAL with the overload reason, and the client exits 4.
 Protocol and evaluation errors are clean ERR replies, exit 1.
 
   $ printf 'QUERY id=x prog=nosuch\n' | datalogd --connect d.sock
-  DATALOGD/1 READY
+  DATALOGD/2 READY
   ERR unknown-prog no program named nosuch; LOAD it first
   [1]
 
   $ printf 'GARBAGE\n' | datalogd --connect d.sock
-  DATALOGD/1 READY
+  DATALOGD/2 READY
   ERR proto unknown verb GARBAGE
   [1]
 
@@ -85,7 +129,7 @@ closed peers are reaped, so only the deterministic counter and
 program objects are pinned here.)
 
   $ printf 'STATS\n' | datalogd --connect d.sock | grep -o '"counters":{[^}]*}'
-  "counters":{"accepted":7,"rejected_busy":0,"queries_ok":2,"queries_partial":1,"replays":1,"retry_inflight":0,"protocol_errors":2}
+  "counters":{"accepted":9,"rejected_busy":0,"queries_ok":6,"queries_partial":1,"updates_ok":2,"replays":2,"retry_inflight":0,"protocol_errors":3}
   $ printf 'STATS\n' | datalogd --connect d.sock | grep -o '"programs":.*'
   "programs":{"anc":{"rules":2,"facts":9},"tc":{"rules":2,"facts":2}}}
 
@@ -95,7 +139,7 @@ metrics are flushed, and the server exits 0.
   $ kill -TERM $SRV
   $ wait $SRV
   $ grep 'drained' server.log
-  datalogd: drained ok=2 partial=1 busy=0 sessions=8 forced=0
+  datalogd: drained ok=6 partial=1 busy=0 sessions=10 forced=0
   $ test ! -e d.sock && echo unlinked
   unlinked
   $ grep -o '"serve.active_sessions":0' metrics.json
@@ -115,14 +159,14 @@ BUSY immediately instead of hanging, with a retry hint.
   $ sleep 0.4
 
   $ printf 'QUERY id=q9 prog=anc\n' | datalogd --connect d2.sock
-  DATALOGD/1 READY
+  DATALOGD/2 READY
   BUSY id=q9 reason=queue retry-after-ms=10
   [3]
 
 A duplicate of an in-flight id is RETRY, not a second execution.
 
   $ printf 'QUERY id=slow prog=anc\n' | datalogd --connect d2.sock
-  DATALOGD/1 READY
+  DATALOGD/2 READY
   RETRY id=slow retry-after-ms=10
   [3]
 
@@ -131,7 +175,7 @@ the slot frees, and the parked query still completes.
 
   $ printf 'QUERY id=q9 prog=anc\n' | datalogd --connect d2.sock \
   >   --retry --retry-max 30 --jitter-seed 1
-  DATALOGD/1 READY
+  DATALOGD/2 READY
   RESULT id=q9 status=ok rows=45 scheme=general
   END id=q9
   $ wait $SLOW

@@ -130,6 +130,66 @@ let protocol_cases =
         roundtrip "STATS {\"schema\":1}" (function
           | Protocol.Stats_reply "{\"schema\":1}" -> true
           | _ -> false));
+    case "UPDATE and RETRACT parse; missing keys are rejected" (fun () ->
+        (match Protocol.parse_request "UPDATE id=u1 prog=tc" with
+         | Ok (Protocol.Update u) ->
+           Alcotest.(check string) "id" "u1" u.Protocol.u_id;
+           Alcotest.(check string) "prog" "tc" u.Protocol.u_prog
+         | Ok _ -> Alcotest.fail "parsed as a non-update"
+         | Error e -> Alcotest.fail e);
+        (match Protocol.parse_request "RETRACT id=u2 prog=tc" with
+         | Ok (Protocol.Retract u) ->
+           Alcotest.(check string) "id" "u2" u.Protocol.u_id
+         | Ok _ -> Alcotest.fail "parsed as a non-retract"
+         | Error e -> Alcotest.fail e);
+        let rejects line =
+          match Protocol.parse_request line with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "accepted %S" line
+        in
+        rejects "UPDATE prog=tc";
+        rejects "UPDATE id=u1";
+        rejects "RETRACT id=u/1 prog=tc";
+        rejects "UPDATE id=u1 prog=a=b");
+    case "live=true parses; a bad value is rejected" (fun () ->
+        (match Protocol.parse_request "QUERY id=q1 prog=anc live=true" with
+         | Ok (Protocol.Query q) ->
+           Alcotest.(check bool) "live" true q.Protocol.q_live
+         | _ -> Alcotest.fail "live query did not parse");
+        (match Protocol.parse_request "QUERY id=q1 prog=anc" with
+         | Ok (Protocol.Query q) ->
+           Alcotest.(check bool) "default off" false q.Protocol.q_live
+         | _ -> Alcotest.fail "plain query did not parse");
+        match Protocol.parse_request "QUERY id=q1 prog=anc live=yes" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted live=yes");
+    case "parse_updates: signs, defaults, multi-fact lines, errors"
+      (fun () ->
+        let open Datalog in
+        let show (u : Delta.update) =
+          Format.asprintf "%c%s%a"
+            (match u.Delta.u_op with Delta.Insert -> '+' | Delta.Delete -> '-')
+            u.Delta.u_pred Tuple.pp u.Delta.u_tuple
+        in
+        let check_updates name ~default text expect =
+          match Protocol.parse_updates ~default text with
+          | Ok ups ->
+            Alcotest.(check (list string)) name expect (List.map show ups)
+          | Error e -> Alcotest.fail e
+        in
+        check_updates "signed lines" ~default:Delta.Insert
+          "+edge(1,2).\n-edge(2,3).\n"
+          [ "+edge(1, 2)"; "-edge(2, 3)" ];
+        check_updates "unsigned takes the default" ~default:Delta.Delete
+          "edge(1,2).\n" [ "-edge(1, 2)" ];
+        check_updates "several facts share the line's sign"
+          ~default:Delta.Insert "-edge(1,2). edge(3,4).\n"
+          [ "-edge(1, 2)"; "-edge(3, 4)" ];
+        check_updates "blank lines are skipped" ~default:Delta.Insert
+          "\n+edge(1,2).\n\n" [ "+edge(1, 2)" ];
+        match Protocol.parse_updates ~default:Delta.Insert "edge(1,." with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted a malformed fact");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -372,6 +432,130 @@ let server_cases =
           Alcotest.(check int) "no session left" 0
             (Server.active_sessions srv)
         | _ -> Alcotest.fail "connect failed");
+    case "UPDATE folds into the live model; live rows match from-scratch"
+      (fun () ->
+        with_server sim_tweaks (fun _srv addr ->
+            with_client addr (fun c ->
+                (match
+                   head_of
+                     (Client.request c
+                        ~payload:"par(100,101).\n+par(101,102).\n"
+                        "UPDATE id=u1 prog=anc")
+                 with
+                 | Protocol.Okay { op = "update"; kv } ->
+                   (* 2 base facts + anc(100,101), anc(101,102),
+                      anc(100,102) *)
+                   Alcotest.(check (option string)) "added" (Some "5")
+                     (Protocol.find_kv kv "added");
+                   Alcotest.(check (option string)) "removed" (Some "0")
+                     (Protocol.find_kv kv "removed")
+                 | _ -> Alcotest.fail "expected OK update");
+                let live =
+                  match
+                    Client.request c "QUERY id=l1 prog=anc live=true rows=true"
+                  with
+                  | Ok r -> (
+                    (match r.Client.head with
+                     | Protocol.Result_head { scheme = "live"; rows; _ } ->
+                       Alcotest.(check int) "live rows" 213 rows
+                     | _ -> Alcotest.fail "expected a live RESULT");
+                    r.Client.rows)
+                  | Error e -> Alcotest.fail e
+                in
+                let scratch =
+                  match
+                    Client.request c "QUERY id=s1 prog=anc rows=true runtime=sim"
+                  with
+                  | Ok r -> r.Client.rows
+                  | Error e -> Alcotest.fail e
+                in
+                Alcotest.(check (list string))
+                  "live = from-scratch, byte for byte" scratch live)));
+    case "RETRACT deletes; the reply counts the net model change" (fun () ->
+        with_server sim_tweaks (fun _srv addr ->
+            with_client addr (fun c ->
+                (match
+                   head_of
+                     (Client.request c
+                        ~payload:"+par(100,101).\n+par(101,102).\n"
+                        "UPDATE id=u1 prog=anc")
+                 with
+                 | Protocol.Okay _ -> ()
+                 | _ -> Alcotest.fail "seed update failed");
+                (match
+                   head_of
+                     (Client.request c ~payload:"par(100,101).\n"
+                        "RETRACT id=u2 prog=anc")
+                 with
+                 | Protocol.Okay { op = "retract"; kv } ->
+                   (* par(100,101), anc(100,101), anc(100,102) go away *)
+                   Alcotest.(check (option string)) "removed" (Some "3")
+                     (Protocol.find_kv kv "removed");
+                   Alcotest.(check (option string)) "added" (Some "0")
+                     (Protocol.find_kv kv "added")
+                 | _ -> Alcotest.fail "expected OK retract");
+                match
+                  head_of
+                    (Client.request c "QUERY id=l1 prog=anc live=true")
+                with
+                | Protocol.Result_head { rows; _ } ->
+                  Alcotest.(check int) "anc(101,102) survives" 211 rows
+                | _ -> Alcotest.fail "expected RESULT")));
+    case "replaying an UPDATE id applies the batch exactly once" (fun () ->
+        with_server sim_tweaks (fun srv addr ->
+            with_client addr (fun c ->
+                let u = "UPDATE id=uu prog=anc" in
+                let payload = "+par(0,1).\n" in
+                let a = Client.request c ~payload u in
+                let b = Client.request c ~payload u in
+                (match (a, b) with
+                 | Ok a, Ok b ->
+                   Alcotest.(check (list string)) "byte-identical replay"
+                     a.Client.raw b.Client.raw
+                 | _ -> Alcotest.fail "update failed");
+                Alcotest.(check int) "applied once" 1
+                  (Obs.Metrics.counter (Server.metrics srv)
+                     "serve.updates_ok");
+                Alcotest.(check int) "second send was a replay" 1
+                  (Obs.Metrics.counter (Server.metrics srv) "serve.replays"))));
+    case "updating a derived predicate is a clean ERR; the model survives"
+      (fun () ->
+        with_server sim_tweaks (fun _srv addr ->
+            with_client addr (fun c ->
+                (match
+                   head_of
+                     (Client.request c ~payload:"anc(1,2).\n"
+                        "UPDATE id=bad prog=anc")
+                 with
+                 | Protocol.Err { code = "update"; _ } -> ()
+                 | _ -> Alcotest.fail "expected ERR update");
+                match
+                  head_of
+                    (Client.request c "QUERY id=l1 prog=anc live=true")
+                with
+                | Protocol.Result_head { rows = 210; _ } -> ()
+                | _ -> Alcotest.fail "live model lost after a refused batch")));
+    case "live queries open the session lazily; FACTS invalidates it"
+      (fun () ->
+        with_server sim_tweaks (fun srv addr ->
+            with_client addr (fun c ->
+                (match
+                   head_of
+                     (Client.request c "QUERY id=l1 prog=anc live=true")
+                 with
+                 | Protocol.Result_head { scheme = "live"; rows = 210; _ } ->
+                   ()
+                 | _ -> Alcotest.fail "expected a live RESULT");
+                (match Server.add_facts srv "anc" "par(50,51).\n" with
+                 | Ok _ -> ()
+                 | Error e -> Alcotest.fail e);
+                match
+                  head_of
+                    (Client.request c "QUERY id=l2 prog=anc live=true")
+                with
+                | Protocol.Result_head { rows; _ } ->
+                  Alcotest.(check int) "rebuilt over the new EDB" 211 rows
+                | _ -> Alcotest.fail "expected RESULT")));
     case "config validation rejects nonsense" (fun () ->
         let bad tweak =
           match
