@@ -13,15 +13,18 @@
                                                (perf-regression gate)
 
    Sections: f1 f2 f3 f4  e1 e2 e3  t2 s6 e8 d8  p1 p2 p3
-              a1 a2 a3 a4 a5  r1 r2  timing obs perf plan incr serve
+              a1 a2 a3 a4 a5  r1 r2  timing obs perf perf2 plan incr
+              serve net
 
-   Flags: --check-regression FILE   re-measure the perf workloads and
+   Flags: --help                    list sections and flags, then exit
+          --check-regression FILE   re-measure the perf workloads and
                                     exit nonzero if any slowed beyond
                                     the baseline's threshold
           --slowdown F              multiply measured times by F
                                     (tests the gate by injection)
           --out FILE                where `perf` writes its baseline
-                                    (default BENCH_PR5.json) *)
+                                    (default BENCH_PR5.json; `perf2`
+                                    always writes BENCH_PR10.json) *)
 
 open Datalog
 open Pardatalog
@@ -34,11 +37,15 @@ let claim name ok =
 
 (* Flags are stripped from argv before section selection; what remains
    is the list of requested section ids (all sections when empty). *)
-let picks, regression_baseline, slowdown, out_file =
+let picks, regression_baseline, slowdown, out_file, want_help =
   let picks = ref [] and reg = ref None in
   let slow = ref 1.0 and out = ref "BENCH_PR5.json" in
+  let help = ref false in
   let rec go = function
     | [] -> ()
+    | ("--help" | "-h") :: rest ->
+      help := true;
+      go rest
     | "--check-regression" :: file :: rest ->
       reg := Some file;
       go rest
@@ -53,7 +60,7 @@ let picks, regression_baseline, slowdown, out_file =
       go rest
   in
   (match Array.to_list Sys.argv with _ :: rest -> go rest | [] -> ());
-  (List.rev !picks, !reg, !slow, !out)
+  (List.rev !picks, !reg, !slow, !out, !help)
 
 let section id title f =
   let wanted =
@@ -1177,6 +1184,126 @@ let run_regression baseline_file =
   end
 
 (* ------------------------------------------------------------------ *)
+(* PERF2: hot-path round 2 — columnar slabs, batched mailboxes (PR10). *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-round wall-clock measured by this driver on the boxed storage
+   layer immediately before the PR10 columnar rewrite (same machine,
+   same median-of-five convention as the PR5 constants — which were
+   themselves measured before the PR5 rewrite, so the two baselines
+   chain: PR5 pre -> PR5 post = PR10 pre -> PR10 post). *)
+let perf2_pre =
+  [
+    ("chain-200", 215_181.);
+    ("grid-16", 1_300_740.);
+    ("hotspot-50x220", 822_272.);
+  ]
+
+(* The columnar engine still allocates the derived tuples themselves;
+   the bound asserts the flat slabs killed the per-round bookkeeping
+   churn (boxed storage sat well above it). Words, not bytes. *)
+let minor_words_bound = 40_000.
+
+let perf2 () =
+  Format.printf "  %-16s %10s %12s %8s %9s %5s@." "workload" "ns/round"
+    "pre-PR10" "speedup" "firings" "dups";
+  let rows =
+    List.map
+      (fun (name, _pr5_pre, edges) ->
+        let pre = List.assoc name perf2_pre in
+        let per_round, stats = measure_per_round (edb_of edges) in
+        let speedup = pre /. per_round in
+        Format.printf "  %-16s %10.0f %12.0f %7.2fx %9d %5d@." name
+          per_round pre speedup stats.Seminaive.firings
+          stats.Seminaive.duplicate_firings;
+        (name, pre, per_round, stats, speedup))
+      (perf_workloads ())
+  in
+  (* Allocation discipline of the steady-state round on the chain:
+     flat slabs insert and probe without boxing, so what remains is
+     dominated by the derived tuples themselves. *)
+  let minor_per_round =
+    let engine =
+      Seminaive.create ancestor ~edb:(edb_of (Workload.Graphgen.chain 200))
+    in
+    let before = Gc.minor_words () in
+    Seminaive.run_to_fixpoint engine;
+    let words = Gc.minor_words () -. before in
+    words
+    /. float_of_int
+         (max 1 (Seminaive.stats engine).Seminaive.iterations)
+  in
+  Format.printf "  chain-200 allocation: %.0f minor words/round@."
+    minor_per_round;
+  (* One domain-runtime run for the other half of the PR: phase
+     attribution plus the send-coalescing counters (schema 5). *)
+  let rw = Result.get_ok (Strategy.example3 ~seed:0 ~nprocs:4 ancestor) in
+  let r = Domain_runtime.run rw ~edb:(edb_of (Workload.Graphgen.chain 200)) in
+  let st = r.Sim_runtime.stats in
+  let comms = st.Stats.comms in
+  Format.printf
+    "  domain runtime (chain-200, N=4): %d bulk deliveries carrying %d \
+     data messages@."
+    comms.Stats.bulk_pushes comms.Stats.bulk_messages;
+  List.iter
+    (fun (name, ns) -> Format.printf "    %-18s %10d ns@." name ns)
+    st.Stats.phase_ns;
+  let fast =
+    List.filter (fun (_, _, _, _, sp) -> sp >= regression_threshold) rows
+  in
+  claim
+    (Printf.sprintf
+       "per-round speedup vs the pre-PR10 tree >= %.1fx on >= 2 of %d \
+        workloads"
+       regression_threshold (List.length rows))
+    (List.length fast >= 2);
+  claim "chain ancestor stays duplicate-free (non-redundant engine)"
+    (List.for_all
+       (fun (name, _, _, s, _) ->
+         name <> "chain-200" || s.Seminaive.duplicate_firings = 0)
+       rows);
+  claim
+    (Printf.sprintf "chain-200 allocates < %.0fk minor words per round"
+       (minor_words_bound /. 1000.))
+    (minor_per_round < minor_words_bound);
+  claim "~intern:false (boxed storage) computes the identical model"
+    (let edb = edb_of (Workload.Graphgen.grid ~rows:8 ~cols:8) in
+     let db_slab, _ = Seminaive.evaluate ancestor edb in
+     let db_boxed, _ = Seminaive.evaluate ~intern:false ancestor edb in
+     Database.equal db_slab db_boxed);
+  claim "domain runtime coalesces its data sends (bulk counters live)"
+    (comms.Stats.bulk_pushes > 0
+    && comms.Stats.bulk_messages >= comms.Stats.bulk_pushes);
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema\":1,\"bench\":\"PR10\",\"seed\":2026,\"threshold\":%.2f,\"workloads\":["
+       regression_threshold);
+  List.iteri
+    (fun i (name, pre, per_round, (s : Seminaive.stats), speedup) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%S,\"per_round_ns\":%.0f,\"rounds\":%d,\"firings\":%d,\"duplicate_firings\":%d,\"pre_change_ns\":%.0f,\"speedup_vs_pre\":%.2f}"
+           name per_round s.Seminaive.iterations s.Seminaive.firings
+           s.Seminaive.duplicate_firings pre speedup))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"minor_words_per_round\":%.0f,\"comms\":{\"bulk_pushes\":%d,\"bulk_messages\":%d},\"phase_ns\":{"
+       minor_per_round comms.Stats.bulk_pushes comms.Stats.bulk_messages);
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" name ns))
+    st.Stats.phase_ns;
+  Buffer.add_string buf "}}\n";
+  let oc = open_out "BENCH_PR10.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "  wrote BENCH_PR10.json@."
+
+(* ------------------------------------------------------------------ *)
 (* INCR: incremental maintenance vs from-scratch recomputation.        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1449,49 +1576,76 @@ let net_bench () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The section registry, in execution order. `net` forks worker
+   processes, and OCaml forbids Unix.fork for the rest of the process
+   once any domain (or thread) has been created — so the fork-based
+   section must run before every section that touches the domain
+   runtime or the daemon. Its own domain comparison row therefore runs
+   after the forked rows inside the section. --help prints this same
+   list, and test/docs_check.sh keeps README.md in sync with it. *)
+let sections =
+  [
+    ("net", "multi-process runtime - domains vs processes, recovery",
+     net_bench);
+    ("f1", "Figure 1 - dataflow graph of Example 4", f1);
+    ("f2", "Figure 2 - dataflow graph of ancestor; Theorem 3", f2);
+    ("f3", "Figure 3 - minimal network of Example 6", f3);
+    ("f4", "Figure 4 - minimal network of Example 7", f4);
+    ("e1", "Example 1 - no communication, shared base", e1);
+    ("e2", "Example 2 - arbitrary fragments, broadcast", e2);
+    ("e3", "Example 3 - disjoint fragments, unicast", e3);
+    ("t2", "Theorems 2 and 6 - non-redundancy across schemes", t2);
+    ("s6", "Section 6 - redundancy/communication spectrum", s6);
+    ("e8", "Example 8 - general scheme on nonlinear ancestor", e8);
+    ("d8", "Dong's decomposition baseline (intro, point 2)", d8);
+    ("p1", "load balance and utilization (deferred by the paper)", p1);
+    ("p2", "wall-clock behaviour of the domain runtime", p2);
+    ("p3", "parallelism profile - frontier width per round", p3);
+    ("a1", "ablation - resend suppression (difference operation)", a1);
+    ("a2", "ablation - unicast coverage analysis vs broadcast", a2);
+    ("a3", "ablation - guard push-down vs post-join filtering", a3);
+    ("a4", "ablation - base fragmentation vs replication", a4);
+    ("a5", "ablation - greedy join reordering vs textual order", a5);
+    ("r1", "robustness - fault sweep and checkpoint ablation", r1);
+    ("r2", "overload - skewed traffic, credit, budgets, the dial", r2);
+    ("timing", "Bechamel microbenchmarks", timing);
+    ("obs", "observability - metrics cross-check, PR4 baseline", obs);
+    ("perf", "hot-path storage engine - wall-clock, PR5 baseline", perf);
+    ("perf2",
+     "hot-path round 2 - columnar slabs, batched mailboxes, PR10 baseline",
+     perf2);
+    ("plan", "static planner - auto-picked vs default scheme", plan_bench);
+    ("incr", "incremental maintenance vs from-scratch, INCR baseline",
+     incr_bench);
+    ("serve", "datalogd load sweep - qps, tail latency, BUSY/PARTIAL",
+     fun () -> Loadgen.run ~claim ());
+  ]
+
+let () =
+  if want_help then begin
+    Format.printf
+      "usage: dune exec bench/main.exe -- [SECTION...] [FLAGS]@.@.sections:@.";
+    List.iter
+      (fun (id, title, _) -> Format.printf "  %-7s %s@." id title)
+      sections;
+    Format.printf
+      "@.flags:@.  --help                    this listing@.  \
+       --check-regression FILE   re-measure the perf workloads; exit \
+       nonzero on a slowdown beyond the baseline's threshold@.  \
+       --slowdown F              multiply measured times by F (tests \
+       the gate)@.  --out FILE                where `perf` writes its \
+       baseline (default BENCH_PR5.json; `perf2` always writes \
+       BENCH_PR10.json)@.";
+    exit 0
+  end
+
 let () =
   match regression_baseline with
   | Some file -> run_regression file
   | None -> ()
 
 let () =
-  (* `net` forks worker processes, and OCaml forbids Unix.fork for the
-     rest of the process once any domain (or thread) has been created
-     — so the fork-based section must run before every section that
-     touches the domain runtime or the daemon. Its own domain
-     comparison row therefore runs after the forked rows inside the
-     section. *)
-  section "net" "multi-process runtime - domains vs processes, recovery"
-    net_bench;
-  section "f1" "Figure 1 - dataflow graph of Example 4" f1;
-  section "f2" "Figure 2 - dataflow graph of ancestor; Theorem 3" f2;
-  section "f3" "Figure 3 - minimal network of Example 6" f3;
-  section "f4" "Figure 4 - minimal network of Example 7" f4;
-  section "e1" "Example 1 - no communication, shared base" e1;
-  section "e2" "Example 2 - arbitrary fragments, broadcast" e2;
-  section "e3" "Example 3 - disjoint fragments, unicast" e3;
-  section "t2" "Theorems 2 and 6 - non-redundancy across schemes" t2;
-  section "s6" "Section 6 - redundancy/communication spectrum" s6;
-  section "e8" "Example 8 - general scheme on nonlinear ancestor" e8;
-  section "d8" "Dong's decomposition baseline (intro, point 2)" d8;
-  section "p1" "load balance and utilization (deferred by the paper)" p1;
-  section "p2" "wall-clock behaviour of the domain runtime" p2;
-  section "p3" "parallelism profile - frontier width per round" p3;
-  section "a1" "ablation - resend suppression (difference operation)" a1;
-  section "a2" "ablation - unicast coverage analysis vs broadcast" a2;
-  section "a3" "ablation - guard push-down vs post-join filtering" a3;
-  section "a4" "ablation - base fragmentation vs replication" a4;
-  section "a5" "ablation - greedy join reordering vs textual order" a5;
-  section "r1" "robustness - fault sweep and checkpoint ablation" r1;
-  section "r2" "overload - skewed traffic, credit, budgets, the dial" r2;
-  section "timing" "Bechamel microbenchmarks" timing;
-  section "obs" "observability - metrics cross-check, PR4 baseline" obs;
-  section "perf" "hot-path storage engine - wall-clock, PR5 baseline" perf;
-  section "plan" "static planner - auto-picked vs default scheme" plan_bench;
-  section "incr" "incremental maintenance vs from-scratch, INCR baseline"
-    incr_bench;
-  section "serve" "datalogd load sweep - qps, tail latency, BUSY/PARTIAL"
-    (fun () -> Loadgen.run ~claim ());
+  List.iter (fun (id, title, f) -> section id title f) sections;
   Format.printf "@.%s@."
     (if !failures = 0 then "all claims PASS"
      else Printf.sprintf "%d claim(s) FAILED" !failures);

@@ -247,6 +247,7 @@ let run program ~nprocs edb =
       transport = Stats.no_transport;
       peak_in_flight = 0;
       phase_ns = [];
+      comms = Stats.no_comms;
     }
   in
   Ok ({ Sim_runtime.answers; stats }, analysis)

@@ -89,6 +89,8 @@ type worker_extra = {
   we_credit_stalls : int;
   we_peak_in_flight : int;
   we_phase_ns : (string * int) list;
+  we_bulk_pushes : int;
+  we_bulk_messages : int;
 }
 
 let build_edb (rw : Rewrite.t) edb pid =
@@ -138,6 +140,35 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
   let overload : Overload.reason option ref = ref None in
   let my_mailbox = mailboxes.(my_domain) in
   let send_to_pid pid msg = Mailbox.push mailboxes.(domain_of pid) msg in
+  (* Send coalescing (§16): [Data] payloads are not pushed one mailbox
+     operation at a time but staged in a per-destination-domain buffer
+     and handed over in bulk — one lock acquisition and one consumer
+     wake-up per (phase, destination) via [Mailbox.push_all]. Control
+     traffic (tokens, acks, replay requests, stop) stays immediate:
+     its latency bounds termination detection. The buffer is flushed
+     after every dispatch drain and every step sweep, and — crucially —
+     inside [announce_termination] and before any blocking drain, so a
+     worker can never go to sleep (or tell others to stop) while it
+     still holds undelivered tuples; a held [Data] whose send the
+     detector has already counted would otherwise stall Safra's token
+     forever. *)
+  let ndest = Array.length mailboxes in
+  let outbuf = Array.init ndest (fun _ -> Queue.create ()) in
+  let bulk_pushes = ref 0 in
+  let bulk_messages = ref 0 in
+  let buffer_data pid msg = Queue.add msg outbuf.(domain_of pid) in
+  let flush_outbuf () =
+    for d = 0 to ndest - 1 do
+      let q = outbuf.(d) in
+      if not (Queue.is_empty q) then begin
+        let msgs = List.of_seq (Queue.to_seq q) in
+        Queue.clear q;
+        Mailbox.push_all mailboxes.(d) msgs;
+        incr bulk_pushes;
+        bulk_messages := !bulk_messages + List.length msgs
+      end
+    done
+  in
   let send_specs_for =
     let tbl = Hashtbl.create 8 in
     List.iter
@@ -232,10 +263,10 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
          observable. They are only tallied. *)
       if fate.f_delay > 0 then fc.n_delays <- fc.n_delays + 1;
       if fate.f_jitter > 0 then fc.n_reorders <- fc.n_reorders + 1;
-      send_to_pid dst (Data { src = p.pid; dst; seq; batch = pd.pd_batch });
+      buffer_data dst (Data { src = p.pid; dst; seq; batch = pd.pd_batch });
       if fate.f_dup then begin
         fc.n_dups_injected <- fc.n_dups_injected + 1;
-        send_to_pid dst (Data { src = p.pid; dst; seq; batch = pd.pd_batch })
+        buffer_data dst (Data { src = p.pid; dst; seq; batch = pd.pd_batch })
       end
     end
   in
@@ -273,7 +304,7 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
       Hashtbl.replace p.unacked.(dst) seq pd;
       transmit_batch p dst seq pd
     end
-    else send_to_pid dst (Data { src = p.pid; dst; seq; batch })
+    else buffer_data dst (Data { src = p.pid; dst; seq; batch })
   in
   let send_data ~replay p dst batch =
     send_entries p dst (List.map (fun (pred, t) -> (pred, t, replay)) batch)
@@ -390,6 +421,8 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
     track_outbox_peak p)
   in
   let announce_termination () =
+    (* Any staged tuples must precede the poison pill in every queue. *)
+    flush_outbuf ();
     for d = 0 to Array.length mailboxes - 1 do
       Mailbox.push mailboxes.(d) Stop
     done;
@@ -595,10 +628,15 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
         Obs.Trace.instant tr ~pid:p.pid ~round:0 "bootstrap"
       end)
     procs;
+  flush_outbuf ();
   while not !stopped do
     if faulty then pump_retransmits ();
     check_limits ();
     List.iter dispatch (note_depth (Mailbox.drain my_mailbox));
+    (* Dispatching can stage sends (Tack-freed credit, replay
+       histories, retransmissions pumped above): deliver them before
+       doing local work. *)
+    flush_outbuf ();
     if not !stopped then begin
       let worked = ref false in
       List.iter
@@ -612,6 +650,10 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
             p.local_rounds <- p.local_rounds + 1
           end)
         procs;
+      (* The per-phase flush: every owned processor has taken its step,
+         so each destination receives the whole sweep's traffic as one
+         delivery. *)
+      flush_outbuf ();
       if (not !worked) && not !stopped then begin
         (* All owned processors idle: run control actions; if nothing
            moved, wait for messages — with a timeout when a fault plan
@@ -645,6 +687,9 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
       end
     end
   done;
+  (* Stop can arrive with staged replay traffic still buffered; hand it
+     over so the counters balance even on aborted runs. *)
+  flush_outbuf ();
   List.iter (fun p -> engines.(p.pid) <- Some p.engine) procs;
   ( List.map
       (fun p ->
@@ -674,6 +719,8 @@ let worker detector plan ~capacity ~(limits : Overload.limits) ~dial ~obs ~t0
       we_credit_stalls = !credit_stalls;
       we_peak_in_flight = !peak_in_flight;
       we_phase_ns = Obs.Phase_timer.totals ptimer;
+      we_bulk_pushes = !bulk_pushes;
+      we_bulk_messages = !bulk_messages;
     } )
 
 let open_session ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
@@ -743,6 +790,8 @@ let open_session ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
   let acc_peak_in_flight = ref 0 in
   let acc_phase_ns = ref [] in
   let acc_mailbox_drops = ref 0 in
+  let acc_bulk_pushes = ref 0 in
+  let acc_bulk_messages = ref 0 in
   (* Lazily created maintenance oracle, as in the simulator: a plain
      [run] never pays for it. *)
   let live = ref None in
@@ -818,6 +867,11 @@ let open_session ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
       transport = Stats.no_transport;
       peak_in_flight = !acc_peak_in_flight;
       phase_ns = !acc_phase_ns;
+      comms =
+        {
+          Stats.bulk_pushes = !acc_bulk_pushes;
+          bulk_messages = !acc_bulk_messages;
+        };
     }
   in
   let assemble () =
@@ -919,6 +973,13 @@ let open_session ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
       Array.fold_left
         (fun acc mb -> acc + Mailbox.dropped mb)
         !acc_mailbox_drops mailboxes;
+    acc_bulk_pushes :=
+      List.fold_left (fun acc e -> acc + e.we_bulk_pushes) !acc_bulk_pushes
+        extras;
+    acc_bulk_messages :=
+      List.fold_left
+        (fun acc e -> acc + e.we_bulk_messages)
+        !acc_bulk_messages extras;
     (* The first domain's breach wins when several workers tripped at
        once. *)
     let overload_reason =

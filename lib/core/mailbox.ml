@@ -52,6 +52,22 @@ let push mb x =
     Mutex.unlock mb.mutex
   end
 
+let push_all mb xs =
+  if xs <> [] then begin
+    Mutex.lock mb.mutex;
+    if mb.closed then begin
+      mb.dropped <- mb.dropped + List.length xs;
+      let n = mb.dropped in
+      Mutex.unlock mb.mutex;
+      log_drop n
+    end
+    else begin
+      List.iter (fun x -> Queue.add x mb.queue) xs;
+      Condition.signal mb.nonempty;
+      Mutex.unlock mb.mutex
+    end
+  end
+
 let try_push mb x =
   Mutex.lock mb.mutex;
   if mb.closed then begin

@@ -29,6 +29,15 @@ val push : 'a t -> 'a -> unit
 (** Enqueue and wake the consumer, ignoring any capacity. Safe from any
     domain. Dropped (and counted) when the mailbox is closed. *)
 
+val push_all : 'a t -> 'a list -> unit
+(** [push_all mb xs] enqueues every element of [xs] in order under one
+    lock acquisition and wakes the consumer once — the bulk variant of
+    {!push} behind the runtimes' per-phase send coalescing (one
+    delivery per (phase, destination) instead of one per message).
+    Like {!push} it ignores any capacity; on a closed mailbox the whole
+    list is dropped and counted. [push_all mb []] is a no-op that takes
+    no lock. *)
+
 val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
 (** Enqueue only if the mailbox is open and below capacity; never
     blocks. *)

@@ -427,6 +427,7 @@ let open_session ?(config = Run_config.default) (rw : Rewrite.t) ~edb =
       transport = Stats.no_transport;
       peak_in_flight = !peak_in_flight;
       phase_ns = Obs.Phase_timer.totals ptimer;
+      comms = Stats.no_comms;
     }
   in
   let live_count () =

@@ -73,6 +73,13 @@ let no_transport =
     bytes_received = 0;
   }
 
+type comms = {
+  bulk_pushes : int;
+  bulk_messages : int;
+}
+
+let no_comms = { bulk_pushes = 0; bulk_messages = 0 }
+
 type incr = {
   batches_applied : int;
   tuples_inserted : int;
@@ -104,6 +111,7 @@ type t = {
   peak_in_flight : int;
   phase_ns : (string * int) list;
   incr : incr;
+  comms : comms;
 }
 
 let frontier_profile t =
@@ -225,9 +233,16 @@ let pp ppf t =
        overdeleted=%d firings=%d@,"
       c.batches_applied c.tuples_inserted c.tuples_deleted
       c.tuples_rederived c.tuples_overdeleted c.incr_firings;
+  let m = t.comms in
+  if m <> no_comms then
+    Format.fprintf ppf
+      "comms: bulk-pushes=%d bulk-messages=%d (%.1f msgs/delivery)@,"
+      m.bulk_pushes m.bulk_messages
+      (if m.bulk_pushes = 0 then 0.0
+       else float_of_int m.bulk_messages /. float_of_int m.bulk_pushes);
   Format.fprintf ppf "@]"
 
-(* Versioned machine-readable snapshot ("schema": 4), shared by
+(* Versioned machine-readable snapshot ("schema": 5), shared by
    `datalogp par --json`, the Obs metrics snapshot, the bench baseline
    files and datalogd's per-query attribution. Hand-rolled: the values
    are ints and two enum-like strings. Schema 2 was additive over
@@ -238,12 +253,15 @@ let pp ppf t =
    is additive over schema 2: it adds "transport" (wire-level counters
    of the multi-process runtime — all zero in-process). Schema 4 is
    additive over schema 3: it adds "incr" (per-session incremental
-   maintenance counters — all zero for one-shot runs). *)
+   maintenance counters — all zero for one-shot runs). Schema 5 is
+   additive over schema 4: it adds "comms" (mailbox send-coalescing
+   counters of the shared-memory domain runtime — all zero for
+   runtimes that do not batch their sends). *)
 let to_json ?(scheme = "unspecified") ?(outcome = "ok") t =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add
-    "{\"schema\":4,\"scheme\":%S,\"outcome\":%S,\"nprocs\":%d,\"rounds\":%d,\"pooled\":%d,\"peak_in_flight\":%d,"
+    "{\"schema\":5,\"scheme\":%S,\"outcome\":%S,\"nprocs\":%d,\"rounds\":%d,\"pooled\":%d,\"peak_in_flight\":%d,"
     scheme outcome t.nprocs t.rounds t.pooled_tuples t.peak_in_flight;
   add "\"phase_ns\":{%s},"
     (String.concat ","
@@ -289,9 +307,12 @@ let to_json ?(scheme = "unspecified") ?(outcome = "ok") t =
     w.bytes_sent w.bytes_received;
   let c = t.incr in
   add
-    ",\"incr\":{\"batches_applied\":%d,\"tuples_inserted\":%d,\"tuples_deleted\":%d,\"tuples_rederived\":%d,\"tuples_overdeleted\":%d,\"incr_firings\":%d}}"
+    ",\"incr\":{\"batches_applied\":%d,\"tuples_inserted\":%d,\"tuples_deleted\":%d,\"tuples_rederived\":%d,\"tuples_overdeleted\":%d,\"incr_firings\":%d}"
     c.batches_applied c.tuples_inserted c.tuples_deleted c.tuples_rederived
     c.tuples_overdeleted c.incr_firings;
+  let m = t.comms in
+  add ",\"comms\":{\"bulk_pushes\":%d,\"bulk_messages\":%d}}" m.bulk_pushes
+    m.bulk_messages;
   Buffer.contents buf
 
 let pp_summary ppf t =

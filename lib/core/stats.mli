@@ -77,6 +77,22 @@ type transport = {
 val no_transport : transport
 (** All-zero transport counters. *)
 
+type comms = {
+  bulk_pushes : int;
+      (** Coalesced mailbox deliveries: each is one lock acquisition
+          and one consumer wake-up carrying a whole phase's data
+          traffic for one destination ({!Mailbox.push_all}). *)
+  bulk_messages : int;
+      (** Data messages those deliveries carried.
+          [bulk_messages / bulk_pushes] is the mean coalescing factor —
+          1.0 means batching bought nothing. *)
+}
+(** Send-coalescing counters of the shared-memory domain runtime;
+    {!no_comms} for runtimes that push each message individually. *)
+
+val no_comms : comms
+(** All-zero coalescing counters. *)
+
 type incr = {
   batches_applied : int;
       (** Update batches folded into the session (empty ones
@@ -128,6 +144,9 @@ type t = {
   incr : incr;
       (** Incremental-maintenance counters; {!no_incr} unless the
           stats describe a live session. *)
+  comms : comms;
+      (** Mailbox send-coalescing counters; {!no_comms} unless the
+          runtime batches its sends (the domain runtime). *)
 }
 
 val frontier_profile : t -> int list
@@ -169,7 +188,7 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : ?scheme:string -> ?outcome:string -> t -> string
 (** A stable, versioned machine-readable snapshot. The top-level
-    object carries ["schema": 3]; future field additions keep existing
+    object carries ["schema": 5]; future field additions keep existing
     keys and bump the schema only on incompatible changes. Shared by
     [datalogp par --json], the {!Obs.Metrics} snapshot, the bench
     baselines ([BENCH_PR4.json]) and the [datalogd] query protocol.
@@ -191,7 +210,11 @@ val to_json : ?scheme:string -> ?outcome:string -> t -> string
     Schema 4 adds the additive ["incr"] object ({!incr}: batches
     applied, net tuples inserted/deleted, DRed overdeletions and
     rederivations, maintenance firings) reported by session runs
-    ({!Runtime.open_session}); all zero for one-shot runs. *)
+    ({!Runtime.open_session}); all zero for one-shot runs.
+
+    Schema 5 adds the additive ["comms"] object ({!comms}: coalesced
+    mailbox deliveries and the messages they carried) reported by the
+    domain runtime's per-phase send batching; all zero elsewhere. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** A one-line summary. *)

@@ -26,6 +26,17 @@ let raw = function
   | Int i -> (i lsl 1) lor 0
   | Sym s -> (Symtab.to_int s lsl 1) lor 1
 
+let to_raw = raw
+
+(* [raw] shifts the payload left by one to make room for the kind bit,
+   so integers with magnitude >= 2^61 wrap: two such ints can share a
+   raw word. Symbols are dense small ints and always encode exactly.
+   Slab relations only trust raw words for dedup when every stored
+   constant is raw-exact. *)
+let raw_exact = function
+  | Sym _ -> true
+  | Int i -> i >= -0x2000000000000000 && i < 0x2000000000000000
+
 let hash c = mix64 (raw c) land max_int
 let hash_seeded seed c = mix64 (raw c lxor mix64 seed) land max_int
 

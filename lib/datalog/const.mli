@@ -16,6 +16,17 @@ val sym : string -> t
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+val to_raw : t -> int
+(** The flat one-word encoding slab columns store: the payload shifted
+    left by one, with the low bit distinguishing ints from symbols.
+    Only injective on raw-exact constants — see {!raw_exact}. *)
+
+val raw_exact : t -> bool
+(** Whether {!to_raw} encodes this constant without losing bits.
+    Symbols always; integers iff they fit in 62 bits. Slab relations
+    demote themselves to boxed dedup the first time a non-exact
+    constant is stored, so raw-word comparisons stay sound. *)
+
 val hash : t -> int
 (** A well-mixed hash (splitmix64 finalizer), suitable as the basis of
     discriminating functions: consecutive integers do not map to

@@ -9,9 +9,10 @@ val add_relation : t -> string -> Relation.t -> unit
     @raise Invalid_argument if the predicate is already bound with a
     different arity. *)
 
-val declare : t -> string -> int -> Relation.t
+val declare : ?slab:bool -> t -> string -> int -> Relation.t
 (** [declare db pred arity] returns the relation of [pred], creating an
-    empty one of the given arity if absent.
+    empty one of the given arity (and storage layout, default
+    slab-backed) if absent.
     @raise Invalid_argument on arity mismatch with an existing
     relation. *)
 
@@ -34,7 +35,10 @@ val cardinal : t -> string -> int
 
 val total_tuples : t -> int
 
-val copy : t -> t
+val copy : ?slab:bool -> t -> t
+(** Copy every relation ({!Relation.copy}); [~slab] forces the storage
+    layout of the copies. *)
+
 val restrict : t -> string list -> t
 (** A fresh database holding only the listed predicates (those that are
     bound). Relations are copied. *)

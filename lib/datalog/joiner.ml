@@ -19,6 +19,7 @@ type binding = {
 type compiled_guard = {
   cg : Rule.guard;
   cg_slots : int array;
+  cg_keybuf : Const.t array;  (* reusable argument buffer, len = slots *)
 }
 
 type compiled_atom = {
@@ -27,16 +28,21 @@ type compiled_atom = {
   ca_key : key_part list;  (* bound positions: the index key *)
   ca_binds : binding list;  (* first occurrences of fresh variables *)
   ca_checks : binding list;  (* repeated fresh variables: equality checks *)
-  ca_guards : compiled_guard list;  (* guards complete after this atom *)
-  (* Hot-path precomputation: the index positions and the key slots in
-     one array each, fixed at compile time, plus a reusable key buffer
-     so a probe writes constants into place instead of allocating
-     per-invocation lists and arrays. The buffer is sound to share
-     across the recursive scan because each atom owns its own and
-     fills it completely before its index lookup. *)
+  mutable ca_guards : compiled_guard array;  (* complete after this atom *)
+  (* Hot-path precomputation: the index positions, the key slots, the
+     bind/check position-variable pairs — all flat arrays fixed at
+     compile time — plus a reusable key buffer so a probe writes
+     constants into place instead of allocating per-invocation lists
+     and arrays. The buffer is sound to share across the recursive
+     scan because each atom owns its own and fills it completely
+     before its index lookup. *)
   ca_positions : int array;
   ca_slots : slot array;
   ca_keybuf : Const.t array;
+  ca_bind_pos : int array;
+  ca_bind_var : int array;
+  ca_check_pos : int array;
+  ca_check_var : int array;
 }
 
 type plan = {
@@ -48,6 +54,11 @@ type plan = {
   atoms : compiled_atom list;
   nbody : int;
   mutable probes : int;  (* candidate tuples scanned across all runs *)
+  (* Reusable head-instantiation buffers for the raw-word duplicate
+     filter: the head constants and their [Const.to_raw] words, filled
+     completely on every firing before use. *)
+  head_vals : Const.t array;
+  head_raws : int array;
 }
 
 let rule_of p = p.rule
@@ -137,17 +148,22 @@ let compile ?(pushdown = true) ?(reorder = false) (rule : Rule.t) =
       a.args;
     Hashtbl.iter (fun v () -> Hashtbl.replace bound v ()) fresh_here;
     let key = List.rev !key in
+    let binds = List.rev !binds and checks = List.rev !checks in
     {
       ca_pred = a.pred;
       ca_index = idx;
       ca_key = key;
-      ca_binds = List.rev !binds;
-      ca_checks = List.rev !checks;
-      ca_guards = [];
+      ca_binds = binds;
+      ca_checks = checks;
+      ca_guards = [||];
       ca_positions =
         Array.of_list (List.map (fun kp -> kp.kp_position) key);
       ca_slots = Array.of_list (List.map (fun kp -> kp.kp_slot) key);
       ca_keybuf = Array.make (List.length key) (Const.Int 0);
+      ca_bind_pos = Array.of_list (List.map (fun b -> b.b_position) binds);
+      ca_bind_var = Array.of_list (List.map (fun b -> b.b_var) binds);
+      ca_check_pos = Array.of_list (List.map (fun b -> b.b_position) checks);
+      ca_check_var = Array.of_list (List.map (fun b -> b.b_var) checks);
     }
   in
   let atoms = List.map (fun (idx, a) -> compile_atom idx a) scan_order in
@@ -157,7 +173,12 @@ let compile ?(pushdown = true) ?(reorder = false) (rule : Rule.t) =
     List.map
       (fun (g : Rule.guard) ->
         let slots = Array.map var_id g.gvars in
-        ({ cg = g; cg_slots = slots }, g))
+        ( {
+            cg = g;
+            cg_slots = slots;
+            cg_keybuf = Array.make (Array.length slots) (Const.Int 0);
+          },
+          g ))
       rule.guards
   in
   let nbody = List.length rule.body in
@@ -207,7 +228,7 @@ let compile ?(pushdown = true) ?(reorder = false) (rule : Rule.t) =
               else None)
             compiled_guards
         in
-        { ca with ca_guards = mine })
+        { ca with ca_guards = Array.of_list mine })
       atoms
   in
   let head =
@@ -229,6 +250,8 @@ let compile ?(pushdown = true) ?(reorder = false) (rule : Rule.t) =
     atoms;
     nbody;
     probes = 0;
+    head_vals = Array.make (Array.length head) (Const.Int 0);
+    head_raws = Array.make (Array.length head) 0;
   }
 
 (* A window over one append-only relation: positions [0, w_old) are
@@ -249,9 +272,21 @@ let window_all rel =
 
 let current_of find = { window_of = (fun pred -> Option.map window_all (find pred)) }
 
+(* The guard's argument buffer is reused across calls: it is filled
+   completely before [gfn] runs, and no [gfn] retains its argument
+   (the memo table in Hash_fn copies the key before storing it). *)
 let guard_holds env cg =
-  let key = Array.map (fun slot -> env.(slot)) cg.cg_slots in
+  let key = cg.cg_keybuf in
+  let slots = cg.cg_slots in
+  for i = 0 to Array.length slots - 1 do
+    Array.unsafe_set key i env.(Array.unsafe_get slots i)
+  done;
   cg.cg.gfn key = cg.cg.gexpect
+
+let guards_ok env guards =
+  let n = Array.length guards in
+  let rec go i = i >= n || (guard_holds env (Array.unsafe_get guards i) && go (i + 1)) in
+  go 0
 
 (* The probe function of one atom: its relation window under the
    chosen source, with the index already resolved
@@ -276,47 +311,98 @@ let staged_probe ca ~sources rels =
       fun key f -> m key ~lo ~hi f
     end
 
-let run plan ~sources rels ~emit =
+let run plan ~sources ?fast_dedup rels ~emit =
   if Array.length sources <> plan.nbody then
     invalid_arg "Joiner.run: sources length mismatch";
   let env = Array.make (max plan.nvars 1) (Const.Int 0) in
-  let emit_head () =
-    let tuple =
-      Array.map
-        (function Sconst c -> c | Svar i -> env.(i))
-        plan.head
-    in
-    emit (Tuple.make tuple)
+  let nhead = Array.length plan.head in
+  let emit_head =
+    match fast_dedup with
+    | None ->
+      fun () ->
+        let data = Array.make nhead (Const.Int 0) in
+        for i = 0 to nhead - 1 do
+          Array.unsafe_set data i
+            (match Array.unsafe_get plan.head i with
+            | Sconst c -> c
+            | Svar v -> env.(v))
+        done;
+        emit (Tuple.make data)
+    | Some fd ->
+      (* Instantiate the head into the plan's reusable buffers, folding
+         the tuple hash (the same fold as [Tuple.hash_key]) and the raw
+         words as we go, and ask the filter before allocating anything.
+         A [`Dup] verdict costs zero allocations; [`New] builds the
+         tuple with the hash it already has. *)
+      let vals = plan.head_vals and raws = plan.head_raws in
+      fun () ->
+        let h = ref nhead and exact = ref true in
+        for i = 0 to nhead - 1 do
+          let c =
+            match Array.unsafe_get plan.head i with
+            | Sconst c -> c
+            | Svar v -> env.(v)
+          in
+          Array.unsafe_set vals i c;
+          Array.unsafe_set raws i (Const.to_raw c);
+          if not (Const.raw_exact c) then exact := false;
+          h := (!h * 0x01000193) lxor Const.hash c
+        done;
+        let h = !h land max_int in
+        (match fd ~exact:!exact ~hash:h raws with
+        | `Dup -> ()
+        | `New ->
+          let data = Array.make nhead (Const.Int 0) in
+          Array.blit vals 0 data 0 nhead;
+          emit (Tuple.make_with_hash data h))
   in
-  let atoms =
-    List.map (fun ca -> (ca, staged_probe ca ~sources rels)) plan.atoms
-  in
-  let rec scan atoms =
+  (* Build the scan as a chain of closures, innermost (the head emit)
+     first: each atom's candidate callback is allocated once per run,
+     not once per enumerated substitution prefix as a naive recursive
+     scan would. *)
+  let rec build atoms =
     match atoms with
-    | [] -> emit_head ()
-    | (ca, probe) :: rest ->
-      (* Instantiate the index key in the atom's reusable buffer: the
-         positions were fixed at compile time, so a probe costs only
-         the constant writes, no list or array allocation. *)
+    | [] -> emit_head
+    | ca :: rest ->
+      let probe = staged_probe ca ~sources rels in
+      let continue_k = build rest in
       let key = ca.ca_keybuf in
-      for i = 0 to Array.length key - 1 do
-        key.(i) <-
-          (match Array.unsafe_get ca.ca_slots i with
-           | Sconst c -> c
-           | Svar v -> env.(v))
-      done;
+      let slots = ca.ca_slots in
+      let bind_pos = ca.ca_bind_pos and bind_var = ca.ca_bind_var in
+      let check_pos = ca.ca_check_pos and check_var = ca.ca_check_var in
+      let nchecks = Array.length check_pos in
+      let guards = ca.ca_guards in
       let try_tuple t =
         plan.probes <- plan.probes + 1;
-        List.iter (fun b -> env.(b.b_var) <- Tuple.get t b.b_position)
-          ca.ca_binds;
-        let checks_ok =
-          List.for_all
-            (fun b -> Const.equal (Tuple.get t b.b_position) env.(b.b_var))
-            ca.ca_checks
+        for i = 0 to Array.length bind_pos - 1 do
+          env.(Array.unsafe_get bind_var i) <-
+            Tuple.get t (Array.unsafe_get bind_pos i)
+        done;
+        let rec checks_ok i =
+          i >= nchecks
+          || Const.equal
+               (Tuple.get t (Array.unsafe_get check_pos i))
+               env.(Array.unsafe_get check_var i)
+             && checks_ok (i + 1)
         in
-        if checks_ok && List.for_all (guard_holds env) ca.ca_guards then
-          scan rest
+        if checks_ok 0 && guards_ok env guards then continue_k ()
       in
-      probe key try_tuple
+      fun () ->
+        (* Instantiate the index key in the atom's reusable buffer: the
+           positions were fixed at compile time, so a probe costs only
+           the constant writes, no list or array allocation. *)
+        for i = 0 to Array.length key - 1 do
+          key.(i) <-
+            (match Array.unsafe_get slots i with
+            | Sconst c -> c
+            | Svar v -> env.(v))
+        done;
+        probe key try_tuple
   in
-  if List.for_all (guard_holds env) plan.pre_guards then scan atoms
+  let start = build plan.atoms in
+  let rec pre_ok gs =
+    match gs with
+    | [] -> true
+    | cg :: rest -> guard_holds env cg && pre_ok rest
+  in
+  if pre_ok plan.pre_guards then start ()

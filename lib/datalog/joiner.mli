@@ -61,9 +61,26 @@ val current_of : (string -> Relation.t option) -> relations
     {!window_all}. *)
 
 val run :
-  plan -> sources:source array -> relations -> emit:(Tuple.t -> unit) -> unit
+  plan ->
+  sources:source array ->
+  ?fast_dedup:(exact:bool -> hash:int -> int array -> [ `Dup | `New ]) ->
+  relations ->
+  emit:(Tuple.t -> unit) ->
+  unit
 (** Enumerate the substitutions of the plan's rule, reading body atom
     [i] from [sources.(i)], and call [emit] once per successful ground
     substitution (guards included) with the head instance.
+
+    [fast_dedup], when provided, is consulted once per firing {e
+    before} the head tuple is materialized: it receives the head
+    instance's raw words ([Const.to_raw] per position, in a buffer
+    owned by the plan — read it synchronously, don't retain it), its
+    [Tuple.hash_key], and whether every constant is
+    [Const.raw_exact]. Answering [`Dup] suppresses the firing with
+    zero allocation; [`New] lets the tuple be built (reusing the
+    already-folded hash) and passed to [emit]. The semi-naive engine
+    implements it with {!Relation.mem_raw} on the head relation and
+    counts firings there, so callbacks see every firing exactly once
+    whichever path it takes.
     @raise Invalid_argument if [sources] length differs from the body
     length. *)

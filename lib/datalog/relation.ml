@@ -4,9 +4,9 @@ module Tbl = Hashtbl.Make (Tuple)
    the index positions, not by a materialized key tuple: inserts and
    lookups cost one hash fold and zero allocations. Hash collisions
    put unrelated tuples in one bucket, so every probe re-checks the
-   projection with [Tuple.proj_equal] — the same constant-compares an
-   exact index would have saved are instead paid only on the (rare)
-   colliding candidates.
+   projection — against the raw column words when the relation is
+   slab-backed and the key encodes exactly, falling back to
+   [Tuple.proj_equal] otherwise.
 
    A bucket holds *insertion positions* (indexes into [elements]), not
    tuple pointers: an unboxed, strictly ascending int vector. Ascending
@@ -20,27 +20,119 @@ type index = {
   ix_buckets : (int, int Vec.t) Hashtbl.t;
 }
 
+(* Dedup structure. A slab relation keeps, alongside the boxed tuples,
+   one unboxed int column per position holding [Const.to_raw] of every
+   stored constant, and dedups through a flat open-chained hash table:
+   [sl_table] maps [hash land mask] to a chain head (insertion
+   position + 1; 0 = empty), [sl_next] threads the chain through the
+   elements themselves, and [sl_hashes] caches each element's tuple
+   hash for chain filtering and table resizes. An insert is two int
+   pushes and one array store — no per-bucket heap structure, no
+   allocation beyond amortized array growth — and a membership probe
+   walks the chain comparing cached hashes and then raw column words,
+   never touching the boxed tuples.
+   Invariant: while [Slab], every stored constant is [Const.raw_exact]
+   (the first inexact insert demotes the relation to [Boxed] for
+   good — raw words are only injective on exact constants). *)
+type slab = {
+  mutable sl_table : int array;  (* chain heads: position + 1; 0 = empty *)
+  mutable sl_mask : int;  (* Array.length sl_table - 1; power of two *)
+  sl_next : int Vec.t;  (* per element: next chain entry, same encoding *)
+  sl_hashes : int Vec.t;  (* per element: cached Tuple.hash *)
+}
+
+type dedup =
+  | Boxed of unit Tbl.t
+  | Slab of slab
+
 type t = {
   arity : int;
-  seen : unit Tbl.t;
+  mutable seen : dedup;
   elements : Tuple.t Vec.t;  (* insertion order *)
+  mutable cols : int Vec.t array;  (* one per position iff slabbed *)
   indexes : (int list, index) Hashtbl.t;
+  mutable ix_all : index array;  (* = indexes, iterable without closures *)
 }
 
 let dummy_tuple = Tuple.of_list []
 
-let create ?(initial_size = 64) ~arity () =
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let fresh_slab size =
+  let cap = pow2_at_least (max 16 size) 16 in
+  {
+    sl_table = Array.make cap 0;
+    sl_mask = cap - 1;
+    sl_next = Vec.create ~capacity:(max size 8) ~dummy:0 ();
+    sl_hashes = Vec.create ~capacity:(max size 8) ~dummy:0 ();
+  }
+
+let create ?(initial_size = 64) ?(slab = true) ~arity () =
   {
     arity;
-    seen = Tbl.create initial_size;
+    seen =
+      (if slab then Slab (fresh_slab initial_size)
+       else Boxed (Tbl.create initial_size));
     elements = Vec.create ~capacity:(max initial_size 8) ~dummy:dummy_tuple ();
+    cols =
+      (if slab then
+         Array.init arity (fun _ ->
+             Vec.create ~capacity:(max initial_size 8) ~dummy:0 ())
+       else [||]);
     indexes = Hashtbl.create 4;
+    ix_all = [||];
   }
 
 let arity r = r.arity
 let cardinal r = Vec.length r.elements
 let is_empty r = Vec.is_empty r.elements
-let mem r t = Tbl.mem r.seen t
+
+let slabbed r =
+  match r.seen with
+  | Slab _ -> true
+  | Boxed _ -> false
+
+let mem r t =
+  match r.seen with
+  | Boxed tbl -> Tbl.mem tbl t
+  | Slab s ->
+    let h = Tuple.hash t in
+    let els = r.elements in
+    let hashes = s.sl_hashes and next = s.sl_next in
+    let rec walk p =
+      p <> 0
+      &&
+      let pos = p - 1 in
+      (Vec.unsafe_get hashes pos = h
+      && Tuple.equal (Vec.unsafe_get els pos) t)
+      || walk (Vec.unsafe_get next pos)
+    in
+    walk (Array.unsafe_get s.sl_table (h land s.sl_mask))
+
+(* Raw-word membership: the semi-naive duplicate filter. [raws] must be
+   the exact raw encoding of a would-be tuple of this relation's arity
+   and [hash] its [Tuple.hash_key]; the caller must have checked
+   [slabbed] first (a demoted relation cannot answer from raw words). *)
+let mem_raw r ~hash raws =
+  match r.seen with
+  | Boxed _ -> invalid_arg "Relation.mem_raw: relation is not slab-backed"
+  | Slab s ->
+    let cols = r.cols in
+    let k = r.arity in
+    let hashes = s.sl_hashes and next = s.sl_next in
+    let rec same pos i =
+      i >= k
+      || Vec.unsafe_get (Array.unsafe_get cols i) pos = Array.unsafe_get raws i
+         && same pos (i + 1)
+    in
+    let rec walk p =
+      p <> 0
+      &&
+      let pos = p - 1 in
+      (Vec.unsafe_get hashes pos = hash && same pos 0)
+      || walk (Vec.unsafe_get next pos)
+    in
+    walk (Array.unsafe_get s.sl_table (hash land s.sl_mask))
 
 let index_insert ix t pos =
   let h = Tuple.hash_proj t ix.ix_positions in
@@ -51,18 +143,63 @@ let index_insert ix t pos =
     Vec.push bucket pos;
     Hashtbl.add ix.ix_buckets h bucket
 
+(* One-way door: rebuild boxed dedup from the element store and drop
+   the columns. Existing column content stays readable (probes staged
+   over old windows remain sound) but is no longer appended to. *)
+let demote r =
+  let tbl = Tbl.create (max 64 (Vec.length r.elements)) in
+  Vec.iter (fun t -> Tbl.add tbl t ()) r.elements;
+  r.seen <- Boxed tbl;
+  r.cols <- [||];
+  tbl
+
+(* Double the chain-head table when load passes 3/4: chains are
+   rebuilt in insertion order by re-threading [sl_next] through the
+   fresh table — a linear sweep of the cached hashes, no tuple access,
+   no allocation beyond the new head array. *)
+let slab_grow s n =
+  let cap = (s.sl_mask + 1) * 2 in
+  let table = Array.make cap 0 in
+  let mask = cap - 1 in
+  for p = 0 to n - 1 do
+    let idx = Vec.unsafe_get s.sl_hashes p land mask in
+    Vec.set s.sl_next p (Array.unsafe_get table idx);
+    Array.unsafe_set table idx (p + 1)
+  done;
+  s.sl_table <- table;
+  s.sl_mask <- mask
+
+let slab_insert r s pos t =
+  if (pos + 1) * 4 > (s.sl_mask + 1) * 3 then slab_grow s pos;
+  let h = Tuple.hash t in
+  let idx = h land s.sl_mask in
+  Vec.push s.sl_hashes h;
+  Vec.push s.sl_next (Array.unsafe_get s.sl_table idx);
+  Array.unsafe_set s.sl_table idx (pos + 1);
+  let cols = r.cols in
+  for i = 0 to r.arity - 1 do
+    Vec.push (Array.unsafe_get cols i) (Const.to_raw (Tuple.get t i))
+  done
+
 let unchecked_push r t =
   let pos = Vec.length r.elements in
-  Tbl.add r.seen t ();
+  (match r.seen with
+  | Boxed tbl -> Tbl.add tbl t ()
+  | Slab s ->
+    if Tuple.raw_exact t then slab_insert r s pos t
+    else Tbl.add (demote r) t ());
   Vec.push r.elements t;
-  Hashtbl.iter (fun _ ix -> index_insert ix t pos) r.indexes
+  let ixs = r.ix_all in
+  for k = 0 to Array.length ixs - 1 do
+    index_insert (Array.unsafe_get ixs k) t pos
+  done
 
 let add r t =
   if Tuple.arity t <> r.arity then
     invalid_arg
       (Printf.sprintf "Relation.add: arity %d, expected %d" (Tuple.arity t)
          r.arity);
-  if Tbl.mem r.seen t then false
+  if mem r t then false
   else begin
     unchecked_push r t;
     true
@@ -99,6 +236,7 @@ let build_index r positions =
     index_insert ix (Vec.unsafe_get els pos) pos
   done;
   Hashtbl.add r.indexes (Array.to_list positions) ix;
+  r.ix_all <- Array.append r.ix_all [| ix |];
   ix
 
 let index_for r positions =
@@ -121,23 +259,48 @@ let lower_bound bucket lo =
     !left
   end
 
-let probe_index r ix positions key ~lo ~hi f =
+(* Candidate verification for index probes. When the relation is
+   slab-backed and the key encodes exactly, candidates are checked by
+   comparing raw int words straight out of the columns — no boxed
+   tuple is touched until a candidate passes. Otherwise fall back to
+   [Tuple.proj_equal] on the stored tuple. *)
+let probe_index r ix positions key ~raws ~raws_ok ~lo ~hi f =
   match Hashtbl.find ix.ix_buckets (Tuple.hash_key key) with
   | exception Not_found -> ()
   | bucket ->
     let els = r.elements in
+    let np = Array.length positions in
     let n = Vec.length bucket in
     let i = ref (lower_bound bucket lo) in
     let continue = ref true in
-    while !continue && !i < n do
-      let pos = Vec.unsafe_get bucket !i in
-      if pos >= hi then continue := false
-      else begin
-        let t = Vec.unsafe_get els pos in
-        if Tuple.proj_equal t positions key then f t;
-        incr i
-      end
-    done
+    let cols = if raws_ok && slabbed r then r.cols else [||] in
+    if Array.length cols > 0 then
+      while !continue && !i < n do
+        let pos = Vec.unsafe_get bucket !i in
+        if pos >= hi then continue := false
+        else begin
+          let rec same j =
+            j >= np
+            || Vec.unsafe_get
+                 (Array.unsafe_get cols (Array.unsafe_get positions j))
+                 pos
+               = Array.unsafe_get raws j
+               && same (j + 1)
+          in
+          if same 0 then f (Vec.unsafe_get els pos);
+          incr i
+        end
+      done
+    else
+      while !continue && !i < n do
+        let pos = Vec.unsafe_get bucket !i in
+        if pos >= hi then continue := false
+        else begin
+          let t = Vec.unsafe_get els pos in
+          if Tuple.proj_equal t positions key then f t;
+          incr i
+        end
+      done
 
 let iter_range r ~lo ~hi f =
   let els = r.elements in
@@ -145,26 +308,77 @@ let iter_range r ~lo ~hi f =
     f (Vec.unsafe_get els pos)
   done
 
-let iter_matching r ~positions ~key f =
-  if Array.length positions = 0 then Vec.iter f r.elements
-  else
-    probe_index r (index_for r positions) positions key ~lo:0
-      ~hi:(cardinal r) f
+(* Below this window width a probe skips the index entirely and scans
+   the key columns over [lo, hi) directly: for the narrow Delta windows
+   the semi-naive engine probes every round, a sequential sweep of a
+   handful of unboxed ints beats a hash lookup plus binary search.
+   Enumeration order (ascending positions of the true matches) is
+   identical on both paths, so counters downstream cannot tell. *)
+let scan_cutoff = 16
+
+let scan_window r positions ~raws ~lo ~hi f =
+  let cols = r.cols in
+  let els = r.elements in
+  let np = Array.length positions in
+  let hi = min hi (Vec.length els) in
+  for pos = lo to hi - 1 do
+    let rec same j =
+      j >= np
+      || Vec.unsafe_get (Array.unsafe_get cols (Array.unsafe_get positions j))
+           pos
+         = Array.unsafe_get raws j
+         && same (j + 1)
+    in
+    if same 0 then f (Vec.unsafe_get els pos)
+  done
 
 (* The staged form the join inner loop uses: index resolution — a
    string of hashtable lookups that is invariant across the probes of
-   one Joiner.run — is paid once, and each application costs only the
-   bucket lookup plus the windowed walk. The returned closure reads
-   the live index, so tuples added after staging are still found; it
-   is invalidated by [compact] and [clear] (which drop indexes) and
-   must not be kept across them. *)
+   one Joiner.run — is paid at most once, and each application costs
+   only the bucket lookup plus the windowed walk (or, for windows
+   narrower than [scan_cutoff] on a slab relation, a direct columnar
+   scan that never touches the index at all — the index is then built
+   only when a wide window first needs it). The returned closure reads
+   the live relation, so tuples added after staging are still found;
+   it is invalidated by [compact] and [clear] (which drop indexes) and
+   must not be kept across them. It owns a scratch key buffer, so it
+   is not re-entrant: don't call it from within its own callback. *)
 let matcher r ~positions =
   if Array.length positions = 0 then fun _key ~lo ~hi f ->
     iter_range r ~lo ~hi f
   else begin
-    let ix = index_for r positions in
-    fun key ~lo ~hi f -> probe_index r ix positions key ~lo ~hi f
+    let np = Array.length positions in
+    let rawbuf = Array.make np 0 in
+    let raws_ok = ref true in  (* scratch, like rawbuf: not re-entrant *)
+    let ix = ref None in
+    fun key ~lo ~hi f ->
+      if hi > lo then begin
+        raws_ok := true;
+        for j = 0 to np - 1 do
+          let c = Array.unsafe_get key j in
+          Array.unsafe_set rawbuf j (Const.to_raw c);
+          if not (Const.raw_exact c) then raws_ok := false
+        done;
+        if !raws_ok && hi - lo <= scan_cutoff && slabbed r then
+          scan_window r positions ~raws:rawbuf ~lo ~hi f
+        else begin
+          let ix =
+            match !ix with
+            | Some ix -> ix
+            | None ->
+              let resolved = index_for r positions in
+              ix := Some resolved;
+              resolved
+          in
+          probe_index r ix positions key ~raws:rawbuf ~raws_ok:!raws_ok ~lo
+            ~hi f
+        end
+      end
   end
+
+let iter_matching r ~positions ~key f =
+  if Array.length positions = 0 then Vec.iter f r.elements
+  else (matcher r ~positions) key ~lo:0 ~hi:(cardinal r) f
 
 let lookup r ~positions ~key =
   if Array.length positions = 0 then to_list r
@@ -174,15 +388,58 @@ let lookup r ~positions ~key =
     List.rev !acc
   end
 
-let copy r =
-  let fresh = create ~initial_size:(max 16 (cardinal r)) ~arity:r.arity () in
-  iter (fun t -> ignore (add fresh t)) r;
-  fresh
+(* Copying between identical layouts is a structural clone — the
+   element vector, columns and dedup buckets are duplicated with flat
+   array copies, never rehashing a tuple. This is what makes
+   [Database.copy] (snapshotting an engine's model, assembling run
+   results) cheap enough to sit inside [Seminaive.evaluate]. Forcing a
+   layout change falls back to element-by-element re-insertion. *)
+let copy ?slab r =
+  let want =
+    match slab with
+    | None -> slabbed r
+    | Some b -> b
+  in
+  if want = slabbed r then
+    {
+      arity = r.arity;
+      seen =
+        (match r.seen with
+        | Boxed tbl -> Boxed (Tbl.copy tbl)
+        | Slab s ->
+          Slab
+            {
+              sl_table = Array.copy s.sl_table;
+              sl_mask = s.sl_mask;
+              sl_next = Vec.copy s.sl_next;
+              sl_hashes = Vec.copy s.sl_hashes;
+            });
+      elements = Vec.copy r.elements;
+      cols = Array.map Vec.copy r.cols;
+      indexes = Hashtbl.create 4;
+      ix_all = [||];
+    }
+  else begin
+    let fresh =
+      create ~initial_size:(max 16 (cardinal r)) ~slab:want ~arity:r.arity ()
+    in
+    iter (fun t -> ignore (add fresh t)) r;
+    fresh
+  end
+
+let slab_reset s =
+  Array.fill s.sl_table 0 (Array.length s.sl_table) 0;
+  Vec.clear s.sl_next;
+  Vec.clear s.sl_hashes
 
 let clear r =
-  Tbl.reset r.seen;
+  (match r.seen with
+  | Boxed tbl -> Tbl.reset tbl
+  | Slab s -> slab_reset s);
+  Array.iter Vec.clear r.cols;
   Vec.clear r.elements;
-  Hashtbl.reset r.indexes
+  Hashtbl.reset r.indexes;
+  r.ix_all <- [||]
 
 (* Deletion support for the incremental-maintenance layer. The store is
    append-only by design, so removal is an in-place rebuild: surviving
@@ -197,23 +454,25 @@ let remove_all r keep_out =
   if !victims = 0 then 0
   else begin
     let survivors = List.filter (fun t -> not (keep_out t)) (to_list r) in
-    Tbl.reset r.seen;
+    (match r.seen with
+    | Boxed tbl -> Tbl.reset tbl
+    | Slab s -> slab_reset s);
+    Array.iter Vec.clear r.cols;
     Vec.clear r.elements;
     Hashtbl.reset r.indexes;
-    List.iter
-      (fun t ->
-        Tbl.add r.seen t ();
-        Vec.push r.elements t)
-      survivors;
+    r.ix_all <- [||];
+    List.iter (fun t -> unchecked_push r t) survivors;
     !victims
   end
 
 let compact r =
   Vec.compact r.elements;
-  Hashtbl.reset r.indexes
+  Array.iter Vec.compact r.cols;
+  Hashtbl.reset r.indexes;
+  r.ix_all <- [||]
 
-let of_list ~arity tuples =
-  let r = create ~arity () in
+let of_list ?slab ~arity tuples =
+  let r = create ?slab ~arity () in
   List.iter (fun t -> ignore (add r t)) tuples;
   r
 

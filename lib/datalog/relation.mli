@@ -4,20 +4,46 @@
     pattern of bound positions build (and thereafter maintain) a hash
     index keyed by the projection on those positions.
 
-    Storage layout (see DESIGN.md §11): elements live in a growable
-    flat array ({!Vec}) in insertion order, and each index maps the
-    {e hash} of a projection to a flat bucket of tuples — inserts and
-    probes are allocation-free, with candidates re-checked against the
-    key by [Tuple.proj_equal] to absorb hash collisions. *)
+    Storage layout (see DESIGN.md §11 and §16): elements live in a
+    growable flat array ({!Vec}) in insertion order, and each index
+    maps the {e hash} of a projection to a flat bucket of tuples —
+    inserts and probes are allocation-free, with candidates re-checked
+    against the key to absorb hash collisions.
+
+    By default a relation is additionally {e slab-backed}: one unboxed
+    int column per position mirrors [Const.to_raw] of every stored
+    constant, dedup is by whole-tuple hash buckets verified against
+    those columns, and index probes compare raw int words instead of
+    chasing boxed tuple pointers. The raw encoding is only injective
+    for {!Const.raw_exact} constants, so the first insert of an
+    out-of-range integer permanently demotes the relation to the boxed
+    path ([Tuple.proj_equal] verification, hashtable dedup) — results
+    are identical either way. [~slab:false] opts out up front. *)
 
 type t
 
-val create : ?initial_size:int -> arity:int -> unit -> t
+val create : ?initial_size:int -> ?slab:bool -> arity:int -> unit -> t
+(** [slab] defaults to [true]. *)
+
 val arity : t -> int
 val cardinal : t -> int
 val is_empty : t -> bool
 
+val slabbed : t -> bool
+(** Whether the relation currently keeps raw columns: [false] when
+    created with [~slab:false] or after demotion by an inexact
+    constant. *)
+
 val mem : t -> Tuple.t -> bool
+
+val mem_raw : t -> hash:int -> int array -> bool
+(** [mem_raw r ~hash raws]: does [r] contain the tuple whose raw
+    encoding is [raws] (one {!Const.to_raw} word per position, all
+    {!Const.raw_exact}) and whose [Tuple.hash_key] is [hash]? The
+    semi-naive duplicate filter: answers from the columns without
+    materializing a tuple.
+    @raise Invalid_argument if [not (slabbed r)] — callers must check
+    first, since a demoted relation cannot answer from raw words. *)
 
 val add : t -> Tuple.t -> bool
 (** [add r t] inserts [t]; returns [true] iff [t] was new.
@@ -63,21 +89,33 @@ val matcher :
   t -> positions:int array ->
   (Const.t array -> lo:int -> hi:int -> (Tuple.t -> unit) -> unit)
 (** Staged, windowed {!iter_matching}: [matcher r ~positions] resolves
-    (building if necessary) the index once and returns a probe
-    function, so the join inner loop ({!Joiner.run}) pays the index
-    lookup per run instead of per candidate. [lo]/[hi] restrict the
-    probe to tuples whose insertion position is in [\[lo, hi)] — the
-    semi-naive Old/Delta/Current windows over one append-only store.
-    Index buckets hold strictly ascending positions, so a windowed
-    probe binary-searches the lower bound and touches only in-range
-    candidates. The probe sees tuples added after staging; it is
-    invalidated by {!compact} and {!clear}. *)
+    the index at most once and returns a probe function, so the join
+    inner loop ({!Joiner.run}) pays the index lookup per run instead
+    of per candidate. [lo]/[hi] restrict the probe to tuples whose
+    insertion position is in [\[lo, hi)] — the semi-naive
+    Old/Delta/Current windows over one append-only store. Index
+    buckets hold strictly ascending positions, so a windowed probe
+    binary-searches the lower bound and walks only in-range
+    candidates; on a slab-backed relation, windows narrower than a
+    small cutoff are instead answered by scanning the raw key columns
+    directly over [\[lo, hi)], skipping the index (and deferring its
+    construction) entirely. Both paths enumerate the same tuples in
+    the same order. The probe sees tuples added after staging; it is
+    invalidated by {!compact} and {!clear}, and it owns a scratch key
+    buffer, so it must not be re-entered from its own callback. *)
 
 val iter_range : t -> lo:int -> hi:int -> (Tuple.t -> unit) -> unit
 (** Iterate the tuples with insertion positions in [\[lo, hi)], in
     insertion order. *)
 
-val copy : t -> t
+val copy : ?slab:bool -> t -> t
+(** An independent relation with the same contents. When the layout is
+    unchanged (the default) this is a structural clone — flat copies
+    of the element vector, columns and dedup buckets, no rehashing —
+    which is what keeps [Database.copy] cheap on big models. Passing
+    [~slab] forces the layout of the copy, re-inserting elements when
+    it differs. *)
+
 val clear : t -> unit
 
 val remove_all : t -> (Tuple.t -> bool) -> int
@@ -94,7 +132,7 @@ val compact : t -> unit
     drop all materialized indexes (they are rebuilt on the next
     {!lookup} that needs them). Contents are unchanged. *)
 
-val of_list : arity:int -> Tuple.t list -> t
+val of_list : ?slab:bool -> arity:int -> Tuple.t list -> t
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 

@@ -34,6 +34,12 @@ type t = {
      global: the domain runtime runs engines concurrently. [None]
      disables interning (the property suite checks both modes agree). *)
   arena : Arena.t option;
+  (* Slab-backed storage rides the same switch as the arena: the flat
+     columns only pay off when tuples are interned (one canonical
+     physical value per tuple), and [~intern:false] is the documented
+     way to A/B the whole fast path against the boxed reference
+     implementation (see DESIGN.md §16). *)
+  slab : bool;
   full : Database.t;  (* the single store; windows select the views *)
   marks : (string, mark) Hashtbl.t;
   mutable bootstrapped : bool;
@@ -64,7 +70,7 @@ let mark_of engine pred ~arity =
     let rel =
       match Database.find engine.full pred with
       | Some r -> r
-      | None -> Database.declare engine.full pred arity
+      | None -> Database.declare ~slab:engine.slab engine.full pred arity
     in
     let n = Relation.cardinal rel in
     let m = { m_rel = rel; m_old = n; m_cur = n } in
@@ -76,13 +82,13 @@ let create ?(pushdown = true) ?(reorder = false) ?(intern = true) program
   (match Program.check program with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Seminaive.create: " ^ msg));
-  let full = Database.copy edb in
+  let full = Database.copy ~slab:intern edb in
   let derived = Program.derived_predicates program in
   (* Declare derived relations so lookups during joins are uniform. *)
   List.iter
     (fun pred ->
       match arity_of program pred with
-      | Some a -> ignore (Database.declare full pred a)
+      | Some a -> ignore (Database.declare ~slab:intern full pred a)
       | None -> ())
     derived;
   let engine =
@@ -94,6 +100,7 @@ let create ?(pushdown = true) ?(reorder = false) ?(intern = true) program
           (Program.rules program);
       rule_firings = Array.make (List.length (Program.rules program)) 0;
       arena = (if intern then Some (Arena.create ()) else None);
+      slab = intern;
       full;
       marks = Hashtbl.create 16;
       bootstrapped = false;
@@ -164,6 +171,47 @@ let make_emit engine ~idx ~head_pred ~head_rel ~fresh =
     fresh := (head_pred, t) :: !fresh
   end
 
+(* The slab-mode emit path: a [Joiner.run] firing first hits the
+   [fast_dedup] filter, which answers duplicate-or-not from the head
+   relation's raw columns ({!Relation.mem_raw}) without materializing
+   a tuple — on the duplicate-heavy workloads (grid, hotspot) most
+   firings end right there, allocation-free. All counters live in the
+   filter so they advance exactly as in {!make_emit}; [known_new]
+   carries the filter's verdict to the emit so a verified-absent tuple
+   is inserted without a second membership probe, while inexact heads
+   and demoted relations (filter couldn't decide) re-check with
+   {!Relation.mem}. *)
+let make_fast_pair engine ~idx ~head_pred ~head_rel ~fresh =
+  let known_new = ref false in
+  let fast_dedup ~exact ~hash raws =
+    engine.rule_firings.(idx) <- engine.rule_firings.(idx) + 1;
+    engine.firings <- engine.firings + 1;
+    if exact && Relation.slabbed head_rel then
+      if Relation.mem_raw head_rel ~hash raws then begin
+        engine.duplicate_firings <- engine.duplicate_firings + 1;
+        `Dup
+      end
+      else begin
+        known_new := true;
+        `New
+      end
+    else begin
+      known_new := false;
+      `New
+    end
+  in
+  let emit t =
+    if (not !known_new) && Relation.mem head_rel t then
+      engine.duplicate_firings <- engine.duplicate_firings + 1
+    else begin
+      let t = canonical engine t in
+      Relation.add_new head_rel t;
+      engine.new_tuples <- engine.new_tuples + 1;
+      fresh := (head_pred, t) :: !fresh
+    end
+  in
+  (fast_dedup, emit)
+
 let head_mark engine (rule : Rule.t) =
   mark_of engine rule.head.Atom.pred
     ~arity:(Array.length rule.head.Atom.args)
@@ -179,10 +227,18 @@ let bootstrap engine =
       let rule = Joiner.rule_of plan in
       let head = head_mark engine rule in
       let sources = Array.make (List.length rule.body) Joiner.Current in
-      Joiner.run plan ~sources rels
-        ~emit:
-          (make_emit engine ~idx ~head_pred:rule.head.Atom.pred
-             ~head_rel:head.m_rel ~fresh))
+      if engine.slab then begin
+        let fast_dedup, emit =
+          make_fast_pair engine ~idx ~head_pred:rule.head.Atom.pred
+            ~head_rel:head.m_rel ~fresh
+        in
+        Joiner.run plan ~sources rels ~fast_dedup ~emit
+      end
+      else
+        Joiner.run plan ~sources rels
+          ~emit:
+            (make_emit engine ~idx ~head_pred:rule.head.Atom.pred
+               ~head_rel:head.m_rel ~fresh))
     engine.plans;
   List.rev !fresh
 
@@ -213,9 +269,17 @@ let step engine =
       (fun idx plan ->
         let rule = Joiner.rule_of plan in
         let head = head_mark engine rule in
-        let emit =
-          make_emit engine ~idx ~head_pred:rule.head.Atom.pred
-            ~head_rel:head.m_rel ~fresh
+        let head_pred = rule.head.Atom.pred in
+        let fast_dedup, emit =
+          if engine.slab then
+            let fd, emit =
+              make_fast_pair engine ~idx ~head_pred ~head_rel:head.m_rel
+                ~fresh
+            in
+            (Some fd, emit)
+          else
+            ( None,
+              make_emit engine ~idx ~head_pred ~head_rel:head.m_rel ~fresh )
         in
         let body = Array.of_list rule.body in
         let n = Array.length body in
@@ -227,7 +291,7 @@ let step engine =
                   else if i = m then Joiner.Delta
                   else Joiner.Current)
             in
-            Joiner.run plan ~sources rels ~emit
+            Joiner.run plan ~sources rels ?fast_dedup ~emit
           end
         done)
       engine.plans;
@@ -253,9 +317,13 @@ let resume engine =
   done;
   List.rev !fresh
 
+(* Not [resume]: the per-step fresh lists are discarded, so there is
+   no point re-consing them into one accumulator. *)
 let run_to_fixpoint engine =
   if not engine.bootstrapped then ignore (bootstrap engine);
-  ignore (resume engine)
+  while has_pending engine do
+    ignore (step engine)
+  done
 
 (* Remove concrete facts from the store. Only legal on a quiescent
    engine: the windows are positional, and a removal rebuilds the
@@ -324,7 +392,7 @@ let restore ?(pushdown = true) ?(reorder = false) ?(intern = true) program
   (match Program.check program with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Seminaive.restore: " ^ msg));
-  let full = Database.copy snap.snap_db in
+  let full = Database.copy ~slab:intern snap.snap_db in
   let engine =
     {
       program;
@@ -334,6 +402,7 @@ let restore ?(pushdown = true) ?(reorder = false) ?(intern = true) program
           (Program.rules program);
       rule_firings = Array.make (List.length (Program.rules program)) 0;
       arena = (if intern then Some (Arena.create ()) else None);
+      slab = intern;
       full;
       marks = Hashtbl.create 16;
       bootstrapped = snap.snap_bootstrapped;

@@ -19,6 +19,17 @@ let hash_key key =
   !h land max_int
 
 let make a = { data = a; hcache = hash_key a }
+
+(* Trusted constructor for callers (Joiner) that already folded the
+   hash while filling the array; must equal [hash_key a]. *)
+let make_with_hash a h = { data = a; hcache = h }
+
+let raw_exact t =
+  let n = Array.length t.data in
+  let rec go i =
+    i >= n || (Const.raw_exact (Array.unsafe_get t.data i) && go (i + 1))
+  in
+  go 0
 let of_list l = make (Array.of_list l)
 let arity t = Array.length t.data
 let get t i = t.data.(i)

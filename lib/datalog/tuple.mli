@@ -14,6 +14,16 @@ val make : Const.t array -> t
 (** Owned by the tuple after construction: callers must not mutate the
     array they pass to {!make}. *)
 
+val make_with_hash : Const.t array -> int -> t
+(** [make_with_hash a h] is [make a] for callers that already computed
+    [h = hash_key a] while filling [a] (the Joiner folds the hash as it
+    instantiates a head). Passing a wrong hash breaks dedup — the array
+    is owned by the tuple, as with {!make}. *)
+
+val raw_exact : t -> bool
+(** Every constant satisfies {!Const.raw_exact} — the condition under
+    which a slab relation may dedup by raw column words. *)
+
 val of_list : Const.t list -> t
 val arity : t -> int
 val get : t -> int -> Const.t

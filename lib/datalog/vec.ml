@@ -28,6 +28,10 @@ let get v i =
 
 let unsafe_get v i = Array.unsafe_get v.data i
 
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set: index out of bounds";
+  v.data.(i) <- x
+
 let iter f v =
   for i = 0 to v.len - 1 do
     f (Array.unsafe_get v.data i)
@@ -51,6 +55,8 @@ let for_all p v =
 let to_list v =
   let rec go i acc = if i < 0 then acc else go (i - 1) (v.data.(i) :: acc) in
   go (v.len - 1) []
+
+let copy v = { data = Array.copy v.data; len = v.len; dummy = v.dummy }
 
 let clear v =
   Array.fill v.data 0 v.len v.dummy;

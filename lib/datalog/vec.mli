@@ -26,6 +26,10 @@ val get : 'a t -> int -> 'a
 val unsafe_get : 'a t -> int -> 'a
 (** No bounds check: caller guarantees [0 <= i < length]. *)
 
+val set : 'a t -> int -> 'a -> unit
+(** Overwrite an existing slot.
+    @raise Invalid_argument when the index is out of bounds. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 (** In insertion order. *)
 
@@ -35,6 +39,11 @@ val fold : ('a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
 val exists : ('a -> bool) -> 'a t -> bool
 val for_all : ('a -> bool) -> 'a t -> bool
 val to_list : 'a t -> 'a list
+
+val copy : 'a t -> 'a t
+(** An independent vector with the same contents (elements are shared,
+    the backing array is not). O(capacity) — one [Array.copy], no
+    per-element rehashing; {!Relation.copy} is built on this. *)
 
 val clear : 'a t -> unit
 (** Length becomes 0; capacity is retained. Cleared slots are

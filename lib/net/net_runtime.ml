@@ -1874,6 +1874,7 @@ let open_session ~config ~program ~spec ?(seed = 0) ?(procs = 4)
       transport = transport_stats;
       peak_in_flight;
       phase_ns = [];
+      comms = Stats.no_comms;
     }
   in
   (answers, stats)

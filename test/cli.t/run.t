@@ -172,8 +172,8 @@ The metric totals equal the Stats counters of the same run.
   $ grep -o '"runtime.tuples_sent":[0-9]*' metrics.json
   "runtime.tuples_sent":10
   $ datalogp par anc.dl --edb chain.dl --scheme example3 -n 2 -q --json \
-  >   | grep -o '"schema":4\|"scheme":"[a-z0-9_]*"\|"outcome":"[a-z_]*"\|"pooled":[0-9]*'
-  "schema":4
+  >   | grep -o '"schema":5\|"scheme":"[a-z0-9_]*"\|"outcome":"[a-z_]*"\|"pooled":[0-9]*'
+  "schema":5
   "scheme":"example3"
   "outcome":"ok"
   "pooled":10

@@ -1,21 +1,33 @@
 #!/bin/sh
-# Documentation-consistency guard: the flag tables in README.md
-# (between the "begin/end par flags", "begin/end check flags" and
-# "begin/end datalogd flags" markers) must list exactly the flags the
-# CLIs accept.  A flag added to a CLI without a README row -- or a row
-# for a flag that no longer exists -- fails `dune runtest` (alias
-# @docs) with a diff.
+# Documentation-consistency guard:
 #
-# Usage: docs_check.sh DATALOGP DATALOGD README
+#   1. The flag tables in README.md (between the "begin/end par
+#      flags", "begin/end check flags" and "begin/end datalogd flags"
+#      markers) must list exactly the flags the CLIs accept.
+#   2. The bench-section table in README.md (between the "begin/end
+#      bench sections" markers) must list exactly the section ids
+#      `bench/main.exe --help` reports.
+#   3. Every committed BENCH_*.json baseline must be mentioned by name
+#      in PERFORMANCE.md (the canonical perf-trajectory document).
+#
+# A drift in any direction fails `dune runtest` (alias @docs) with a
+# diff.
+#
+# Usage: docs_check.sh DATALOGP DATALOGD BENCH README PERFORMANCE ROOT
 #
 # The flag name is the first `--token` of a table row's first cell; on
 # the --help side it is every long option named on an option line
-# (--help and --version excluded as cmdliner boilerplate).
+# (--help and --version excluded as cmdliner boilerplate).  A bench
+# section id is the backticked first cell of a table row; on the
+# --help side, the first word of each line of the sections block.
 set -eu
 
 datalogp=$1
 datalogd=$2
-readme=$3
+bench=$3
+readme=$4
+performance=$5
+root=$6
 
 readme_flags () {
   sed -n "/begin $1 flags/,/end $1 flags/p" "$readme" \
@@ -50,10 +62,45 @@ check_table par "$datalogp" par
 check_table check "$datalogp" check
 check_table datalogd "$datalogd"
 
+# The README's bench-section table must match the harness's own
+# section registry (`bench --help` prints one line per section).
+sed -n '/begin bench sections/,/end bench sections/p' "$readme" \
+  | awk -F'|' 'NF > 2 { print $2 }' \
+  | grep -oE '`[a-z0-9]+`' | tr -d '`' | sort > readme-bench
+"$bench" --help \
+  | sed -n '/^sections:/,/^flags:/p' \
+  | awk '/^  [a-z0-9]/ { print $1 }' | sort > help-bench
+if ! diff -u readme-bench help-bench > diff-bench; then
+  echo "README bench-section table is out of sync with 'bench --help':"
+  cat diff-bench
+  echo "(lines with '-' are README rows for sections the bench lacks;"
+  echo " lines with '+' are bench sections missing a README row)"
+  status=1
+fi
+
+# Every committed baseline file must be documented in PERFORMANCE.md,
+# so a bench section cannot start writing a new BENCH_*.json without
+# the perf-trajectory document gaining a row for it.
+found_baseline=0
+for f in "$root"/BENCH_*.json; do
+  [ -e "$f" ] || continue
+  found_baseline=1
+  b=$(basename "$f")
+  if ! grep -q "$b" "$performance"; then
+    echo "docs_check: baseline $b is not documented in PERFORMANCE.md"
+    status=1
+  fi
+done
+if [ "$found_baseline" = 0 ]; then
+  echo "docs_check: no BENCH_*.json baselines found under '$root';"
+  echo "is the project root argument wrong?"
+  status=1
+fi
+
 # A sanity check that the extraction is not vacuously empty: an empty
 # side would make the diff pass trivially if the markers went missing.
 for f in readme-par help-par readme-check help-check \
-         readme-datalogd help-datalogd; do
+         readme-datalogd help-datalogd readme-bench help-bench; do
   if ! [ -s "$f" ]; then
     echo "docs_check: extracted flag list '$f' is empty;"
     echo "are the README table markers or --help format intact?"

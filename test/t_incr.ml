@@ -250,7 +250,7 @@ let live_tests =
           in
           go 0
         in
-        Alcotest.(check bool) "schema bumped" true (contains "\"schema\":4");
+        Alcotest.(check bool) "schema bumped" true (contains "\"schema\":5");
         Alcotest.(check bool) "one batch applied" true
           (contains "\"incr\":{\"batches_applied\":1");
         Alcotest.(check int) "batches counted" 1

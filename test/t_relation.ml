@@ -68,11 +68,22 @@ let relation_tests =
           (List.length
              (Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 1 |])));
     case "index_count grows per distinct pattern" (fun () ->
-        let r = relation_of_pairs [ (1, 2) ] in
+        (* Enough tuples that a probe exceeds the columnar-scan cutoff
+           and actually materializes an index. *)
+        let r =
+          relation_of_pairs (List.init 40 (fun i -> (i, i + 1)))
+        in
         ignore (Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 1 |]);
         ignore (Relation.lookup r ~positions:[| 1 |] ~key:[| Const.int 2 |]);
         ignore (Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 7 |]);
         Alcotest.(check int) "two indexes" 2 (Relation.index_count r));
+    case "small slab probes defer index construction" (fun () ->
+        let r = relation_of_pairs [ (1, 2) ] in
+        Alcotest.(check (list tuple_t))
+          "columnar scan answers"
+          [ Tuple.of_ints [ 1; 2 ] ]
+          (Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 1 |]);
+        Alcotest.(check int) "no index built" 0 (Relation.index_count r));
     case "copy is independent" (fun () ->
         let r = relation_of_pairs [ (1, 2) ] in
         let c = Relation.copy r in

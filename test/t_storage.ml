@@ -1,6 +1,8 @@
-(* The PR5 storage engine: Vec growth, the interning arena, cached
-   tuple hashes, index life cycle across compaction, and the
-   interned/non-interned equivalence properties. *)
+(* The storage engine: Vec growth, the interning arena, cached tuple
+   hashes, index life cycle across compaction (PR5), the columnar slab
+   layer (PR10 — slab/boxed equivalence, demotion, the per-round
+   allocation budget), and the interned/non-interned equivalence
+   properties. *)
 
 open Datalog
 open Helpers
@@ -138,6 +140,73 @@ let test_engine_arena_stats () =
     (Seminaive.arena_stats plain = None)
 
 (* ------------------------------------------------------------------ *)
+(* Columnar slabs (PR10)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_slab_demotion () =
+  let r = Relation.create ~arity:1 () in
+  Alcotest.(check bool) "starts slabbed" true (Relation.slabbed r);
+  ignore (Relation.add r (Tuple.of_ints [ 1 ]));
+  Alcotest.(check bool) "small ints stay slabbed" true (Relation.slabbed r);
+  (* max_int does not fit the 63-bit tagged raw encoding, so its
+     arrival permanently demotes the relation to boxed storage. *)
+  ignore (Relation.add r (Tuple.of_list [ Const.int max_int ]));
+  Alcotest.(check bool) "an unencodable int demotes" false
+    (Relation.slabbed r);
+  Alcotest.(check bool) "old tuple survives demotion" true
+    (Relation.mem r (Tuple.of_ints [ 1 ]));
+  Alcotest.(check bool) "new tuple present" true
+    (Relation.mem r (Tuple.of_list [ Const.int max_int ]));
+  Alcotest.(check bool) "dedup still works" false
+    (Relation.add r (Tuple.of_ints [ 1 ]));
+  Alcotest.(check int) "cardinal" 2 (Relation.cardinal r)
+
+let test_slab_opt_out () =
+  let r = Relation.create ~slab:false ~arity:2 () in
+  Alcotest.(check bool) "~slab:false starts boxed" false (Relation.slabbed r);
+  ignore (Relation.add r (Tuple.of_ints [ 1; 2 ]));
+  Alcotest.(check bool) "probes still answer" true
+    (Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 1 |]
+     = [ Tuple.of_ints [ 1; 2 ] ])
+
+let test_slab_copy () =
+  let r = Relation.create ~arity:2 () in
+  for i = 0 to 99 do
+    ignore (Relation.add r (Tuple.of_ints [ i mod 7; i ]))
+  done;
+  let c = Relation.copy r in
+  Alcotest.(check bool) "structural copy stays slabbed" true
+    (Relation.slabbed c);
+  Alcotest.(check bool) "copy equals original" true (Relation.equal r c);
+  ignore (Relation.add c (Tuple.of_ints [ 3; 1000 ]));
+  Alcotest.(check int) "original unchanged" 100 (Relation.cardinal r);
+  Alcotest.(check (list tuple_t)) "copy's probes see the insert"
+    (List.sort Tuple.compare
+       (Relation.lookup r ~positions:[| 0 |] ~key:[| Const.int 3 |]
+       @ [ Tuple.of_ints [ 3; 1000 ] ]))
+    (List.sort Tuple.compare
+       (Relation.lookup c ~positions:[| 0 |] ~key:[| Const.int 3 |]))
+
+(* The round's bookkeeping must not allocate: slab insert, dedup and
+   columnar probes are all flat int-array traffic, so what remains per
+   round is dominated by the derived tuples themselves. The budget is
+   loose (PR10 measured ~11k words/round on this shape; the boxed
+   layer sat far above it) but tight enough to catch a regression that
+   reintroduces per-insert or per-probe boxing. *)
+let test_chain_allocation_budget () =
+  let edb = edb_of_edges (Workload.Graphgen.chain 150) in
+  let engine = Seminaive.create ancestor ~edb in
+  let before = Gc.minor_words () in
+  Seminaive.run_to_fixpoint engine;
+  let words = Gc.minor_words () -. before in
+  let rounds = max 1 (Seminaive.stats engine).Seminaive.iterations in
+  let per_round = words /. float_of_int rounds in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f minor words/round under the 40k budget" per_round)
+    true
+    (per_round < 40_000.)
+
+(* ------------------------------------------------------------------ *)
 (* Interned / non-interned equivalence                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -155,23 +224,40 @@ let edge_list =
         (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) es))
     edge_list_gen
 
+(* [~intern:true] is also the slabbed engine and [~intern:false] the
+   boxed one (PR10 ties the columnar layer to interning), so this
+   property now pins the whole storage stack: identical model,
+   identical semi-naive counters, and an identical join-probe count —
+   the columnar window scans and raw-compare verification must
+   enumerate exactly the candidates the boxed index path does. *)
 let same_run program edges =
   let edb = edb_of_edges edges in
-  let db_on, s_on = Seminaive.evaluate ~intern:true program edb in
-  let db_off, s_off = Seminaive.evaluate ~intern:false program edb in
-  Database.equal db_on db_off && s_on = s_off
+  let run ~intern =
+    let e = Seminaive.create ~intern program ~edb in
+    Seminaive.run_to_fixpoint e;
+    (Seminaive.database e, Seminaive.stats e, Seminaive.join_probes e)
+  in
+  let db_on, s_on, p_on = run ~intern:true in
+  let db_off, s_off, p_off = run ~intern:false in
+  Database.equal db_on db_off && s_on = s_off && p_on = p_off
 
 let prop_intern_equiv_linear =
   QCheck.Test.make ~count:150
-    ~name:"interning changes neither answers nor counters (linear)"
+    ~name:"slab = boxed: answers, counters and probes (linear)"
     edge_list
     (fun edges -> same_run ancestor edges)
 
 let prop_intern_equiv_nonlinear =
   QCheck.Test.make ~count:100
-    ~name:"interning changes neither answers nor counters (nonlinear)"
+    ~name:"slab = boxed: answers, counters and probes (nonlinear)"
     edge_list
     (fun edges -> same_run Workload.Progs.ancestor_nonlinear edges)
+
+let prop_intern_equiv_samegen =
+  QCheck.Test.make ~count:100
+    ~name:"slab = boxed: answers, counters and probes (same-generation)"
+    edge_list
+    (fun edges -> same_run Workload.Progs.same_generation edges)
 
 (* ------------------------------------------------------------------ *)
 
@@ -185,8 +271,17 @@ let storage =
       test_index_rebuild_after_compact;
     case "windowed matcher sees exactly [lo, hi)" test_windowed_matcher;
     case "engine arena stats" test_engine_arena_stats;
+    case "an unencodable constant demotes the slab in place"
+      test_slab_demotion;
+    case "~slab:false opts a relation out of columnar storage"
+      test_slab_opt_out;
+    case "copying a slabbed relation is structural and independent"
+      test_slab_copy;
+    case "steady-state rounds stay within the allocation budget"
+      test_chain_allocation_budget;
     to_alcotest prop_intern_equiv_linear;
     to_alcotest prop_intern_equiv_nonlinear;
+    to_alcotest prop_intern_equiv_samegen;
   ]
 
 let suites = [ ("storage", storage) ]
